@@ -1,0 +1,51 @@
+"""Shared fixtures for the table/figure regenerators.
+
+The full harness (8 benchmarks x {sequential, profiled, transformed
+opt/unopt, runtime-priv, 1/2/4/8-thread parallel, sync-only}) runs once
+per pytest session; every regenerator reads from the cached results.
+"""
+
+import pytest
+
+from repro.bench import Harness, all_benchmarks
+
+
+@pytest.fixture(scope="session")
+def harness():
+    return Harness()
+
+
+@pytest.fixture(scope="session")
+def results(harness, request):
+    """name -> BenchmarkResult for the whole suite (Table 4 order)."""
+    out = {}
+    for spec in all_benchmarks():
+        out[spec.name] = harness.result(spec.name)
+    request.session._repro_results = out
+    return out
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _emit_full_report(request):
+    """After the session, print every regenerated table/figure straight
+    to the terminal (bypassing capture, so `pytest benchmarks/ | tee`
+    archives them).  Lazy: only fires if some test computed the full
+    suite, so the ablation benches can run standalone."""
+    yield
+    results = getattr(request.session, "_repro_results", None)
+    if not results:
+        return
+    from repro.bench.report import full_report
+    text = "\n\n" + full_report(results) + "\n"
+    cap = request.config.pluginmanager.getplugin("capturemanager")
+    if cap is not None:
+        with cap.global_and_fixture_disabled():
+            print(text)
+    else:  # pragma: no cover
+        print(text)
+
+
+def pytest_collection_modifyitems(items):
+    """Run the ablation benches after the figure regenerators so the
+    expensive full-suite fixture is computed exactly once up front."""
+    items.sort(key=lambda item: "ablation" in item.nodeid)

@@ -1,0 +1,88 @@
+"""Ablation: which §3.4 optimization buys how much?
+
+DESIGN.md calls out selective promotion, trivial-span elimination,
+constant spans, and redirection hoisting as separable design choices;
+this bench disables them one at a time and reports the sequential
+overhead impact on the two most span-sensitive kernels.
+"""
+
+import pytest
+
+from repro.bench import get
+from repro.frontend import parse_and_analyze
+from repro.interp import Machine
+from repro.transform import OptFlags, expand_for_threads
+
+KERNELS = ("256.bzip2", "456.hmmer")
+
+VARIANTS = {
+    "all-on": OptFlags(),
+    "no-selective-promotion": OptFlags(selective_promotion=False),
+    "no-trivial-span-elim": OptFlags(trivial_span_elim=False),
+    "no-constant-spans": OptFlags(constant_spans=False),
+    "no-hoisting": OptFlags(hoisting=False),
+    "all-off": OptFlags.all_off(),
+}
+
+
+@pytest.fixture(scope="module")
+def overheads():
+    out = {}
+    for name in KERNELS:
+        spec = get(name)
+        program, sema = parse_and_analyze(spec.source)
+        base = Machine(program, sema)
+        base.run()
+        row = {}
+        for variant, flags in VARIANTS.items():
+            result = expand_for_threads(
+                program, sema, spec.loop_labels, optimize=flags
+            )
+            machine = Machine(result.program, result.sema)
+            machine.nthreads = 1
+            machine.run()
+            assert machine.output == base.output, (name, variant)
+            row[variant] = machine.cost.cycles / base.cost.cycles
+        out[name] = row
+    return out
+
+
+def test_ablation_table(overheads, benchmark):
+    benchmark.pedantic(lambda: dict(overheads), rounds=1, iterations=1)
+    print("\nAblation: sequential overhead by disabled optimization")
+    header = ["kernel"] + list(VARIANTS)
+    print("  ".join(f"{h:<24}" for h in header))
+    for name, row in overheads.items():
+        cells = [name] + [f"{row[v]:.3f}x" for v in VARIANTS]
+        print("  ".join(f"{c:<24}" for c in cells))
+
+
+def test_every_optimization_helps_or_is_neutral(overheads):
+    for name, row in overheads.items():
+        for variant in VARIANTS:
+            if variant in ("all-on",):
+                continue
+            assert row[variant] >= row["all-on"] - 0.02, (name, variant)
+
+
+def test_hoisting_is_the_big_lever(overheads):
+    """Redirection cost is per-access without hoisting: disabling it
+    hurts more than disabling constant spans alone."""
+    for name, row in overheads.items():
+        assert row["no-hoisting"] > row["all-on"] + 0.05, name
+
+
+def test_all_off_matches_unoptimized_mode(overheads):
+    for name in KERNELS:
+        spec = get(name)
+        program, sema = parse_and_analyze(spec.source)
+        base = Machine(program, sema)
+        base.run()
+        result = expand_for_threads(
+            program, sema, spec.loop_labels, optimize=False
+        )
+        machine = Machine(result.program, result.sema)
+        machine.nthreads = 1
+        machine.run()
+        ratio = machine.cost.cycles / base.cost.cycles
+        assert abs(ratio - overheads[name]["all-off"]) < 0.02

@@ -1,0 +1,53 @@
+"""Ablation: DOACROSS dynamic-scheduling chunk size.
+
+The paper fixes chunk size 1 for DOACROSS loops.  Larger chunks
+amortize the dequeue cost but delay the pipeline: a whole chunk's
+serialized sections stack up on one thread before the next thread can
+enter its own.
+"""
+
+import pytest
+
+from repro.bench import get
+from repro.frontend import parse_and_analyze
+from repro.interp import Machine
+from repro.runtime import run_parallel
+from repro.transform import expand_for_threads
+
+CHUNKS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def bzip2_setup():
+    spec = get("256.bzip2")
+    program, sema = parse_and_analyze(spec.source)
+    base = Machine(program, sema)
+    base.run()
+    result = expand_for_threads(program, sema, spec.loop_labels)
+    return spec, base, result
+
+
+def test_chunk_sweep(bzip2_setup, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    spec, base, result = bzip2_setup
+    print("\nDOACROSS chunk-size sweep (256.bzip2, 8 threads):")
+    makespans = {}
+    for chunk in CHUNKS:
+        outcome = run_parallel(result, 8, chunk=chunk)
+        assert outcome.output == base.output
+        ex = outcome.loop(spec.loop_labels[0])
+        makespans[chunk] = ex.makespan + ex.runtime_cycles
+        bd = ex.breakdown()
+        stalled = (bd["wait"] + bd["sync"]) / (sum(bd.values()) or 1)
+        print(f"  chunk={chunk}: loop cycles {makespans[chunk]:,.0f} "
+              f"(stalled {stalled:.0%})")
+    # chunk=1 (the paper's choice) pipelines best on sync-bound loops
+    assert makespans[1] <= makespans[4] * 1.1
+
+
+def test_chunking_preserves_semantics(bzip2_setup):
+    spec, base, result = bzip2_setup
+    for chunk in CHUNKS:
+        for n in (2, 5):
+            outcome = run_parallel(result, n, chunk=chunk)
+            assert outcome.output == base.output

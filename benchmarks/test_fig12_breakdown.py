@@ -1,0 +1,30 @@
+"""Figure 12: where the cycles go in 8-thread runs (work vs sync vs
+wait vs runtime library)."""
+
+from repro.bench.report import fig12_breakdown
+
+
+def test_fig12_shape(results, benchmark):
+    text = benchmark.pedantic(lambda: fig12_breakdown(results), rounds=1,
+                              iterations=1)
+    print("\n" + text)
+    for name, r in results.items():
+        bd = r.expansion[8].breakdown
+        assert bd["work"] > 0, name
+        for key in ("sync", "wait", "runtime"):
+            assert bd[key] >= 0, (name, key)
+
+
+def test_fig12_doacross_wait_dominates(results):
+    """Paper: for 256.bzip2 (DOACROSS) inter-thread synchronization
+    takes the majority of running time at 8 cores."""
+    bd = results["256.bzip2"].expansion[8].breakdown
+    total = sum(bd.values())
+    stalled = (bd["wait"] + bd["sync"]) / total
+    assert stalled > 0.4, stalled
+
+
+def test_fig12_doall_mostly_works(results):
+    bd = results["md5"].expansion[8].breakdown
+    total = sum(bd.values())
+    assert bd["work"] / total > 0.75, bd

@@ -1,0 +1,32 @@
+"""Figure 13: loop speedup when privatization is done at run time
+(SpiceC-style) instead of by expansion."""
+
+from repro.bench.report import fig13_rtpriv_speedup
+
+
+def test_fig13_mostly_no_speedup(results, benchmark):
+    text = benchmark.pedantic(lambda: fig13_rtpriv_speedup(results),
+                              rounds=1, iterations=1)
+    print("\n" + text)
+    # paper: "for most of the benchmarks, there is nearly no speedup
+    # due to the large runtime overhead"
+    slow = [
+        name for name, r in results.items()
+        if r.rtpriv[8].loop_speedup < 2.5
+    ]
+    assert len(slow) >= 5, slow
+
+
+def test_fig13_expansion_beats_runtime_priv(results):
+    for name, r in results.items():
+        if name == "md5":
+            continue  # few private accesses: monitoring is cheap there
+        assert (r.expansion[8].loop_speedup
+                > r.rtpriv[8].loop_speedup), name
+
+
+def test_fig13_sync_only_is_worst(results):
+    """Without any privatization the loops do not speed up at all
+    (the paper's §4.3 observation)."""
+    for name, r in results.items():
+        assert r.sync_only_speedup < 1.3, (name, r.sync_only_speedup)

@@ -1,0 +1,38 @@
+"""Figure 14: memory usage of both privatization methods as a multiple
+of the sequential program."""
+
+from repro.bench.report import fig14_memory
+
+
+def test_fig14_bounds(results, benchmark):
+    text = benchmark.pedantic(lambda: fig14_memory(results), rounds=1,
+                              iterations=1)
+    print("\n" + text)
+    for name, r in results.items():
+        for n in (4, 8):
+            m = r.expansion[n].memory_multiple
+            # expanded structures grow at most xN; the rest is shared
+            assert 0.95 <= m <= n + 0.6, (name, n, m)
+
+
+def test_fig14_grows_with_threads(results):
+    for name, r in results.items():
+        assert (r.expansion[8].memory_multiple
+                >= r.expansion[4].memory_multiple - 1e-6), name
+
+
+def test_fig14_lbm_is_lean(results):
+    """lbm privatizes only tiny per-cell scratch: memory stays ~1x
+    (its big grids are shared) — visible in the paper's Figure 14."""
+    assert results["470.lbm"].expansion[8].memory_multiple < 1.2
+
+
+def test_fig14_rtpriv_uses_at_least_necessary_memory(results):
+    """The paper regards runtime privatization's footprint as the
+    necessary minimum; expansion stays in the same ballpark."""
+    near = [
+        name for name, r in results.items()
+        if r.expansion[8].memory_multiple
+        <= r.rtpriv[8].memory_multiple + 1.0
+    ]
+    assert len(near) >= 6, near

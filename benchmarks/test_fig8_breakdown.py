@@ -1,0 +1,42 @@
+"""Figure 8: breakdown of the candidate loops' dynamic memory accesses
+into free-of-carried-dep / expandable / stuck-with-carried-dep."""
+
+from repro.analysis import profile_loop
+from repro.bench import get
+from repro.bench.report import fig8_breakdown
+from repro.frontend import ast, parse_and_analyze
+
+
+def test_fig8_shape(results, benchmark):
+    text = benchmark.pedantic(lambda: fig8_breakdown(results), rounds=1,
+                              iterations=1)
+    print("\n" + text)
+    for name, r in results.items():
+        f = r.breakdown.fractions()
+        # every kernel has expandable accesses (that is why it is in
+        # the suite) ...
+        assert f["expandable"] > 0.02, (name, f)
+        # ... and almost nothing is stuck in unremovable carried deps
+        # within the parallel part (DOACROSS serial sections aside)
+        assert f["carried"] < 0.25, (name, f)
+
+
+def test_fig8_expandable_dominates_for_scratch_kernels(results):
+    """Kernels whose loops are built around reused scratch structures
+    show a large expandable share."""
+    for name in ("256.bzip2", "456.hmmer", "mpeg2-encoder"):
+        f = results[name].breakdown.fractions()
+        assert f["expandable"] > 0.2, (name, f)
+
+
+def test_bench_dependence_profiler(benchmark):
+    """Timing: dynamic dependence profiling of the md5 kernel."""
+    spec = get("md5")
+    program, sema = parse_and_analyze(spec.source)
+    loop = ast.find_loop(program, spec.loop_labels[0])
+
+    def profile():
+        return profile_loop(program, sema, loop)
+
+    profile_result = benchmark.pedantic(profile, rounds=2, iterations=1)
+    assert profile_result.iterations > 0

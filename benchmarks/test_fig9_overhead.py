@@ -1,0 +1,51 @@
+"""Figure 9: sequential overhead of expansion without (9a) and with
+(9b) the section-3.4 optimizations."""
+
+from repro.bench import get
+from repro.bench.report import fig9_overhead, harmonic_mean
+from repro.frontend import parse_and_analyze
+from repro.interp import Machine
+from repro.transform import expand_for_threads
+
+
+def test_fig9_shape(results, benchmark):
+    text = benchmark.pedantic(lambda: fig9_overhead(results), rounds=1,
+                              iterations=1)
+    print("\n" + text)
+    for name, r in results.items():
+        assert r.overhead_opt <= r.overhead_unopt + 1e-9, name
+        # optimized code never doubles the runtime
+        assert r.overhead_opt < 1.6, (name, r.overhead_opt)
+
+
+def test_fig9_means(results):
+    opt = harmonic_mean([r.overhead_opt for r in results.values()])
+    unopt = harmonic_mean([r.overhead_unopt for r in results.values()])
+    # paper: <5% optimized, ~1.8x un-optimized (harmonic means); our
+    # interpreter-based costs land in the same bands
+    assert opt < 1.15, opt
+    assert unopt > 1.4, unopt
+
+
+def test_optimizations_matter_most_where_spans_are_dynamic(results):
+    """hmmer (two ambiguous malloc sites) and bzip2 (promoted recast
+    pointers) gain the most from the optimizations."""
+    for name in ("456.hmmer", "256.bzip2"):
+        r = results[name]
+        assert r.overhead_unopt - r.overhead_opt > 0.5, name
+
+
+def test_bench_transformed_sequential_run(benchmark):
+    """Timing: one sequential run of the optimized transformed bzip2."""
+    spec = get("256.bzip2")
+    program, sema = parse_and_analyze(spec.source)
+    tresult = expand_for_threads(program, sema, spec.loop_labels)
+
+    def run_once():
+        machine = Machine(tresult.program, tresult.sema)
+        machine.nthreads = 1
+        machine.run()
+        return machine
+
+    machine = benchmark.pedantic(run_once, rounds=2, iterations=1)
+    assert machine.output

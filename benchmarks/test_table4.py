@@ -1,0 +1,41 @@
+"""Table 4: benchmark characteristics (suite, LOC, function, nesting
+level, parallelism kind, fraction of time in the candidate loop)."""
+
+from repro.bench import all_benchmarks
+from repro.bench.report import table4
+from repro.frontend import parse_and_analyze
+
+
+def test_table4_characteristics(results, benchmark):
+    text = benchmark.pedantic(lambda: table4(results), rounds=1,
+                              iterations=1)
+    print("\n" + text)
+    for name, r in results.items():
+        spec = r.spec
+        assert spec.parallelism in ("DOALL", "DOACROSS")
+        assert 1 <= spec.level <= 3
+        # the candidate loop dominates runtime, as in the paper; the
+        # exact fraction tracks the paper's within a loose band
+        assert r.pct_time > 0.5, f"{name}: loop only {r.pct_time:.0%}"
+        assert abs(100 * r.pct_time - spec.paper.pct_time) < 35
+
+
+def test_parallelism_kind_matches_pragma(results):
+    for name, r in results.items():
+        from repro.frontend import ast
+        program, _ = parse_and_analyze(r.spec.source)
+        for label in r.spec.loop_labels:
+            loop = ast.find_loop(program, label)
+            joined = " ".join(loop.pragmas).lower()
+            assert r.spec.parallelism.lower() in joined
+
+
+def test_bench_frontend_throughput(benchmark):
+    """Timing: parse + analyze every benchmark kernel."""
+    sources = [spec.source for spec in all_benchmarks()]
+
+    def parse_all():
+        for source in sources:
+            parse_and_analyze(source)
+
+    benchmark.pedantic(parse_all, rounds=3, iterations=1)

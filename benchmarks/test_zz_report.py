@@ -1,0 +1,13 @@
+"""Prints the complete paper-vs-ours report (every table and figure) at
+the end of a full bench run; the same text seeds EXPERIMENTS.md."""
+
+from repro.bench.report import full_report
+
+
+def test_full_report(results, benchmark):
+    text = benchmark.pedantic(lambda: full_report(results), rounds=1,
+                              iterations=1)
+    print("\n" + text)
+    # one row per benchmark in each section
+    assert text.count("dijkstra") >= 9
+    assert "harmonic mean" in text

@@ -1,0 +1,101 @@
+"""The paper's Figure 3, end to end: why fat pointers carry a *span*.
+
+``mx`` is allocated from two different malloc sites with different
+sizes, decided at run time.  Bonded-mode redirection must step
+``tid * <original size>`` to reach this thread's copy — but the
+compiler cannot know which size applies at any given dereference.  The
+paper's answer is the span field: every promoted pointer carries the
+byte size of the structure it references, maintained by the Table 3
+rules at each assignment.
+
+This example shows:
+
+1. the transformed source — compare with the paper's Figures 3-4:
+   ``struct { int *pointer; long span; } mx`` and dereferences through
+   ``mx.pointer + __tid * mx.span / sizeof(int)``;
+2. that the spans genuinely stay *dynamic* (the pipeline reports no
+   constant-span redirections here, unlike single-site programs);
+3. a 4-thread run, race-free with verified output — including
+   ``free(mx)`` inside the loop, which exercises allocator address
+   reuse across threads;
+4. the same program with ONE malloc site, where §3.4's constant-span
+   optimization kicks in instead.
+
+Run:  python examples/ambiguous_spans.py
+"""
+
+from repro import Machine, parse_and_analyze, print_program
+from repro.runtime import run_parallel
+from repro.transform import expand_for_threads
+
+TWO_SITES = r"""
+int out[8];
+int main(void) {
+    int it;
+    int k;
+    int n;
+    int m1 = 48;
+    int m2 = 20;
+    int *mx;
+    #pragma expand parallel(doall)
+    L: for (it = 0; it < 8; it++) {
+        if (it % 2) {
+            mx = (int*)malloc(m1);   // 12 ints
+            n = 12;
+        } else {
+            mx = (int*)malloc(m2);   // 5 ints
+            n = 5;
+        }
+        for (k = 0; k < n; k++) mx[k] = it * 100 + k * 7;
+        out[it] = mx[n - 1] + mx[0];
+        free(mx);
+    }
+    for (k = 0; k < 8; k++) print_int(out[k]);
+    return 0;
+}
+"""
+
+
+def show(source, title):
+    program, sema = parse_and_analyze(source)
+    base = Machine(program, sema)
+    base.run()
+    result = expand_for_threads(program, sema, ["L"])
+    stats = result.redirect_stats
+    print(f"== {title} ==")
+    print(f"redirections: {stats.redirected} total — "
+          f"{stats.constant_span} constant-span, "
+          f"{stats.dynamic_span} dynamic-span")
+    outcome = run_parallel(result, 4)
+    assert outcome.output == base.output
+    print(f"4-thread run: output verified, races: {len(outcome.races)}")
+    return result
+
+
+def main():
+    result = show(TWO_SITES, "two ambiguous malloc sites (Figure 3)")
+    print("\ntransformed main (excerpt):")
+    text = print_program(result.program)
+    start = text.index("int main")
+    print(text[start:start + 1400])
+
+    one_site = TWO_SITES.replace(
+        """        if (it % 2) {
+            mx = (int*)malloc(m1);   // 12 ints
+            n = 12;
+        } else {
+            mx = (int*)malloc(m2);   // 5 ints
+            n = 5;
+        }""",
+        """        mx = (int*)malloc(48);
+        n = 12;""",
+    )
+    print()
+    show(one_site, "one statically-sized site: constant spans instead")
+    print("\nwith a single fixed-size site the compiler folds the span "
+          "to a literal\n(section 3.4's constant propagation); with two "
+          "sites it must stay a runtime field.")
+
+
+if __name__ == "__main__":
+    main()

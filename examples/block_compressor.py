@@ -1,0 +1,122 @@
+"""DOACROSS pipeline: an ordered block compressor, expansion vs the
+runtime-privatization baseline.
+
+This is the 256.bzip2 situation from the paper: blocks are compressed
+independently (sortable work arrays, frequency tables — all
+privatizable), but reading the input and emitting the compressed
+stream are inherently ordered.  Expansion removes the spurious
+dependences so the block work pipelines across threads, with only the
+cursor/emit statements serialized.
+
+The example also runs the same loop under the SpiceC-style *runtime*
+privatization baseline, showing why the paper's compile-time approach
+wins: the baseline pays a monitoring call on every private access.
+
+Run:  python examples/block_compressor.py
+"""
+
+from repro import Machine, parse_and_analyze
+from repro.analysis import build_access_classes, classify, profile_loop
+from repro.baselines import run_runtime_privatization
+from repro.frontend import ast
+from repro.runtime import run_parallel
+from repro.transform import expand_for_threads
+
+SOURCE = r"""
+int N = 320;
+int BS = 32;
+
+unsigned char input[320];
+unsigned char output[400];
+
+int work[32];                     // per-block scratch: privatized
+int freq[16];                     // frequency table: privatized
+int cursor = 0;                   // ordered input position (serial)
+int outpos = 0;                   // ordered output position (serial)
+unsigned int digest = 0;
+
+int pack_block(int off) {
+    int i;
+    int v;
+    for (i = 0; i < 16; i++) freq[i] = 0;
+    for (i = 0; i < BS; i++) {
+        work[i] = input[off + i] * 3 + i;
+        freq[work[i] & 15] += 1;
+    }
+    v = 0;
+    for (i = 0; i < BS; i++) {
+        v = (v * 33 + work[i] + freq[i & 15]) & 0xffffff;
+    }
+    return v;
+}
+
+int main(void) {
+    int i;
+    int off;
+    int v;
+    int seed = 31;
+    for (i = 0; i < N; i++) {
+        seed = seed * 1103515245 + 12345;
+        input[i] = (seed >> 16) & 255;
+    }
+    #pragma expand parallel(doacross)
+    BLOCKS: while (1) {
+        if (cursor >= N) break;           // serial: input cursor
+        off = cursor;
+        cursor = cursor + BS;             // serial: advance
+        v = pack_block(off);              // parallel: all private work
+        for (i = 0; i < 8; i++) {         // serial: ordered emit
+            output[outpos % 400] = (v >> i) & 255;
+            outpos = outpos + 1;
+        }
+        digest = digest * 31 + (unsigned int)v;
+    }
+    print_int((int)(digest & 0x7fffffff));
+    print_int(outpos);
+    return 0;
+}
+"""
+
+
+def main():
+    program, sema = parse_and_analyze(SOURCE)
+    base = Machine(program, sema)
+    base.run()
+    print(f"sequential output: {base.output}")
+
+    loop = ast.find_loop(program, "BLOCKS")
+    profile = profile_loop(program, sema, loop)
+    priv = classify(profile.ddg, build_access_classes(profile.ddg))
+
+    result = expand_for_threads(program, sema, ["BLOCKS"],
+                                profiles={"BLOCKS": profile})
+    tl = result.loops[0]
+    print(f"\nDOACROSS plan: {len(tl.serial_stmt_origins)} of the loop "
+          f"body's statements stay ordered; the rest pipeline freely")
+
+    print(f"\n{'threads':>8} {'expansion':>12} {'rt-priv':>12} "
+          f"{'stalled':>10}")
+    profiles = {"BLOCKS": profile}
+    privs = {"BLOCKS": priv}
+    for n in (1, 2, 4, 8):
+        out_e = run_parallel(result, n)
+        assert out_e.output == base.output
+        ex = out_e.loop("BLOCKS")
+        exp = profile.loop_cycles / (ex.makespan + ex.runtime_cycles)
+        bd = ex.breakdown()
+        stalled = (bd["wait"] + bd["sync"]) / (sum(bd.values()) or 1)
+
+        out_r = run_runtime_privatization(
+            program, sema, ["BLOCKS"], profiles, privs, nthreads=n
+        )
+        assert out_r.output == base.output
+        rx = out_r.loop("BLOCKS")
+        rtp = profile.loop_cycles / (rx.makespan + rx.runtime_cycles)
+        print(f"{n:>8} {exp:>11.2f}x {rtp:>11.2f}x {stalled:>9.0%}")
+
+    print("\nexpansion pipelines the private block work across threads;")
+    print("runtime privatization spends its win on per-access monitoring.")
+
+
+if __name__ == "__main__":
+    main()

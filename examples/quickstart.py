@@ -1,0 +1,67 @@
+"""Quickstart: privatize and parallelize a loop in one call.
+
+The sample loop reuses a malloc'd scratch buffer across iterations —
+the exact pattern (the paper's Figure 1, from 256.bzip2) that blocks
+naive parallelization: every iteration writes the same addresses, so
+the loop looks sequential even though each iteration's values are
+independent.
+
+``expand_and_run`` profiles the loop, classifies its accesses
+(Definitions 1-5), expands the contended structures N ways, redirects
+private accesses to per-thread copies, and runs the result on simulated
+threads with race checking.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import expand_and_run, print_program
+
+SOURCE = r"""
+int results[8];
+
+int main(void) {
+    int m = 32;
+    int *scratch = (int*)malloc(sizeof(int) * m);
+    int block;
+    int k;
+    int b;
+    #pragma expand parallel(doall)
+    L: for (block = 0; block < 8; block++) {
+        for (k = 0; k < m; k++) scratch[k] = block * 100 + k;  // reinit
+        b = 0;
+        for (k = 0; k < m; k++) {
+            b += (scratch[k] * scratch[k]) % 97;
+        }
+        results[block] = b;
+    }
+    for (k = 0; k < 8; k++) print_int(results[k]);
+    return 0;
+}
+"""
+
+
+def main():
+    outcome = expand_and_run(SOURCE, loop_labels=["L"], nthreads=4)
+
+    print("== program output (verified identical to sequential) ==")
+    print(" ".join(outcome.output))
+
+    print("\n== what the transform did ==")
+    transform = outcome.transform
+    print(f"thread-private access sites : {len(transform.private_sites)}")
+    print(f"data structures expanded    : {transform.num_privatized}")
+    print(f"scalars expanded            : {transform.expansion.num_scalars}")
+    print(f"pointer derefs redirected   : "
+          f"{transform.redirect_stats.redirected}")
+
+    print("\n== transformed source (compare with the paper's Fig. 1b) ==")
+    print(print_program(transform.program))
+
+    print("== speedup on 4 simulated threads ==")
+    print(f"candidate loop : {outcome.loop_speedup:.2f}x")
+    print(f"whole program  : {outcome.total_speedup:.2f}x")
+    print(f"races detected : {len(outcome.races)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""Media workload: parallelizing a video blur with a shared line buffer.
+
+The paper's motivating applications are media codecs (MediaBench II)
+whose per-macroblock scratch structures defeat array privatization.
+This example is a small separable blur over video frames: each row pass
+stages pixels in a *function-scope* line buffer plus a global
+accumulator struct that are reused across iterations of the row loop —
+loop-carried anti/output dependences with zero actual communication.
+
+The example shows the analysis story step by step:
+
+1. profile the loop and print the access breakdown (the paper's Fig. 8
+   view);
+2. show which structures the pipeline decides to expand;
+3. run on 1/2/4/8 simulated threads and print the speedup curve
+   (the paper's Fig. 11 view), with every run checked against the
+   sequential output.
+
+Run:  python examples/video_blur.py
+"""
+
+from repro import Machine, parse_and_analyze
+from repro.analysis import (
+    build_access_classes, classify, compute_breakdown, profile_loop,
+)
+from repro.frontend import ast
+from repro.runtime import run_parallel
+from repro.transform import expand_for_threads
+
+SOURCE = r"""
+int W = 48;
+int H = 12;
+
+unsigned char frame[12][48];      // input frame (shared, read-only)
+unsigned char blurred[12][48];    // output frame (disjoint row writes)
+
+unsigned char line[48];           // staging buffer: privatized
+struct stats {
+    int sum;
+    int peak;
+};
+struct stats rowstat;             // per-row accumulator: privatized
+
+int checksum[12];
+
+void blur_row(int y) {
+    int x;
+    rowstat.sum = 0;
+    rowstat.peak = 0;
+    for (x = 0; x < W; x++) {
+        line[x] = frame[y][x];
+    }
+    for (x = 1; x < W - 1; x++) {
+        int v = (line[x - 1] + 2 * line[x] + line[x + 1]) / 4;
+        blurred[y][x] = (unsigned char)v;
+        rowstat.sum += v;
+        if (v > rowstat.peak) {
+            rowstat.peak = v;
+        }
+    }
+    checksum[y] = rowstat.sum * 31 + rowstat.peak;
+}
+
+int main(void) {
+    int y;
+    int x;
+    int seed = 2024;
+    for (y = 0; y < H; y++) {
+        for (x = 0; x < W; x++) {
+            seed = seed * 1103515245 + 12345;
+            frame[y][x] = (seed >> 16) & 255;
+        }
+    }
+    #pragma expand parallel(doall)
+    ROWS: for (y = 0; y < H; y++) {
+        blur_row(y);
+    }
+    for (y = 0; y < H; y++) print_int(checksum[y]);
+    return 0;
+}
+"""
+
+
+def main():
+    program, sema = parse_and_analyze(SOURCE)
+
+    # sequential baseline
+    base = Machine(program, sema)
+    base.run()
+
+    # step 1: the dependence story
+    loop = ast.find_loop(program, "ROWS")
+    profile = profile_loop(program, sema, loop)
+    priv = classify(profile.ddg, build_access_classes(profile.ddg))
+    breakdown = compute_breakdown(profile.ddg, priv)
+    fractions = breakdown.fractions()
+    print("== dynamic access breakdown of the row loop ==")
+    print(f"free of loop-carried deps : {fractions['free']:.1%}")
+    print(f"expandable (Definition 5) : {fractions['expandable']:.1%}")
+    print(f"stuck with carried deps   : {fractions['carried']:.1%}")
+
+    # step 2: the transform's decisions
+    result = expand_for_threads(program, sema, ["ROWS"],
+                                profiles={"ROWS": profile})
+    expanded = sorted(
+        ev.decl.name for ev in result.expansion.expanded_vars.values()
+    )
+    print("\n== expansion decisions ==")
+    print(f"expanded structures: {expanded}")
+    print(f"promotion produced {len(result.promoter.fat_structs())} "
+          f"fat pointer type(s)")
+
+    # step 3: the speedup curve
+    print("\n== speedup over sequential (output verified each run) ==")
+    print(f"{'threads':>8} {'loop':>8} {'total':>8} {'memory':>8}")
+    for n in (1, 2, 4, 8):
+        outcome = run_parallel(result, n)
+        assert outcome.output == base.output, "wrong answer!"
+        execution = outcome.loop("ROWS")
+        loop_speedup = profile.loop_cycles / (
+            execution.makespan + execution.runtime_cycles
+        )
+        total_speedup = base.cost.cycles / outcome.total_cycles
+        memory = outcome.peak_memory / base.memory.peak_footprint()
+        print(f"{n:>8} {loop_speedup:>7.2f}x {total_speedup:>7.2f}x "
+              f"{memory:>7.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Thin setup.py kept for offline environments without the `wheel`
+package, where PEP 517 editable installs fail; `pip install -e .
+--no-use-pep517 --no-build-isolation` uses this legacy path."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

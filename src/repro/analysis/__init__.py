@@ -1,0 +1,19 @@
+"""Dependence and alias analyses feeding the expansion transform."""
+
+from .access_classes import AccessClasses, UnionFind, build_access_classes
+from .breakdown import Breakdown, compute_breakdown
+from .ddg import ANTI, DDG, Dep, FLOW, OUTPUT
+from .pointsto import PointsToResult, analyze_pointsto
+from .privatization import ClassInfo, PrivatizationResult, classify
+from .static_deps import build_static_ddg, static_parallelizability_report
+from .profiler import LoopProfile, ObjectKey, find_control_decl, profile_loop
+
+__all__ = [
+    "DDG", "Dep", "FLOW", "ANTI", "OUTPUT",
+    "AccessClasses", "UnionFind", "build_access_classes",
+    "LoopProfile", "ObjectKey", "profile_loop", "find_control_decl",
+    "PrivatizationResult", "ClassInfo", "classify",
+    "Breakdown", "compute_breakdown",
+    "PointsToResult", "analyze_pointsto",
+    "build_static_ddg", "static_parallelizability_report",
+]

@@ -1,0 +1,86 @@
+"""Access classes (paper Definition 4).
+
+A loop-independent dependence between two memory accesses is treated as
+an equivalence relation; its transitive closure partitions all accesses
+of a loop into *access classes*.  Privatization then decides per class,
+never per access — this is how the paper avoids the semantic violation
+of privatizing only one side of a same-iteration dependence (the
+``*p``/``a[i]`` example in §3.2).
+
+Implementation: union-find over site ids, unioning the endpoints of
+every loop-independent edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from .ddg import DDG
+
+
+class UnionFind:
+    """Classic disjoint-set with path compression and union by size."""
+
+    def __init__(self):
+        self.parent: Dict[int, int] = {}
+        self.size: Dict[int, int] = {}
+
+    def add(self, x: int) -> None:
+        if x not in self.parent:
+            self.parent[x] = x
+            self.size[x] = 1
+
+    def find(self, x: int) -> int:
+        self.add(x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:  # path compression
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+    def groups(self) -> Dict[int, Set[int]]:
+        out: Dict[int, Set[int]] = {}
+        for x in self.parent:
+            out.setdefault(self.find(x), set()).add(x)
+        return out
+
+
+class AccessClasses:
+    """The partition of a loop's accesses into equivalence classes."""
+
+    def __init__(self, ddg: DDG):
+        self.ddg = ddg
+        self._uf = UnionFind()
+        for site in ddg.sites:
+            self._uf.add(site)
+        for edge in ddg.independent_edges():
+            self._uf.union(edge.src, edge.dst)
+
+    def class_of(self, site: int) -> int:
+        """Canonical representative of ``site``'s access class."""
+        return self._uf.find(site)
+
+    def members(self, site: int) -> Set[int]:
+        root = self.class_of(site)
+        return self._uf.groups()[root]
+
+    def classes(self) -> List[Set[int]]:
+        return list(self._uf.groups().values())
+
+    def __len__(self) -> int:
+        return len(self._uf.groups())
+
+
+def build_access_classes(ddg: DDG) -> AccessClasses:
+    """Partition the DDG's sites per Definition 4."""
+    return AccessClasses(ddg)

@@ -1,0 +1,57 @@
+"""Dynamic memory-access breakdown (paper Figure 8).
+
+Partitions the candidate loop's *dynamic* accesses (weighted by
+observed execution counts) into the paper's three bars:
+
+* ``free`` — accesses involved in no loop-carried dependence at all;
+* ``expandable`` — thread-private accesses per Definition 5 (the ones
+  data structure expansion rescues);
+* ``carried`` — everything else: accesses stuck in loop-carried
+  dependences that privatization cannot remove.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+from .ddg import DDG
+from .privatization import PrivatizationResult
+
+
+class Breakdown(NamedTuple):
+    free: int
+    expandable: int
+    carried: int
+
+    @property
+    def total(self) -> int:
+        return self.free + self.expandable + self.carried
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total or 1
+        return {
+            "free": self.free / total,
+            "expandable": self.expandable / total,
+            "carried": self.carried / total,
+        }
+
+    def __repr__(self) -> str:
+        f = self.fractions()
+        return (
+            f"<Breakdown free={f['free']:.1%} "
+            f"expandable={f['expandable']:.1%} carried={f['carried']:.1%}>"
+        )
+
+
+def compute_breakdown(ddg: DDG, priv: PrivatizationResult) -> Breakdown:
+    """Classify each site, weight by its dynamic count, and sum."""
+    carried_sites = ddg.sites_with_carried_dep()
+    free = expandable = carried = 0
+    for site, count in ddg.dyn_counts.items():
+        if site in priv.private_sites:
+            expandable += count
+        elif site not in carried_sites:
+            free += count
+        else:
+            carried += count
+    return Breakdown(free, expandable, carried)

@@ -1,0 +1,276 @@
+"""Conservative *static* loop dependence analysis.
+
+The paper justifies its use of dependence profiling bluntly: "current
+compile-time data dependence analysis algorithms are still too
+conservative and they report false positives that prevent loop
+parallelization" (§4.1).  This module implements such a compile-time
+analysis so the claim is demonstrable inside this repository: build the
+static DDG for a candidate loop, feed it to the same Definition 4/5
+machinery, and watch privatization opportunities disappear under
+may-alias conservatism (see ``benchmarks/test_static_vs_profiled.py``).
+
+The analysis is deliberately representative of what a production
+compiler can justify without runtime information:
+
+* memory accesses are resolved to *object sets* via the Andersen
+  points-to analysis (may-alias);
+* two accesses to overlapping object sets where at least one writes
+  are assumed dependent — both loop-independent **and** loop-carried
+  (no dependence-distance reasoning for pointer-based structures, which
+  is precisely the paper's starting point);
+* the only subscript precision implemented is the classic ZIV/SIV test
+  on direct array accesses ``a[c]`` / ``a[i*s + c]`` with the loop's
+  own induction variable: equal-stride affine accesses with distinct
+  constants are independent, and identical subscripts are
+  loop-independent only.  Anything else falls back to "assume both".
+* upward/downward exposure is approximated from reachability: a read
+  of an object written before the loop is assumed exposed; a write to
+  an object read after the loop is assumed downward-exposed.
+
+The result type is the same :class:`~repro.analysis.ddg.DDG`, so every
+downstream consumer (classes, Definition 5, breakdown) works unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..frontend import ast
+from ..frontend.sema import SemaResult
+from .ddg import ANTI, DDG, FLOW, OUTPUT
+from .pointsto import Obj, PointsToResult, analyze_pointsto
+from .profiler import find_control_decl
+
+
+class StaticAccess:
+    """One static memory access site inside the candidate loop."""
+
+    __slots__ = ("site", "is_store", "objs", "affine")
+
+    def __init__(self, site: int, is_store: bool, objs: Set[Obj],
+                 affine: Optional[Tuple[object, int, int]]):
+        self.site = site
+        self.is_store = is_store
+        self.objs = objs
+        #: (array object, stride, offset) for a[i*stride + offset] with
+        #: the candidate loop's induction variable, else None
+        self.affine = affine
+
+
+def _affine_subscript(expr: ast.Index, control: Optional[ast.VarDecl]):
+    """Recognize ``a[c]`` and ``a[i*s + c]`` over a direct array."""
+    base = expr.base
+    if not (isinstance(base, ast.Ident)
+            and isinstance(base.decl, ast.VarDecl)
+            and base.decl.ctype.is_array):
+        return None
+    obj: Obj = ("var", base.decl.nid)
+    idx = expr.index
+
+    def const_of(e) -> Optional[int]:
+        return e.value if isinstance(e, ast.IntLit) else None
+
+    if isinstance(idx, ast.IntLit):
+        return (obj, 0, idx.value)
+    if control is None:
+        return None
+    if isinstance(idx, ast.Ident) and idx.decl is control:
+        return (obj, 1, 0)
+    if isinstance(idx, ast.Binary) and idx.op in ("+", "-"):
+        left, right = idx.left, idx.right
+        sign = 1 if idx.op == "+" else -1
+        for a, b, flip in ((left, right, False), (right, left, True)):
+            c = const_of(b)
+            if c is None:
+                continue
+            if flip and idx.op == "-":
+                continue  # c - i*s: not handled
+            inner = _affine_term(a, control)
+            if inner is not None:
+                return (obj, inner, sign * c if not flip else c)
+    stride = _affine_term(idx, control)
+    if stride is not None:
+        return (obj, stride, 0)
+    return None
+
+
+def _affine_term(expr, control) -> Optional[int]:
+    """``i`` -> 1, ``i*c``/``c*i`` -> c."""
+    if isinstance(expr, ast.Ident) and expr.decl is control:
+        return 1
+    if isinstance(expr, ast.Binary) and expr.op == "*":
+        for a, b in ((expr.left, expr.right), (expr.right, expr.left)):
+            if isinstance(a, ast.Ident) and a.decl is control and \
+                    isinstance(b, ast.IntLit):
+                return b.value
+    return None
+
+
+def _collect_accesses(
+    loop: ast.LoopStmt,
+    pointsto: PointsToResult,
+    control: Optional[ast.VarDecl],
+    called_fns: Dict[str, ast.FunctionDef],
+) -> List[StaticAccess]:
+    out: List[StaticAccess] = []
+    seen_fns: Set[str] = set()
+
+    def visit(root: ast.Node) -> None:
+        for node in root.walk():
+            if isinstance(node, ast.Assign):
+                objs = pointsto.objects_of_access(node.nid)
+                if objs:
+                    affine = _affine_subscript(node.target, control) \
+                        if isinstance(node.target, ast.Index) else None
+                    out.append(StaticAccess(node.nid, True, objs, affine))
+            elif isinstance(node, ast.Unary) and node.op in (
+                "++", "--", "p++", "p--"
+            ):
+                objs = pointsto.objects_of_access(node.operand.nid)
+                if objs:
+                    out.append(StaticAccess(node.nid, True, objs, None))
+            elif isinstance(node, (ast.Index, ast.Member)) or (
+                isinstance(node, ast.Unary) and node.op == "*"
+            ):
+                if _is_load_position(node):
+                    objs = pointsto.objects_of_access(node.nid)
+                    if objs:
+                        affine = _affine_subscript(node, control) \
+                            if isinstance(node, ast.Index) else None
+                        out.append(
+                            StaticAccess(node.nid, False, objs, affine)
+                        )
+            elif isinstance(node, ast.Ident) and \
+                    isinstance(node.decl, ast.VarDecl) and \
+                    node.decl.ctype.is_scalar and _is_load_position(node):
+                out.append(StaticAccess(
+                    node.nid, False, {("var", node.decl.nid)}, None
+                ))
+            elif isinstance(node, ast.Call) and node.callee_name:
+                name = node.callee_name
+                fn = called_fns.get(name)
+                if fn is not None and name not in seen_fns:
+                    seen_fns.add(name)
+                    visit(fn.body)
+
+    visit(loop.body)
+    if isinstance(loop, (ast.While, ast.DoWhile)) and loop.cond is not None:
+        visit(loop.cond)
+    return out
+
+
+def _is_load_position(node: ast.Node) -> bool:
+    """Approximation: we cannot see parents, so treat every lvalue-form
+    expression as a load too; store sites are added separately from
+    Assign nodes.  Conservative (extra loads only strengthen deps)."""
+    return True
+
+
+def build_static_ddg(
+    program: ast.Program,
+    sema: SemaResult,
+    loop: ast.LoopStmt,
+    pointsto: Optional[PointsToResult] = None,
+) -> DDG:
+    """A conservative compile-time DDG for ``loop`` (see module doc)."""
+    if pointsto is None:
+        pointsto = analyze_pointsto(program, sema)
+    control = find_control_decl(loop)
+    called = dict(sema.functions)
+    accesses = _collect_accesses(loop, pointsto, control, called)
+
+    ddg = DDG()
+    control_obj = ("var", control.nid) if control is not None else None
+    for acc in accesses:
+        if control_obj is not None and acc.objs == {control_obj}:
+            continue  # induction variable: scheduler-owned
+        ddg.add_site(acc.site, acc.is_store)
+
+    # exposure approximation: reads of objects that exist before the
+    # loop (globals, heap allocated earlier, locals of enclosing fns)
+    # are upward-exposed; writes to objects readable after are downward
+    for acc in accesses:
+        if control_obj is not None and acc.objs == {control_obj}:
+            continue
+        if not acc.is_store:
+            ddg.upward_exposed.add(acc.site)
+        else:
+            ddg.downward_exposed.add(acc.site)
+
+    for i, a in enumerate(accesses):
+        if control_obj is not None and a.objs == {control_obj}:
+            continue
+        for b in accesses[i:]:
+            if control_obj is not None and b.objs == {control_obj}:
+                continue
+            if not (a.is_store or b.is_store):
+                continue
+            if not (a.objs & b.objs):
+                continue
+            kinds = _dep_kinds(a, b)
+            for kind, carried in kinds:
+                src, dst = (a.site, b.site)
+                ddg.add_edge(src, dst, kind, carried)
+    return ddg
+
+
+def _dep_kinds(a: StaticAccess, b: StaticAccess):
+    """Which dependences to assume between two may-aliasing accesses."""
+    if a.affine is not None and b.affine is not None and \
+            a.affine[0] == b.affine[0]:
+        obj_a, s1, c1 = a.affine
+        _obj, s2, c2 = b.affine
+        if s1 == s2:
+            if c1 != c2:
+                return []          # same stride, distinct offsets: disjoint
+            carried_opts = [False]  # identical subscript: same-iter only
+        else:
+            carried_opts = [False, True]
+    else:
+        carried_opts = [False, True]  # assume everything
+    kind = _kind(a.is_store, b.is_store)
+    return [(kind, carried) for carried in carried_opts]
+
+
+def _kind(a_store: bool, b_store: bool) -> str:
+    if a_store and b_store:
+        return OUTPUT
+    if a_store:
+        return FLOW
+    return ANTI
+
+
+def static_parallelizability_report(
+    program: ast.Program,
+    sema: SemaResult,
+    loop: ast.LoopStmt,
+) -> Dict[str, object]:
+    """Compare what Definition 5 finds with the static vs profiled DDG.
+
+    Returns counts a report/bench can render: the number of
+    thread-private sites under each graph, and whether the static
+    graph's conservatism blocks privatization entirely (the paper's
+    §4.1 claim)."""
+    from .access_classes import build_access_classes
+    from .privatization import classify
+    from .profiler import profile_loop
+
+    static_ddg = build_static_ddg(program, sema, loop)
+    static_priv = classify(static_ddg, build_access_classes(static_ddg))
+
+    profile = profile_loop(program, sema, loop)
+    dynamic_priv = classify(
+        profile.ddg, build_access_classes(profile.ddg)
+    )
+    return {
+        "static_sites": len(static_ddg.sites),
+        "static_private": len(static_priv.private_sites),
+        "static_carried_edges": sum(
+            1 for e in static_ddg.edges if e.carried
+        ),
+        "profiled_sites": len(profile.ddg.sites),
+        "profiled_private": len(dynamic_priv.private_sites),
+        "profiled_carried_edges": sum(
+            1 for e in profile.ddg.edges if e.carried
+        ),
+    }

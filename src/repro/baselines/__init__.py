@@ -1,0 +1,12 @@
+"""Comparison baselines: SpiceC-style runtime privatization and the
+no-privatization (sync-only) parallelization."""
+
+from .runtime_priv import (
+    AccessControl, BaselineRunner, COPY_BYTE, MONITOR_COST, TABLE_COST,
+    run_runtime_privatization, run_sync_only,
+)
+
+__all__ = [
+    "run_runtime_privatization", "run_sync_only", "BaselineRunner",
+    "AccessControl", "MONITOR_COST", "COPY_BYTE", "TABLE_COST",
+]

@@ -1,0 +1,144 @@
+"""SPEC CPU2000 256.bzip2 kernel (compressStream).
+
+The paper's Figure 1 is lifted from this benchmark: ``zptr`` is
+malloc'd *outside* a ``while (1)`` block loop and re-initialized every
+iteration, and — the part that breaks interleaved-mode expansion — it
+is "frequently recast between the types of 2-byte short integer and
+4-type integer".  This kernel keeps that recast: the sorting phase
+views the privatized ``zptr`` chunk as ``short*``.
+
+DOACROSS, level 2 (the block loop nests inside the stream loop):
+reading the next block and emitting the compressed stream are
+inherently ordered, so a sizable serialized section remains after
+privatization and synchronization dominates at high thread counts —
+the paper's Figure 12 observation for this benchmark.
+
+Privatized structures (paper: 4): ``block``, ``freq``, ``quadrant``,
+and the ``zptr`` chunk.
+"""
+
+from ..suite import BenchmarkSpec, PaperNumbers, register
+
+SOURCE = r"""
+// 256.bzip2 compressStream: per-block sort + entropy over 2 streams
+int NSTREAMS = 2;
+int STREAMLEN = 512;
+int BS = 64;                       // block size (ints)
+
+unsigned char stream[2][512];      // shared input streams
+unsigned char outbuf[2][600];      // compressed output (serialized writes)
+
+unsigned char block[64];           // current block: privatized
+int freq[64];                      // symbol frequencies: privatized
+unsigned char quadrant[64];        // sort tie-break ranks: privatized
+int *zptr = 0;                     // work array, recast short/int: privatized
+
+int blockno = 0;                   // sequential input cursor (serial)
+int outpos = 0;                    // sequential output cursor (serial)
+unsigned int combined = 0;         // stream checksum (serial)
+
+void sortblock(int n) {
+    int i;
+    int gap;
+    int j;
+    short t;
+    short *sp;
+    sp = (short*)zptr;             // the recast the paper highlights
+    for (i = 0; i < n; i++) {
+        sp[i] = (short)(block[i] * 4 + (quadrant[i] & 3));
+    }
+    gap = n / 2;                   // shell sort on the short view
+    while (gap > 0) {
+        for (i = gap; i < n; i++) {
+            t = sp[i];
+            j = i;
+            while (j >= gap && sp[j - gap] > t) {
+                sp[j] = sp[j - gap];
+                j = j - gap;
+            }
+            sp[j] = t;
+        }
+        gap = gap / 2;
+    }
+    // fold sorted short pairs back through the int view
+    for (i = 0; i < n / 2; i++) {
+        zptr[i] = zptr[i] ^ (zptr[i] >> 9);
+    }
+}
+
+int compressblock(int n) {
+    int i;
+    int v;
+    short *sp;
+    for (i = 0; i < n; i++) {
+        freq[i] = 0;
+    }
+    for (i = 0; i < n; i++) {
+        freq[block[i] & 63] = freq[block[i] & 63] + 1;
+    }
+    sp = (short*)zptr;
+    v = 0;
+    for (i = 0; i < n; i++) {
+        v = v * 17 + sp[i] + freq[i & 63] * 3 + quadrant[i];
+        v = v & 0xffffff;
+    }
+    return v;
+}
+
+int main(void) {
+    int s;
+    int i;
+    int off;
+    int v;
+    int nb;
+    int seed = 99;
+    for (s = 0; s < NSTREAMS; s++) {
+        for (i = 0; i < STREAMLEN; i++) {
+            seed = seed * 1103515245 + 12345;
+            stream[s][i] = (seed >> 16) & 255;
+        }
+    }
+    zptr = (int*)malloc(sizeof(int) * BS);
+    for (s = 0; s < NSTREAMS; s++) {
+        blockno = 0;
+        #pragma expand parallel(doacross)
+        L: while (1) {
+            if (blockno * BS >= STREAMLEN) break;   // serial: input cursor
+            off = blockno * BS;
+            blockno = blockno + 1;                  // serial: advance cursor
+            for (i = 0; i < BS; i++) {              // read block (parallel)
+                block[i] = stream[s][off + i];
+                quadrant[i] = (block[i] >> 2) & 63;
+            }
+            sortblock(BS);                          // parallel
+            v = compressblock(BS);                  // parallel
+            nb = 0;                                 // emit output (serial)
+            for (i = 0; i < BS; i++) {
+                outbuf[s][outpos % 600] =
+                    ((v >> (i & 15)) + block[i] + (int)quadrant[i]) & 255;
+                combined = combined + outbuf[s][outpos % 600];
+                outpos = outpos + 1;
+                nb = nb + 1;
+            }
+            combined = combined * 31 + (unsigned int)v + (unsigned int)nb;
+        }
+    }
+    print_int((int)(combined & 0x7fffffff));
+    print_int(outpos);
+    return 0;
+}
+"""
+
+register(BenchmarkSpec(
+    name="256.bzip2",
+    suite="SPEC CPU2000",
+    source=SOURCE,
+    loop_labels=["L"],
+    function="compressStream",
+    level=2,
+    parallelism="DOACROSS",
+    paper=PaperNumbers(loc=4649, pct_time=99.8, privatized=4,
+                       loop_speedup_8=2.5),
+    description="per-block sort+entropy; zptr recast short/int; ordered "
+                "input/output cursors keep a serialized section",
+))

@@ -1,0 +1,139 @@
+"""MediaBench II h263-encoder kernel.
+
+The only benchmark in the paper with *two* candidate loops, both DOALL
+at level 2: the mode-decision loop in ``NextTwoPB`` (43.2% of runtime)
+and the macroblock loop in ``MotionEstimatePicture`` (37.1%).  Each
+loop reuses its own trio of per-macroblock scratch structures —
+6 privatized structures total, and the paper's Figure 14 shows this
+benchmark with the largest expansion memory growth (+50% at 8 threads),
+which these relatively large scratch buffers reproduce.
+"""
+
+from ..suite import BenchmarkSpec, PaperNumbers, register
+
+SOURCE = r"""
+// h263enc: PB-frame mode decision + motion estimation
+int NFRAMES = 2;
+int NMB = 12;
+
+unsigned char frames[3][12][64];    // shared picture data
+int modes[2][12];                   // mode decisions (disjoint writes)
+struct vec {
+    int x;
+    int y;
+    int err;
+};
+struct vec field[2][12];            // motion vectors (disjoint writes)
+
+// NextTwoPB scratch: privatized (3)
+int sadbuf[64];
+unsigned char bblk[64];
+struct vec pbcand;
+
+// MotionEstimatePicture scratch: privatized (3)
+unsigned char mecur[64];
+unsigned char meref[64];
+struct vec mebest;
+
+int next_two_pb(int f, int mb) {
+    int i;
+    int fwd;
+    int bwd;
+    for (i = 0; i < 64; i++) {
+        bblk[i] = (unsigned char)((frames[f][mb][i] + frames[f + 1][mb][i]) / 2);
+        sadbuf[i] = (int)frames[f][mb][i] - (int)bblk[i];
+        if (sadbuf[i] < 0) {
+            sadbuf[i] = -sadbuf[i];
+        }
+    }
+    fwd = 0;
+    bwd = 0;
+    for (i = 0; i < 64; i++) {
+        fwd = fwd + sadbuf[i];
+        bwd = bwd + ((int)bblk[i] ^ (i & 15));
+    }
+    pbcand.x = fwd;
+    pbcand.y = bwd;
+    pbcand.err = fwd < bwd ? fwd : bwd;
+    return pbcand.err % 3;
+}
+
+void motion_estimate(int f, int mb) {
+    int i;
+    int dx;
+    int s;
+    mebest.err = 1 << 30;
+    for (i = 0; i < 64; i++) {
+        mecur[i] = frames[f][mb][i];
+    }
+    for (dx = -3; dx <= 3; dx++) {
+        s = 0;
+        for (i = 0; i < 64; i++) {
+            meref[i] = frames[f + 1][mb][(i + dx + 64) % 64];
+            if (mecur[i] > meref[i]) {
+                s = s + (mecur[i] - meref[i]);
+            } else {
+                s = s + (meref[i] - mecur[i]);
+            }
+        }
+        if (s < mebest.err) {
+            mebest.err = s;
+            mebest.x = dx;
+            mebest.y = 0;
+        }
+    }
+    field[f][mb].x = mebest.x;
+    field[f][mb].y = mebest.y;
+    field[f][mb].err = mebest.err;
+}
+
+int main(void) {
+    int f;
+    int mb;
+    int i;
+    int seed = 77;
+    unsigned int check;
+    for (f = 0; f < 3; f++) {
+        for (mb = 0; mb < NMB; mb++) {
+            for (i = 0; i < 64; i++) {
+                seed = seed * 1103515245 + 12345;
+                frames[f][mb][i] = (seed >> 16) & 255;
+            }
+        }
+    }
+    for (f = 0; f < NFRAMES; f++) {
+        #pragma expand parallel(doall)
+        L1: for (mb = 0; mb < NMB; mb++) {
+            modes[f][mb] = next_two_pb(f, mb);
+        }
+        #pragma expand parallel(doall)
+        L2: for (mb = 0; mb < NMB; mb++) {
+            motion_estimate(f, mb);
+        }
+    }
+    check = 0;
+    for (f = 0; f < NFRAMES; f++) {
+        for (mb = 0; mb < NMB; mb++) {
+            check = check * 31 + (unsigned int)(modes[f][mb] * 7)
+                  + (unsigned int)field[f][mb].err
+                  + (unsigned int)(field[f][mb].x * 3);
+        }
+    }
+    print_int((int)(check & 0x7fffffff));
+    return 0;
+}
+"""
+
+register(BenchmarkSpec(
+    name="h263-encoder",
+    suite="MediaBench II",
+    source=SOURCE,
+    loop_labels=["L1", "L2"],
+    function="NextTwoPB / MotionEstimatePicture",
+    level=2,
+    parallelism="DOALL",
+    paper=PaperNumbers(loc=8105, pct_time=80.3, privatized=6,
+                       loop_speedup_8=6.0),
+    description="two DOALL loops (mode decision + motion estimation), "
+                "each with 3 privatized scratch structures",
+))

@@ -1,0 +1,166 @@
+"""SPEC CPU2006 456.hmmer kernel (the "main loop serial" over sequences).
+
+This is the benchmark behind the paper's Figure 3: the Viterbi work
+matrix ``mx`` is allocated from *two different malloc sites* chosen at
+run time (``m1`` vs ``m2`` sized), so the compiler cannot know the
+structure's size from the pointer alone — the exact situation the
+*span* machinery exists for, and spans here stay dynamic (the sizes
+differ per site).
+
+DOACROSS, level 2: each iteration runs a small profile-HMM Viterbi
+pass over one sequence (parallel part) and then folds the score into
+ordered scoreboard structures (serialized part).  The paper reports
+inter-thread synchronization dominating this benchmark at 8 cores.
+
+Privatized structures (paper: 8): the two ``mx`` allocation sites, the
+``mmx``/``imx``/``dmx`` row matrices, the ``xmx`` special-state array,
+the digitized sequence buffer, and the per-row score scratch.
+"""
+
+from ..suite import BenchmarkSpec, PaperNumbers, register
+
+SOURCE = r"""
+// 456.hmmer: Viterbi scoring of sequences against a profile HMM
+int NSEQ = 12;
+int SLEN = 24;                     // sequence length
+int M = 16;                        // model length
+
+int msc[26][16];                   // match emission scores (shared)
+int tsc[16][3];                    // transition scores (shared)
+unsigned char seqs[12][24];        // sequence database (shared)
+
+int *mmx = 0;                      // row matrices: privatized
+int *imx = 0;
+int *dmx = 0;
+int xmx[24];                       // special states: privatized
+unsigned char dsq[24];             // digitized sequence: privatized
+int rowsc[16];                     // per-row scratch: privatized
+
+int hist[32];                      // ordered scoreboard (serialized)
+unsigned int tot = 0;
+
+int viterbi(int s, int *mx, int span_elems) {
+    int i;
+    int k;
+    int sc;
+    int best;
+    for (k = 0; k < M; k++) {
+        mmx[k] = -10000;
+        imx[k] = -10000;
+        dmx[k] = 0;
+    }
+    for (i = 0; i < SLEN; i++) {
+        dsq[i] = seqs[s][i] % 26;
+        xmx[i] = -10000;
+    }
+    best = -10000;
+    for (i = 0; i < SLEN; i++) {
+        for (k = 0; k < M; k++) {
+            sc = mmx[k] + tsc[k][0];
+            if (imx[k] + tsc[k][1] > sc) {
+                sc = imx[k] + tsc[k][1];
+            }
+            if (dmx[k] + tsc[k][2] > sc) {
+                sc = dmx[k] + tsc[k][2];
+            }
+            if (sc < -10000) {
+                sc = -10000;
+            }
+            rowsc[k] = sc + msc[dsq[i]][k];
+            // scratch matrix: two possible sizes, indexed modulo
+            mx[(i * M + k) % span_elems] = rowsc[k];
+        }
+        for (k = 0; k < M; k++) {
+            mmx[k] = rowsc[k];
+            if (k > 0) {
+                dmx[k] = mmx[k - 1] - 3;
+            }
+            imx[k] = mmx[k] - 7;
+        }
+        sc = mmx[M - 1];
+        if (sc > best) {
+            best = sc;
+        }
+        xmx[i] = best;
+    }
+    sc = 0;
+    for (i = 0; i < SLEN; i++) {
+        sc = sc + xmx[i] + mx[(i * 3) % span_elems];
+    }
+    return sc / SLEN + best;
+}
+
+int main(void) {
+    int s;
+    int i;
+    int k;
+    int sc;
+    int m1;
+    int m2;
+    int span_elems;
+    int *mx;
+    int seed = 5;
+    for (k = 0; k < M; k++) {
+        for (i = 0; i < 26; i++) {
+            seed = seed * 1103515245 + 12345;
+            msc[i][k] = ((seed >> 16) % 11) - 3;
+        }
+        tsc[k][0] = -1;
+        tsc[k][1] = -5;
+        tsc[k][2] = -4;
+    }
+    for (s = 0; s < NSEQ; s++) {
+        for (i = 0; i < SLEN; i++) {
+            seed = seed * 1103515245 + 12345;
+            seqs[s][i] = (seed >> 16) & 255;
+        }
+    }
+    mmx = (int*)malloc(sizeof(int) * M);
+    imx = (int*)malloc(sizeof(int) * M);
+    dmx = (int*)malloc(sizeof(int) * M);
+    m1 = sizeof(int) * SLEN;
+    m2 = sizeof(int) * M * 2;
+    #pragma expand parallel(doacross)
+    L: for (s = 0; s < NSEQ; s++) {
+        if (s % 2 == 0) {                 // the paper's Figure 3 shape:
+            mx = (int*)malloc(m1);        // which site produced mx is
+            span_elems = SLEN;            // unknown at compile time
+        } else {
+            mx = (int*)malloc(m2);
+            span_elems = M * 2;
+        }
+        sc = viterbi(s, mx, span_elems);
+        free(mx);
+        // ordered post-processing: E-value scoreboard insertion and
+        // alignment-trace accounting (sequential in hmmer's main loop)
+        for (i = 0; i < SLEN; i++) {
+            for (k = 0; k < M; k += 3) {
+                hist[(sc + xmx[i] + k * 5) & 31] =
+                    hist[(sc + xmx[i] + k * 5) & 31] + 1;
+                tot = tot * 31 + (unsigned int)(sc + xmx[i] + k);
+            }
+        }
+    }
+    sc = 0;
+    for (i = 0; i < 32; i++) {
+        sc = sc + hist[i] * (i + 1);
+    }
+    print_int(sc);
+    print_int((int)(tot & 0x7fffffff));
+    return 0;
+}
+"""
+
+register(BenchmarkSpec(
+    name="456.hmmer",
+    suite="SPEC CPU2006",
+    source=SOURCE,
+    loop_labels=["L"],
+    function="main loop serial",
+    level=2,
+    parallelism="DOACROSS",
+    paper=PaperNumbers(loc=35992, pct_time=99.9, privatized=8,
+                       loop_speedup_8=2.2),
+    description="per-sequence Viterbi; mx from two ambiguous malloc "
+                "sites (Figure 3); ordered scoreboard serializes",
+))

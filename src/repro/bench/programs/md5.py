@@ -1,0 +1,137 @@
+"""MiBench md5 kernel.
+
+The main loop digests one independent message per iteration (DOALL,
+level 1, 99.8% of runtime).  The per-block decode buffer ``X[16]`` is
+reused every iteration — written before read, loop-carried anti/output
+dependences only — making it the single privatized structure the paper
+reports.  Digests land in disjoint slots of a shared result array.
+"""
+
+from ..suite import BenchmarkSpec, PaperNumbers, register
+
+SOURCE = r"""
+// md5-like digest over independent 64-byte messages
+int NMSG = 24;
+
+unsigned int msgs[24][64];        // 4 blocks x 16 words per message
+unsigned int digests[24][4];      // disjoint per-iteration results
+
+unsigned int X[16];               // per-block decode buffer: privatized
+
+unsigned int rotl(unsigned int x, int c);
+unsigned int ff(unsigned int a, unsigned int b, unsigned int c,
+                unsigned int d, unsigned int x, int s, unsigned int t);
+unsigned int gg(unsigned int a, unsigned int b, unsigned int c,
+                unsigned int d, unsigned int x, int s, unsigned int t);
+unsigned int hh(unsigned int a, unsigned int b, unsigned int c,
+                unsigned int d, unsigned int x, int s, unsigned int t);
+unsigned int ii(unsigned int a, unsigned int b, unsigned int c,
+                unsigned int d, unsigned int x, int s, unsigned int t);
+
+void transform(int m) {
+    int k;
+    int blk;
+    int round;
+    unsigned int a; unsigned int b; unsigned int c; unsigned int d;
+    unsigned int a0; unsigned int b0; unsigned int c0; unsigned int d0;
+    a = 0x67452301; b = 0xefcdab89; c = 0x98badcfe; d = 0x10325476;
+    for (blk = 0; blk < 4; blk++) {
+    for (k = 0; k < 16; k++) {
+        X[k] = msgs[m][blk * 16 + k];
+    }
+    a0 = a; b0 = b; c0 = c; d0 = d;
+    for (round = 0; round < 4; round++) {
+        for (k = 0; k < 16; k += 4) {
+            if (round == 0) {
+                a = ff(a, b, c, d, X[k], 7, 0xd76aa478);
+                d = ff(d, a, b, c, X[k + 1], 12, 0xe8c7b756);
+                c = ff(c, d, a, b, X[k + 2], 17, 0x242070db);
+                b = ff(b, c, d, a, X[k + 3], 22, 0xc1bdceee);
+            } else if (round == 1) {
+                a = gg(a, b, c, d, X[(k * 5 + 1) % 16], 5, 0xf61e2562);
+                d = gg(d, a, b, c, X[(k * 5 + 6) % 16], 9, 0xc040b340);
+                c = gg(c, d, a, b, X[(k * 5 + 11) % 16], 14, 0x265e5a51);
+                b = gg(b, c, d, a, X[k * 5 % 16], 20, 0xe9b6c7aa);
+            } else if (round == 2) {
+                a = hh(a, b, c, d, X[(k * 3 + 5) % 16], 4, 0xfffa3942);
+                d = hh(d, a, b, c, X[(k * 3 + 8) % 16], 11, 0x8771f681);
+                c = hh(c, d, a, b, X[(k * 3 + 11) % 16], 16, 0x6d9d6122);
+                b = hh(b, c, d, a, X[(k * 3 + 14) % 16], 23, 0xfde5380c);
+            } else {
+                a = ii(a, b, c, d, X[k * 7 % 16], 6, 0xf4292244);
+                d = ii(d, a, b, c, X[(k * 7 + 7) % 16], 10, 0x432aff97);
+                c = ii(c, d, a, b, X[(k * 7 + 14) % 16], 15, 0xab9423a7);
+                b = ii(b, c, d, a, X[(k * 7 + 5) % 16], 21, 0xfc93a039);
+            }
+        }
+    }
+    a = a + a0; b = b + b0; c = c + c0; d = d + d0;
+    }
+    digests[m][0] = a;
+    digests[m][1] = b;
+    digests[m][2] = c;
+    digests[m][3] = d;
+}
+
+unsigned int rotl(unsigned int x, int c) {
+    return (x << c) | (x >> (32 - c));
+}
+
+unsigned int ff(unsigned int a, unsigned int b, unsigned int c,
+                unsigned int d, unsigned int x, int s, unsigned int t) {
+    return b + rotl(a + ((b & c) | (~b & d)) + x + t, s);
+}
+
+unsigned int gg(unsigned int a, unsigned int b, unsigned int c,
+                unsigned int d, unsigned int x, int s, unsigned int t) {
+    return b + rotl(a + ((b & d) | (c & ~d)) + x + t, s);
+}
+
+unsigned int hh(unsigned int a, unsigned int b, unsigned int c,
+                unsigned int d, unsigned int x, int s, unsigned int t) {
+    return b + rotl(a + (b ^ c ^ d) + x + t, s);
+}
+
+unsigned int ii(unsigned int a, unsigned int b, unsigned int c,
+                unsigned int d, unsigned int x, int s, unsigned int t) {
+    return b + rotl(a + (c ^ (b | ~d)) + x + t, s);
+}
+
+int main(void) {
+    int m;
+    int i;
+    int seed = 7;
+    for (m = 0; m < NMSG; m++) {
+        for (i = 0; i < 64; i++) {
+            seed = seed * 1103515245 + 12345;
+            msgs[m][i] = (unsigned int)seed;
+        }
+    }
+    #pragma expand parallel(doall)
+    L: for (m = 0; m < NMSG; m++) {
+        transform(m);
+    }
+    unsigned int check = 0;
+    for (m = 0; m < NMSG; m++) {
+        for (i = 0; i < 4; i++) {
+            check = check * 31 + digests[m][i];
+        }
+    }
+    print_int((int)(check & 0x7fffffff));
+    return 0;
+}
+"""
+
+register(BenchmarkSpec(
+    name="md5",
+    suite="MiBench",
+    source=SOURCE,
+    loop_labels=["L"],
+    function="main",
+    level=1,
+    parallelism="DOALL",
+    paper=PaperNumbers(loc=420, pct_time=99.8, privatized=1,
+                       loop_speedup_8=6.5),
+    description="independent message digests; per-block decode buffer "
+                "X[16] privatized",
+))

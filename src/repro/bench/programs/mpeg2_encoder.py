@@ -1,0 +1,159 @@
+"""MediaBench II mpeg2-encoder kernel (motion estimation).
+
+The candidate loop iterates the macroblocks of one row during motion
+estimation — nesting level 3 (pictures → rows → macroblocks), DOALL,
+70.6% of runtime.  Each macroblock's full-search SAD scan reuses a set
+of per-macroblock scratch structures; the paper privatizes 7 of them.
+
+Privatized here (7): ``curblk``, ``refblk``, ``diffblk``, ``predblk``,
+the candidate-cost array ``costs``, the best-vector struct ``bestmv``,
+and the interpolation window ``winbuf``.
+"""
+
+from ..suite import BenchmarkSpec, PaperNumbers, register
+
+SOURCE = r"""
+// mpeg2enc motion estimation: full search over a +/-2 window
+int NPIC = 2;
+int ROWS = 2;
+int MBW = 8;                       // macroblocks per row
+int W = 68;                        // frame width  (8 MBs of 8 + margin)
+int H = 20;                        // frame height (2 rows of 8 + margin)
+
+unsigned char cur[2][20][68];      // current frames (shared)
+unsigned char ref[2][20][68];      // reference frames (shared)
+
+struct mv {
+    int dx;
+    int dy;
+    int sad;
+};
+struct mv mvfield[2][2][8];        // per-MB results (disjoint writes)
+
+unsigned char curblk[64];          // privatized scratch (7 structures)
+unsigned char refblk[64];
+int diffblk[64];
+unsigned char predblk[64];
+int costs[9];
+struct mv bestmv;
+unsigned char winbuf[100];         // 10x10 search window copy
+
+int sad8x8(void) {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 64; i++) {
+        diffblk[i] = (int)curblk[i] - (int)refblk[i];
+        if (diffblk[i] < 0) {
+            acc = acc - diffblk[i];
+        } else {
+            acc = acc + diffblk[i];
+        }
+    }
+    return acc;
+}
+
+void motion_estimate_mb(int pic, int row, int mb) {
+    int x0;
+    int y0;
+    int i;
+    int j;
+    int dx;
+    int dy;
+    int c;
+    int s;
+    x0 = mb * 8 + 1;
+    y0 = row * 8 + 1;
+    for (i = 0; i < 8; i++) {
+        for (j = 0; j < 8; j++) {
+            curblk[i * 8 + j] = cur[pic][y0 + i][x0 + j];
+        }
+    }
+    for (i = 0; i < 10; i++) {      // copy the +/-1 search window
+        for (j = 0; j < 10; j++) {
+            winbuf[i * 10 + j] = ref[pic][y0 - 1 + i][x0 - 1 + j];
+        }
+    }
+    bestmv.sad = 1 << 30;
+    bestmv.dx = 0;
+    bestmv.dy = 0;
+    c = 0;
+    for (dy = -1; dy <= 1; dy++) {
+        for (dx = -1; dx <= 1; dx++) {
+            for (i = 0; i < 8; i++) {
+                for (j = 0; j < 8; j++) {
+                    refblk[i * 8 + j] =
+                        winbuf[(i + dy + 1) * 10 + (j + dx + 1)];
+                }
+            }
+            s = sad8x8();
+            costs[c] = s;
+            c = c + 1;
+            if (s < bestmv.sad) {
+                bestmv.sad = s;
+                bestmv.dx = dx;
+                bestmv.dy = dy;
+            }
+        }
+    }
+    for (i = 0; i < 64; i++) {      // form the prediction block
+        predblk[i] = refblk[i];
+    }
+    mvfield[pic][row][mb].dx = bestmv.dx;
+    mvfield[pic][row][mb].dy = bestmv.dy;
+    mvfield[pic][row][mb].sad = bestmv.sad + (int)predblk[0] + costs[4];
+}
+
+int main(void) {
+    int pic;
+    int row;
+    int mb;
+    int i;
+    int j;
+    int seed = 3;
+    unsigned int check;
+    for (pic = 0; pic < NPIC; pic++) {
+        for (i = 0; i < H; i++) {
+            for (j = 0; j < W; j++) {
+                seed = seed * 1103515245 + 12345;
+                cur[pic][i][j] = (seed >> 16) & 255;
+                ref[pic][i][j] = (seed >> 18) & 255;
+            }
+        }
+    }
+    for (pic = 0; pic < NPIC; pic++) {
+        for (row = 0; row < ROWS; row++) {
+            #pragma expand parallel(doall)
+            L: for (mb = 0; mb < MBW; mb++) {
+                motion_estimate_mb(pic, row, mb);
+            }
+        }
+    }
+    check = 0;
+    for (pic = 0; pic < NPIC; pic++) {
+        for (row = 0; row < ROWS; row++) {
+            for (mb = 0; mb < MBW; mb++) {
+                check = check * 31 + (unsigned int)mvfield[pic][row][mb].sad
+                      + (unsigned int)(mvfield[pic][row][mb].dx * 5)
+                      + (unsigned int)(mvfield[pic][row][mb].dy * 3);
+            }
+        }
+    }
+    print_int((int)(check & 0x7fffffff));
+    return 0;
+}
+"""
+
+register(BenchmarkSpec(
+    name="mpeg2-encoder",
+    suite="MediaBench II",
+    source=SOURCE,
+    loop_labels=["L"],
+    function="motion estimation",
+    level=3,
+    parallelism="DOALL",
+    paper=PaperNumbers(loc=7605, pct_time=70.6, privatized=7,
+                       loop_speedup_8=6.0),
+    description="full-search motion estimation; 7 per-macroblock "
+                "scratch structures privatized",
+))

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command> file.c``.
+
+Commands mirror the library's workflow so the toolchain is usable
+without writing Python:
+
+* ``run``      — interpret a MiniC program sequentially
+* ``profile``  — profile a candidate loop; print the programmer-
+  verification report (optionally save the graph as JSON)
+* ``expand``   — run the expansion pipeline; print the transformed
+  source and a summary
+* ``parallel`` — expand + run on N simulated threads; print speedups
+* ``bench``    — run one benchmark (or ``all``) through the harness
+
+Examples::
+
+    python -m repro run program.c
+    python -m repro profile program.c --loop L --save-ddg graph.json
+    python -m repro expand program.c --loop L --no-optimize
+    python -m repro parallel program.c --loop L --threads 8
+    python -m repro bench dijkstra
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _load(path: str):
+    from .frontend import parse_and_analyze
+
+    with open(path) as fh:
+        source = fh.read()
+    return parse_and_analyze(source)
+
+
+def _cmd_run(args) -> int:
+    from .interp import Machine
+
+    program, sema = _load(args.file)
+    machine = Machine(program, sema)
+    code = machine.run(args.entry)
+    for line in machine.output:
+        print(line)
+    print(
+        f"[exit {code}; {machine.cost.cycles:,.0f} cycles, "
+        f"{machine.cost.instructions:,} instructions, "
+        f"{machine.memory.peak_footprint():,} bytes peak]",
+        file=sys.stderr,
+    )
+    return code
+
+
+def _cmd_profile(args) -> int:
+    from .analysis import profile_loop
+    from .analysis.ddg_io import save_profile, verification_report
+    from .frontend import ast
+
+    program, sema = _load(args.file)
+    loop = ast.find_loop(program, args.loop)
+    profile = profile_loop(program, sema, loop, entry=args.entry)
+    print(verification_report(program, profile))
+    if args.save_ddg:
+        save_profile(profile, args.save_ddg)
+        print(f"\n[dependence graph saved to {args.save_ddg}]",
+              file=sys.stderr)
+    return 0
+
+
+def _transform(args):
+    from .transform import expand_for_threads
+
+    program, sema = _load(args.file)
+    result = expand_for_threads(
+        program, sema, args.loop,
+        optimize=not args.no_optimize,
+        layout=args.layout,
+        entry=args.entry,
+    )
+    return program, sema, result
+
+
+def _cmd_expand(args) -> int:
+    from .frontend import print_program
+
+    _, _, result = _transform(args)
+    print(print_program(result.program))
+    stats = result.redirect_stats
+    print(
+        f"[{result.num_privatized} structures + "
+        f"{result.expansion.num_scalars} scalars expanded; "
+        f"{stats.redirected} dereferences redirected "
+        f"({stats.constant_span} constant-span, "
+        f"{stats.dynamic_span} dynamic-span); "
+        f"{len(result.private_sites)} private sites]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_parallel(args) -> int:
+    from .interp import Machine
+    from .runtime import run_parallel
+
+    program, sema, result = (lambda p, s, r: (p, s, r))(*_transform(args))
+    base = Machine(program, sema)
+    base.run(args.entry)
+    outcome = run_parallel(result, args.threads, entry=args.entry,
+                           chunk=args.chunk)
+    for line in outcome.output:
+        print(line)
+    ok = outcome.output == base.output
+    loop_par = sum(
+        ex.makespan + ex.runtime_cycles for ex in outcome.loops.values()
+    )
+    loop_seq = sum(tl.profile.loop_cycles for tl in result.loops)
+    print(
+        f"[{args.threads} threads: output "
+        f"{'VERIFIED' if ok else 'DIVERGED!'}; "
+        f"loop speedup {loop_seq / loop_par if loop_par else 0:.2f}x; "
+        f"total speedup "
+        f"{base.cost.cycles / outcome.total_cycles:.2f}x; "
+        f"races {len(outcome.races)}]",
+        file=sys.stderr,
+    )
+    return 0 if ok else 1
+
+
+def _cmd_bench(args) -> int:
+    from .bench import Harness, all_benchmarks
+    from .bench.report import full_report
+
+    names = [s.name for s in all_benchmarks()] if args.name == "all" \
+        else [args.name]
+    harness = Harness()
+    results = {}
+    for name in names:
+        print(f"measuring {name} ...", file=sys.stderr)
+        results[name] = harness.result(name)
+    print(full_report(results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="General data structure expansion for multi-threading "
+                    "(PLDI 2013) — reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, needs_loop=False):
+        p.add_argument("file", help="MiniC source file")
+        p.add_argument("--entry", default="main")
+        if needs_loop:
+            p.add_argument(
+                "--loop", action="append", required=True,
+                help="candidate loop label (repeatable)",
+            )
+
+    p_run = sub.add_parser("run", help="interpret a program sequentially")
+    add_common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_prof = sub.add_parser("profile", help="profile a candidate loop")
+    p_prof.add_argument("file")
+    p_prof.add_argument("--entry", default="main")
+    p_prof.add_argument("--loop", required=True)
+    p_prof.add_argument("--save-ddg", metavar="PATH")
+    p_prof.set_defaults(func=_cmd_profile)
+
+    for name, fn, help_text in (
+        ("expand", _cmd_expand, "print the transformed program"),
+        ("parallel", _cmd_parallel, "expand and run on N threads"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        add_common(p, needs_loop=True)
+        p.add_argument("--no-optimize", action="store_true",
+                       help="disable the §3.4 optimizations (Fig. 9a mode)")
+        p.add_argument("--layout", choices=("bonded", "interleaved"),
+                       default="bonded")
+        if name == "parallel":
+            p.add_argument("--threads", "-n", type=int, default=4)
+            p.add_argument("--chunk", type=int, default=1,
+                           help="DOACROSS scheduling chunk size")
+        p.set_defaults(func=fn)
+
+    p_bench = sub.add_parser("bench", help="run benchmark(s)")
+    p_bench.add_argument("name", help="benchmark name or 'all'")
+    p_bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""MiniC frontend: lexer, parser, type system, semantic analysis, printer.
+
+Typical use::
+
+    from repro.frontend import parse_and_analyze
+    program, sema = parse_and_analyze(source)
+"""
+
+from . import ast
+from .ctypes import (
+    CHAR, DOUBLE, FLOAT, INT, LONG, SHORT, VOID, VOID_PTR,
+    ArrayType, CType, CTypeError, Field, FloatType, FunctionType, IntType,
+    PointerType, StructType, VoidType, sizeof,
+)
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse
+from .printer import format_type, print_expr, print_program, print_stmt
+from .sema import BUILTIN_SIGNATURES, SemaError, SemaResult, analyze
+
+
+def parse_and_analyze(source: str):
+    """Parse and type-check MiniC source; returns ``(program, sema)``."""
+    program = parse(source)
+    sema = analyze(program)
+    return program, sema
+
+
+__all__ = [
+    "ast", "parse", "analyze", "parse_and_analyze", "tokenize",
+    "print_program", "print_stmt", "print_expr", "format_type",
+    "ParseError", "LexError", "SemaError", "CTypeError",
+    "SemaResult", "BUILTIN_SIGNATURES", "Token",
+    "CType", "IntType", "FloatType", "PointerType", "ArrayType",
+    "StructType", "FunctionType", "VoidType", "Field", "sizeof",
+    "VOID", "CHAR", "SHORT", "INT", "LONG", "FLOAT", "DOUBLE", "VOID_PTR",
+]

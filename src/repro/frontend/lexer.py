@@ -1,0 +1,253 @@
+"""MiniC lexer.
+
+Hand-written scanner producing a flat token list.  Supports the C
+subset used by the benchmark kernels: identifiers, integer/float/char/
+string literals, all C operators, ``//`` and ``/* */`` comments, and
+``#pragma`` lines (kept as PRAGMA tokens so the parser can attach
+parallelization annotations to the following loop).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+KEYWORDS = {
+    "void", "char", "short", "int", "long", "float", "double",
+    "unsigned", "signed", "struct", "sizeof",
+    "if", "else", "while", "do", "for", "return", "break", "continue",
+    "extern", "static", "const",
+}
+
+# longest-match-first operator table
+OPERATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+
+class Token(NamedTuple):
+    kind: str          # 'ID' 'KW' 'INT' 'FLOAT' 'CHAR' 'STR' 'OP' 'PRAGMA' 'EOF'
+    text: str
+    value: object      # numeric value for literals, decoded str for STR
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, L{self.line})"
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"line {line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+    "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f", "v": "\v",
+}
+
+
+class Lexer:
+    def __init__(self, source: str):
+        self.src = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level helpers --------------------------------------------------
+    #: end-of-input sentinel: must be a real character so that
+    #: membership tests like ``self._peek() in "uUlL"`` are False at
+    #: EOF (the empty string is a substring of everything!)
+    _EOF = "\0"
+
+    def _peek(self, ahead: int = 0) -> str:
+        i = self.pos + ahead
+        return self.src[i] if i < len(self.src) else self._EOF
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.src):
+                if self.src[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.col)
+
+    # -- scanning -----------------------------------------------------------
+    def tokens(self) -> List[Token]:
+        out = list(self._scan())
+        out.append(Token("EOF", "", None, self.line, self.col))
+        return out
+
+    def _scan(self) -> Iterator[Token]:
+        while self.pos < len(self.src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.src) and self._peek() != "\n":
+                    self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.src) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.src):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+                continue
+            if ch == "#":
+                tok = self._scan_directive()
+                if tok is not None:
+                    yield tok
+                continue
+            if ch.isalpha() or ch == "_":
+                yield self._scan_word()
+                continue
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                yield self._scan_number()
+                continue
+            if ch == "'":
+                yield self._scan_char()
+                continue
+            if ch == '"':
+                yield self._scan_string()
+                continue
+            yield self._scan_operator()
+
+    def _scan_directive(self) -> Optional[Token]:
+        line, col = self.line, self.col
+        start = self.pos
+        while self.pos < len(self.src) and self._peek() != "\n":
+            self._advance()
+        text = self.src[start:self.pos].strip()
+        if text.startswith("#pragma"):
+            return Token("PRAGMA", text[len("#pragma"):].strip(), None, line, col)
+        # other directives (e.g. #include) are ignored: builtins are implicit
+        return None
+
+    def _scan_word(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.src[start:self.pos]
+        kind = "KW" if text in KEYWORDS else "ID"
+        return Token(kind, text, None, line, col)
+
+    def _scan_number(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.src[start:self.pos]
+            self._skip_int_suffix()
+            return Token("INT", text, int(text, 16), line, col)
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.src[start:self.pos]
+        if is_float:
+            if self._peek() in "fF":
+                self._advance()
+                return Token("FLOAT", text + "f", float(text), line, col)
+            return Token("FLOAT", text, float(text), line, col)
+        self._skip_int_suffix()
+        return Token("INT", text, int(text, 10), line, col)
+
+    def _skip_int_suffix(self) -> None:
+        while self._peek() in "uUlL":
+            self._advance()
+
+    def _scan_escape(self) -> str:
+        self._advance()  # backslash
+        ch = self._peek()
+        if ch == "x":
+            self._advance()
+            digits = ""
+            while self._peek() in "0123456789abcdefABCDEF":
+                digits += self._peek()
+                self._advance()
+            if not digits:
+                raise self._error("bad hex escape")
+            return chr(int(digits, 16))
+        if ch in _ESCAPES:
+            self._advance()
+            return _ESCAPES[ch]
+        raise self._error(f"unknown escape \\{ch}")
+
+    def _scan_char(self) -> Token:
+        line, col = self.line, self.col
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            value = ord(self._scan_escape())
+        else:
+            if self._peek() == self._EOF:
+                raise self._error("unterminated char literal")
+            value = ord(self._peek())
+            self._advance()
+        if self._peek() != "'":
+            raise self._error("unterminated char literal")
+        self._advance()
+        return Token("CHAR", f"'{chr(value)}'", value, line, col)
+
+    def _scan_string(self) -> Token:
+        line, col = self.line, self.col
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if ch == self._EOF or ch == "\n":
+                raise self._error("unterminated string literal")
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                chars.append(self._scan_escape())
+            else:
+                chars.append(ch)
+                self._advance()
+        value = "".join(chars)
+        return Token("STR", f'"{value}"', value, line, col)
+
+    def _scan_operator(self) -> Token:
+        line, col = self.line, self.col
+        for op in OPERATORS:
+            if self.src.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("OP", op, None, line, col)
+        raise self._error(f"unexpected character {self._peek()!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniC source into a list ending with an EOF token."""
+    return Lexer(source).tokens()

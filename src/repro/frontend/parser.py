@@ -1,0 +1,517 @@
+"""MiniC recursive-descent parser.
+
+Grammar is a pragmatic C subset sufficient for the benchmark kernels:
+
+* top level: struct definitions, global variable declarations,
+  function definitions/prototypes
+* declarations with pointer/array declarators and brace initializers
+* all C statements except ``switch`` and ``goto``
+* full C expression grammar (precedence climbing) including casts,
+  ``sizeof``, ternary and comma operators
+* ``label:`` before a loop names it for candidate selection
+* ``#pragma ...`` before a loop is attached to that loop's ``pragmas``
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .ctypes import (
+    CHAR, CType, DOUBLE, FLOAT, INT, LONG, SHORT, VOID,
+    ArrayType, FunctionType, IntType, PointerType, StructType,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"line {token.line}:{token.col}: {message} (at {token.text!r})")
+        self.token = token
+
+
+#: binary operator precedence (higher binds tighter)
+_BINOP_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+_TYPE_KEYWORDS = {
+    "void", "char", "short", "int", "long", "float", "double",
+    "unsigned", "signed", "struct", "const", "extern", "static",
+}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.toks = tokenize(source)
+        self.pos = 0
+        #: struct tag -> StructType (interning supports recursive structs)
+        self.structs: dict = {}
+
+    # -- token helpers -------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        i = min(self.pos + ahead, len(self.toks) - 1)
+        return self.toks[i]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def _check(self, kind: str, text: Optional[str] = None, ahead: int = 0) -> bool:
+        tok = self._peek(ahead)
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            want = text or kind
+            raise ParseError(f"expected {want!r}", self._peek())
+        return self._next()
+
+    def _loc(self) -> Tuple[int, int]:
+        tok = self._peek()
+        return (tok.line, tok.col)
+
+    # -- types ----------------------------------------------------------------
+    def _at_type_start(self, ahead: int = 0) -> bool:
+        tok = self._peek(ahead)
+        return tok.kind == "KW" and tok.text in _TYPE_KEYWORDS
+
+    def _parse_base_type(self) -> CType:
+        """Parse declaration specifiers into a base type."""
+        while self._accept("KW", "const") or self._accept("KW", "extern") or \
+                self._accept("KW", "static"):
+            pass
+        signed = True
+        saw_sign = False
+        if self._accept("KW", "unsigned"):
+            signed = False
+            saw_sign = True
+        elif self._accept("KW", "signed"):
+            saw_sign = True
+
+        tok = self._peek()
+        if tok.kind == "KW" and tok.text == "struct":
+            self._next()
+            name_tok = self._expect("ID")
+            stype = self.structs.get(name_tok.text)
+            if stype is None:
+                stype = StructType(name_tok.text)
+                self.structs[name_tok.text] = stype
+            if self._check("OP", "{"):
+                self._parse_struct_body(stype)
+            return stype
+        if tok.kind == "KW" and tok.text in (
+            "void", "char", "short", "int", "long", "float", "double",
+        ):
+            self._next()
+            kind = tok.text
+            if kind == "long" and self._accept("KW", "long"):
+                pass  # long long == long (8 bytes)
+            if kind in ("short", "long") and self._accept("KW", "int"):
+                pass  # short int / long int
+            if kind == "void":
+                return VOID
+            if kind in ("float", "double"):
+                return DOUBLE if kind == "double" else FLOAT
+            base = IntType(kind, signed)
+            while self._accept("KW", "const"):
+                pass
+            return base
+        if saw_sign:  # bare 'unsigned' means unsigned int
+            return IntType("int", signed)
+        raise ParseError("expected type", tok)
+
+    def _parse_struct_body(self, stype: StructType) -> None:
+        self._expect("OP", "{")
+        fields: List[Tuple[str, CType]] = []
+        while not self._check("OP", "}"):
+            base = self._parse_base_type()
+            while True:
+                name, ftype = self._parse_declarator(base)
+                fields.append((name, ftype))
+                if not self._accept("OP", ","):
+                    break
+            self._expect("OP", ";")
+        self._expect("OP", "}")
+        stype.define(fields)
+
+    def _parse_declarator(self, base: CType) -> Tuple[str, CType]:
+        """Parse ``* ... name [n]...`` and return (name, full type).
+        A non-constant first dimension (``int a[__nthreads]``) makes a
+        variable-length array; the length expression is stashed on
+        ``self._pending_vla`` for the declaration builder."""
+        ctype = base
+        while self._accept("OP", "*"):
+            while self._accept("KW", "const"):
+                pass
+            ctype = PointerType(ctype)
+        name_tok = self._expect("ID")
+        ctype = self._parse_array_suffix(ctype, allow_vla=True)
+        return name_tok.text, ctype
+
+    def _parse_array_suffix(self, ctype: CType,
+                            allow_vla: bool = False) -> CType:
+        """Array dimensions apply outermost-first: ``int a[2][3]`` is an
+        array of 2 arrays of 3 ints."""
+        self._pending_vla = None
+        dims: List[object] = []
+        while self._accept("OP", "["):
+            if self._check("OP", "]"):
+                dims.append(None)
+            elif self._check("INT"):
+                dims.append(int(self._next().value))
+            elif allow_vla:
+                dims.append(self._parse_assignment())
+            else:
+                self._expect("INT")
+            self._expect("OP", "]")
+        for i, dim in enumerate(reversed(dims)):
+            if isinstance(dim, (int, type(None))):
+                ctype = ArrayType(ctype, dim)
+            else:
+                if i != len(dims) - 1:
+                    raise ParseError(
+                        "only the outermost array dimension may be "
+                        "variable-length", self._peek(),
+                    )
+                ctype = ArrayType(ctype, None)
+                self._pending_vla = dim
+        return ctype
+
+    def _parse_type_name(self) -> CType:
+        """Abstract type for casts / sizeof: base, pointers, arrays."""
+        ctype = self._parse_base_type()
+        while self._accept("OP", "*"):
+            ctype = PointerType(ctype)
+        ctype = self._parse_array_suffix(ctype)
+        return ctype
+
+    # -- top level -------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        decls: List[ast.Node] = []
+        while not self._check("EOF"):
+            if self._check("PRAGMA"):
+                self._next()  # top-level pragmas are informational
+                continue
+            decls.extend(self._parse_top_decl())
+        return ast.Program(decls)
+
+    def _parse_top_decl(self) -> List[ast.Node]:
+        loc = self._loc()
+        base = self._parse_base_type()
+        # bare 'struct S;' or 'struct S { ... };'
+        if self._accept("OP", ";"):
+            if isinstance(base, StructType):
+                return [ast.StructDecl(base, loc=loc)]
+            return []
+        name, ctype = self._parse_declarator(base)
+        if self._check("OP", "("):
+            return [self._parse_function(name, ctype, loc)]
+        out: List[ast.Node] = []
+        out.append(self._finish_var_decl(name, ctype, "global", loc))
+        while self._accept("OP", ","):
+            name, ctype = self._parse_declarator(base)
+            out.append(self._finish_var_decl(name, ctype, "global", self._loc()))
+        self._expect("OP", ";")
+        result: List[ast.Node] = []
+        if isinstance(base, StructType):
+            result.append(ast.StructDecl(base, loc=loc))
+        result.extend(out)
+        return result
+
+    def _finish_var_decl(
+        self, name: str, ctype: CType, storage: str, loc
+    ) -> ast.VarDecl:
+        vla = getattr(self, "_pending_vla", None)
+        self._pending_vla = None
+        init = None
+        if self._accept("OP", "="):
+            init = self._parse_initializer()
+        decl = ast.VarDecl(name, ctype, init, storage, loc=loc)
+        if vla is not None:
+            if storage == "global":
+                raise ParseError(
+                    "global variables cannot be variable-length", self._peek()
+                )
+            decl.vla_length = vla
+        return decl
+
+    def _parse_initializer(self):
+        if self._accept("OP", "{"):
+            items = []
+            while not self._check("OP", "}"):
+                items.append(self._parse_initializer())
+                if not self._accept("OP", ","):
+                    break
+            self._expect("OP", "}")
+            return items
+        return self._parse_assignment()
+
+    def _parse_function(self, name: str, ret_type: CType, loc) -> ast.FunctionDef:
+        self._expect("OP", "(")
+        params: List[ast.VarDecl] = []
+        varargs = False
+        if not self._check("OP", ")"):
+            if self._check("KW", "void") and self._check("OP", ")", ahead=1):
+                self._next()
+            else:
+                while True:
+                    if self._accept("OP", "..."):
+                        varargs = True
+                        break
+                    pbase = self._parse_base_type()
+                    pname, ptype = self._parse_declarator(pbase)
+                    ptype = ptype.decay()  # array params decay to pointers
+                    params.append(
+                        ast.VarDecl(pname, ptype, storage="param", loc=self._loc())
+                    )
+                    if not self._accept("OP", ","):
+                        break
+        self._expect("OP", ")")
+        if self._accept("OP", ";"):
+            fn = ast.FunctionDef(name, ret_type, params, None, loc=loc)
+        else:
+            body = self._parse_block()
+            fn = ast.FunctionDef(name, ret_type, params, body, loc=loc)
+        fn.varargs = varargs
+        return fn
+
+    # -- statements --------------------------------------------------------------
+    def _parse_block(self) -> ast.Block:
+        loc = self._loc()
+        self._expect("OP", "{")
+        stmts: List[ast.Stmt] = []
+        while not self._check("OP", "}"):
+            stmts.append(self._parse_statement())
+        self._expect("OP", "}")
+        return ast.Block(stmts, loc=loc)
+
+    def _parse_statement(self) -> ast.Stmt:
+        pragmas: List[str] = []
+        while self._check("PRAGMA"):
+            pragmas.append(self._next().text)
+        label: Optional[str] = None
+        if self._check("ID") and self._check("OP", ":", ahead=1):
+            label = self._next().text
+            self._next()  # ':'
+        stmt = self._parse_statement_inner()
+        if isinstance(stmt, ast.LoopStmt):
+            stmt.pragmas.extend(pragmas)
+            stmt.label = label
+        elif pragmas or label:
+            raise ParseError(
+                "pragma/label must precede a loop", self._peek()
+            )
+        return stmt
+
+    def _parse_statement_inner(self) -> ast.Stmt:
+        loc = self._loc()
+        if self._check("OP", "{"):
+            return self._parse_block()
+        if self._at_type_start():
+            return self._parse_decl_stmt()
+        if self._accept("KW", "if"):
+            self._expect("OP", "(")
+            cond = self._parse_expr()
+            self._expect("OP", ")")
+            then = self._parse_statement()
+            els = self._parse_statement() if self._accept("KW", "else") else None
+            return ast.If(cond, then, els, loc=loc)
+        if self._accept("KW", "while"):
+            self._expect("OP", "(")
+            cond = self._parse_expr()
+            self._expect("OP", ")")
+            body = self._parse_statement()
+            return ast.While(cond, body, loc=loc)
+        if self._accept("KW", "do"):
+            body = self._parse_statement()
+            self._expect("KW", "while")
+            self._expect("OP", "(")
+            cond = self._parse_expr()
+            self._expect("OP", ")")
+            self._expect("OP", ";")
+            return ast.DoWhile(body, cond, loc=loc)
+        if self._accept("KW", "for"):
+            self._expect("OP", "(")
+            init: Optional[ast.Stmt] = None
+            if not self._check("OP", ";"):
+                if self._at_type_start():
+                    init = self._parse_decl_stmt()
+                else:
+                    init = ast.ExprStmt(self._parse_expr(), loc=self._loc())
+                    self._expect("OP", ";")
+            else:
+                self._next()
+            cond = None if self._check("OP", ";") else self._parse_expr()
+            self._expect("OP", ";")
+            step = None if self._check("OP", ")") else self._parse_expr()
+            self._expect("OP", ")")
+            body = self._parse_statement()
+            return ast.For(init, cond, step, body, loc=loc)
+        if self._accept("KW", "return"):
+            expr = None if self._check("OP", ";") else self._parse_expr()
+            self._expect("OP", ";")
+            return ast.Return(expr, loc=loc)
+        if self._accept("KW", "break"):
+            self._expect("OP", ";")
+            return ast.Break(loc=loc)
+        if self._accept("KW", "continue"):
+            self._expect("OP", ";")
+            return ast.Continue(loc=loc)
+        if self._accept("OP", ";"):
+            return ast.Block([], loc=loc)
+        expr = self._parse_expr()
+        self._expect("OP", ";")
+        return ast.ExprStmt(expr, loc=loc)
+
+    def _parse_decl_stmt(self) -> ast.DeclStmt:
+        loc = self._loc()
+        base = self._parse_base_type()
+        decls: List[ast.VarDecl] = []
+        while True:
+            name, ctype = self._parse_declarator(base)
+            decls.append(self._finish_var_decl(name, ctype, "local", self._loc()))
+            if not self._accept("OP", ","):
+                break
+        self._expect("OP", ";")
+        return ast.DeclStmt(decls, loc=loc)
+
+    # -- expressions ------------------------------------------------------------
+    def _parse_expr(self) -> ast.Expr:
+        expr = self._parse_assignment()
+        while self._check("OP", ","):
+            loc = self._loc()
+            self._next()
+            right = self._parse_assignment()
+            expr = ast.Comma(expr, right, loc=loc)
+        return expr
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        tok = self._peek()
+        if tok.kind == "OP" and tok.text in _ASSIGN_OPS:
+            self._next()
+            right = self._parse_assignment()
+            return ast.Assign(tok.text, left, right, loc=(tok.line, tok.col))
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self._check("OP", "?"):
+            loc = self._loc()
+            self._next()
+            then = self._parse_expr()
+            self._expect("OP", ":")
+            els = self._parse_conditional()
+            return ast.Cond(cond, then, els, loc=loc)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self._peek()
+            prec = _BINOP_PREC.get(tok.text) if tok.kind == "OP" else None
+            if prec is None or prec < min_prec:
+                return left
+            self._next()
+            right = self._parse_binary(prec + 1)
+            left = ast.Binary(tok.text, left, right, loc=(tok.line, tok.col))
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        loc = (tok.line, tok.col)
+        if tok.kind == "OP" and tok.text in ("-", "+", "!", "~", "*", "&"):
+            self._next()
+            operand = self._parse_unary()
+            if tok.text == "+":
+                return operand
+            return ast.Unary(tok.text, operand, loc=loc)
+        if tok.kind == "OP" and tok.text in ("++", "--"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(tok.text, operand, loc=loc)
+        if tok.kind == "KW" and tok.text == "sizeof":
+            self._next()
+            if self._check("OP", "(") and self._at_type_start(ahead=1):
+                self._next()
+                of_type = self._parse_type_name()
+                self._expect("OP", ")")
+                return ast.SizeofType(of_type, loc=loc)
+            expr = self._parse_unary()
+            return ast.SizeofExpr(expr, loc=loc)
+        # cast: '(' type ')' unary
+        if tok.kind == "OP" and tok.text == "(" and self._at_type_start(ahead=1):
+            self._next()
+            to_type = self._parse_type_name()
+            self._expect("OP", ")")
+            expr = self._parse_unary()
+            return ast.Cast(to_type, expr, loc=loc)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            loc = (tok.line, tok.col)
+            if self._accept("OP", "["):
+                index = self._parse_expr()
+                self._expect("OP", "]")
+                expr = ast.Index(expr, index, loc=loc)
+            elif self._accept("OP", "("):
+                args: List[ast.Expr] = []
+                if not self._check("OP", ")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._accept("OP", ","):
+                            break
+                self._expect("OP", ")")
+                expr = ast.Call(expr, args, loc=loc)
+            elif self._accept("OP", "."):
+                name = self._expect("ID").text
+                expr = ast.Member(expr, name, arrow=False, loc=loc)
+            elif self._accept("OP", "->"):
+                name = self._expect("ID").text
+                expr = ast.Member(expr, name, arrow=True, loc=loc)
+            elif self._check("OP", "++") or self._check("OP", "--"):
+                op = self._next().text
+                expr = ast.Unary("p" + op, expr, loc=loc)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._next()
+        loc = (tok.line, tok.col)
+        if tok.kind == "INT":
+            return ast.IntLit(int(tok.value), loc=loc)
+        if tok.kind == "CHAR":
+            return ast.IntLit(int(tok.value), loc=loc)
+        if tok.kind == "FLOAT":
+            return ast.FloatLit(float(tok.value), loc=loc)
+        if tok.kind == "STR":
+            return ast.StrLit(str(tok.value), loc=loc)
+        if tok.kind == "ID":
+            return ast.Ident(tok.text, loc=loc)
+        if tok.kind == "OP" and tok.text == "(":
+            expr = self._parse_expr()
+            self._expect("OP", ")")
+            return expr
+        raise ParseError("expected expression", tok)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source into an (un-analyzed) AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,264 @@
+"""AST -> C-like source text.
+
+The printer exists so users can inspect what the expansion transform
+did to their program (the paper's Figures 1, 3 and 4 show exactly such
+before/after listings), and so the test suite can assert round-trip
+stability: ``parse(print(parse(src)))`` is structurally identical to
+``parse(src)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast
+from .ctypes import (
+    ArrayType, CType, FloatType, FunctionType, IntType, PointerType,
+    StructType, VoidType,
+)
+
+_INDENT = "    "
+
+
+def type_prefix_suffix(ctype: CType) -> "tuple[str, str]":
+    """Split a type into declarator prefix/suffix around the name, so
+    ``int (*)[3]``-style declarations print correctly for our subset
+    (pointers bind into the prefix, arrays into the suffix)."""
+    suffix = ""
+    while isinstance(ctype, ArrayType):
+        n = "" if ctype.length is None else str(ctype.length)
+        suffix += f"[{n}]"
+        ctype = ctype.elem
+    prefix = format_type(ctype)
+    return prefix, suffix
+
+
+def format_type(ctype: CType) -> str:
+    if isinstance(ctype, VoidType):
+        return "void"
+    if isinstance(ctype, IntType):
+        return ctype.kind if ctype.signed else f"unsigned {ctype.kind}"
+    if isinstance(ctype, FloatType):
+        return ctype.kind
+    if isinstance(ctype, PointerType):
+        return format_type(ctype.pointee) + "*"
+    if isinstance(ctype, StructType):
+        return f"struct {ctype.name}"
+    if isinstance(ctype, ArrayType):
+        prefix, suffix = type_prefix_suffix(ctype)
+        return prefix + suffix
+    if isinstance(ctype, FunctionType):
+        return repr(ctype)
+    raise TypeError(f"cannot format {ctype!r}")  # pragma: no cover
+
+
+class Printer:
+    def __init__(self):
+        self.lines: List[str] = []
+        self.depth = 0
+        self._printed_structs: set = set()
+
+    def emit(self, text: str) -> None:
+        self.lines.append(_INDENT * self.depth + text)
+
+    # -- program ----------------------------------------------------------
+    def print_program(self, program: ast.Program) -> str:
+        for decl in program.decls:
+            if isinstance(decl, ast.StructDecl):
+                self._struct(decl.struct_type)
+            elif isinstance(decl, ast.VarDecl):
+                self.emit(self._var_decl(decl) + ";")
+            elif isinstance(decl, ast.FunctionDef):
+                self._function(decl)
+        return "\n".join(self.lines) + "\n"
+
+    def _struct(self, stype: StructType) -> None:
+        if stype.name in self._printed_structs:
+            return
+        self._printed_structs.add(stype.name)
+        self.emit(f"struct {stype.name} {{")
+        self.depth += 1
+        for field in stype.fields:
+            prefix, suffix = type_prefix_suffix(field.type)
+            self.emit(f"{prefix} {field.name}{suffix};")
+        self.depth -= 1
+        self.emit("};")
+
+    def _var_decl(self, decl: ast.VarDecl) -> str:
+        prefix, suffix = type_prefix_suffix(decl.ctype)
+        if decl.vla_length is not None and suffix.startswith("[]"):
+            suffix = f"[{self.expr(decl.vla_length)}]" + suffix[2:]
+        text = f"{prefix} {decl.name}{suffix}"
+        if decl.init is not None:
+            text += " = " + self._init(decl.init)
+        return text
+
+    def _init(self, init) -> str:
+        if isinstance(init, list):
+            return "{" + ", ".join(self._init(i) for i in init) + "}"
+        return self.expr(init)
+
+    def _function(self, fn: ast.FunctionDef) -> None:
+        params = ", ".join(
+            f"{type_prefix_suffix(p.ctype)[0]} {p.name}"
+            f"{type_prefix_suffix(p.ctype)[1]}"
+            for p in fn.params
+        )
+        if not params:
+            params = "void"
+        header = f"{format_type(fn.ret_type)} {fn.name}({params})"
+        if fn.body is None:
+            self.emit(header + ";")
+            return
+        self.emit(header)
+        self._block(fn.body)
+
+    # -- statements ---------------------------------------------------------
+    def _block(self, block: ast.Block) -> None:
+        self.emit("{")
+        self.depth += 1
+        for stmt in block.stmts:
+            self.stmt(stmt)
+        self.depth -= 1
+        self.emit("}")
+
+    def stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.LoopStmt):
+            for pragma in stmt.pragmas:
+                self.emit(f"#pragma {pragma}")
+            if stmt.label:
+                self.emit(f"{stmt.label}:")
+        if isinstance(stmt, ast.Block):
+            self._block(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.emit(self.expr(stmt.expr) + ";")
+        elif isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                self.emit(self._var_decl(decl) + ";")
+        elif isinstance(stmt, ast.If):
+            self.emit(f"if ({self.expr(stmt.cond)})")
+            self._stmt_as_block(stmt.then)
+            if stmt.els is not None:
+                self.emit("else")
+                self._stmt_as_block(stmt.els)
+        elif isinstance(stmt, ast.While):
+            self.emit(f"while ({self.expr(stmt.cond)})")
+            self._stmt_as_block(stmt.body)
+        elif isinstance(stmt, ast.DoWhile):
+            self.emit("do")
+            self._stmt_as_block(stmt.body)
+            self.emit(f"while ({self.expr(stmt.cond)});")
+        elif isinstance(stmt, ast.For):
+            init = ""
+            if isinstance(stmt.init, ast.DeclStmt):
+                init = "; ".join(self._var_decl(d) for d in stmt.init.decls)
+            elif isinstance(stmt.init, ast.ExprStmt):
+                init = self.expr(stmt.init.expr)
+            cond = self.expr(stmt.cond) if stmt.cond is not None else ""
+            step = self.expr(stmt.step) if stmt.step is not None else ""
+            self.emit(f"for ({init}; {cond}; {step})")
+            self._stmt_as_block(stmt.body)
+        elif isinstance(stmt, ast.Return):
+            if stmt.expr is None:
+                self.emit("return;")
+            else:
+                self.emit(f"return {self.expr(stmt.expr)};")
+        elif isinstance(stmt, ast.Break):
+            self.emit("break;")
+        elif isinstance(stmt, ast.Continue):
+            self.emit("continue;")
+        else:  # pragma: no cover
+            raise TypeError(f"cannot print {stmt!r}")
+
+    def _stmt_as_block(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._block(stmt)
+        else:
+            self.depth += 1
+            self.stmt(stmt)
+            self.depth -= 1
+
+    # -- expressions -----------------------------------------------------------
+    def expr(self, expr: ast.Expr, parent_prec: int = 0) -> str:
+        text, prec = self._expr_prec(expr)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    def _expr_prec(self, expr: ast.Expr) -> "tuple[str, int]":
+        # precedence levels (higher = tighter); 100 for primaries
+        if isinstance(expr, ast.IntLit):
+            return str(expr.value), 100
+        if isinstance(expr, ast.FloatLit):
+            text = repr(expr.value)
+            if "." not in text and "e" not in text and "inf" not in text:
+                text += ".0"
+            return text, 100
+        if isinstance(expr, ast.StrLit):
+            escaped = (
+                expr.value.replace("\\", "\\\\").replace('"', '\\"')
+                .replace("\n", "\\n").replace("\t", "\\t").replace("\0", "\\0")
+            )
+            return f'"{escaped}"', 100
+        if isinstance(expr, ast.Ident):
+            return expr.name, 100
+        if isinstance(expr, ast.Index):
+            return f"{self.expr(expr.base, 90)}[{self.expr(expr.index)}]", 90
+        if isinstance(expr, ast.Member):
+            sep = "->" if expr.arrow else "."
+            return f"{self.expr(expr.base, 90)}{sep}{expr.name}", 90
+        if isinstance(expr, ast.Call):
+            args = ", ".join(self.expr(a, 3) for a in expr.args)
+            return f"{self.expr(expr.func, 90)}({args})", 90
+        if isinstance(expr, ast.Unary):
+            if expr.op.startswith("p"):
+                return f"{self.expr(expr.operand, 90)}{expr.op[1:]}", 90
+            sep = " " if expr.op in ("++", "--") else ""
+            return f"{expr.op}{sep}{self.expr(expr.operand, 80)}", 80
+        if isinstance(expr, ast.Cast):
+            return f"({format_type(expr.to_type)}){self.expr(expr.expr, 80)}", 80
+        if isinstance(expr, ast.SizeofType):
+            return f"sizeof({format_type(expr.of_type)})", 100
+        if isinstance(expr, ast.SizeofExpr):
+            return f"sizeof({self.expr(expr.expr)})", 100
+        if isinstance(expr, ast.Binary):
+            prec = 10 + {
+                "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5, "==": 6, "!=": 6,
+                "<": 7, ">": 7, "<=": 7, ">=": 7, "<<": 8, ">>": 8,
+                "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+            }[expr.op]
+            left = self.expr(expr.left, prec)
+            right = self.expr(expr.right, prec + 1)
+            return f"{left} {expr.op} {right}", prec
+        if isinstance(expr, ast.Cond):
+            return (
+                f"{self.expr(expr.cond, 5)} ? {self.expr(expr.then)} : "
+                f"{self.expr(expr.els, 4)}",
+                4,
+            )
+        if isinstance(expr, ast.Assign):
+            return (
+                f"{self.expr(expr.target, 90)} {expr.op} "
+                f"{self.expr(expr.value, 3)}",
+                3,
+            )
+        if isinstance(expr, ast.Comma):
+            return f"{self.expr(expr.left, 1)}, {self.expr(expr.right, 2)}", 1
+        raise TypeError(f"cannot print {expr!r}")  # pragma: no cover
+
+
+def print_program(program: ast.Program) -> str:
+    """Render a program AST back to C-like source."""
+    return Printer().print_program(program)
+
+
+def print_stmt(stmt: ast.Stmt) -> str:
+    """Render a single statement (for debugging and docs)."""
+    printer = Printer()
+    printer.stmt(stmt)
+    return "\n".join(printer.lines)
+
+
+def print_expr(expr: ast.Expr) -> str:
+    """Render a single expression."""
+    return Printer().expr(expr)

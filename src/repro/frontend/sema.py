@@ -1,0 +1,469 @@
+"""MiniC semantic analysis: scoped name resolution and type checking.
+
+``analyze(program)`` annotates the AST in place:
+
+* every :class:`~repro.frontend.ast.Ident` gets a ``decl`` link to its
+  declaring :class:`VarDecl` or :class:`FunctionDef` (variables are
+  identified by declaration object throughout the toolchain, never by
+  name, so shadowing is handled correctly);
+* every expression gets a ``ctype``;
+* loose C conversion rules are checked (arith/pointer mixing mirrors
+  what the benchmark C sources actually do, including int<->pointer
+  casts and void* laundering).
+
+The two *thread context* variables the expansion transform introduces —
+``__tid`` (this thread's index) and ``__nthreads`` (thread count ``N``)
+— are predeclared here so both original and transformed programs
+analyze with the same machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from . import ast
+from .ctypes import (
+    CHAR, CType, DOUBLE, INT, LONG, VOID, VOID_PTR,
+    ArrayType, CTypeError, FunctionType, IntType, PointerType, StructType,
+    common_arith_type, is_assignable, sizeof,
+)
+
+
+class SemaError(Exception):
+    def __init__(self, message: str, node: Optional[ast.Node] = None):
+        if node is not None:
+            line, col = node.loc
+            message = f"line {line}:{col}: {message}"
+        super().__init__(message)
+        self.node = node
+
+
+#: name -> FunctionType of every builtin the interpreter provides
+BUILTIN_SIGNATURES: Dict[str, FunctionType] = {
+    "malloc": FunctionType(VOID_PTR, [LONG]),
+    "calloc": FunctionType(VOID_PTR, [LONG, LONG]),
+    "realloc": FunctionType(VOID_PTR, [VOID_PTR, LONG]),
+    "free": FunctionType(VOID, [VOID_PTR]),
+    "memset": FunctionType(VOID_PTR, [VOID_PTR, INT, LONG]),
+    "memcpy": FunctionType(VOID_PTR, [VOID_PTR, VOID_PTR, LONG]),
+    "memmove": FunctionType(VOID_PTR, [VOID_PTR, VOID_PTR, LONG]),
+    "strlen": FunctionType(LONG, [PointerType(CHAR)]),
+    "abs": FunctionType(INT, [INT]),
+    "labs": FunctionType(LONG, [LONG]),
+    "sqrt": FunctionType(DOUBLE, [DOUBLE]),
+    "fabs": FunctionType(DOUBLE, [DOUBLE]),
+    "floor": FunctionType(DOUBLE, [DOUBLE]),
+    "ceil": FunctionType(DOUBLE, [DOUBLE]),
+    "exp": FunctionType(DOUBLE, [DOUBLE]),
+    "log": FunctionType(DOUBLE, [DOUBLE]),
+    "sin": FunctionType(DOUBLE, [DOUBLE]),
+    "cos": FunctionType(DOUBLE, [DOUBLE]),
+    "pow": FunctionType(DOUBLE, [DOUBLE, DOUBLE]),
+    "print_int": FunctionType(VOID, [LONG]),
+    "print_double": FunctionType(VOID, [DOUBLE]),
+    "print_str": FunctionType(VOID, [PointerType(CHAR)]),
+    "exit": FunctionType(VOID, [INT]),
+    "assert_true": FunctionType(VOID, [INT]),
+}
+
+#: thread-context variables usable by (transformed) programs
+THREAD_CONTEXT_VARS = ("__tid", "__nthreads")
+
+
+class Scope:
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.names: Dict[str, ast.Node] = {}
+
+    def declare(self, name: str, decl: ast.Node, node: Optional[ast.Node] = None):
+        if name in self.names:
+            raise SemaError(f"redeclaration of {name!r}", node)
+        self.names[name] = decl
+
+    def lookup(self, name: str) -> Optional[ast.Node]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class SemaResult:
+    """Outcome of analysis: symbol tables the rest of the toolchain uses."""
+
+    def __init__(self):
+        self.functions: Dict[str, ast.FunctionDef] = {}
+        self.globals: List[ast.VarDecl] = []
+        self.thread_context: Dict[str, ast.VarDecl] = {}
+        self.structs: Dict[str, StructType] = {}
+
+
+class Analyzer:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.result = SemaResult()
+        self.global_scope = Scope()
+        self.current_fn: Optional[ast.FunctionDef] = None
+
+    # -- entry ---------------------------------------------------------------
+    def run(self) -> SemaResult:
+        # predeclare thread context variables as implicit globals
+        for name in THREAD_CONTEXT_VARS:
+            decl = ast.VarDecl(name, INT, init=None, storage="global")
+            self.global_scope.declare(name, decl)
+            self.result.thread_context[name] = decl
+
+        # first pass: declare all top-level names (allows forward calls)
+        for decl in self.program.decls:
+            if isinstance(decl, ast.FunctionDef):
+                existing = self.result.functions.get(decl.name)
+                if existing is not None and existing.body is not None and \
+                        decl.body is not None:
+                    raise SemaError(f"redefinition of {decl.name!r}", decl)
+                if existing is None or decl.body is not None:
+                    self.result.functions[decl.name] = decl
+                    self.global_scope.names[decl.name] = decl
+            elif isinstance(decl, ast.VarDecl):
+                self.global_scope.declare(decl.name, decl, decl)
+                self.result.globals.append(decl)
+            elif isinstance(decl, ast.StructDecl):
+                self.result.structs[decl.struct_type.name] = decl.struct_type
+
+        # second pass: check global initializers and function bodies
+        for decl in self.program.decls:
+            if isinstance(decl, ast.VarDecl):
+                self._check_var_init(decl, self.global_scope)
+            elif isinstance(decl, ast.FunctionDef) and decl.body is not None:
+                self._check_function(decl)
+        return self.result
+
+    # -- declarations ----------------------------------------------------------
+    def _check_var_init(self, decl: ast.VarDecl, scope: Scope) -> None:
+        if decl.ctype.is_void:
+            raise SemaError(f"variable {decl.name!r} has void type", decl)
+        if decl.init is None:
+            return
+        if isinstance(decl.init, list):
+            self._check_brace_init(decl.init, decl.ctype, scope, decl)
+        else:
+            self._expr(decl.init, scope)
+            init_t = self._value_type(decl.init)
+            if not is_assignable(decl.ctype, init_t):
+                raise SemaError(
+                    f"cannot initialize {decl.ctype!r} with {init_t!r}", decl
+                )
+
+    def _check_brace_init(self, items, ctype: CType, scope: Scope, node) -> None:
+        if isinstance(ctype, ArrayType):
+            if ctype.length is not None and len(items) > ctype.length:
+                raise SemaError("too many initializers", node)
+            for item in items:
+                if isinstance(item, list):
+                    self._check_brace_init(item, ctype.elem, scope, node)
+                else:
+                    self._expr(item, scope)
+        elif isinstance(ctype, StructType):
+            if len(items) > len(ctype.fields):
+                raise SemaError("too many initializers", node)
+            for item, field in zip(items, ctype.fields):
+                if isinstance(item, list):
+                    self._check_brace_init(item, field.type, scope, node)
+                else:
+                    self._expr(item, scope)
+        else:
+            raise SemaError("brace initializer on scalar", node)
+
+    def _check_function(self, fn: ast.FunctionDef) -> None:
+        self.current_fn = fn
+        scope = Scope(self.global_scope)
+        for param in fn.params:
+            scope.declare(param.name, param, param)
+        self._stmt(fn.body, scope)
+        self.current_fn = None
+
+    # -- statements --------------------------------------------------------------
+    def _stmt(self, stmt: ast.Stmt, scope: Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            inner = Scope(scope)
+            for s in stmt.stmts:
+                self._stmt(s, inner)
+        elif isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                if decl.vla_length is not None:
+                    self._expr(decl.vla_length, scope)
+                self._check_var_init(decl, scope)
+                scope.declare(decl.name, decl, decl)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.cond, scope)
+            self._stmt(stmt.then, scope)
+            if stmt.els is not None:
+                self._stmt(stmt.els, scope)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.cond, scope)
+            self._stmt(stmt.body, scope)
+        elif isinstance(stmt, ast.DoWhile):
+            self._stmt(stmt.body, scope)
+            self._expr(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self._stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self._expr(stmt.step, inner)
+            self._stmt(stmt.body, inner)
+        elif isinstance(stmt, ast.Return):
+            if stmt.expr is not None:
+                self._expr(stmt.expr, scope)
+                ret_t = self._value_type(stmt.expr)
+                assert self.current_fn is not None
+                if not self.current_fn.ret_type.is_void and not is_assignable(
+                    self.current_fn.ret_type, ret_t
+                ):
+                    raise SemaError(
+                        f"return type mismatch: {ret_t!r} vs "
+                        f"{self.current_fn.ret_type!r}",
+                        stmt,
+                    )
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            pass
+        else:  # pragma: no cover
+            raise SemaError(f"unknown statement {stmt!r}", stmt)
+
+    # -- expressions ----------------------------------------------------------
+    def _value_type(self, expr: ast.Expr) -> CType:
+        """The type of an expression when used as a value (arrays decay)."""
+        assert expr.ctype is not None
+        return expr.ctype.decay()
+
+    def _expr(self, expr: ast.Expr, scope: Scope) -> CType:
+        ctype = self._expr_inner(expr, scope)
+        expr.ctype = ctype
+        return ctype
+
+    def _expr_inner(self, expr: ast.Expr, scope: Scope) -> CType:
+        if isinstance(expr, ast.IntLit):
+            return LONG if abs(expr.value) > 0x7FFFFFFF else INT
+        if isinstance(expr, ast.FloatLit):
+            return DOUBLE
+        if isinstance(expr, ast.StrLit):
+            return ArrayType(CHAR, len(expr.value) + 1)
+        if isinstance(expr, ast.Ident):
+            decl = scope.lookup(expr.name)
+            if decl is None:
+                raise SemaError(f"undeclared identifier {expr.name!r}", expr)
+            expr.decl = decl
+            if isinstance(decl, ast.FunctionDef):
+                return FunctionType(
+                    decl.ret_type, [p.ctype for p in decl.params],
+                    getattr(decl, "varargs", False),
+                )
+            assert isinstance(decl, ast.VarDecl)
+            return decl.ctype
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr, scope)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr, scope)
+        if isinstance(expr, ast.Assign):
+            return self._assign(expr, scope)
+        if isinstance(expr, ast.Cond):
+            self._expr(expr.cond, scope)
+            t1 = self._value_type_of(expr.then, scope)
+            t2 = self._value_type_of(expr.els, scope)
+            if t1.is_arith and t2.is_arith:
+                return common_arith_type(t1, t2)
+            return t1
+        if isinstance(expr, ast.Call):
+            return self._call(expr, scope)
+        if isinstance(expr, ast.Index):
+            base_t = self._value_type_of(expr.base, scope)
+            idx_t = self._value_type_of(expr.index, scope)
+            if not idx_t.is_integer:
+                raise SemaError(f"array index has type {idx_t!r}", expr)
+            if not base_t.is_pointer:
+                raise SemaError(f"subscript of non-pointer {base_t!r}", expr)
+            pointee = base_t.pointee
+            if pointee.size is None:
+                raise SemaError(f"subscript of pointer to {pointee!r}", expr)
+            return pointee
+        if isinstance(expr, ast.Member):
+            base_t = self._expr(expr.base, scope)
+            if expr.arrow:
+                base_t = base_t.decay()
+                if not base_t.is_pointer or not base_t.pointee.is_struct:
+                    raise SemaError(f"-> on {base_t!r}", expr)
+                stype = base_t.pointee
+            else:
+                if not base_t.is_struct:
+                    raise SemaError(f". on non-struct {base_t!r}", expr)
+                stype = base_t
+            if not stype.has_field(expr.name):
+                raise SemaError(
+                    f"struct {stype.name} has no field {expr.name!r}", expr
+                )
+            return stype.field(expr.name).type
+        if isinstance(expr, ast.Cast):
+            self._expr(expr.expr, scope)
+            return expr.to_type
+        if isinstance(expr, ast.SizeofType):
+            sizeof(expr.of_type)  # validate completeness
+            return LONG
+        if isinstance(expr, ast.SizeofExpr):
+            inner_t = self._expr(expr.expr, scope)
+            sizeof(inner_t)
+            return LONG
+        if isinstance(expr, ast.Comma):
+            self._expr(expr.left, scope)
+            return self._value_type_of(expr.right, scope)
+        raise SemaError(f"unknown expression {expr!r}", expr)  # pragma: no cover
+
+    def _value_type_of(self, expr: ast.Expr, scope: Scope) -> CType:
+        self._expr(expr, scope)
+        return self._value_type(expr)
+
+    def _unary(self, expr: ast.Unary, scope: Scope) -> CType:
+        op = expr.op
+        if op == "&":
+            operand_t = self._expr(expr.operand, scope)
+            self._require_lvalue(expr.operand)
+            return PointerType(operand_t)
+        operand_t = self._value_type_of(expr.operand, scope)
+        if op == "*":
+            if not operand_t.is_pointer:
+                raise SemaError(f"dereference of {operand_t!r}", expr)
+            return operand_t.pointee
+        if op in ("-",):
+            if not operand_t.is_arith:
+                raise SemaError(f"unary - on {operand_t!r}", expr)
+            return common_arith_type(operand_t, INT) if operand_t.is_integer \
+                else operand_t
+        if op in ("!",):
+            return INT
+        if op == "~":
+            if not operand_t.is_integer:
+                raise SemaError(f"~ on {operand_t!r}", expr)
+            return common_arith_type(operand_t, INT)
+        if op in ("++", "--", "p++", "p--"):
+            self._require_lvalue(expr.operand)
+            if not (operand_t.is_arith or operand_t.is_pointer):
+                raise SemaError(f"{op} on {operand_t!r}", expr)
+            return operand_t
+        raise SemaError(f"unknown unary {op!r}", expr)  # pragma: no cover
+
+    def _binary(self, expr: ast.Binary, scope: Scope) -> CType:
+        op = expr.op
+        lt = self._value_type_of(expr.left, scope)
+        rt = self._value_type_of(expr.right, scope)
+        if op in ("&&", "||"):
+            return INT
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            return INT
+        if op in ("<<", ">>", "&", "|", "^", "%"):
+            if not (lt.is_integer and rt.is_integer):
+                raise SemaError(f"{op} needs integers, got {lt!r}, {rt!r}", expr)
+            if op in ("<<", ">>"):
+                return common_arith_type(lt, INT)
+            return common_arith_type(lt, rt)
+        if op == "+":
+            if lt.is_pointer and rt.is_integer:
+                return lt
+            if lt.is_integer and rt.is_pointer:
+                return rt
+        if op == "-":
+            if lt.is_pointer and rt.is_integer:
+                return lt
+            if lt.is_pointer and rt.is_pointer:
+                return LONG
+        if lt.is_arith and rt.is_arith:
+            return common_arith_type(lt, rt)
+        raise SemaError(f"invalid operands to {op}: {lt!r}, {rt!r}", expr)
+
+    def _assign(self, expr: ast.Assign, scope: Scope) -> CType:
+        target_t = self._expr(expr.target, scope)
+        self._require_lvalue(expr.target)
+        value_t = self._value_type_of(expr.value, scope)
+        if expr.op == "=":
+            if isinstance(target_t, StructType):
+                if target_t != value_t:
+                    raise SemaError(
+                        f"struct assignment type mismatch: {target_t!r} vs "
+                        f"{value_t!r}", expr,
+                    )
+            elif not is_assignable(target_t, value_t):
+                raise SemaError(
+                    f"cannot assign {value_t!r} to {target_t!r}", expr
+                )
+            return target_t
+        base_op = expr.op[:-1]
+        if target_t.is_pointer and base_op in ("+", "-") and value_t.is_integer:
+            return target_t
+        if not (target_t.is_arith and value_t.is_arith):
+            raise SemaError(
+                f"invalid compound assignment {expr.op} on {target_t!r}", expr
+            )
+        return target_t
+
+    def _call(self, expr: ast.Call, scope: Scope) -> CType:
+        name = expr.callee_name
+        if name is not None and scope.lookup(name) is None:
+            sig = BUILTIN_SIGNATURES.get(name)
+            if sig is None:
+                raise SemaError(f"call to unknown function {name!r}", expr)
+            for arg in expr.args:
+                self._expr(arg, scope)
+            if len(expr.args) != len(sig.params):
+                raise SemaError(
+                    f"{name} expects {len(sig.params)} args, got "
+                    f"{len(expr.args)}", expr,
+                )
+            for arg, pt in zip(expr.args, sig.params):
+                at = self._value_type(arg)
+                if not is_assignable(pt, at):
+                    raise SemaError(
+                        f"argument type {at!r} incompatible with {pt!r} "
+                        f"in call to {name}", expr,
+                    )
+            expr.func.ctype = sig
+            return sig.ret
+        fn_t = self._expr(expr.func, scope)
+        if not isinstance(fn_t, FunctionType):
+            raise SemaError(f"call of non-function {fn_t!r}", expr)
+        for arg in expr.args:
+            self._expr(arg, scope)
+        n_required = len(fn_t.params)
+        if fn_t.varargs:
+            if len(expr.args) < n_required:
+                raise SemaError("too few arguments", expr)
+        elif len(expr.args) != n_required:
+            raise SemaError(
+                f"expected {n_required} args, got {len(expr.args)}", expr
+            )
+        for arg, pt in zip(expr.args, fn_t.params):
+            at = self._value_type(arg)
+            if not is_assignable(pt, at) and not (
+                isinstance(pt, StructType) and pt == at
+            ):
+                raise SemaError(
+                    f"argument type {at!r} incompatible with {pt!r}", expr
+                )
+        return fn_t.ret
+
+    def _require_lvalue(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Ident):
+            if isinstance(expr.decl, ast.FunctionDef):
+                raise SemaError("function is not an lvalue", expr)
+            return
+        if isinstance(expr, (ast.Index, ast.Member)):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        raise SemaError("expression is not an lvalue", expr)
+
+
+def analyze(program: ast.Program) -> SemaResult:
+    """Resolve names and type-check ``program`` in place."""
+    return Analyzer(program).run()

@@ -1,0 +1,27 @@
+"""Execution substrate: byte-addressable memory and the MiniC machine."""
+
+from .machine import (
+    COSTS, BreakSignal, ContinueSignal, CostSink, ExitSignal, Frame,
+    InterpError, Machine, ReturnSignal,
+)
+from .memory import Allocation, Memory, MemoryError_
+from .trace import AccessEvent, FootprintObserver, RaceChecker, RecordingObserver
+
+
+def run_source(source: str, entry: str = "main"):
+    """Parse, analyze and run MiniC source; returns the machine
+    (inspect ``.output``, ``.cost``, ``.memory``)."""
+    from ..frontend import parse_and_analyze
+
+    program, sema = parse_and_analyze(source)
+    machine = Machine(program, sema)
+    machine.exit_code = machine.run(entry)
+    return machine
+
+
+__all__ = [
+    "Machine", "Memory", "MemoryError_", "Allocation", "CostSink", "COSTS",
+    "InterpError", "BreakSignal", "ContinueSignal", "ReturnSignal",
+    "ExitSignal", "Frame", "RecordingObserver", "FootprintObserver",
+    "RaceChecker", "AccessEvent", "run_source",
+]

@@ -1,0 +1,219 @@
+"""Flat byte-addressable memory for the MiniC machine.
+
+One linear address space backed by a growable ``bytearray``:
+
+* address 0 is NULL; the first page is never allocated so stray
+  dereferences of small offsets fault;
+* a bump allocator serves globals, string literals, stack frames and
+  the heap; freed blocks are marked dead but not reused (allocation
+  identity is stable, which the analyses rely on);
+* every allocation is recorded, so loads/stores can be checked against
+  live blocks (memory safety violations in transformed programs are
+  bugs we want to *catch*, not mask);
+* live-byte and peak accounting per segment kind feeds the paper's
+  Figure 14 (memory usage multiples).
+
+The byte-level layout is faithful on purpose: the paper's span
+arithmetic (``tid * span / sizeof(*p)``) and benchmarks that recast
+buffers between element sizes (256.bzip2's ``zptr``) only make sense
+against real byte offsets.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct as _struct
+from typing import Dict, List, Optional, Tuple
+
+#: allocation kinds (segments)
+GLOBAL = "global"
+RODATA = "rodata"
+STACK = "stack"
+HEAP = "heap"
+
+_NULL_GUARD = 4096  # first page reserved; address 0 is NULL
+
+
+class MemoryError_(Exception):
+    """Raised on invalid memory operations (OOB, use-after-free...)."""
+
+
+class Allocation:
+    __slots__ = ("addr", "size", "kind", "live", "label", "tag")
+
+    def __init__(self, addr: int, size: int, kind: str, label: str = "",
+                 tag: int = 0):
+        self.addr = addr
+        self.size = size
+        self.kind = kind
+        self.live = True
+        self.label = label
+        #: AST node id of the allocation site (malloc Call node for heap,
+        #: VarDecl node for globals/stack); object identity for analyses
+        self.tag = tag
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    def __repr__(self) -> str:
+        state = "live" if self.live else "dead"
+        return f"<Alloc {self.kind} @{self.addr}+{self.size} {state} {self.label}>"
+
+
+class Memory:
+    """The machine's address space."""
+
+    def __init__(self, check_bounds: bool = True, reuse_heap: bool = True):
+        self.data = bytearray(_NULL_GUARD)
+        self.brk = _NULL_GUARD
+        self.check_bounds = check_bounds
+        #: allocations sorted by start address (bump allocator => append order)
+        self._allocs: List[Allocation] = []
+        self._starts: List[int] = []
+        #: exact-size free lists for heap blocks.  Address reuse is
+        #: deliberate fidelity: the paper's motivating loops (dijkstra's
+        #: queue nodes) only exhibit loop-carried anti/output dependences
+        #: because real malloc hands back freed addresses.
+        self.reuse_heap = reuse_heap
+        self._freelist: Dict[int, List[Allocation]] = {}
+        # accounting
+        self.live_bytes: Dict[str, int] = {GLOBAL: 0, RODATA: 0, STACK: 0, HEAP: 0}
+        self.peak_bytes: Dict[str, int] = dict(self.live_bytes)
+        self.total_allocs = 0
+
+    # -- allocation -------------------------------------------------------
+    def alloc(self, size: int, kind: str = HEAP, label: str = "",
+              tag: int = 0) -> int:
+        """Allocate ``size`` bytes (8-byte aligned); returns the address."""
+        if size < 0:
+            raise MemoryError_(f"negative allocation size {size}")
+        size = max(size, 1)
+        if kind == HEAP and self.reuse_heap:
+            bucket = self._freelist.get(size)
+            if bucket:
+                record = bucket.pop()
+                record.live = True
+                record.label = label
+                record.tag = tag
+                self.data[record.addr:record.end] = b"\0" * record.size
+                self.live_bytes[kind] += size
+                self.peak_bytes[kind] = max(
+                    self.peak_bytes[kind], self.live_bytes[kind]
+                )
+                self.total_allocs += 1
+                return record.addr
+        addr = (self.brk + 7) & ~7
+        end = addr + size
+        if end > len(self.data):
+            self.data.extend(b"\0" * max(end - len(self.data), 65536))
+        self.brk = end
+        record = Allocation(addr, size, kind, label, tag)
+        self._allocs.append(record)
+        self._starts.append(addr)
+        self.live_bytes[kind] += size
+        self.peak_bytes[kind] = max(self.peak_bytes[kind], self.live_bytes[kind])
+        self.total_allocs += 1
+        return addr
+
+    def free(self, addr: int) -> None:
+        """Free a heap block; must be the start of a live heap allocation."""
+        if addr == 0:
+            return  # free(NULL) is a no-op, like C
+        record = self.find(addr)
+        if record is None or not record.live or record.addr != addr:
+            raise MemoryError_(f"invalid free({addr})")
+        if record.kind not in (HEAP,):
+            raise MemoryError_(f"free of non-heap address {addr} ({record.kind})")
+        self._kill(record)
+
+    def _kill(self, record: Allocation) -> None:
+        record.live = False
+        self.live_bytes[record.kind] -= record.size
+        if record.kind == HEAP and self.reuse_heap:
+            self._freelist.setdefault(record.size, []).append(record)
+
+    def release_stack(self, records: List[Allocation]) -> None:
+        """Free a frame's stack allocations on function return."""
+        for record in records:
+            if record.live:
+                self._kill(record)
+
+    def realloc(self, addr: int, new_size: int) -> int:
+        """C realloc: grow/shrink by copy; realloc(NULL, n) == malloc."""
+        if addr == 0:
+            return self.alloc(new_size, HEAP)
+        record = self.find(addr)
+        if record is None or not record.live or record.addr != addr:
+            raise MemoryError_(f"invalid realloc({addr})")
+        new_addr = self.alloc(new_size, HEAP, record.label, record.tag)
+        keep = min(record.size, new_size)
+        self.data[new_addr:new_addr + keep] = self.data[addr:addr + keep]
+        self._kill(record)
+        return new_addr
+
+    # -- lookup -------------------------------------------------------------
+    def find(self, addr: int) -> Optional[Allocation]:
+        """The allocation containing ``addr``, or None."""
+        i = bisect.bisect_right(self._starts, addr) - 1
+        if i < 0:
+            return None
+        record = self._allocs[i]
+        return record if addr < record.end else None
+
+    def check_access(self, addr: int, size: int) -> Allocation:
+        """Validate that [addr, addr+size) lies in one live allocation."""
+        if addr == 0:
+            raise MemoryError_("NULL dereference")
+        record = self.find(addr)
+        if record is None:
+            raise MemoryError_(f"wild access at {addr} (size {size})")
+        if not record.live:
+            raise MemoryError_(f"use-after-free at {addr} in {record!r}")
+        if addr + size > record.end:
+            raise MemoryError_(
+                f"out-of-bounds access at {addr}+{size} in {record!r}"
+            )
+        return record
+
+    # -- raw byte access -------------------------------------------------------
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        if self.check_bounds:
+            self.check_access(addr, size)
+        return bytes(self.data[addr:addr + size])
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        if self.check_bounds:
+            self.check_access(addr, len(payload))
+        self.data[addr:addr + len(payload)] = payload
+
+    def read_scalar(self, addr: int, fmt: str, size: int):
+        """Read one scalar with struct format ``fmt`` (no bounds check
+        here; the machine checks before tracing)."""
+        return _struct.unpack_from("<" + fmt, self.data, addr)[0]
+
+    def write_scalar(self, addr: int, fmt: str, value) -> None:
+        _struct.pack_into("<" + fmt, self.data, addr, value)
+
+    def read_cstring(self, addr: int, limit: int = 1 << 20) -> str:
+        """Read a NUL-terminated string (for print_str and errors)."""
+        out = []
+        for i in range(limit):
+            b = self.data[addr + i]
+            if b == 0:
+                break
+            out.append(chr(b))
+        return "".join(out)
+
+    # -- accounting -------------------------------------------------------------
+    def peak_footprint(self) -> int:
+        """Peak live bytes across globals + heap (Figure 14's measure;
+        stack is excluded as the paper measures data-structure memory)."""
+        return self.peak_bytes[GLOBAL] + self.peak_bytes[HEAP] + \
+            self.peak_bytes[RODATA]
+
+    def live_allocations(self, kind: Optional[str] = None) -> List[Allocation]:
+        return [
+            a for a in self._allocs
+            if a.live and (kind is None or a.kind == kind)
+        ]

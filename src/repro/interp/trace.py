@@ -1,0 +1,99 @@
+"""Memory-access observation utilities.
+
+Observers attach to a :class:`~repro.interp.machine.Machine` and
+receive one ``on_access(site, addr, size, is_store)`` call per memory
+access.  ``site`` is the AST node id of the access expression — the
+vertex identity in the paper's loop-level data dependence graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Set, Tuple
+
+
+class AccessEvent(NamedTuple):
+    site: int
+    addr: int
+    size: int
+    is_store: bool
+
+
+class RecordingObserver:
+    """Stores every access; for tests and small-scale debugging only."""
+
+    def __init__(self):
+        self.events: List[AccessEvent] = []
+
+    def on_access(self, site: int, addr: int, size: int, is_store: bool):
+        self.events.append(AccessEvent(site, addr, size, is_store))
+
+
+class FootprintObserver:
+    """Per-site byte footprints (reads/writes); cheap enough to keep on
+    for whole-benchmark runs."""
+
+    def __init__(self):
+        self.reads: Dict[int, int] = {}
+        self.writes: Dict[int, int] = {}
+
+    def on_access(self, site: int, addr: int, size: int, is_store: bool):
+        bucket = self.writes if is_store else self.reads
+        bucket[site] = bucket.get(site, 0) + size
+
+
+class RaceChecker:
+    """Cross-thread conflict detector for simulated parallel runs.
+
+    The parallel runtime switches ``current_thread`` as it schedules
+    virtual threads; afterwards :meth:`races` reports addresses written
+    by one thread and touched by another.  A correct expansion
+    transform must produce an empty report for DOALL loops — this is
+    the reproduction's substitute for the paper's "runs correctly on
+    real hardware" evidence.
+    """
+
+    def __init__(self):
+        self.current_thread = 0
+        #: only accesses inside a parallel region are checked: a value
+        #: written before the loop and read by every thread is sharing,
+        #: not racing.  Controllers call begin_region()/end_region().
+        self.enabled = False
+        #: byte address -> set of (thread, was_write)
+        self._writers: Dict[int, Set[int]] = {}
+        self._readers: Dict[int, Set[int]] = {}
+        #: addresses exempt from checking (loop control variables the
+        #: scheduler itself rebinds per chunk)
+        self.exempt: Set[int] = set()
+
+    def on_access(self, site: int, addr: int, size: int, is_store: bool):
+        if not self.enabled:
+            return
+        for byte in range(addr, addr + size):
+            if byte in self.exempt:
+                continue
+            bucket = self._writers if is_store else self._readers
+            bucket.setdefault(byte, set()).add(self.current_thread)
+
+    def begin_region(self) -> None:
+        """Start checking a parallel region (clears per-region state)."""
+        self._writers.clear()
+        self._readers.clear()
+        self.enabled = True
+
+    def end_region(self) -> List[Tuple[int, str]]:
+        """Stop checking; returns the region's conflicts."""
+        found = self.races()
+        self.enabled = False
+        return found
+
+    def races(self) -> List[Tuple[int, str]]:
+        """(address, kind) pairs where threads conflict."""
+        out: List[Tuple[int, str]] = []
+        for addr, writers in self._writers.items():
+            if len(writers) > 1:
+                out.append((addr, "write-write"))
+                continue
+            readers = self._readers.get(addr)
+            if readers and (readers - writers):
+                out.append((addr, "read-write"))
+        return out

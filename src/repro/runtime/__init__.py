@@ -1,0 +1,12 @@
+"""Simulated parallel runtime: schedulers, sync model, statistics."""
+
+from .parallel import (
+    ParallelError, ParallelRunner, RaceError, run_parallel,
+)
+from .stats import LoopExecution, ParallelOutcome, ThreadStats
+from . import sync
+
+__all__ = [
+    "run_parallel", "ParallelRunner", "ParallelError", "RaceError",
+    "ParallelOutcome", "LoopExecution", "ThreadStats", "sync",
+]

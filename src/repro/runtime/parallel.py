@@ -1,0 +1,393 @@
+"""Simulated multithreaded execution of transformed programs.
+
+The paper runs its transformed loops on real cores through GOMP; here N
+*virtual threads* execute on the MiniC machine with a cycle-accounting
+model:
+
+* **DOALL, static chunking** — the iteration space is split into N
+  contiguous chunks; each chunk executes with ``__tid`` bound to its
+  thread and cycles charged to that thread's sink.  Chunks run one
+  after another in simulation, which is sound *because* expansion makes
+  them independent — and that independence is checked, not assumed: a
+  byte-level race detector compares every thread's footprint
+  (this substitutes for the paper's "correct on real hardware"
+  evidence).  Loop makespan = max over threads + fork/join cost.
+
+* **DOACROSS, dynamic chunk=1** — iterations run in program order
+  (iteration k on thread k mod N), so semantics are trivially
+  preserved; the *timing* is modeled with a pipelining recurrence: the
+  statements the pipeline marked as carrying surviving cross-thread
+  dependences (``serial_stmt_origins``) form a serialized section that
+  iteration k may only enter after iteration k-1 left it.  Stall time
+  becomes the thread's ``wait_cycles`` — the paper's
+  ``do_wait``/``cpu_relax`` bars in Figure 12.
+
+The whole-program clock advances by each loop's *makespan* rather than
+its total work, so end-to-end cycles give the paper's total-program
+speedup (Figure 11b) by simple division.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..frontend import ast
+from ..interp.machine import (
+    BreakSignal, ContinueSignal, CostSink, Machine,
+)
+from ..interp.trace import RaceChecker
+from ..analysis.profiler import find_control_decl
+from ..transform.pipeline import (
+    DOACROSS, DOALL, TransformResult, TransformedLoop,
+)
+from ..transform.rewrite import origin_of
+from . import sync
+from .stats import LoopExecution, ParallelOutcome, ThreadStats
+
+
+class ParallelError(Exception):
+    pass
+
+
+class RaceError(ParallelError):
+    """Cross-thread conflict detected in a supposedly-independent loop."""
+
+
+def _canonical_bounds(machine: Machine, loop: ast.For):
+    """(control decl, lo, hi, step, inclusive) of a canonical for loop."""
+    control = find_control_decl(loop)
+    if control is None:
+        raise ParallelError(
+            f"loop {loop.label!r} is not canonical (no induction variable)"
+        )
+    cond = loop.cond
+    if not (isinstance(cond, ast.Binary) and cond.op in ("<", "<=")
+            and isinstance(cond.left, ast.Ident)
+            and cond.left.decl is control):
+        raise ParallelError(
+            f"loop {loop.label!r} condition must be 'i < bound' or "
+            f"'i <= bound'"
+        )
+    step_expr = loop.step
+    if isinstance(step_expr, ast.Unary) and step_expr.op in ("++", "p++"):
+        step = 1
+    elif isinstance(step_expr, ast.Assign) and step_expr.op == "+=":
+        step = int(machine.eval(step_expr.value))
+    else:
+        raise ParallelError(
+            f"loop {loop.label!r} step must be i++ or i += c"
+        )
+    addr = machine.var_addr(control)
+    lo = int(machine.memory.read_scalar(addr, control.ctype.fmt,
+                                        control.ctype.size))
+    hi = int(machine.eval(cond.right))
+    return control, addr, lo, hi, step, cond.op == "<="
+
+
+class _BaseController:
+    def __init__(self, runner: "ParallelRunner", tloop: TransformedLoop):
+        self.runner = runner
+        self.tloop = tloop
+        self.execution = runner.outcome.loops.setdefault(
+            tloop.loop.label, LoopExecution(tloop.loop.label, runner.nthreads)
+        )
+
+    def _begin_region(self) -> None:
+        if self.runner.checker is not None:
+            self.runner.checker.begin_region()
+
+    def _end_region(self) -> None:
+        if self.runner.checker is not None:
+            self.runner.outcome.races.extend(
+                self.runner.checker.end_region()
+            )
+
+    def _set_thread(self, machine: Machine, tid: int) -> None:
+        machine.tid = tid
+        machine.cost = self.execution.threads[tid].sink
+        if self.runner.checker is not None:
+            self.runner.checker.current_thread = tid
+
+    def _restore(self, machine: Machine, saved: CostSink) -> None:
+        machine.tid = 0
+        machine.cost = saved
+        if self.runner.checker is not None:
+            self.runner.checker.current_thread = 0
+
+
+class _DoallController(_BaseController):
+    """Static chunk scheduling over a canonical for loop."""
+
+    def __call__(self, machine: Machine, loop: ast.For) -> None:
+        execution = self.execution
+        execution.executions += 1
+        nthreads = self.runner.nthreads
+        if not isinstance(loop, ast.For):
+            raise ParallelError(
+                f"DOALL loop {loop.label!r} must be a canonical for loop"
+            )
+        if loop.init is not None:
+            machine.exec_stmt(loop.init)
+        control, addr, lo, hi, step, inclusive = _canonical_bounds(
+            machine, loop
+        )
+        if inclusive:
+            hi += 1
+        total = max(0, -(-(hi - lo) // step))
+        if self.runner.checker is not None:
+            self.runner.checker.exempt |= set(
+                range(addr, addr + control.ctype.size)
+            )
+        saved = machine.cost
+        start_cycles = [0.0] * nthreads
+        self._begin_region()
+        try:
+            for tid in range(nthreads):
+                chunk_lo = tid * total // nthreads
+                chunk_hi = (tid + 1) * total // nthreads
+                if chunk_lo >= chunk_hi:
+                    continue
+                self._set_thread(machine, tid)
+                stats = execution.threads[tid]
+                stats.sync_cycles += sync.STATIC_CHUNK_SETUP
+                start_cycles[tid] = stats.sink.cycles
+                machine.memory.write_scalar(
+                    addr, control.ctype.fmt, lo + chunk_lo * step
+                )
+                for _k in range(chunk_lo, chunk_hi):
+                    if loop.cond is not None:
+                        machine.eval(loop.cond)
+                    try:
+                        machine.exec_stmt(loop.body)
+                    except ContinueSignal:
+                        pass
+                    except BreakSignal:
+                        raise ParallelError(
+                            f"break inside DOALL loop {loop.label!r}"
+                        )
+                    if loop.step is not None:
+                        machine.eval(loop.step)
+                    stats.iterations += 1
+                    execution.iterations += 1
+        finally:
+            self._end_region()
+            self._restore(machine, saved)
+        spans = [
+            execution.threads[t].sink.cycles - start_cycles[t]
+            for t in range(nthreads)
+        ]
+        makespan = max(spans) if spans else 0.0
+        # shared memory system: N threads' combined traffic cannot beat
+        # the controller's bandwidth, which caps memory-bound loops
+        from ..interp.machine import COSTS
+        mem_cycles = sum(
+            (execution.threads[t].sink.loads
+             + execution.threads[t].sink.stores) * COSTS["load"]
+            for t in range(nthreads)
+        ) - sum(execution._mem_seen)
+        execution._mem_seen = [
+            (execution.threads[t].sink.loads
+             + execution.threads[t].sink.stores) * COSTS["load"]
+            for t in range(nthreads)
+        ]
+        makespan = max(makespan, sync.bandwidth_makespan(mem_cycles))
+        fork = sync.fork_join_cost(nthreads)
+        execution.makespan += makespan
+        execution.runtime_cycles += fork
+        machine.cost.cycles += makespan + fork
+        # leave the control variable at its sequential exit value
+        machine.memory.write_scalar(addr, control.ctype.fmt, lo + total * step)
+
+
+class _DoacrossController(_BaseController):
+    """Dynamic scheduling (chunk size 1) with pipelined serial sections."""
+
+    def __call__(self, machine: Machine, loop: ast.LoopStmt) -> None:
+        execution = self.execution
+        execution.executions += 1
+        nthreads = self.runner.nthreads
+        serial_origins = self.tloop.serial_stmt_origins
+        saved = machine.cost
+
+        thread_free = [0.0] * nthreads
+        #: per serialized-statement origin: finish time of that statement
+        #: in the latest iteration (each carried-dependence chain gets
+        #: its own post/wait token, so independent serial sections
+        #: pipeline independently — input cursor vs output emit)
+        sync_done: Dict[int, float] = {}
+        k = 0
+
+        control = None
+        addr = None
+        if isinstance(loop, ast.For):
+            if loop.init is not None:
+                machine.exec_stmt(loop.init)
+            control = find_control_decl(loop)
+            if control is not None and self.runner.checker is not None:
+                addr = machine.var_addr(control)
+                self.runner.checker.exempt |= set(
+                    range(addr, addr + control.ctype.size)
+                )
+
+        body = loop.body
+        stmts = body.stmts if isinstance(body, ast.Block) else [body]
+        self._begin_region()
+        try:
+            chunk = max(1, self.runner.chunk)
+            while True:
+                tid = (k // chunk) % nthreads
+                self._set_thread(machine, tid)
+                stats = execution.threads[tid]
+                # evaluate the loop condition as this thread's work
+                if isinstance(loop, ast.DoWhile):
+                    pass  # condition evaluated after the body
+                elif loop.cond is not None:
+                    if not machine.eval(loop.cond):
+                        break
+                stats.sync_cycles += sync.DYNAMIC_DEQUEUE
+                segments = self._run_iteration(
+                    machine, stmts, serial_origins, stats
+                )
+                if isinstance(loop, ast.For) and loop.step is not None:
+                    machine.eval(loop.step)
+                stats.iterations += 1
+                execution.iterations += 1
+                # pipelining recurrence: walk the iteration's segments
+                # on this thread's clock; each serialized statement
+                # waits on its own token from the previous iteration
+                clock = thread_free[tid] + sync.DYNAMIC_DEQUEUE
+                for origin, is_serial, cycles in segments:
+                    if is_serial:
+                        token = sync_done.get(origin, 0.0)
+                        if token > clock:
+                            stats.wait_cycles += token - clock
+                            clock = token
+                        stats.sync_cycles += (
+                            sync.POST_COST + sync.WAIT_CHECK_COST
+                        )
+                        clock += cycles
+                        sync_done[origin] = clock
+                    else:
+                        clock += cycles
+                thread_free[tid] = clock
+                k += 1
+                if isinstance(loop, ast.DoWhile):
+                    if not machine.eval(loop.cond):
+                        break
+        except BreakSignal:
+            pass
+        finally:
+            self._end_region()
+            self._restore(machine, saved)
+        makespan = max(thread_free) if thread_free else 0.0
+        from ..interp.machine import COSTS
+        mem_cycles = sum(
+            (execution.threads[t].sink.loads
+             + execution.threads[t].sink.stores) * COSTS["load"]
+            for t in range(nthreads)
+        ) - sum(execution._mem_seen)
+        execution._mem_seen = [
+            (execution.threads[t].sink.loads
+             + execution.threads[t].sink.stores) * COSTS["load"]
+            for t in range(nthreads)
+        ]
+        makespan = max(makespan, sync.bandwidth_makespan(mem_cycles))
+        fork = sync.fork_join_cost(nthreads)
+        execution.makespan += makespan
+        execution.runtime_cycles += fork
+        machine.cost.cycles += makespan + fork
+
+    def _run_iteration(
+        self,
+        machine: Machine,
+        stmts: List[ast.Stmt],
+        serial_origins: Set[int],
+        stats: ThreadStats,
+    ) -> List[Tuple[int, bool, float]]:
+        """Execute one iteration statement-by-statement; returns
+        ``(stmt origin, is_serial, cycles)`` segments in order."""
+        segments: List[Tuple[int, bool, float]] = []
+        checker = self.runner.checker
+        try:
+            for stmt in stmts:
+                origin = origin_of(stmt)
+                is_serial = origin in serial_origins
+                if is_serial and checker is not None:
+                    checker.enabled = False
+                before = machine.cost.cycles
+                try:
+                    machine.exec_stmt(stmt)
+                finally:
+                    segments.append(
+                        (origin, is_serial, machine.cost.cycles - before)
+                    )
+                    if is_serial and checker is not None:
+                        checker.enabled = True
+        except ContinueSignal:
+            pass
+        return segments
+
+
+class ParallelRunner:
+    """Executes a transformed program with N virtual threads."""
+
+    def __init__(
+        self,
+        tresult: TransformResult,
+        nthreads: int,
+        check_races: bool = True,
+        chunk: int = 1,
+    ):
+        if tresult.program is None or tresult.sema is None:
+            raise ParallelError("transform result has no program")
+        self.tresult = tresult
+        self.nthreads = nthreads
+        self.chunk = chunk
+        self.outcome = ParallelOutcome(nthreads)
+        self.machine = Machine(tresult.program, tresult.sema)
+        self.machine.nthreads = nthreads
+        self.checker: Optional[RaceChecker] = None
+        if check_races:
+            self.checker = RaceChecker()
+            self.machine.observers.append(self.checker)
+        for tloop in tresult.loops:
+            controller = (
+                _DoallController(self, tloop) if tloop.kind == DOALL
+                else _DoacrossController(self, tloop)
+            )
+            self.machine.loop_controllers[tloop.loop.nid] = controller
+
+    def run(self, entry: str = "main",
+            raise_on_race: bool = True) -> ParallelOutcome:
+        outcome = self.outcome
+        outcome.exit_code = self.machine.run(entry)
+        outcome.output = list(self.machine.output)
+        outcome.total_cycles = self.machine.cost.cycles
+        outcome.peak_memory = self.machine.memory.peak_footprint()
+        if self.checker is not None:
+            if outcome.races and raise_on_race:
+                sample = outcome.races[:5]
+                raise RaceError(
+                    f"{len(outcome.races)} cross-thread conflicts detected "
+                    f"(first: {sample}); the expansion transform failed to "
+                    f"privatize some contended structure"
+                )
+        return outcome
+
+
+def run_parallel(
+    tresult: TransformResult,
+    nthreads: int,
+    check_races: bool = True,
+    entry: str = "main",
+    raise_on_race: bool = True,
+    chunk: int = 1,
+) -> ParallelOutcome:
+    """Run a transformed program on ``nthreads`` virtual threads.
+
+    ``chunk`` sets the DOACROSS dynamic-scheduling chunk size (the
+    paper uses 1; larger chunks trade scheduling overhead for pipeline
+    latency — see the scheduling ablation bench)."""
+    runner = ParallelRunner(tresult, nthreads, check_races=check_races,
+                            chunk=chunk)
+    return runner.run(entry, raise_on_race=raise_on_race)

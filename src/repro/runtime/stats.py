@@ -1,0 +1,100 @@
+"""Result containers for parallel executions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..interp.machine import CostSink
+
+
+class ThreadStats:
+    """Per-virtual-thread accounting for one parallel loop."""
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self.sink = CostSink()      # busy work executed by this thread
+        self.wait_cycles = 0.0      # stalled on cross-iteration sync
+        self.sync_cycles = 0.0      # post/wait + scheduling overhead
+        self.iterations = 0
+
+    @property
+    def busy_cycles(self) -> float:
+        return self.sink.cycles
+
+    def __repr__(self) -> str:
+        return (
+            f"<Thread {self.tid}: busy={self.busy_cycles:.0f} "
+            f"wait={self.wait_cycles:.0f} sync={self.sync_cycles:.0f} "
+            f"iters={self.iterations}>"
+        )
+
+
+class LoopExecution:
+    """Outcome of running one candidate loop in parallel (may aggregate
+    several dynamic executions of the same loop)."""
+
+    def __init__(self, label: Optional[str], nthreads: int):
+        self.label = label
+        self.nthreads = nthreads
+        self.threads: List[ThreadStats] = [
+            ThreadStats(t) for t in range(nthreads)
+        ]
+        self.makespan = 0.0         # modeled parallel wall-cycles
+        self.runtime_cycles = 0.0   # fork/join + scheduling library time
+        self.executions = 0
+        self.iterations = 0
+        #: per-thread memory cycles already charged to makespan (the
+        #: bandwidth model diffs cumulative counters per execution)
+        self._mem_seen: List[float] = [0.0] * nthreads
+
+    def breakdown(self) -> Dict[str, float]:
+        """Aggregate cycle breakdown (Figure 12's categories)."""
+        work = sum(t.busy_cycles for t in self.threads)
+        sync = sum(t.sync_cycles for t in self.threads)
+        wait = sum(t.wait_cycles for t in self.threads)
+        # threads idle after finishing their chunks also count as wait
+        total_slots = self.makespan * self.nthreads
+        tail_idle = max(0.0, total_slots - work - sync - wait
+                        - self.runtime_cycles)
+        return {
+            "work": work,
+            "sync": sync,
+            "wait": wait + tail_idle,
+            "runtime": self.runtime_cycles,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<LoopExecution {self.label!r} N={self.nthreads} "
+            f"makespan={self.makespan:.0f} iters={self.iterations}>"
+        )
+
+
+class ParallelOutcome:
+    """Whole-program result of a simulated parallel run."""
+
+    def __init__(self, nthreads: int):
+        self.nthreads = nthreads
+        self.loops: Dict[Optional[str], LoopExecution] = {}
+        self.output: List[str] = []
+        self.total_cycles = 0.0     # program cycles with loops at makespan
+        self.peak_memory = 0
+        self.races: List[Tuple[int, str]] = []
+        self.exit_code = 0
+
+    def loop(self, label: Optional[str] = None) -> LoopExecution:
+        if label is None and len(self.loops) == 1:
+            return next(iter(self.loops.values()))
+        return self.loops[label]
+
+    @property
+    def loop_makespan(self) -> float:
+        """Combined parallel-loop cycles across all candidate loops."""
+        return sum(ex.makespan + ex.runtime_cycles
+                   for ex in self.loops.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<ParallelOutcome N={self.nthreads} "
+            f"total={self.total_cycles:.0f} races={len(self.races)}>"
+        )

@@ -1,0 +1,50 @@
+"""Scheduling and synchronization cost constants.
+
+The paper runs transformed loops through GOMP: DOALL loops with static
+chunk scheduling, DOACROSS loops with dynamic scheduling at chunk size
+one, plus post/wait-style cross-iteration synchronization.  These
+constants model those runtime-library costs in cycles; they are the
+"calls to the Gomp library" overhead visible in the paper's single-core
+bars (Figure 11) and the ``do_wait``/``cpu_relax`` time in Figure 12.
+
+Rough calibration against GOMP on the paper's Opteron class hardware:
+a parallel-region fork/join is a few microseconds (thousands of
+cycles), a dynamic-schedule dequeue is a CAS plus cache traffic
+(tens to ~100 cycles), and a post/wait handshake is a flag write/read
+plus fence.
+"""
+
+#: one-time cost of entering/leaving a parallel region (fork + join)
+FORK_JOIN_BASE = 800.0
+#: additional fork/join cost per participating thread
+FORK_JOIN_PER_THREAD = 300.0
+
+#: dynamic-scheduling dequeue cost per chunk (DOACROSS, chunk size 1)
+DYNAMIC_DEQUEUE = 80.0
+
+#: static-scheduling per-chunk setup (DOALL)
+STATIC_CHUNK_SETUP = 40.0
+
+#: cross-iteration synchronization: one post + one wait handshake
+POST_COST = 30.0
+WAIT_CHECK_COST = 30.0
+
+
+def fork_join_cost(nthreads: int) -> float:
+    """Cycles to fork and join a team of ``nthreads`` threads."""
+    if nthreads <= 1:
+        return FORK_JOIN_BASE * 0.5  # degenerate region still calls GOMP
+    return FORK_JOIN_BASE + FORK_JOIN_PER_THREAD * nthreads
+
+
+#: shared-memory-system concurrency: how many threads' worth of
+#: load/store traffic the memory system sustains per cycle.  This is
+#: what plateaus memory-bound loops (the paper reports 470.lbm hitting
+#: the bandwidth wall and dijkstra/mpeg2-decoder suffering cache misses
+#: past 4 cores on their dual-socket Opteron).
+MEMORY_PORTS = 4.0
+
+
+def bandwidth_makespan(total_mem_cycles: float) -> float:
+    """Lower bound on loop makespan from memory traffic alone."""
+    return total_mem_cycles / MEMORY_PORTS

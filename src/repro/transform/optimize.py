@@ -1,0 +1,289 @@
+"""§3.4 overhead-reduction passes that operate on whole loops.
+
+The redirection and heapified-global rewrites introduce address
+computations that a native compiler's LICM + register allocation make
+nearly free; this module performs the equivalent source-level hoisting
+so the cycle model sees what hardware would see:
+
+* :func:`hoist_expanded_bases` — the base address of an expanded
+  (heapified) global — ``g + __tid*len`` for a private array, ``&g[0]``
+  or ``&g[__tid]`` for scalars/records — is loop-invariant (the
+  compiler-generated pointer ``g`` is written only in
+  ``__expand_init``), so compute it once per loop iteration in a local
+  (register) slot.
+
+(The companion pass for fat-pointer *dereference* redirections lives in
+:func:`repro.transform.redirect.hoist_redirections`.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..frontend import ast
+from ..frontend.ctypes import PointerType
+from . import rewrite as rw
+from .rewrite import origin_of
+
+
+
+def build_parent_blocks(program: ast.Program):
+    """Map each loop statement to its enclosing Block (when it has
+    one), so hoisted declarations can be placed *before* the loop."""
+    parents = {}
+    for fn in program.functions():
+        for node in fn.body.walk():
+            if isinstance(node, ast.Block):
+                for stmt in node.stmts:
+                    if isinstance(stmt, ast.LoopStmt):
+                        parents[stmt] = node
+    return parents
+
+
+def place_hoist(loop: ast.LoopStmt, decl_stmt: "ast.DeclStmt",
+                parents, in_body: bool) -> None:
+    """Insert a hoisted declaration before the loop (classic LICM), or
+    at the top of its body when it must re-evaluate per iteration — a
+    candidate parallel loop's __tid is only correct inside the region."""
+    parent = None if in_body else parents.get(loop)
+    if parent is None:
+        loop.body.stmts.insert(0, decl_stmt)
+    else:
+        idx = parent.stmts.index(loop)
+        parent.stmts.insert(idx, decl_stmt)
+
+
+def ensure_block_body(loop) -> "ast.Block":
+    """Wrap a single-statement loop body in a Block so hoisted
+    declarations have somewhere to live."""
+    from ..frontend import ast as _ast
+
+    if not isinstance(loop.body, _ast.Block):
+        loop.body = _ast.Block([loop.body])
+    return loop.body
+
+
+def collect_dirty_decls(body: ast.Block) -> set:
+    """Variables whose *value* may change inside ``body``: direct
+    assignment targets, ++/-- operands, and address-taken variables.
+    Writing through a pointer (``g[i] = v``, ``*p = v``) does not dirty
+    the pointer itself — its value (the address) is unchanged."""
+    dirty = set()
+
+    def root_decl(expr):
+        node = expr
+        while True:
+            if isinstance(node, ast.Ident):
+                return node.decl
+            if isinstance(node, ast.Member) and not node.arrow:
+                node = node.base
+                continue
+            if isinstance(node, ast.Index):
+                base_t = node.base.ctype
+                if base_t is not None and base_t.is_array:
+                    node = node.base
+                    continue
+                return None  # pointer element write: memory, not the var
+            if isinstance(node, ast.Cast):
+                node = node.expr
+                continue
+            return None
+
+    for node in body.walk():
+        target = None
+        if isinstance(node, ast.Assign):
+            target = node.target
+        elif isinstance(node, ast.Unary) and node.op in (
+            "++", "--", "p++", "p--", "&"
+        ):
+            target = node.operand
+        if target is not None:
+            decl = root_decl(target)
+            if decl is not None:
+                dirty.add(decl)
+    return dirty
+
+
+def walk_with_barriers(root: ast.Node, barriers: set):
+    """Preorder walk that does not descend into subtrees rooted at a
+    barrier node (candidate parallel loops: hoisting a __tid-dependent
+    expression above one would evaluate it outside the parallel region,
+    with the wrong thread id)."""
+    if root.nid in barriers:
+        return
+    yield root
+    for child in root.children():
+        if isinstance(child, ast.Node) and child.nid in barriers:
+            continue
+        yield from walk_with_barriers(child, barriers)
+
+
+def _morph(node: ast.Node, replacement: ast.Node) -> None:
+    node.__class__ = replacement.__class__
+    node.__dict__.clear()
+    node.__dict__.update(replacement.__dict__)
+
+
+def hoist_expanded_bases(loops: List[ast.LoopStmt],
+                         candidate_nids: set = frozenset(),
+                         parents=None) -> int:
+    """Hoist tagged expanded-global base computations to loop tops.
+
+    Processes loops outermost-first; a node hoisted by an outer loop is
+    morphed into a plain identifier and no longer matches in inner
+    loops.  Candidate parallel loops act as barriers: their contents
+    hoist no higher than their own body.  Returns the number of hoist
+    variables introduced.
+    """
+    count = 0
+    parents = parents or {}
+    for loop in loops:
+        body = ensure_block_body(loop)
+        dirty = collect_dirty_decls(body)
+        barriers = candidate_nids - {loop.nid}
+        groups: Dict[Tuple[object, str], List[ast.Expr]] = {}
+        for node in walk_with_barriers(body, barriers):
+            tag = getattr(node, "_base_hoist", None)
+            if tag is None or tag[0] in dirty:
+                continue
+            groups.setdefault(tag, []).append(node)
+        if not groups:
+            continue
+        hoist_decls: List[ast.VarDecl] = []
+        for (decl, _privacy), nodes in groups.items():
+            count += 1
+            name = f"__base{count}"
+            elem = getattr(nodes[0], "_base_elem", None)
+            first = nodes[0]
+            if isinstance(first, ast.Index):
+                # scalar/record slot g[copy]: hoist the slot address
+                init: ast.Expr = rw.unary("&", rw.clone_expr(first),
+                                          like=first)
+            else:
+                # array base: g or g + tid*len (already a pointer)
+                init = rw.clone_expr(first)
+            if hasattr(init, "_base_hoist"):
+                del init._base_hoist
+            for sub in init.walk():
+                if hasattr(sub, "_base_hoist"):
+                    del sub._base_hoist
+            ptr_t = PointerType(elem) if elem is not None else None
+            hoist_decls.append(ast.VarDecl(name, ptr_t, init, "local"))
+            for node in nodes:
+                if isinstance(node, ast.Index):
+                    repl: ast.Expr = rw.unary(
+                        "*", ast.Ident(name), like=node
+                    )
+                else:
+                    repl = ast.Ident(name)
+                    repl.origin = origin_of(node)
+                _morph(node, repl)
+        place_hoist(loop, ast.DeclStmt(hoist_decls), parents,
+                    in_body=loop.nid in candidate_nids)
+    return count
+
+
+def _global_write_closure(program: ast.Program):
+    """Per function: the set of global VarDecls whose *value* the
+    function (or anything it calls, transitively) may change."""
+    from ..frontend import ast as _ast
+
+    direct = {}
+    calls = {}
+    fns = {fn.name: fn for fn in program.functions()}
+    for name, fn in fns.items():
+        writes = set()
+        callees = set()
+        for node in fn.body.walk():
+            target = None
+            if isinstance(node, _ast.Assign):
+                target = node.target
+            elif isinstance(node, _ast.Unary) and node.op in (
+                "++", "--", "p++", "p--", "&"
+            ):
+                target = node.operand
+            if isinstance(target, _ast.Ident) and \
+                    isinstance(target.decl, _ast.VarDecl) and \
+                    target.decl.storage == "global":
+                writes.add(target.decl)
+            if isinstance(node, _ast.Call) and node.callee_name:
+                callees.add(node.callee_name)
+        direct[name] = writes
+        calls[name] = callees
+    closure = {name: set(w) for name, w in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name in closure:
+            for callee in calls.get(name, ()):
+                extra = closure.get(callee)
+                if extra and not extra <= closure[name]:
+                    closure[name] |= extra
+                    changed = True
+    return closure
+
+
+def licm_globals(program: ast.Program) -> int:  # noqa: C901
+    """Hoist loop-invariant loads of global *scalar* variables into
+    loop-top locals (what any optimizing compiler's LICM + register
+    allocation does).  Applied to baseline and transformed programs
+    alike so cycle comparisons measure the privatization mechanism, not
+    differing compiler maturity.
+
+    Safety: only globals that are never address-taken anywhere are
+    candidates (no pointer can alias them), and a loop disqualifies a
+    global if the body — or any function transitively callable from it
+    — may write it.
+    """
+    from ..frontend import ast as _ast
+    from ..frontend.ctypes import ArrayType, StructType
+
+    addr_taken = set()
+    for fn in program.functions():
+        for node in fn.body.walk():
+            if isinstance(node, _ast.Unary) and node.op == "&" and \
+                    isinstance(node.operand, _ast.Ident) and \
+                    isinstance(node.operand.decl, _ast.VarDecl):
+                addr_taken.add(node.operand.decl)
+    closure = _global_write_closure(program)
+
+    count = 0
+    parents = build_parent_blocks(program)
+    for fn in program.functions():
+        loops = [n for n in fn.body.walk() if isinstance(n, _ast.LoopStmt)]
+        for loop in loops:
+            body = ensure_block_body(loop)
+            dirty = collect_dirty_decls(body)
+            for node in body.walk():
+                if isinstance(node, _ast.Call) and node.callee_name:
+                    dirty |= closure.get(node.callee_name, set())
+            # candidate reads: global scalars, clean, never aliased
+            groups = {}
+            for node in body.walk():
+                if not (isinstance(node, _ast.Ident)
+                        and isinstance(node.decl, _ast.VarDecl)):
+                    continue
+                decl = node.decl
+                if decl.storage != "global" or decl in dirty or \
+                        decl in addr_taken:
+                    continue
+                if isinstance(decl.ctype, (ArrayType, StructType)):
+                    continue  # array bases are already free addresses
+                if decl.name.startswith("__"):
+                    continue  # thread-context pseudo-globals
+                groups.setdefault(decl, []).append(node)
+            if not groups:
+                continue
+            decls = []
+            for decl, nodes in groups.items():
+                count += 1
+                name = f"__licm{count}"
+                init = _ast.Ident(decl.name)
+                init.origin = origin_of(nodes[0])
+                decls.append(_ast.VarDecl(name, decl.ctype, init, "local"))
+                for node in nodes:
+                    repl = _ast.Ident(name)
+                    repl.origin = origin_of(node)
+                    _morph(node, repl)
+            place_hoist(loop, _ast.DeclStmt(decls), parents, in_body=False)
+    return count

@@ -1,0 +1,625 @@
+"""End-to-end expansion pipeline (the paper's Figure 7 workflow).
+
+Stages, in the paper's required order ("the creation and computation of
+the symbol span is prior to the data structure expansion"):
+
+1. **Profile** each candidate loop on the original program → DDG
+   (Definitions 1-3).
+2. **Classify** accesses: access classes (Definition 4), thread-private
+   classes (Definition 5).
+3. **Alias analysis** (Andersen) → expansion set = objects reachable
+   from private accesses; promotion plan (§3.4 selective promotion).
+4. **Clone** the program (originals stay runnable as the baseline).
+5. **Promote** pointers to fat pointers + insert span statements
+   (Figures 5-6, Table 3).
+6. **Heapify + expand**: globals/locals in the expansion set become
+   heap objects; every expansion-set allocation is multiplied by
+   ``__nthreads`` (Table 1); named-variable accesses are redirected
+   (Table 2 rows 1-6).
+7. **Redirect** private pointer dereferences through spans (Table 2
+   last row), with constant spans where §3.4's optimization applies.
+8. **Plan parallel execution**: loop kind from its pragma, plus the
+   set of statements that must stay ordered for DOACROSS loops
+   (accesses with surviving cross-thread dependences).
+
+The result is a runnable transformed program plus everything the
+parallel runtime and the benchmark harness need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..frontend import ast
+from ..frontend.ctypes import ArrayType, CType
+from ..frontend.sema import SemaResult, analyze
+from ..analysis.access_classes import build_access_classes
+from ..analysis.breakdown import Breakdown, compute_breakdown
+from ..analysis.ddg import FLOW
+from ..analysis.pointsto import Obj, PointsToResult, analyze_pointsto
+from ..analysis.privatization import PrivatizationResult, classify
+from ..analysis.profiler import LoopProfile, profile_loop
+from . import expand as ex
+from . import rewrite as rw
+from .promote import (
+    PromotionPlan, TransformError, TypePromoter, heap_object_types,
+    promote_program,
+)
+from .redirect import (RedirectStats, hoist_redirections,
+    redirect_private_derefs)
+from .rewrite import clone_program, origin_of
+
+DOALL = "doall"
+DOACROSS = "doacross"
+
+
+class OptFlags:
+    """§3.4 optimization toggles (for ablation; ``optimize=bool`` in the
+    public API sets them all)."""
+
+    def __init__(self, selective_promotion=True, trivial_span_elim=True,
+                 constant_spans=True, hoisting=True, licm=True):
+        self.selective_promotion = selective_promotion
+        self.trivial_span_elim = trivial_span_elim
+        self.constant_spans = constant_spans
+        self.hoisting = hoisting
+        self.licm = licm
+
+    @classmethod
+    def all_off(cls):
+        return cls(False, False, False, False, False)
+
+    @classmethod
+    def from_bool(cls, optimize):
+        if isinstance(optimize, cls):
+            return optimize
+        return cls() if optimize else cls.all_off()
+
+
+class TransformedLoop:
+    """One candidate loop in the transformed program."""
+
+    def __init__(self, loop: ast.LoopStmt, kind: str,
+                 profile: LoopProfile, priv: PrivatizationResult):
+        self.loop = loop
+        self.kind = kind
+        self.profile = profile
+        self.priv = priv
+        #: origins of loop-body top-level statements that must execute
+        #: in iteration order under DOACROSS (surviving carried deps)
+        self.serial_stmt_origins: Set[int] = set()
+        self.breakdown: Optional[Breakdown] = None
+
+    def __repr__(self) -> str:
+        return f"<TransformedLoop {self.kind} label={self.loop.label!r}>"
+
+
+class TransformResult:
+    """Everything produced by :func:`expand_for_threads`."""
+
+    def __init__(self):
+        self.program: Optional[ast.Program] = None
+        self.sema: Optional[SemaResult] = None
+        self.promoter: Optional[TypePromoter] = None
+        self.expansion = ex.ExpansionResult()
+        self.loops: List[TransformedLoop] = []
+        self.redirect_stats: Optional[RedirectStats] = None
+        self.pointsto: Optional[PointsToResult] = None
+        self.private_sites: Set[int] = set()
+        self.redirect_origins: Set[int] = set()
+        self.expansion_objs: Set[Obj] = set()
+
+    @property
+    def num_privatized(self) -> int:
+        """Number of dynamic data structures privatized (Table 5)."""
+        return self.expansion.num_expanded
+
+    def loop_by_label(self, label: str) -> TransformedLoop:
+        for tl in self.loops:
+            if tl.loop.label == label:
+                return tl
+        raise KeyError(f"no transformed loop labeled {label!r}")
+
+
+def parse_loop_kind(loop: ast.LoopStmt) -> str:
+    """Read the parallelism kind from ``#pragma expand parallel(...)``."""
+    for pragma in loop.pragmas:
+        text = pragma.replace(" ", "").lower()
+        if "parallel(doacross)" in text:
+            return DOACROSS
+        if "parallel(doall)" in text:
+            return DOALL
+    return DOALL
+
+
+def _spine_nids(expr: ast.Expr) -> Set[int]:
+    """The lvalue spine of an access expression: the nodes that denote
+    the accessed location itself (not separate loads feeding the
+    address computation).  Stops at pointer loads: the base of ``p->f``
+    or ``*p`` is its own access with its own classification."""
+    out: Set[int] = set()
+    node: Optional[ast.Expr] = expr
+    while node is not None:
+        out.add(node.nid)
+        if isinstance(node, ast.Index):
+            base_t = node.base.ctype
+            if base_t is not None and base_t.is_array:
+                node = node.base     # a[i][j]: inner index is same object
+            else:
+                node = None          # pointer base: separate load
+        elif isinstance(node, ast.Member):
+            node = None if node.arrow else node.base
+        elif isinstance(node, ast.Cast):
+            node = node.expr
+        else:
+            node = None
+    return out
+
+
+def compute_redirect_origins(
+    program: ast.Program, private_sites: Set[int]
+) -> Set[int]:
+    """Private sites plus the full lvalue spines of private accesses:
+    the root identifier of ``a[i][j]`` or ``s.f`` carries its access's
+    classification so the expansion stage can decide copy selection at
+    the identifier."""
+    out = set(private_sites)
+    for fn in program.functions():
+        for node in fn.body.walk():
+            if node.nid not in private_sites:
+                continue
+            if isinstance(node, ast.Assign):
+                out |= _spine_nids(node.target)
+            elif isinstance(node, ast.Unary) and node.op in (
+                "++", "--", "p++", "p--"
+            ):
+                out |= _spine_nids(node.operand)
+            elif isinstance(node, ast.Call):
+                for arg in node.args:
+                    at = arg.ctype.decay() if arg.ctype else None
+                    if at is not None and at.is_pointer:
+                        out |= _spine_nids(arg)
+            elif isinstance(node, (ast.Index, ast.Member, ast.Ident,
+                                   ast.Unary)):
+                out |= _spine_nids(node)
+    return out
+
+
+def _const_fold(expr: ast.Expr,
+                const_env: Optional[Dict[object, int]] = None) -> Optional[int]:
+    """Fold integer-constant expressions (literals, sizeof, + - * /,
+    and reads of never-written literal-initialized globals — the
+    constant propagation §3.4 leans on)."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.SizeofType):
+        return expr.of_type.size
+    if isinstance(expr, ast.SizeofExpr):
+        ctype = expr.expr.ctype
+        return ctype.size if ctype is not None else None
+    if isinstance(expr, ast.Cast):
+        return _const_fold(expr.expr, const_env)
+    if isinstance(expr, ast.Ident) and const_env is not None:
+        key = getattr(expr.decl, "origin", None) or             (expr.decl.nid if expr.decl is not None else None)
+        return const_env.get(key)
+    if isinstance(expr, ast.Binary) and expr.op in ("+", "-", "*", "/"):
+        left = _const_fold(expr.left, const_env)
+        right = _const_fold(expr.right, const_env)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        return left // right if right else None
+    return None
+
+
+def read_only_literal_globals(program: ast.Program,
+                              sema: SemaResult) -> Dict[int, int]:
+    """Global int decls with literal initializers that are never
+    stored to or address-taken: map decl nid -> value."""
+    candidates: Dict[int, int] = {}
+    for decl in sema.globals:
+        if isinstance(decl.init, ast.IntLit) and decl.ctype.is_integer:
+            candidates[decl.nid] = decl.init.value
+    for fn in program.functions():
+        for node in fn.body.walk():
+            target = None
+            if isinstance(node, ast.Assign):
+                target = node.target
+            elif isinstance(node, ast.Unary) and node.op in (
+                "++", "--", "p++", "p--", "&"
+            ):
+                target = node.operand
+            if isinstance(target, ast.Ident) and                     isinstance(target.decl, ast.VarDecl):
+                candidates.pop(target.decl.nid, None)
+    return candidates
+
+
+def _normalize_profile_obj(key) -> Optional[Obj]:
+    """Map a profiler object key (segment kind, tag) to the points-to
+    object vocabulary."""
+    kind, tag = key
+    if kind in ("global", "stack"):
+        return ("var", tag)
+    if kind == "heap":
+        return ("heap", tag)
+    return None  # rodata
+
+
+class ExpansionPipeline:
+    """Configurable driver; :func:`expand_for_threads` is the one-call API."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        sema: SemaResult,
+        loop_labels: List[str],
+        optimize=True,
+        expansion_source: str = "static",
+        entry: str = "main",
+        profiles: Optional[Dict[str, LoopProfile]] = None,
+        layout: str = "bonded",
+    ):
+        if expansion_source not in ("static", "profile"):
+            raise ValueError("expansion_source must be 'static' or 'profile'")
+        if layout not in (ex.BONDED, ex.INTERLEAVED, ex.ADAPTIVE):
+            raise ValueError(
+                "layout must be 'bonded', 'interleaved' or 'adaptive'"
+            )
+        self.program = program
+        self.sema = sema
+        self.loop_labels = loop_labels
+        self.flags = OptFlags.from_bool(optimize)
+        self.optimize = bool(
+            self.flags.selective_promotion or self.flags.hoisting
+            or self.flags.constant_spans or self.flags.trivial_span_elim
+        )
+        self.expansion_source = expansion_source
+        self.entry = entry
+        self.layout = layout
+        self._given_profiles = profiles or {}
+        self.result = TransformResult()
+
+    # -- stages ------------------------------------------------------------
+    def run(self) -> TransformResult:
+        loops = [ast.find_loop(self.program, lbl) for lbl in self.loop_labels]
+        profiles = {
+            loop.label: self._given_profiles.get(loop.label)
+            or profile_loop(self.program, self.sema, loop, self.entry)
+            for loop in loops
+        }
+        privs = {
+            label: classify(profile.ddg, build_access_classes(profile.ddg))
+            for label, profile in profiles.items()
+        }
+        private_sites: Set[int] = set()
+        for priv in privs.values():
+            private_sites |= priv.private_sites
+        self.result.private_sites = private_sites
+
+        pointsto = analyze_pointsto(self.program, self.sema)
+        # heap object types feed promotion-group decisions
+        for nid, types in heap_object_types(self.program).items():
+            pointsto.object_types.setdefault(("heap", nid), set()).update(types)
+        self.result.pointsto = pointsto
+
+        expansion_objs = self._expansion_set(
+            private_sites, pointsto, profiles
+        )
+        self.result.expansion_objs = expansion_objs
+
+        redirect_origins = compute_redirect_origins(
+            self.program, private_sites
+        )
+        self.result.redirect_origins = redirect_origins
+
+        plan = PromotionPlan.from_analysis(
+            self.program, self.sema, pointsto, expansion_objs,
+            promote_all=not self.flags.selective_promotion,
+        )
+
+        clone, _nid_map = clone_program(self.program)
+        promoter = promote_program(
+            clone, self.sema, plan,
+            keep_trivial_spans=not self.flags.trivial_span_elim,
+        )
+        self.result.promoter = promoter
+        analyze(clone)
+
+        self._heapify_and_expand(clone, expansion_objs, redirect_origins)
+        sema3 = analyze(clone)
+
+        static_spans = self._static_spans(
+            clone, pointsto, redirect_origins
+        ) if self.flags.constant_spans else {}
+        ex.expand_allocations(
+            clone,
+            {nid for kind, nid in expansion_objs if kind == "heap"},
+            self.result.expansion,
+        )
+        self.result.redirect_stats = redirect_private_derefs(
+            clone, promoter, redirect_origins,
+            static_spans, use_constant_spans=self.flags.constant_spans,
+        )
+        if self.flags.hoisting or self.flags.licm:
+            # LICM-lite over *every* loop (innermost first): redirected
+            # derefs inside called functions hoist to their own loops
+            all_loops: List[ast.LoopStmt] = []
+            for fn in clone.functions():
+                all_loops.extend(
+                    node for node in fn.body.walk()
+                    if isinstance(node, ast.LoopStmt)
+                )
+            # preorder = outermost first: hoist each redirection as
+            # far out as its invariance allows; inner loops pick up
+            # whatever the outer level had to skip (dirty variables)
+            candidate_nids = {
+                lp.nid for lp in ast.iter_loops(clone)
+                if origin_of(lp) in {loop.nid for loop in loops}
+            }
+            from .optimize import (
+                build_parent_blocks, hoist_expanded_bases, licm_globals,
+            )
+            parents = build_parent_blocks(clone)
+            if self.flags.hoisting:
+                hoist_redirections(all_loops, self.result.redirect_stats,
+                                   candidate_nids, parents)
+                hoist_expanded_bases(all_loops, candidate_nids, parents)
+            if self.flags.licm:
+                licm_globals(clone)
+        final_sema = analyze(clone)
+
+        self.result.program = clone
+        self.result.sema = final_sema
+        self._plan_loops(clone, loops, profiles, privs)
+        return self.result
+
+    # -- helpers --------------------------------------------------------------
+    def _expansion_set(
+        self,
+        private_sites: Set[int],
+        pointsto: PointsToResult,
+        profiles: Dict[str, LoopProfile],
+    ) -> Set[Obj]:
+        objs: Set[Obj] = set()
+        if self.expansion_source == "static":
+            for site in private_sites:
+                objs |= pointsto.objects_of_access(site)
+        else:
+            for profile in profiles.values():
+                for site in private_sites:
+                    for key in profile.site_objects.get(site, ()):
+                        norm = _normalize_profile_obj(key)
+                        if norm is not None:
+                            objs.add(norm)
+        # returns-slots and string literals are not expandable storage
+        return {o for o in objs if o[0] in ("var", "heap")}
+
+    def _heapify_and_expand(
+        self, clone: ast.Program, expansion_objs: Set[Obj],
+        redirect_origins: Set[int],
+    ) -> None:
+        var_origins = {nid for kind, nid in expansion_objs if kind == "var"}
+        global_targets: List[ast.VarDecl] = []
+        local_targets: List[ast.VarDecl] = []
+        for node in clone.walk():
+            if isinstance(node, ast.VarDecl) and \
+                    origin_of(node) in var_origins:
+                if node.storage == "global":
+                    global_targets.append(node)
+                else:
+                    local_targets.append(node)
+        if self.layout == ex.INTERLEAVED:
+            heap_sites = {o for o in expansion_objs if o[0] == "heap"}
+            if heap_sites:
+                raise TransformError(
+                    "interleaved layout cannot expand heap-allocated "
+                    "structures: without knowing the exact element size "
+                    "(structures may be recast between differently-sized "
+                    "types, like 256.bzip2's zptr) the compiler cannot "
+                    "place per-element duplicates — use bonded mode"
+                )
+        layout_for = self._layout_chooser(clone, global_targets
+                                          + local_targets)
+        ex.heapify_globals(clone, global_targets, self.result.expansion,
+                           layout_for)
+        ex.vla_expand_locals(clone, local_targets, self.result.expansion,
+                             layout_for)
+        ex.rewrite_expanded_references(
+            clone, self.result.expansion, redirect_origins
+        )
+
+    def _layout_chooser(self, clone: ast.Program, targets):
+        """Per-structure copy layout.
+
+        * ``bonded``/``interleaved``: every structure uses that mode
+          (interleaved additionally rejects unsupported shapes loudly);
+        * ``adaptive`` (the paper's §6 future work, implemented here):
+          each structure independently gets interleaved placement when
+          it is legal for it — a one-dimensional array only ever used
+          with a subscript — and bonded otherwise.  Heap chunks and
+          whole-copy (decayed) arrays must stay bonded because their
+          element size or copy contiguity is load-bearing.
+        """
+        if self.layout == ex.BONDED:
+            return lambda decl: ex.BONDED
+        if self.layout == ex.INTERLEAVED:
+            return lambda decl: ex.INTERLEAVED
+
+        target_set = set(targets)
+        bare_used: Set[object] = set()
+        multi_dim = {
+            decl for decl in target_set
+            if isinstance(decl.ctype, ArrayType)
+            and isinstance(decl.ctype.elem, ArrayType)
+        }
+        for fn in clone.functions():
+            for node in fn.body.walk():
+                for name in node._fields:
+                    value = getattr(node, name)
+                    children = value if isinstance(value, list) else [value]
+                    for child in children:
+                        if not (isinstance(child, ast.Ident)
+                                and child.decl in target_set
+                                and isinstance(child.decl.ctype, ArrayType)):
+                            continue
+                        if not (isinstance(node, ast.Index)
+                                and name == "base"):
+                            bare_used.add(child.decl)
+
+        def choose(decl) -> str:
+            if not isinstance(decl.ctype, ArrayType):
+                return ex.BONDED  # scalars/records: modes coincide
+            if decl in bare_used or decl in multi_dim:
+                return ex.BONDED
+            if isinstance(decl.init, list):
+                return ex.BONDED  # initialized arrays keep bonded layout
+            return ex.INTERLEAVED
+
+        return choose
+
+    def _static_spans(
+        self,
+        clone: ast.Program,
+        pointsto: PointsToResult,
+        redirect_origins: Set[int],
+    ) -> Dict[int, int]:
+        const_env = read_only_literal_globals(self.program, self.sema)
+        """§3.4: accesses whose every possible target object has the
+        same compile-time-constant size can use a literal span."""
+        # object -> static size (bytes) in the *transformed* program
+        obj_sizes: Dict[Obj, Optional[int]] = {}
+        heapified_by_origin = {
+            origin_of(decl): hvar
+            for decl, hvar in self.result.expansion.heapified.items()
+        }
+        alloc_by_origin: Dict[int, ast.Call] = {}
+        for node in clone.walk():
+            if isinstance(node, ast.Call) and node.callee_name in (
+                "malloc", "calloc", "realloc"
+            ):
+                alloc_by_origin[origin_of(node)] = node
+
+        def size_of(obj: Obj) -> Optional[int]:
+            if obj in obj_sizes:
+                return obj_sizes[obj]
+            kind, nid = obj
+            size: Optional[int] = None
+            if kind == "var":
+                hvar = heapified_by_origin.get(nid)
+                if hvar is not None and hvar.orig_type.size is not None:
+                    size = hvar.orig_type.size
+            elif kind == "heap":
+                node = alloc_by_origin.get(nid)
+                if node is not None:
+                    name = node.callee_name
+                    if name == "malloc":
+                        size = _const_fold(node.args[0], const_env)
+                    elif name == "calloc":
+                        a = _const_fold(node.args[0], const_env)
+                        b = _const_fold(node.args[1], const_env)
+                        size = a * b if a is not None and b is not None \
+                            else None
+                    elif name == "realloc":
+                        size = _const_fold(node.args[1], const_env)
+            obj_sizes[obj] = size
+            return size
+
+        out: Dict[int, int] = {}
+        for origin in redirect_origins:
+            objs = pointsto.objects_of_access(origin)
+            if not objs:
+                continue
+            sizes = {size_of(o) for o in objs}
+            if len(sizes) == 1:
+                size = next(iter(sizes))
+                if size is not None:
+                    out[origin] = size
+        return out
+
+    def _plan_loops(
+        self,
+        clone: ast.Program,
+        loops: List[ast.LoopStmt],
+        profiles: Dict[str, LoopProfile],
+        privs: Dict[str, PrivatizationResult],
+    ) -> None:
+        clone_loops = {origin_of(lp): lp for lp in ast.iter_loops(clone)}
+        for loop in loops:
+            new_loop = clone_loops.get(loop.nid)
+            if new_loop is None:
+                raise TransformError(
+                    f"candidate loop {loop.label!r} lost during transform"
+                )
+            profile = profiles[loop.label]
+            priv = privs[loop.label]
+            tl = TransformedLoop(
+                new_loop, parse_loop_kind(loop), profile, priv
+            )
+            tl.breakdown = compute_breakdown(profile.ddg, priv)
+            tl.serial_stmt_origins = self._serial_stmts(loop, profile, priv)
+            self.result.loops.append(tl)
+
+    def _serial_stmts(
+        self,
+        loop: ast.LoopStmt,
+        profile: LoopProfile,
+        priv: PrivatizationResult,
+    ) -> Set[int]:
+        """Loop-body top-level statements with surviving cross-thread
+        dependences (expansion removed the private ones)."""
+        surviving_sites: Set[int] = set()
+        for edge in profile.ddg.edges:
+            if not edge.carried:
+                continue
+            if edge.src in priv.private_sites and \
+                    edge.dst in priv.private_sites:
+                continue  # removed by expansion
+            surviving_sites.add(edge.src)
+            surviving_sites.add(edge.dst)
+        body = loop.body
+        stmts = body.stmts if isinstance(body, ast.Block) else [body]
+        out: Set[int] = set()
+        for stmt in stmts:
+            nids = {n.nid for n in stmt.walk()}
+            if nids & surviving_sites:
+                out.add(stmt.nid)
+        return out
+
+
+def expand_for_threads(
+    program: ast.Program,
+    sema: SemaResult,
+    loop_labels: List[str],
+    optimize=True,
+    expansion_source: str = "static",
+    entry: str = "main",
+    profiles: Optional[Dict[str, LoopProfile]] = None,
+    layout: str = "bonded",
+) -> TransformResult:
+    """Transform ``program`` so the labeled loops can run multithreaded.
+
+    ``optimize`` toggles the §3.4 optimizations (selective promotion,
+    trivial-span elimination, constant spans); ``False`` reproduces the
+    paper's un-optimized configuration from Figure 9a.
+
+    ``expansion_source`` picks how the expansion set is derived:
+    ``"static"`` uses the Andersen points-to analysis (the paper's
+    approach), ``"profile"`` uses the objects dynamically observed at
+    private accesses.
+
+    ``optimize`` also accepts an :class:`OptFlags` for per-optimization
+    ablation.  ``layout`` selects bonded (default) or interleaved copy
+    placement (Figure 2); interleaved refuses heap-allocated expansion
+    targets, reproducing the paper's recasting argument.
+    """
+    pipeline = ExpansionPipeline(
+        program, sema, loop_labels, optimize=optimize,
+        expansion_source=expansion_source, entry=entry, profiles=profiles,
+        layout=layout,
+    )
+    return pipeline.run()

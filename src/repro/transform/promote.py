@@ -1,0 +1,729 @@
+"""Fat-pointer promotion and span computation (paper §3.3.1-3.3.2).
+
+Bonded-mode redirection needs the *original* size of the structure a
+pointer points into (the ``span``), which C cannot recover from a bare
+pointer.  The paper therefore promotes each relevant pointer to::
+
+    struct { T *pointer; long span; }
+
+(Figures 5-6) and inserts a span-computing statement after every
+assignment to a promoted pointer (Table 3).
+
+**Which pointers get promoted** is the §3.4 "selective promotion"
+optimization.  Promotion decisions must be *consistent*: if a pointer
+value can flow between two slots, both must be promoted or neither,
+otherwise a raw pointer would land in a fat slot with a garbage span.
+We make decisions per *pointee-type group*:
+
+* each struct type is its own group; all primitive/void pointees share
+  one group (benchmarks recast buffers between primitive element sizes
+  — 256.bzip2's ``zptr`` — so primitive pointee types must promote
+  together);
+* a pointer cast whose operand is not a direct allocation call merges
+  the two groups (an allocation-site cast like ``(struct s*)malloc(n)``
+  *types* a fresh object rather than aliasing two existing ones);
+* a group is promoted iff it contains the pointee type of some object
+  in the expansion set (selective mode), or unconditionally
+  (``promote_all``, the paper's un-optimized configuration measured in
+  Figure 9a).
+
+Type-correct programs then satisfy consistency by construction: any
+flow between differently-grouped pointee types must pass through a
+cast, which merged the groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..frontend import ast
+from ..frontend.ctypes import (
+    ArrayType, CType, FloatType, FunctionType, IntType, LONG, PointerType,
+    StructType, VoidType,
+)
+from ..frontend.sema import BUILTIN_SIGNATURES, SemaResult
+from ..analysis.pointsto import Obj, PointsToResult
+from . import rewrite as rw
+from .rewrite import Rewriter, inherit_origin
+
+_ALLOC_FNS = ("malloc", "calloc", "realloc")
+
+#: field names of the fat struct (Figure 4)
+PTR_FIELD = "pointer"
+SPAN_FIELD = "span"
+
+
+class TransformError(Exception):
+    """Raised when a program uses a construct outside the transform's
+    supported subset (documented restrictions, not silent miscompiles)."""
+
+
+def _group_key(pointee: CType) -> str:
+    """Pointee-type group for promotion decisions."""
+    base = pointee
+    while isinstance(base, ArrayType):
+        base = base.elem
+    if isinstance(base, StructType):
+        return f"struct:{base.name}"
+    return "prim"  # all primitive + void pointees promote together
+
+
+class PromotionPlan:
+    """Decides which pointer occurrences become fat pointers."""
+
+    def __init__(self, promote_all: bool = False):
+        self.promote_all = promote_all
+        self._group_parent: Dict[str, str] = {}
+        self._promoted_groups: Set[str] = set()
+
+    # -- union-find over group keys --------------------------------------
+    def _find(self, g: str) -> str:
+        parent = self._group_parent
+        root = g
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(g, g) != root:
+            parent[g], g = root, parent[g]
+        return root
+
+    def _union(self, a: str, b: str) -> None:
+        ra, rb = self._find(a), self._find(b)
+        if ra != rb:
+            self._group_parent[rb] = ra
+
+    def mark_promoted(self, pointee: CType) -> None:
+        self._promoted_groups.add(self._find(_group_key(pointee)))
+
+    def should_promote(self, pointee: CType) -> bool:
+        if self.promote_all:
+            return True
+        return self._find(_group_key(pointee)) in self._promoted_groups
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_analysis(
+        cls,
+        program: ast.Program,
+        sema: SemaResult,
+        pointsto: PointsToResult,
+        expansion_objs: Set[Obj],
+        promote_all: bool = False,
+    ) -> "PromotionPlan":
+        """Build the plan: merge cast-connected groups, then promote
+        groups containing expansion-set object types."""
+        plan = cls(promote_all=promote_all)
+        # 1. merge groups connected by non-allocation pointer casts
+        for fn in program.functions():
+            for node in fn.body.walk():
+                if not isinstance(node, ast.Cast):
+                    continue
+                to_t = node.to_type
+                from_t = node.expr.ctype.decay() if node.expr.ctype else None
+                if not (isinstance(to_t, PointerType)
+                        and isinstance(from_t, PointerType)):
+                    continue
+                if _is_alloc_call(node.expr):
+                    continue
+                if isinstance(to_t.pointee, VoidType) or \
+                        isinstance(from_t.pointee, VoidType):
+                    continue  # void* laundering handled by 'prim' membership
+                plan._union(_group_key(to_t.pointee), _group_key(from_t.pointee))
+        # 2. promote groups of expansion-set object types
+        for obj in expansion_objs:
+            for ctype in _object_types(obj, pointsto, program, sema):
+                plan.mark_promoted(ctype)
+        return plan
+
+
+def _is_alloc_call(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.Call) and expr.callee_name in _ALLOC_FNS
+
+
+def _object_types(obj: Obj, pointsto: PointsToResult,
+                  program: ast.Program, sema: SemaResult) -> List[CType]:
+    """Static type(s) of an abstract object, best effort.
+
+    Variable objects use their declared type; heap objects use the
+    pointee types of casts/assignment targets at the allocation site
+    (collected by :func:`heap_object_types`).
+    """
+    kinds = pointsto.object_types.get(obj)
+    out: List[CType] = []
+    if kinds:
+        for t in kinds:
+            base = t
+            while isinstance(base, ArrayType):
+                base = base.elem
+            out.append(base)
+    return out
+
+
+def heap_object_types(program: ast.Program) -> Dict[int, Set[CType]]:
+    """Map each allocation-call nid to the pointee types it is cast to
+    or assigned into (``(struct s*) malloc(...)``, ``int *p = malloc``)."""
+    out: Dict[int, Set[CType]] = {}
+
+    def note(call: ast.Expr, ctype: Optional[CType]) -> None:
+        if _is_alloc_call(call) and isinstance(ctype, PointerType):
+            out.setdefault(call.nid, set()).add(ctype.pointee)
+
+    for fn in program.functions():
+        for node in fn.body.walk():
+            if isinstance(node, ast.Cast):
+                note(node.expr, node.to_type)
+            elif isinstance(node, ast.Assign):
+                value = node.value
+                if isinstance(value, ast.Cast):
+                    value = value.expr
+                note(value, node.target.ctype)
+            elif isinstance(node, ast.DeclStmt):
+                for decl in node.decls:
+                    init = decl.init
+                    if isinstance(init, ast.Cast):
+                        init = init.expr
+                    if isinstance(init, ast.Expr):
+                        note(init, decl.ctype)
+    return out
+
+
+class TypePromoter:
+    """Memoized type rewriting per Figure 6's ``promote()``."""
+
+    def __init__(self, plan: PromotionPlan):
+        self.plan = plan
+        self._memo: Dict[CType, CType] = {}
+        self._fat_registry: Dict[CType, StructType] = {}
+        self._fat_names: Set[str] = set()
+        self._counter = 0
+
+    # -- queries -------------------------------------------------------------
+    def is_fat(self, ctype: CType) -> bool:
+        return isinstance(ctype, StructType) and ctype.name in self._fat_names
+
+    def fat_structs(self) -> List[StructType]:
+        return list(self._fat_registry.values())
+
+    def fat_for_pointer(self, ptr: PointerType) -> StructType:
+        """The fat struct replacing (an already-promoted-pointee) ``ptr``."""
+        existing = self._fat_registry.get(ptr)
+        if existing is None:
+            self._counter += 1
+            name = f"__fat{self._counter}"
+            fat = StructType(name)
+            self._fat_registry[ptr] = fat
+            self._fat_names.add(name)
+            fat.define([(PTR_FIELD, ptr), (SPAN_FIELD, LONG)])
+        return self._fat_registry[ptr]
+
+    # -- promotion ------------------------------------------------------------
+    def promote(self, ctype: CType) -> CType:
+        memo = self._memo.get(ctype)
+        if memo is not None:
+            return memo
+        out = self._promote_inner(ctype)
+        self._memo[ctype] = out
+        return out
+
+    def _promote_inner(self, ctype: CType) -> CType:
+        if isinstance(ctype, (IntType, FloatType, VoidType)):
+            return ctype
+        if isinstance(ctype, PointerType):
+            inner = PointerType(self.promote(ctype.pointee))
+            if self.plan.should_promote(ctype.pointee):
+                return self.fat_for_pointer(inner)
+            return inner
+        if isinstance(ctype, ArrayType):
+            return ArrayType(self.promote(ctype.elem), ctype.length)
+        if isinstance(ctype, StructType):
+            if self.is_fat(ctype):
+                return ctype
+            rebuilt = StructType(ctype.name)
+            self._memo[ctype] = rebuilt  # pre-memo for recursive structs
+            rebuilt.define(
+                [(f.name, self.promote(f.type)) for f in ctype.fields]
+            )
+            # identical layout -> reuse the original type object so that
+            # un-promoted structs stay shared across the program
+            if all(
+                f.type == g.type and f.offset == g.offset
+                for f, g in zip(ctype.fields, rebuilt.fields)
+            ):
+                self._memo[ctype] = ctype
+                return ctype
+            return rebuilt
+        if isinstance(ctype, FunctionType):
+            return FunctionType(
+                self.promote(ctype.ret),
+                [self.promote(p) for p in ctype.params],
+                ctype.varargs,
+            )
+        return ctype  # pragma: no cover
+
+    def pointer_needs_promotion(self, ctype: Optional[CType]) -> bool:
+        """Was (the original) ``ctype`` a *pointer* this plan promotes?
+        Arrays are never fat themselves (they decay to the shared base
+        address); only genuine pointer slots carry spans."""
+        return isinstance(ctype, PointerType) and \
+            self.plan.should_promote(ctype.pointee)
+
+
+def _otype(expr: ast.Expr) -> Optional[CType]:
+    """The expression's type in the *original* program (stashed when a
+    rewrite replaced the node, else the stale sema annotation)."""
+    return getattr(expr, "_orig_type", None) or expr.ctype
+
+
+def _is_fat_expr(expr: ast.Expr) -> bool:
+    return getattr(expr, "_fat", False)
+
+
+class _PromoteExprs(Rewriter):
+    """Figure 5's Ref/Deref adjustment + Table 3 span insertion.
+
+    Bottom-up: children are rewritten first; a child whose original
+    type was a promoted pointer is now *fat* (flagged ``_fat``), and
+    each consumer context that needs a raw pointer projects
+    ``.pointer``.  Assignments into fat slots become a pointer-field
+    assignment plus a span-computing statement (or a whole-struct copy
+    when the source is itself fat, which transfers the span for free).
+
+    ``keep_trivial_spans`` reproduces the paper's un-optimized mode:
+    even no-op updates like ``p.span = p.span`` after ``p = p + 1`` are
+    emitted (exactly the dead stores §3.4 eliminates).
+    """
+
+    def __init__(self, promoter: TypePromoter, sema: SemaResult,
+                 keep_trivial_spans: bool):
+        self.promoter = promoter
+        self.sema = sema
+        self.keep_trivial_spans = keep_trivial_spans
+
+    # -- helpers ---------------------------------------------------------
+    def _mark_fat(self, expr: ast.Expr, orig_type: Optional[CType]) -> ast.Expr:
+        expr._orig_type = orig_type
+        expr._fat = True
+        return expr
+
+    def _proj(self, expr: ast.Expr) -> ast.Expr:
+        """Project a fat expression to its raw pointer field."""
+        if not _is_fat_expr(expr):
+            return expr
+        node = rw.member(expr, PTR_FIELD, like=expr)
+        node._orig_type = _otype(expr)
+        return node
+
+    def _span_of(self, fat_lvalue: ast.Expr) -> ast.Expr:
+        return rw.member(rw.clone_expr(fat_lvalue), SPAN_FIELD, like=fat_lvalue)
+
+    # -- expressions ----------------------------------------------------------
+    def rewrite_expr(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.Ident):
+            if isinstance(expr.decl, ast.VarDecl) and \
+                    self.promoter.pointer_needs_promotion(expr.decl.ctype):
+                return self._mark_fat(expr, expr.ctype)
+            return expr
+        if isinstance(expr, ast.Member):
+            expr.base = self._adjust_member_base(expr)
+            if self.promoter.pointer_needs_promotion(expr.ctype):
+                return self._mark_fat(expr, expr.ctype)
+            return expr
+        if isinstance(expr, ast.Index):
+            expr.base = self._proj(expr.base)
+            if self.promoter.pointer_needs_promotion(expr.ctype):
+                return self._mark_fat(expr, expr.ctype)
+            return expr
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            expr.left = self._proj(expr.left)
+            expr.right = self._proj(expr.right)
+            return expr
+        if isinstance(expr, ast.Assign):
+            return expr  # handled at statement level; checked there
+        if isinstance(expr, ast.Cond):
+            expr.cond = self._proj(expr.cond)
+            if _is_fat_expr(expr.then) and _is_fat_expr(expr.els):
+                return self._mark_fat(expr, _otype(expr.then))
+            expr.then = self._proj(expr.then)
+            expr.els = self._proj(expr.els)
+            return expr
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.Cast):
+            inner_fat = _is_fat_expr(expr.expr)
+            expr.expr = self._proj(expr.expr)
+            expr.to_type = self.promoter.promote(expr.to_type)
+            if self.promoter.is_fat(expr.to_type):
+                # (T*)e with T* promoted: produce the raw pointer; the
+                # enclosing assignment pairs it with a span statement.
+                expr.to_type = expr.to_type.field(PTR_FIELD).type
+            return expr
+        if isinstance(expr, ast.SizeofType):
+            expr.of_type = self.promoter.promote(expr.of_type)
+            return expr
+        if isinstance(expr, ast.Comma):
+            expr.left = self._proj(expr.left)
+            if _is_fat_expr(expr.right):
+                return self._mark_fat(expr, _otype(expr.right))
+            return expr
+        return expr
+
+    def _adjust_member_base(self, expr: ast.Member) -> ast.Expr:
+        if expr.arrow:
+            return self._proj(expr.base)
+        return expr.base
+
+    def _unary(self, expr: ast.Unary) -> ast.Expr:
+        op = expr.op
+        if op == "*":
+            expr.operand = self._proj(expr.operand)
+            if self.promoter.pointer_needs_promotion(expr.ctype):
+                return self._mark_fat(expr, expr.ctype)
+            return expr
+        if op == "&":
+            if _is_fat_expr(expr.operand):
+                raise TransformError(
+                    "taking the address of a promoted pointer (&p) is "
+                    "outside the supported subset"
+                )
+            return expr
+        if op in ("++", "--", "p++", "p--"):
+            if _is_fat_expr(expr.operand):
+                orig = _otype(expr.operand)
+                expr.operand = self._proj(expr.operand)
+                expr._bumped_fat = True  # statement level may add span noop
+                expr._orig_type = orig
+            return expr
+        expr.operand = self._proj(expr.operand)
+        return expr
+
+    def _call(self, expr: ast.Call) -> ast.Expr:
+        name = expr.callee_name
+        fn = self.sema.functions.get(name) if name else None
+        if fn is None:
+            # builtin: every pointer argument is raw
+            expr.args = [self._proj(a) for a in expr.args]
+            return expr
+        new_args: List[ast.Expr] = []
+        for arg, param in zip(expr.args, fn.params):
+            if self.promoter.pointer_needs_promotion(param.ctype):
+                if _is_fat_expr(arg):
+                    new_args.append(arg)
+                elif _is_null_literal(arg):
+                    raise TransformError(
+                        f"passing a null/raw pointer literal to promoted "
+                        f"parameter {param.name!r} of {fn.name}: assign it "
+                        f"to a pointer variable first"
+                    )
+                else:
+                    raise TransformError(
+                        f"argument to promoted parameter {param.name!r} of "
+                        f"{fn.name} must be a promoted pointer lvalue"
+                    )
+            else:
+                new_args.append(self._proj(arg))
+        expr.args = new_args
+        if self.promoter.pointer_needs_promotion(fn.ret_type):
+            return self._mark_fat(expr, expr.ctype)
+        return expr
+
+    # -- statements ---------------------------------------------------------
+    def rewrite_stmt(self, stmt: ast.Stmt):
+        if isinstance(stmt, ast.ExprStmt):
+            return self._expr_stmt(stmt)
+        if isinstance(stmt, ast.DeclStmt):
+            return self._decl_stmt(stmt)
+        if isinstance(stmt, ast.If):
+            stmt.cond = self._proj(stmt.cond)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            stmt.cond = self._proj(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            if stmt.cond is not None:
+                stmt.cond = self._proj(stmt.cond)
+            if stmt.step is not None:
+                stmt.step = self._finish_naked_expr(stmt.step)
+        elif isinstance(stmt, ast.Return):
+            if stmt.expr is not None and _is_fat_expr(stmt.expr):
+                pass  # returning a fat pointer: struct-by-value carries span
+        self._assert_no_unhandled_assign(stmt)
+        return stmt
+
+    def _expr_stmt(self, stmt: ast.ExprStmt):
+        expr = stmt.expr
+        if isinstance(expr, ast.Assign):
+            return self._assignment(stmt, expr)
+        stmt.expr = self._finish_naked_expr(expr)
+        return stmt
+
+    def _finish_naked_expr(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.Assign):
+            if self._target_promoted(expr):
+                raise TransformError(
+                    "assignment to a promoted pointer must be a standalone "
+                    "statement"
+                )
+            return expr
+        return self._proj(expr) if _is_fat_expr(expr) else expr
+
+    def _target_promoted(self, assign: ast.Assign) -> bool:
+        return _is_fat_expr(assign.target)
+
+    def _assignment(self, stmt: ast.ExprStmt, expr: ast.Assign):
+        target = expr.target
+        if not _is_fat_expr(target):
+            expr.value = self._proj(expr.value)
+            return stmt
+        # assignment into a promoted pointer slot
+        if expr.op != "=":
+            # p += i / p -= i: pointer arithmetic; span unchanged
+            expr.target = self._proj(target)
+            expr.value = self._proj(expr.value)
+            out = [stmt]
+            if self.keep_trivial_spans:
+                span_lv = self._span_of(target)
+                out.append(rw.expr_stmt(
+                    rw.assign(span_lv, rw.clone_expr(span_lv), like=expr),
+                    like=stmt,
+                ))
+            return out
+        value = expr.value
+        if _is_fat_expr(value):
+            # whole-struct copy: pointer + span move together (Table 3's
+            # "Pointer assignment" realized as one fat copy)
+            return stmt
+        span_value = self._span_value(value)
+        expr.target = self._proj(target)
+        expr.value = self._proj(value)
+        span_stmt = rw.expr_stmt(
+            rw.assign(self._span_of(target), span_value, like=expr),
+            like=stmt,
+        )
+        if not self.keep_trivial_spans and self._is_self_span(target, span_value):
+            return stmt
+        return [stmt, span_stmt]
+
+    def _decl_stmt(self, stmt: ast.DeclStmt):
+        out: List[ast.Stmt] = [stmt]
+        for decl in stmt.decls:
+            if not self.promoter.pointer_needs_promotion(decl.ctype):
+                continue
+            init = decl.init
+            if init is None:
+                continue
+            if isinstance(init, list):
+                raise TransformError(
+                    f"brace initializer on promoted pointer {decl.name!r}"
+                )
+            decl.init = None
+            fat_lv = self._mark_fat(
+                rw.ident(decl.name, like=decl), decl.ctype
+            )
+            assign_expr = ast.Assign("=", fat_lv, init)
+            inherit_origin(assign_expr, decl)
+            assign_stmt = rw.expr_stmt(assign_expr, like=stmt)
+            result = self._assignment(assign_stmt, assign_expr)
+            if isinstance(result, list):
+                out.extend(result)
+            else:
+                out.append(result)
+        return out if len(out) > 1 else stmt
+
+    # -- span expressions (Table 3) -----------------------------------------
+    def _span_value(self, value: ast.Expr) -> ast.Expr:
+        """An expression computing the span of a raw pointer rvalue."""
+        if isinstance(value, ast.Call):
+            name = value.callee_name
+            if name == "malloc":
+                return rw.clone_expr(value.args[0])
+            if name == "calloc":
+                return rw.binary(
+                    "*", rw.clone_expr(value.args[0]),
+                    rw.clone_expr(value.args[1]), like=value,
+                )
+            if name == "realloc":
+                return rw.clone_expr(value.args[1])
+        if isinstance(value, ast.Unary) and value.op == "&":
+            # strip to the root object: &s.f uses sizeof(s) (Address
+            # taken 2: the whole structure), &a[i] uses sizeof(a) —
+            # bonded-mode copies sit at whole-object stride
+            operand = value.operand
+            while True:
+                if isinstance(operand, ast.Member) and not operand.arrow:
+                    operand = operand.base
+                elif isinstance(operand, ast.Index):
+                    bt = _otype(operand.base)
+                    if bt is not None and bt.is_array:
+                        operand = operand.base
+                    else:
+                        break
+                else:
+                    break
+            # root is a pointer dereference: the span travels with the
+            # base fat pointer (&p->f, &p[i], &*p all alias p's object)
+            if isinstance(operand, ast.Member) and operand.arrow and \
+                    _is_fat_expr(operand.base):
+                return rw.member(
+                    rw.clone_expr(operand.base), SPAN_FIELD, like=value
+                )
+            if isinstance(operand, ast.Index) and \
+                    isinstance(operand.base, ast.Member) and \
+                    operand.base.name == PTR_FIELD and \
+                    _is_fat_expr(operand.base.base):
+                return rw.member(
+                    rw.clone_expr(operand.base.base), SPAN_FIELD, like=value
+                )
+            ot = _otype(operand)
+            if ot is None or ot.size is None:
+                raise TransformError("cannot size &-taken object for span")
+            return rw.sizeof_type(self.promoter.promote(ot), like=value)
+        if isinstance(value, ast.Cast):
+            return self._span_value(value.expr)
+        if isinstance(value, ast.Member) and value.name == PTR_FIELD and \
+                _is_fat_expr(value.base):
+            # a projected fat pointer: span lives next to it
+            return rw.member(
+                rw.clone_expr(value.base), SPAN_FIELD, like=value
+            )
+        if isinstance(value, (ast.Ident, ast.Index)) and \
+                isinstance(_otype(value), ArrayType):
+            # array decay (p = a, p = a[i] for 2D rows): the span is the
+            # size of the *root* array object — copies of the whole
+            # structure sit at that stride
+            root = value
+            while isinstance(root, (ast.Index, ast.Member)) and \
+                    not (isinstance(root, ast.Member) and root.arrow):
+                root = root.base
+            rt = _otype(root)
+            if rt is None or rt.size is None:
+                raise TransformError("cannot size decayed array for span")
+            return rw.sizeof_type(self.promoter.promote(rt), like=value)
+        if isinstance(value, ast.Binary) and value.op in ("+", "-"):
+            lt = _otype(value.left)
+            if lt is not None and lt.decay().is_pointer:
+                return self._span_value(value.left)
+            return self._span_value(value.right)
+        if isinstance(value, ast.IntLit):
+            return rw.intlit(0, like=value)  # NULL carries no span
+        if isinstance(value, ast.Cond):
+            return ast.Cond(
+                rw.clone_expr(value.cond),
+                self._span_value(value.then),
+                self._span_value(value.els),
+            )
+        if isinstance(value, ast.Comma):
+            return self._span_value(value.right)
+        raise TransformError(
+            f"cannot derive a span for pointer rvalue {value!r}; "
+            "restructure the assignment"
+        )
+
+    @staticmethod
+    def _is_self_span(target: ast.Expr, span_value: ast.Expr) -> bool:
+        """Detect ``p.span = p.span`` no-ops (dead stores §3.4 removes)."""
+        if not (isinstance(span_value, ast.Member)
+                and span_value.name == SPAN_FIELD):
+            return False
+        return _lvalue_repr(span_value.base) == _lvalue_repr(target)
+
+    def _assert_no_unhandled_assign(self, stmt: ast.Stmt) -> None:
+        checks = []
+        if isinstance(stmt, ast.If):
+            checks.append(stmt.cond)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            checks.append(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            checks.extend(x for x in (stmt.cond, stmt.step) if x is not None)
+        elif isinstance(stmt, ast.Return) and stmt.expr is not None:
+            checks.append(stmt.expr)
+        for root in checks:
+            for node in root.walk():
+                if isinstance(node, ast.Assign) and _is_fat_expr(node.target):
+                    raise TransformError(
+                        "assignment to a promoted pointer nested in an "
+                        "expression is outside the supported subset"
+                    )
+
+
+def _is_null_literal(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.IntLit) and expr.value == 0
+
+
+def _lvalue_repr(expr: ast.Expr) -> Optional[str]:
+    """Structural fingerprint of simple lvalues, for no-op detection."""
+    if isinstance(expr, ast.Ident):
+        return expr.name
+    if isinstance(expr, ast.Member):
+        base = _lvalue_repr(expr.base)
+        if base is None:
+            return None
+        sep = "->" if expr.arrow else "."
+        return f"{base}{sep}{expr.name}"
+    if isinstance(expr, ast.Index) and isinstance(expr.index, ast.IntLit):
+        base = _lvalue_repr(expr.base)
+        return None if base is None else f"{base}[{expr.index.value}]"
+    return None
+
+
+def promote_program(
+    program: ast.Program,
+    sema: SemaResult,
+    plan: PromotionPlan,
+    keep_trivial_spans: bool = False,
+) -> TypePromoter:
+    """Run pointer promotion over a (cloned) program in place.
+
+    Rewrites expressions (Figure 5 Ref/Deref rules), inserts span
+    statements (Table 3), then sweeps every declared type through
+    ``promote()`` (Figure 5 Decl rules).  Returns the
+    :class:`TypePromoter` so later stages can query fat types.  The
+    caller must re-run semantic analysis afterwards.
+    """
+    promoter = TypePromoter(plan)
+    _PromoteExprs(promoter, sema, keep_trivial_spans).run(program)
+
+    # sweep declaration types (Decl Pointer/Array/Struct/Heap/Function)
+    new_decls: List[ast.Node] = []
+    emitted_fats: Set[str] = set()
+
+    def emit_fat_decls() -> None:
+        for fat in promoter.fat_structs():
+            if fat.name not in emitted_fats:
+                emitted_fats.add(fat.name)
+                new_decls.append(ast.StructDecl(fat))
+
+    for decl in program.decls:
+        if isinstance(decl, ast.StructDecl):
+            promoted = promoter.promote(decl.struct_type)
+            emit_fat_decls()
+            if isinstance(promoted, StructType):
+                decl.struct_type = promoted
+            new_decls.append(decl)
+        elif isinstance(decl, ast.VarDecl):
+            was_promoted_ptr = promoter.pointer_needs_promotion(decl.ctype)
+            decl.ctype = promoter.promote(decl.ctype)
+            if was_promoted_ptr and decl.init is not None:
+                if isinstance(decl.init, ast.IntLit) and decl.init.value == 0:
+                    decl.init = None  # fat struct zero-initializes
+                else:
+                    raise TransformError(
+                        f"global promoted pointer {decl.name!r} has a "
+                        f"non-null initializer; move it to program startup"
+                    )
+            emit_fat_decls()
+            new_decls.append(decl)
+        elif isinstance(decl, ast.FunctionDef):
+            decl.ret_type = promoter.promote(decl.ret_type)
+            for param in decl.params:
+                param.ctype = promoter.promote(param.ctype)
+            if decl.body is not None:
+                for node in decl.body.walk():
+                    if isinstance(node, ast.DeclStmt):
+                        for local in node.decls:
+                            local.ctype = promoter.promote(local.ctype)
+            emit_fat_decls()
+            new_decls.append(decl)
+        else:  # pragma: no cover
+            new_decls.append(decl)
+    emit_fat_decls()
+    program.decls = new_decls
+    return promoter

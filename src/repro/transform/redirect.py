@@ -1,0 +1,267 @@
+"""Private pointer-dereference redirection (paper Table 2, last row).
+
+A private access through a promoted pointer ``p`` is redirected to the
+current thread's copy::
+
+    *p        ->  *(p.pointer + __tid * p.span / sizeof(*p.pointer))
+    p[k]      ->  p.pointer[k + __tid * p.span / sizeof(*p.pointer)]
+    p->f      ->  (p.pointer + __tid * p.span / sizeof(*p.pointer))->f
+
+This stage runs after promotion + heapification + re-analysis, so every
+fat-pointer use already appears as a ``X.pointer`` projection with
+fresh type annotations.  Redirection rewrites the *projection*, which
+composes transparently with whatever address arithmetic surrounds it
+(``*(p.pointer + 3)`` redirects to ``*(p.pointer + tid*span/s + 3)``)
+and with chained dereferences (``head->next->key`` steps through each
+node's own span).
+
+The §3.4 constant-span optimization substitutes a compile-time constant
+for ``p.span`` when every object the pointer may reference has the same
+statically-known size — eliminating the span load, multiply and divide
+that dominate redirection overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..frontend import ast
+from ..frontend.ctypes import ArrayType, PointerType, StructType, VoidType
+from .promote import PTR_FIELD, SPAN_FIELD, TransformError, TypePromoter
+from . import rewrite as rw
+from .rewrite import origin_of
+
+TID = "__tid"
+
+#: builtins whose pointer arguments may be private accesses
+_PTR_ARG_BUILTINS = {
+    "memset": (0,),
+    "memcpy": (0, 1),
+    "memmove": (0, 1),
+    "strlen": (0,),
+}
+
+
+class RedirectStats:
+    def __init__(self):
+        self.redirected = 0
+        self.constant_span = 0
+        self.dynamic_span = 0
+        self.hoisted = 0
+
+
+class _Redirector:
+    def __init__(
+        self,
+        promoter: TypePromoter,
+        redirect_origins: Set[int],
+        static_spans: Optional[Dict[int, int]] = None,
+        use_constant_spans: bool = True,
+    ):
+        self.promoter = promoter
+        self.redirect_origins = redirect_origins
+        #: origin nid of an access -> statically-known span in bytes
+        self.static_spans = static_spans or {}
+        self.use_constant_spans = use_constant_spans
+        self.stats = RedirectStats()
+
+    # -- matching ---------------------------------------------------------
+    def _is_projection(self, expr: ast.Expr) -> bool:
+        return (
+            isinstance(expr, ast.Member)
+            and not expr.arrow
+            and expr.name == PTR_FIELD
+            and expr.base.ctype is not None
+            and self.promoter.is_fat(expr.base.ctype)
+            and not getattr(expr, "_redirect_done", False)
+        )
+
+    def _find_projection(self, expr: ast.Expr) -> Optional[ast.Member]:
+        """The fat-pointer projection feeding a pointer expression."""
+        if self._is_projection(expr):
+            return expr
+        if isinstance(expr, ast.Cast):
+            return self._find_projection(expr.expr)
+        if isinstance(expr, ast.Binary) and expr.op in ("+", "-"):
+            lt = expr.left.ctype
+            if lt is not None and lt.decay().is_pointer:
+                found = self._find_projection(expr.left)
+                if found is not None:
+                    return found
+            rt = expr.right.ctype
+            if rt is not None and rt.decay().is_pointer:
+                return self._find_projection(expr.right)
+            return None
+        if isinstance(expr, ast.Comma):
+            return self._find_projection(expr.right)
+        return None
+
+    # -- rewriting ----------------------------------------------------------
+    def _redirect_projection(self, proj: ast.Member, origin: int) -> None:
+        """Mutate ``X.pointer`` into ``X.pointer + __tid*span/elem`` by
+        replacing the node's content in place (parents keep their ref)."""
+        elem_t = proj.ctype.pointee if isinstance(proj.ctype, PointerType) \
+            else None
+        elem_size = 1
+        if elem_t is not None and not isinstance(elem_t, VoidType) and \
+                elem_t.size is not None:
+            elem_size = elem_t.size
+        # span operand: constant when §3.4 optimization applies
+        const_span = self.static_spans.get(origin) if self.use_constant_spans \
+            else None
+        inner = rw.member(
+            rw.clone_expr(proj.base), PTR_FIELD, like=proj
+        )
+        inner._redirect_done = True
+        inner.ctype = proj.ctype
+        if const_span is not None:
+            offset_elems = const_span // elem_size
+            offset: ast.Expr = rw.binary(
+                "*", ast.Ident(TID), ast.IntLit(offset_elems), like=proj
+            )
+            self.stats.constant_span += 1
+        else:
+            span_lv = rw.member(
+                rw.clone_expr(proj.base), SPAN_FIELD, like=proj
+            )
+            offset = rw.binary(
+                "/",
+                rw.binary("*", ast.Ident(TID), span_lv, like=proj),
+                ast.IntLit(elem_size),
+                like=proj,
+            )
+            self.stats.dynamic_span += 1
+        replacement = rw.binary("+", inner, offset, like=proj)
+        # hoisting metadata: a redirection whose fat pointer is a plain
+        # variable can be computed once per iteration instead of per
+        # access (GCC would do this via LICM/CSE; it is part of the
+        # §3.4-optimized configuration)
+        base = proj.base
+        if isinstance(base, ast.Ident) and isinstance(base.decl, ast.VarDecl):
+            replacement._hoist_decl = base.decl
+            replacement._hoist_elem = elem_t
+        # in-place morph: proj becomes the Binary
+        proj.__class__ = ast.Binary
+        proj.__dict__.clear()
+        proj.__dict__.update(replacement.__dict__)
+        self.stats.redirected += 1
+
+    def _maybe_redirect_ptr_expr(self, expr: ast.Expr, origin: int) -> None:
+        proj = self._find_projection(expr)
+        if proj is not None:
+            self._redirect_projection(proj, origin)
+
+    # -- walk ----------------------------------------------------------------
+    def run(self, program: ast.Program) -> RedirectStats:
+        for fn in program.functions():
+            # children before parents: a chained dereference like
+            # head->next->key must redirect the inner access first so
+            # the outer access's span/pointer loads clone the already-
+            # redirected base (reversing a preorder walk guarantees
+            # every descendant is processed before its ancestor)
+            for node in reversed(list(fn.body.walk())):
+                self._visit(node)
+        return self.stats
+
+    def _visit(self, node: ast.Node) -> None:
+        origin = origin_of(node)
+        if origin not in self.redirect_origins:
+            return
+        if isinstance(node, ast.Unary) and node.op == "*":
+            self._maybe_redirect_ptr_expr(node.operand, origin)
+        elif isinstance(node, ast.Index):
+            base_t = node.base.ctype
+            if base_t is not None and base_t.decay().is_pointer:
+                self._maybe_redirect_ptr_expr(node.base, origin)
+        elif isinstance(node, ast.Member) and node.arrow:
+            self._maybe_redirect_ptr_expr(node.base, origin)
+        elif isinstance(node, ast.Call):
+            name = node.callee_name
+            arg_ids = _PTR_ARG_BUILTINS.get(name or "")
+            if arg_ids:
+                for i in arg_ids:
+                    if i < len(node.args):
+                        self._maybe_redirect_ptr_expr(node.args[i], origin)
+
+
+def hoist_redirections(loops, stats: Optional[RedirectStats] = None,
+                       candidate_nids=frozenset(), parents=None) -> int:
+    """Hoist loop-invariant redirection expressions to one computation
+    per iteration (the LICM/CSE cleanup a native compiler performs on
+    the redirected code; enabled with the §3.4 optimizations).
+
+    A redirection ``p.pointer + __tid*p.span/s`` is hoistable within a
+    candidate loop body when ``p`` is a plain variable never assigned
+    (nor address-taken) inside the body.  All accesses through the same
+    variable share one hoisted pointer::
+
+        T *__priv1 = p.pointer + __tid * p.span / s;   // body top
+        ... __priv1[k] ...
+
+    Returns the number of hoist variables introduced.
+    """
+    from ..frontend.ctypes import PointerType
+    from .optimize import (
+        collect_dirty_decls, ensure_block_body, place_hoist,
+        walk_with_barriers,
+    )
+
+    count = 0
+    parents = parents or {}
+    for loop in loops:
+        body = ensure_block_body(loop)
+        dirty = collect_dirty_decls(body)
+        barriers = set(candidate_nids) - {loop.nid}
+        # collect hoistable redirections, grouped by (decl, elem type)
+        groups: Dict[Tuple[object, object], List[ast.Binary]] = {}
+        for node in walk_with_barriers(body, barriers):
+            decl = getattr(node, "_hoist_decl", None)
+            if decl is None or decl in dirty:
+                continue
+            elem = getattr(node, "_hoist_elem", None)
+            groups.setdefault((decl, elem), []).append(node)
+        if not groups:
+            continue
+        hoist_decls: List[ast.VarDecl] = []
+        for (decl, elem), nodes in groups.items():
+            count += 1
+            name = f"__priv{count}"
+            init = rw.clone_expr(nodes[0])
+            if hasattr(init, "_hoist_decl"):
+                del init._hoist_decl
+            ptr_t = PointerType(elem) if elem is not None else \
+                nodes[0].ctype or PointerType(elem)
+            hoist_decls.append(
+                ast.VarDecl(name, ptr_t, init, "local")
+            )
+            for node in nodes:
+                ident = ast.Ident(name)
+                ident.origin = origin_of(node)
+                node.__class__ = ast.Ident
+                node.__dict__.clear()
+                node.__dict__.update(ident.__dict__)
+        place_hoist(loop, ast.DeclStmt(hoist_decls), parents,
+                    in_body=loop.nid in candidate_nids)
+        if stats is not None:
+            stats.hoisted = getattr(stats, "hoisted", 0) + len(hoist_decls)
+    return count
+
+
+def redirect_private_derefs(
+    program: ast.Program,
+    promoter: TypePromoter,
+    redirect_origins: Set[int],
+    static_spans: Optional[Dict[int, int]] = None,
+    use_constant_spans: bool = True,
+) -> RedirectStats:
+    """Rewrite all private pointer dereferences; see module docstring.
+
+    ``static_spans`` maps access origins to byte sizes when the span is
+    a compile-time constant (the §3.4 optimization); pass
+    ``use_constant_spans=False`` to force the paper's general dynamic
+    form everywhere (un-optimized mode).
+    """
+    redirector = _Redirector(
+        promoter, redirect_origins, static_spans, use_constant_spans
+    )
+    return redirector.run(program)

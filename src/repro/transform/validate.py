@@ -1,0 +1,207 @@
+"""Post-transform invariant validation.
+
+The pipeline's output is executable, so most bugs surface as wrong
+output or race reports — but some classes of miscompilation could hide
+behind lucky data (an unexpanded allocation only races under specific
+interleavings; a missing span statement only matters when sizes
+differ).  ``validate_transform`` checks structural invariants directly
+on the transformed AST and returns a list of human-readable violations
+(empty = clean).  The test suite runs it on every benchmark kernel and
+the pipeline can be asked to run it eagerly (``validate=True``).
+
+Checked invariants:
+
+1. every expansion-set heap allocation's size argument multiplies by
+   ``__nthreads``;
+2. every fat struct has exactly the ``pointer``/``span`` field pair
+   with a pointer/long layout (Figure 4);
+3. every candidate loop survived the rewrite and kept its pragma;
+4. expanded VLA locals declare a ``__nthreads`` length;
+5. converted globals are allocated in ``__expand_init``, which is the
+   first statement of ``main``;
+6. the transformed program re-analyzes cleanly (names resolve, types
+   check) — guaranteed if the pipeline's final ``analyze`` ran, but
+   re-checked here so hand-modified results are also validated.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..frontend import ast
+from ..frontend.ctypes import ArrayType, LONG, PointerType, StructType
+from ..frontend.sema import SemaError, analyze
+from .expand import INIT_FN_NAME, MODE_HEAP, MODE_VLA, NTHREADS
+from .promote import PTR_FIELD, SPAN_FIELD
+
+
+def validate_transform(result) -> List[str]:
+    """Check a :class:`TransformResult`; returns violation strings."""
+    problems: List[str] = []
+    program = result.program
+    if program is None:
+        return ["transform produced no program"]
+
+    _check_expanded_allocations(result, program, problems)
+    _check_fat_structs(result, problems)
+    _check_candidate_loops(result, problems)
+    _check_expanded_vars(result, problems)
+    _check_init_function(result, program, problems)
+    _check_reanalysis(program, problems)
+    return problems
+
+
+def _contains_nthreads(expr: ast.Expr) -> bool:
+    return any(
+        isinstance(n, ast.Ident) and n.name == NTHREADS
+        for n in expr.walk()
+    )
+
+
+def _check_expanded_allocations(result, program, problems) -> None:
+    from .expand import _ALLOC_SIZE_ARG
+    from .rewrite import origin_of
+
+    expanded = result.expansion.expanded_alloc_origins
+    found = set()
+    for fn in program.functions():
+        for node in fn.body.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = node.callee_name
+            if name not in _ALLOC_SIZE_ARG:
+                continue
+            if origin_of(node) in expanded:
+                found.add(origin_of(node))
+                arg = node.args[_ALLOC_SIZE_ARG[name]]
+                if not _contains_nthreads(arg):
+                    problems.append(
+                        f"expanded allocation at L{node.loc[0]} does not "
+                        f"multiply its size by {NTHREADS}"
+                    )
+    missing = expanded - found
+    if missing:
+        problems.append(
+            f"{len(missing)} expanded allocation site(s) vanished from "
+            f"the transformed program"
+        )
+
+
+def _check_fat_structs(result, problems) -> None:
+    promoter = result.promoter
+    if promoter is None:
+        return
+    for fat in promoter.fat_structs():
+        names = [f.name for f in fat.fields]
+        if names != [PTR_FIELD, SPAN_FIELD]:
+            problems.append(
+                f"fat struct {fat.name} has fields {names}, expected "
+                f"[{PTR_FIELD!r}, {SPAN_FIELD!r}]"
+            )
+            continue
+        if not isinstance(fat.field(PTR_FIELD).type, PointerType):
+            problems.append(
+                f"fat struct {fat.name}.{PTR_FIELD} is not a pointer"
+            )
+        if fat.field(SPAN_FIELD).type != LONG:
+            problems.append(
+                f"fat struct {fat.name}.{SPAN_FIELD} is not long"
+            )
+        if fat.size != 16:
+            problems.append(
+                f"fat struct {fat.name} has size {fat.size}, expected 16"
+            )
+
+
+def _check_candidate_loops(result, problems) -> None:
+    for tl in result.loops:
+        loop = tl.loop
+        if not isinstance(loop, ast.LoopStmt):
+            problems.append(f"candidate loop {loop!r} is not a loop")
+            continue
+        if not loop.pragmas:
+            problems.append(
+                f"candidate loop {loop.label!r} lost its pragma"
+            )
+        if tl.kind not in ("doall", "doacross"):
+            problems.append(
+                f"candidate loop {loop.label!r} has kind {tl.kind!r}"
+            )
+
+
+def _check_expanded_vars(result, problems) -> None:
+    for evar in result.expansion.expanded_vars.values():
+        decl = evar.decl
+        if evar.mode == MODE_VLA:
+            if not isinstance(decl.ctype, ArrayType) or \
+                    decl.ctype.length is not None:
+                problems.append(
+                    f"VLA-expanded {decl.name!r} has type "
+                    f"{decl.ctype!r}, expected an unsized array"
+                )
+            elif decl.vla_length is None or \
+                    not _contains_nthreads(decl.vla_length):
+                problems.append(
+                    f"VLA-expanded {decl.name!r} lacks a {NTHREADS} "
+                    f"length"
+                )
+        elif evar.mode == MODE_HEAP:
+            if not isinstance(decl.ctype, PointerType):
+                problems.append(
+                    f"heap-expanded {decl.name!r} has type "
+                    f"{decl.ctype!r}, expected a pointer"
+                )
+
+
+def _check_init_function(result, program, problems) -> None:
+    has_heapified_global = any(
+        evar.mode == MODE_HEAP and evar.decl.storage == "global"
+        for evar in result.expansion.expanded_vars.values()
+    )
+    if not has_heapified_global:
+        return
+    try:
+        init_fn = program.function(INIT_FN_NAME)
+    except KeyError:
+        problems.append(
+            f"globals were heapified but {INIT_FN_NAME} is missing"
+        )
+        return
+    try:
+        main = program.function("main")
+    except KeyError:
+        problems.append("program has no main")
+        return
+    first = main.body.stmts[0] if main.body.stmts else None
+    is_init_call = (
+        isinstance(first, ast.ExprStmt)
+        and isinstance(first.expr, ast.Call)
+        and first.expr.callee_name == INIT_FN_NAME
+    )
+    if not is_init_call:
+        problems.append(
+            f"main does not call {INIT_FN_NAME} as its first statement"
+        )
+    allocated = {
+        stmt.expr.target.name
+        for stmt in init_fn.body.stmts
+        if isinstance(stmt, ast.ExprStmt)
+        and isinstance(stmt.expr, ast.Assign)
+        and isinstance(stmt.expr.target, ast.Ident)
+        and isinstance(stmt.expr.value, ast.Call)
+        and stmt.expr.value.callee_name == "malloc"
+    }
+    for evar in result.expansion.expanded_vars.values():
+        if evar.mode == MODE_HEAP and evar.decl.storage == "global" and \
+                evar.decl.name not in allocated:
+            problems.append(
+                f"heapified global {evar.decl.name!r} is never "
+                f"allocated in {INIT_FN_NAME}"
+            )
+
+
+def _check_reanalysis(program, problems) -> None:
+    try:
+        analyze(program)
+    except SemaError as exc:
+        problems.append(f"transformed program fails re-analysis: {exc}")

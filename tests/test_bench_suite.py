@@ -1,0 +1,122 @@
+"""Benchmark kernel sanity: every kernel parses, runs deterministically,
+and its spec metadata is consistent with its source."""
+
+import pytest
+
+from repro.bench import all_benchmarks, get
+from repro.frontend import ast, parse_and_analyze
+from repro.interp import Machine
+from repro.transform.pipeline import parse_loop_kind
+
+ALL = [spec.name for spec in all_benchmarks()]
+
+
+@pytest.fixture(scope="module")
+def parsed():
+    out = {}
+    for spec in all_benchmarks():
+        out[spec.name] = parse_and_analyze(spec.source)
+    return out
+
+
+def test_suite_has_eight_kernels():
+    assert len(ALL) == 8
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_kernel_parses_and_runs(name, parsed):
+    program, sema = parsed[name]
+    machine = Machine(program, sema)
+    code = machine.run()
+    assert code == 0
+    assert machine.output, f"{name} produced no output"
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_kernel_deterministic(name, parsed):
+    spec = get(name)
+    program, sema = parse_and_analyze(spec.source)
+    a = Machine(program, sema)
+    a.run()
+    b = Machine(program, sema)
+    b.run()
+    assert a.output == b.output
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_loop_labels_exist_with_pragmas(name, parsed):
+    spec = get(name)
+    program, _ = parsed[name]
+    for label in spec.loop_labels:
+        loop = ast.find_loop(program, label)
+        assert loop.pragmas, f"{name}:{label} missing pragma"
+        assert parse_loop_kind(loop).upper() == spec.parallelism
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_spec_metadata(name):
+    spec = get(name)
+    assert spec.loc > 30
+    assert spec.paper.loc > spec.loc  # kernels are scaled-down ports
+    assert 0 < spec.paper.pct_time <= 100
+    assert spec.paper.privatized >= 1
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_kernel_size_budget(name, parsed):
+    """Kernels stay within interpreter scale (whole suite must run in
+    minutes, not hours)."""
+    spec = get(name)
+    program, sema = parse_and_analyze(spec.source)
+    machine = Machine(program, sema)
+    machine.run()
+    assert machine.cost.instructions < 2_000_000, machine.cost.instructions
+
+
+def test_table4_order():
+    names = [spec.name for spec in all_benchmarks()]
+    assert names == [
+        "dijkstra", "md5", "mpeg2-encoder", "mpeg2-decoder",
+        "h263-encoder", "256.bzip2", "456.hmmer", "470.lbm",
+    ]
+
+
+def test_doacross_kernels():
+    doacross = {s.name for s in all_benchmarks()
+                if s.parallelism == "DOACROSS"}
+    assert doacross == {"dijkstra", "256.bzip2", "456.hmmer"}
+
+
+def test_bzip2_recasts_zptr():
+    assert "(short*)zptr" in get("256.bzip2").source
+
+
+def test_hmmer_has_two_malloc_sites_for_mx():
+    src = get("456.hmmer").source
+    assert "mx = (int*)malloc(m1);" in src
+    assert "mx = (int*)malloc(m2);" in src
+
+
+def test_dijkstra_uses_malloc_free_queue():
+    src = get("dijkstra").source
+    assert "malloc(sizeof(struct qitem))" in src and "free(q)" in src
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ALL)
+def test_kernel_parallel_smoke(name, parsed):
+    """Every kernel transforms and runs race-free on 2 threads with
+    output identical to sequential (the full harness covers more
+    thread counts; this is the fast always-on integration check)."""
+    from repro.interp import Machine
+    from repro.runtime import run_parallel
+    from repro.transform import expand_for_threads
+
+    spec = get(name)
+    program, sema = parse_and_analyze(spec.source)
+    base = Machine(program, sema)
+    base.run()
+    result = expand_for_threads(program, sema, spec.loop_labels)
+    outcome = run_parallel(result, 2)
+    assert outcome.output == base.output
+    assert not outcome.races

@@ -1,0 +1,126 @@
+"""Builtin function behaviour tests."""
+
+import pytest
+
+from repro.interp import run_source
+
+
+def out(body, prelude=""):
+    return run_source(
+        f"{prelude}\nint main(void) {{ {body} return 0; }}"
+    ).output
+
+
+class TestMath:
+    def test_sqrt(self):
+        assert out("print_double(sqrt(144.0));") == ["12"]
+
+    def test_floor_ceil(self):
+        assert out("print_double(floor(2.7)); print_double(ceil(2.1));") \
+            == ["2", "3"]
+
+    def test_exp_log_roundtrip(self):
+        assert out("print_double(log(exp(3.0)));") == ["3"]
+
+    def test_trig(self):
+        assert out("print_double(sin(0.0)); print_double(cos(0.0));") \
+            == ["0", "1"]
+
+    def test_pow(self):
+        assert out("print_double(pow(3.0, 3.0));") == ["27"]
+
+    def test_abs_variants(self):
+        assert out("print_int(abs(-7)); print_int(labs(-9));") == ["7", "9"]
+
+    def test_fabs(self):
+        assert out("print_double(fabs(-1.25));") == ["1.25"]
+
+
+class TestMemoryBuiltins:
+    def test_memmove_alias(self):
+        body = """
+        int a[4]; int i;
+        for (i = 0; i < 4; i++) a[i] = i + 1;
+        memmove(a, a, sizeof(a));
+        for (i = 0; i < 4; i++) print_int(a[i]);
+        """
+        assert out(body) == ["1", "2", "3", "4"]
+
+    def test_memcpy_between_types(self):
+        body = """
+        double d = 2.5;
+        double e;
+        memcpy(&e, &d, sizeof(double));
+        print_double(e);
+        """
+        assert out(body) == ["2.5"]
+
+    def test_memset_negative_byte(self):
+        body = """
+        unsigned char b[3];
+        memset(b, -1, 3);
+        print_int(b[0]); print_int(b[2]);
+        """
+        assert out(body) == ["255", "255"]
+
+    def test_strlen_empty(self):
+        body = 'char s[4]; s[0] = 0; print_int((int)strlen(s));'
+        assert out(body) == ["0"]
+
+    def test_calloc_counts(self):
+        body = """
+        int *p = (int*)calloc(3, sizeof(int));
+        print_int(p[0] + p[1] + p[2]);
+        free(p);
+        """
+        assert out(body) == ["0"]
+
+
+class TestPrinting:
+    def test_print_int_negative(self):
+        assert out("print_int(-42);") == ["-42"]
+
+    def test_print_double_precision(self):
+        assert out("print_double(1.0 / 3.0);") == ["0.333333"]
+
+    def test_print_double_integral_compact(self):
+        assert out("print_double(5.0);") == ["5"]
+
+    def test_print_str_escapes(self):
+        assert out(r'print_str("a\tb");') == ["a\tb"]
+
+    def test_assert_true_passes(self):
+        assert out("assert_true(1 == 1); print_int(1);") == ["1"]
+
+    def test_assert_true_fails(self):
+        from repro.interp import InterpError
+        with pytest.raises(InterpError, match="assert_true"):
+            out("assert_true(1 == 2);")
+
+
+class TestAllocatorBehaviour:
+    def test_same_size_free_then_alloc_reuses(self):
+        body = """
+        int *a = (int*)malloc(16);
+        int *b;
+        free(a);
+        b = (int*)malloc(16);
+        print_int(a == b ? 1 : 0);
+        """
+        assert out(body) == ["1"]
+
+    def test_realloc_null(self):
+        body = """
+        int *p = (int*)realloc(0, 8);
+        p[0] = 3;
+        print_int(p[0]);
+        free(p);
+        """
+        assert out(body) == ["3"]
+
+    def test_allocation_costs_counted(self):
+        machine = run_source(
+            "int main(void) { int i; for (i = 0; i < 10; i++)"
+            " { free(malloc(8)); } return 0; }"
+        )
+        assert machine.cost.cycles > 10 * 90  # malloc+free costs

@@ -1,0 +1,138 @@
+"""Type system unit + property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend.ctypes import (
+    CHAR, CTypeError, DOUBLE, FLOAT, INT, LONG, SHORT, UINT, VOID,
+    ArrayType, FloatType, IntType, PointerType, StructType,
+    common_arith_type, is_assignable, sizeof,
+)
+
+
+class TestSizes:
+    @pytest.mark.parametrize("ctype,size", [
+        (CHAR, 1), (SHORT, 2), (INT, 4), (LONG, 8),
+        (FLOAT, 4), (DOUBLE, 8),
+    ])
+    def test_primitive_sizes(self, ctype, size):
+        assert sizeof(ctype) == size
+
+    def test_pointer_size_is_8(self):
+        assert sizeof(PointerType(CHAR)) == 8
+
+    def test_array_size(self):
+        assert sizeof(ArrayType(INT, 10)) == 40
+
+    def test_nested_array_size(self):
+        assert sizeof(ArrayType(ArrayType(SHORT, 3), 4)) == 24
+
+    def test_sizeof_void_raises(self):
+        with pytest.raises(CTypeError):
+            sizeof(VOID)
+
+    def test_sizeof_unsized_array_raises(self):
+        with pytest.raises(CTypeError):
+            sizeof(ArrayType(INT, None))
+
+
+class TestStructLayout:
+    def test_field_offsets_respect_alignment(self):
+        s = StructType("s", [("c", CHAR), ("i", INT), ("d", DOUBLE)])
+        assert s.field("c").offset == 0
+        assert s.field("i").offset == 4      # padded to int alignment
+        assert s.field("d").offset == 8
+        assert s.size == 16 and s.align == 8
+
+    def test_tail_padding(self):
+        s = StructType("t", [("l", LONG), ("c", CHAR)])
+        assert s.size == 16                  # rounded to 8
+
+    def test_pointer_field_alignment(self):
+        s = StructType("fatlike", [("p", PointerType(INT)), ("span", LONG)])
+        assert s.field("span").offset == 8 and s.size == 16
+
+    def test_recursive_struct_via_pointer(self):
+        node = StructType("node")
+        node.define([("key", INT), ("next", PointerType(node))])
+        assert node.size == 16
+
+    def test_redefinition_raises(self):
+        s = StructType("x", [("a", INT)])
+        with pytest.raises(CTypeError):
+            s.define([("b", INT)])
+
+    def test_duplicate_field_raises(self):
+        with pytest.raises(CTypeError):
+            StructType("d", [("a", INT), ("a", INT)])
+
+    def test_missing_field_raises(self):
+        s = StructType("m", [("a", INT)])
+        with pytest.raises(CTypeError):
+            s.field("zzz")
+
+    def test_nominal_equality(self):
+        assert StructType("same", [("a", INT)]) == StructType("same")
+        assert StructType("a1", [("x", INT)]) != StructType("a2", [("x", INT)])
+
+
+class TestWrapping:
+    def test_signed_char_wraps(self):
+        assert CHAR.wrap(200) == -56
+
+    def test_unsigned_int_wraps(self):
+        assert UINT.wrap(-1) == 0xFFFFFFFF
+
+    def test_int_overflow_wraps_like_c(self):
+        assert INT.wrap(0x80000000) == -0x80000000
+
+    def test_float32_truncation(self):
+        assert FLOAT.wrap(0.1) != 0.1
+        assert abs(FLOAT.wrap(0.1) - 0.1) < 1e-7
+
+    @given(st.integers())
+    def test_wrap_idempotent(self, value):
+        for ctype in (CHAR, SHORT, INT, LONG, UINT):
+            once = ctype.wrap(value)
+            assert ctype.wrap(once) == once
+
+    @given(st.integers())
+    def test_wrap_range(self, value):
+        for ctype in (CHAR, SHORT, INT, LONG):
+            wrapped = ctype.wrap(value)
+            assert ctype.min_value <= wrapped <= ctype.max_value
+
+    @given(st.integers(), st.integers())
+    def test_wrap_is_ring_homomorphism(self, a, b):
+        """(a+b) mod 2^n == (a mod 2^n + b mod 2^n) mod 2^n."""
+        assert INT.wrap(a + b) == INT.wrap(INT.wrap(a) + INT.wrap(b))
+        assert INT.wrap(a * b) == INT.wrap(INT.wrap(a) * INT.wrap(b))
+
+
+class TestConversions:
+    def test_common_type_double_wins(self):
+        assert common_arith_type(INT, DOUBLE) == DOUBLE
+
+    def test_common_type_integer_promotion(self):
+        assert common_arith_type(CHAR, SHORT) == INT
+
+    def test_common_type_long_wins(self):
+        assert common_arith_type(LONG, INT) == LONG
+
+    def test_assignable_arith_mix(self):
+        assert is_assignable(INT, DOUBLE)
+        assert is_assignable(DOUBLE, CHAR)
+
+    def test_assignable_void_pointer_both_ways(self):
+        vp, ip = PointerType(VOID), PointerType(INT)
+        assert is_assignable(ip, vp) and is_assignable(vp, ip)
+
+    def test_mismatched_pointers_not_assignable(self):
+        assert not is_assignable(PointerType(INT), PointerType(DOUBLE))
+
+    def test_int_pointer_interchange_allowed(self):
+        assert is_assignable(PointerType(INT), INT)  # NULL etc.
+
+    def test_decay(self):
+        assert ArrayType(INT, 4).decay() == PointerType(INT)
+        assert INT.decay() == INT

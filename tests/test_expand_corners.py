@@ -1,0 +1,298 @@
+"""Transform corner cases: allocation flavors, sizeof on expanded
+variables, recasting, nested structures, unusual loop shapes."""
+
+import pytest
+
+from repro.frontend import parse_and_analyze, print_program
+from repro.interp import Machine
+from repro.runtime import run_parallel
+from repro.transform import expand_for_threads
+
+
+def check(source, labels=("L",), nthreads=(1, 4), **kw):
+    program, sema = parse_and_analyze(source)
+    base = Machine(program, sema)
+    base.run()
+    result = expand_for_threads(program, sema, list(labels), **kw)
+    for n in nthreads:
+        outcome = run_parallel(result, n)
+        assert outcome.output == base.output, (n, outcome.output)
+        assert not outcome.races
+    return result, print_program(result.program)
+
+
+class TestAllocationFlavors:
+    def test_calloc_expansion(self):
+        result, text = check("""
+        int out[4];
+        int main(void) {
+            int i; int k;
+            int *w = (int*)calloc(6, sizeof(int));
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 4; i++) {
+                for (k = 0; k < 6; k++) w[k] = i + k;
+                out[i] = w[5];
+            }
+            for (i = 0; i < 4; i++) print_int(out[i]);
+            return 0;
+        }
+        """)
+        # the size argument is multiplied by N (total bytes x N)
+        assert "calloc(6, sizeof(int) * __nthreads)" in text
+
+    def test_per_iteration_malloc_free(self):
+        """Allocation and free inside the loop: each thread frees only
+        chunks it allocated; freelist reuse stays slice-disjoint."""
+        check("""
+        int out[8];
+        int main(void) {
+            int i; int k;
+            int *w;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 8; i++) {
+                w = (int*)malloc(sizeof(int) * 4);
+                for (k = 0; k < 4; k++) w[k] = i * k;
+                out[i] = w[3];
+                free(w);
+            }
+            for (i = 0; i < 8; i++) print_int(out[i]);
+            return 0;
+        }
+        """, nthreads=(2, 4, 8))
+
+    def test_sizeof_expr_on_expanded_array(self):
+        """sizeof(buf) must keep meaning the ORIGINAL size after
+        expansion (it feeds memset lengths)."""
+        result, text = check("""
+        int buf[8];
+        int out[4];
+        int main(void) {
+            int i; int k;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 4; i++) {
+                memset(buf, 0, sizeof(buf));
+                for (k = 0; k < 8; k++) buf[k] = buf[k] + i;
+                out[i] = buf[7];
+            }
+            for (i = 0; i < 4; i++) print_int(out[i]);
+            return 0;
+        }
+        """)
+        assert "sizeof(int[8])" in text
+
+    def test_two_chunks_same_pointer_group(self):
+        check("""
+        int out[6];
+        int main(void) {
+            int i; int k;
+            int *a = (int*)malloc(sizeof(int) * 4);
+            int *b = (int*)malloc(sizeof(int) * 4);
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 6; i++) {
+                for (k = 0; k < 4; k++) { a[k] = i; b[k] = i * 2; }
+                out[i] = a[3] + b[3];
+            }
+            for (i = 0; i < 6; i++) print_int(out[i]);
+            return 0;
+        }
+        """)
+
+
+class TestRecasting:
+    def test_short_int_recast_private(self):
+        """The full bzip2 pattern through the whole pipeline."""
+        result, text = check("""
+        int out[4];
+        int main(void) {
+            int i; int k;
+            int *zp = (int*)malloc(sizeof(int) * 4);
+            short *sp;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 4; i++) {
+                sp = (short*)zp;
+                for (k = 0; k < 8; k++) sp[k] = (short)(i * 10 + k);
+                out[i] = zp[0] + zp[3];
+            }
+            for (i = 0; i < 4; i++) print_int(out[i]);
+            return 0;
+        }
+        """)
+        # both views redirect by the same BYTE offset: the 16-byte
+        # chunk is tid*8 shorts and tid*4 ints (constant spans folded)
+        assert "* 8" in text and "* 4" in text
+
+    def test_char_view_of_int_chunk(self):
+        check("""
+        int out[4];
+        int main(void) {
+            int i; int k;
+            int *zp = (int*)malloc(sizeof(int) * 2);
+            char *cp;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 4; i++) {
+                cp = (char*)zp;
+                for (k = 0; k < 8; k++) cp[k] = (char)(i + k);
+                out[i] = zp[1];
+            }
+            for (i = 0; i < 4; i++) print_int(out[i]);
+            return 0;
+        }
+        """)
+
+
+class TestStructShapes:
+    def test_nested_struct_privatization(self):
+        check("""
+        struct inner { int lo; int hi; };
+        struct outer { struct inner a; struct inner b; int tag; };
+        struct outer sc;
+        int out[5];
+        int main(void) {
+            int i;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 5; i++) {
+                sc.a.lo = i;
+                sc.a.hi = i * 2;
+                sc.b = sc.a;
+                sc.tag = sc.b.lo + sc.b.hi;
+                out[i] = sc.tag;
+            }
+            for (i = 0; i < 5; i++) print_int(out[i]);
+            return 0;
+        }
+        """)
+
+    def test_struct_with_embedded_array(self):
+        check("""
+        struct box { int vals[4]; int n; };
+        struct box bx;
+        int out[5];
+        int main(void) {
+            int i; int k;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 5; i++) {
+                bx.n = 0;
+                for (k = 0; k < 4; k++) {
+                    bx.vals[k] = i + k;
+                    bx.n = bx.n + bx.vals[k];
+                }
+                out[i] = bx.n;
+            }
+            for (i = 0; i < 5; i++) print_int(out[i]);
+            return 0;
+        }
+        """)
+
+    def test_pointer_field_chain(self):
+        check("""
+        struct node { int v; struct node *next; };
+        struct node *head;
+        int out[5];
+        int main(void) {
+            int i; int j;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 5; i++) {
+                head = 0;
+                for (j = 0; j < 3; j++) {
+                    struct node *x =
+                        (struct node*)malloc(sizeof(struct node));
+                    x->v = i * 10 + j;
+                    x->next = head;
+                    head = x;
+                }
+                out[i] = head->v + head->next->next->v;
+                while (head) {
+                    struct node *d;
+                    d = head;
+                    head = head->next;
+                    free(d);
+                }
+            }
+            for (i = 0; i < 5; i++) print_int(out[i]);
+            return 0;
+        }
+        """, nthreads=(2, 4, 8))
+
+
+class TestLoopShapes:
+    def test_doacross_for_loop(self):
+        check("""
+        int buf[6];
+        unsigned int acc;
+        int main(void) {
+            int i; int k;
+            #pragma expand parallel(doacross)
+            L: for (i = 0; i < 10; i++) {
+                for (k = 0; k < 6; k++) buf[k] = i * k + 2;
+                acc = acc * 31 + (unsigned int)buf[5];
+            }
+            print_int((int)(acc & 0x7fffffff));
+            return 0;
+        }
+        """, nthreads=(2, 4, 8))
+
+    def test_step_by_two(self):
+        check("""
+        int buf[4];
+        int out[12];
+        int main(void) {
+            int i; int k;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 12; i += 2) {
+                for (k = 0; k < 4; k++) buf[k] = i + k;
+                out[i] = buf[3];
+            }
+            for (i = 0; i < 12; i += 2) print_int(out[i]);
+            return 0;
+        }
+        """)
+
+    def test_le_bound(self):
+        check("""
+        int buf[4];
+        int out[8];
+        int main(void) {
+            int i; int k;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i <= 7; i++) {
+                for (k = 0; k < 4; k++) buf[k] = i - k;
+                out[i] = buf[0];
+            }
+            for (i = 0; i < 8; i++) print_int(out[i]);
+            return 0;
+        }
+        """)
+
+    def test_empty_iteration_space(self):
+        check("""
+        int buf[4];
+        int main(void) {
+            int i; int k;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 0; i++) {
+                for (k = 0; k < 4; k++) buf[k] = i;
+            }
+            print_int(42);
+            return 0;
+        }
+        """)
+
+    def test_candidate_loop_in_helper_function(self):
+        check("""
+        int buf[4];
+        int out[6];
+        void worker(void) {
+            int i; int k;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 6; i++) {
+                for (k = 0; k < 4; k++) buf[k] = i * k;
+                out[i] = buf[3];
+            }
+        }
+        int main(void) {
+            int i;
+            worker();
+            for (i = 0; i < 6; i++) print_int(out[i]);
+            return 0;
+        }
+        """)

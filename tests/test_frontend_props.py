@@ -1,0 +1,70 @@
+"""Property tests over the frontend: printer round-trips and sema
+stability on generated programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import parse_and_analyze, print_program
+from repro.interp import Machine
+
+NAMES = ("alpha", "beta", "gamma", "delta")
+BINOPS = ("+", "-", "*", "|", "&", "^")
+
+
+@st.composite
+def straightline_program(draw):
+    """A random straight-line integer program using 4 variables."""
+    lines = [f"int {n} = {draw(st.integers(-99, 99))};" for n in NAMES]
+    for _ in range(draw(st.integers(1, 8))):
+        dst = draw(st.sampled_from(NAMES))
+        a = draw(st.sampled_from(NAMES))
+        b = draw(st.sampled_from(NAMES))
+        op = draw(st.sampled_from(BINOPS))
+        c = draw(st.integers(-9, 9))
+        lines.append(f"{dst} = ({a} {op} {b}) + ({c});")
+    body = "\n        ".join(lines)
+    prints = " ".join(f"print_int({n});" for n in NAMES)
+    return f"""
+    int main(void) {{
+        {body}
+        {prints}
+        return 0;
+    }}
+    """
+
+
+class TestFrontendProperties:
+    @given(straightline_program())
+    @settings(max_examples=40, deadline=None)
+    def test_print_parse_behaviour_fixpoint(self, source):
+        program, sema = parse_and_analyze(source)
+        m1 = Machine(program, sema)
+        m1.run()
+        printed = print_program(program)
+        program2, sema2 = parse_and_analyze(printed)
+        m2 = Machine(program2, sema2)
+        m2.run()
+        assert m1.output == m2.output
+
+    @given(straightline_program())
+    @settings(max_examples=20, deadline=None)
+    def test_print_idempotent(self, source):
+        program, _ = parse_and_analyze(source)
+        once = print_program(program)
+        program2, _ = parse_and_analyze(once)
+        assert print_program(program2) == once
+
+    @given(st.text(
+        alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"),
+                               whitelist_characters="_ +-*/%<>=!&|^(){};,"),
+        max_size=60,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_frontend_never_hangs_or_crashes_unexpectedly(self, junk):
+        """Arbitrary input must produce a clean parse and/or sema error
+        (or parse), never a hang or an internal exception."""
+        from repro.frontend import LexError, ParseError, SemaError
+        from repro.frontend.ctypes import CTypeError
+        try:
+            parse_and_analyze(junk)
+        except (LexError, ParseError, SemaError, CTypeError):
+            pass

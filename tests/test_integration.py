@@ -1,0 +1,62 @@
+"""Integration tests: the public one-call API and the example scripts."""
+
+import runpy
+import sys
+
+import pytest
+
+from repro import expand_and_run
+
+
+class TestExpandAndRun:
+    SRC = """
+    int scratch[64];
+    int out[12];
+    int main(void) {
+        int i; int k; int b;
+        #pragma expand parallel(doall)
+        L: for (i = 0; i < 12; i++) {
+            b = 0;
+            for (k = 0; k < 64; k++) {
+                scratch[k] = i * k;
+                b += (scratch[k] * 3) % 11;
+            }
+            out[i] = b;
+        }
+        for (i = 0; i < 12; i++) print_int(out[i]);
+        return 0;
+    }
+    """
+
+    def test_one_call_api(self):
+        outcome = expand_and_run(self.SRC, loop_labels=["L"], nthreads=3)
+        assert len(outcome.output) == 12
+        assert not outcome.races
+        assert outcome.loop_speedup > 1.0
+        assert outcome.total_speedup > 1.0
+
+    def test_unoptimized_mode(self):
+        outcome = expand_and_run(self.SRC, loop_labels=["L"], nthreads=2,
+                                 optimize=False)
+        assert not outcome.races
+
+    def test_transform_details_exposed(self):
+        outcome = expand_and_run(self.SRC, loop_labels=["L"], nthreads=2)
+        assert outcome.transform.num_privatized >= 1
+        assert outcome.transform.loops[0].breakdown is not None
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart", "video_blur", "block_compressor", "inspect_analysis",
+    "ambiguous_spans",
+])
+def test_examples_run(script, capsys):
+    """Every shipped example executes end to end."""
+    import pathlib
+    path = (pathlib.Path(__file__).resolve().parent.parent
+            / "examples" / f"{script}.py")
+    runpy.run_path(str(path), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out.strip()
+    assert "races detected : 0" in captured.out or \
+        "Traceback" not in captured.out

@@ -1,0 +1,149 @@
+"""Copy-layout tests: bonded (Fig. 2a), interleaved (Fig. 2b), and the
+adaptive scheme (the paper's §6 future work, implemented here)."""
+
+import pytest
+
+from repro.frontend import parse_and_analyze, print_program
+from repro.interp import Machine
+from repro.runtime import run_parallel
+from repro.transform import TransformError, expand_for_threads
+
+ARRAY_KERNEL = """
+int tbl[6];
+int sums[4];
+int main(void) {
+    int i; int k;
+    #pragma expand parallel(doall)
+    L: for (i = 0; i < 4; i++) {
+        for (k = 0; k < 6; k++) tbl[k] = i * k + 1;
+        sums[i] = tbl[5] - tbl[0];
+    }
+    for (i = 0; i < 4; i++) print_int(sums[i]);
+    return 0;
+}
+"""
+
+HEAP_KERNEL = """
+int sums[4];
+int main(void) {
+    int i; int k;
+    int *w = (int*)malloc(sizeof(int) * 6);
+    #pragma expand parallel(doall)
+    L: for (i = 0; i < 4; i++) {
+        for (k = 0; k < 6; k++) w[k] = i * k + 1;
+        sums[i] = w[5];
+    }
+    for (i = 0; i < 4; i++) print_int(sums[i]);
+    return 0;
+}
+"""
+
+BARE_USE_KERNEL = """
+int tbl[6];
+int sums[4];
+int main(void) {
+    int i; int k;
+    #pragma expand parallel(doall)
+    L: for (i = 0; i < 4; i++) {
+        memset(tbl, 0, sizeof(tbl));
+        for (k = 0; k < 6; k++) tbl[k] = tbl[k] + i + k;
+        sums[i] = tbl[5];
+    }
+    for (i = 0; i < 4; i++) print_int(sums[i]);
+    return 0;
+}
+"""
+
+
+def run_layout(source, layout, nthreads=4):
+    program, sema = parse_and_analyze(source)
+    base = Machine(program, sema)
+    base.run()
+    result = expand_for_threads(program, sema, ["L"], layout=layout)
+    outcome = run_parallel(result, nthreads)
+    assert outcome.output == base.output
+    assert not outcome.races
+    return result
+
+
+class TestBonded:
+    def test_copies_whole_structure_adjacent(self):
+        result = run_layout(ARRAY_KERNEL, "bonded")
+        text = print_program(result.program)
+        assert "__tid * 6" in text  # copy stride = whole array length
+
+
+class TestInterleaved:
+    def test_element_copies_adjacent(self):
+        result = run_layout(ARRAY_KERNEL, "interleaved")
+        text = print_program(result.program)
+        assert "* __nthreads + __tid" in text
+
+    def test_refuses_heap_structures(self):
+        program, sema = parse_and_analyze(HEAP_KERNEL)
+        with pytest.raises(TransformError, match="recast"):
+            expand_for_threads(program, sema, ["L"], layout="interleaved")
+
+    def test_refuses_bare_array_uses(self):
+        program, sema = parse_and_analyze(BARE_USE_KERNEL)
+        with pytest.raises(TransformError, match="bonded"):
+            expand_for_threads(program, sema, ["L"], layout="interleaved")
+
+    @pytest.mark.parametrize("n", [1, 2, 8])
+    def test_thread_counts(self, n):
+        run_layout(ARRAY_KERNEL, "interleaved", nthreads=n)
+
+
+class TestAdaptive:
+    def test_picks_interleaved_when_legal(self):
+        result = run_layout(ARRAY_KERNEL, "adaptive")
+        layouts = {
+            ev.decl.name: ev.layout
+            for ev in result.expansion.expanded_vars.values()
+        }
+        assert layouts["tbl"] == "interleaved"
+
+    def test_falls_back_for_bare_uses(self):
+        result = run_layout(BARE_USE_KERNEL, "adaptive")
+        layouts = {
+            ev.decl.name: ev.layout
+            for ev in result.expansion.expanded_vars.values()
+        }
+        assert layouts["tbl"] == "bonded"
+
+    def test_heap_structures_bonded_without_error(self):
+        result = run_layout(HEAP_KERNEL, "adaptive")
+        assert result.expansion.expanded_alloc_origins  # expanded, xN
+
+    def test_mixed_program(self):
+        source = """
+        int a[4];
+        int b[4];
+        int out[6];
+        int main(void) {
+            int i; int k;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 6; i++) {
+                for (k = 0; k < 4; k++) a[k] = i + k;
+                memset(b, 0, sizeof(b));
+                for (k = 0; k < 4; k++) b[k] = b[k] + a[k];
+                out[i] = a[3] * 10 + b[3];
+            }
+            for (i = 0; i < 6; i++) print_int(out[i]);
+            return 0;
+        }
+        """
+        result = run_layout(source, "adaptive")
+        layouts = {
+            ev.decl.name: ev.layout
+            for ev in result.expansion.expanded_vars.values()
+        }
+        assert layouts["a"] == "interleaved"
+        assert layouts["b"] == "bonded"
+
+
+class TestLayoutErrors:
+    def test_unknown_layout_rejected(self):
+        program, sema = parse_and_analyze(ARRAY_KERNEL)
+        with pytest.raises(ValueError):
+            expand_for_threads(program, sema, ["L"], layout="diagonal")

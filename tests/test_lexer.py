@@ -1,0 +1,139 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.frontend.lexer import LexError, Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "EOF"
+
+    def test_identifier(self):
+        tok = tokenize("alpha_1")[0]
+        assert tok.kind == "ID" and tok.text == "alpha_1"
+
+    def test_keyword(self):
+        assert tokenize("while")[0].kind == "KW"
+
+    def test_identifier_with_leading_underscore(self):
+        assert tokenize("__tid")[0].kind == "ID"
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].line == 1 and toks[0].col == 1
+        assert toks[1].line == 2 and toks[1].col == 3
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        assert tokenize("42")[0].value == 42
+
+    def test_hex_int(self):
+        assert tokenize("0xff")[0].value == 255
+
+    def test_hex_uppercase(self):
+        assert tokenize("0XAB")[0].value == 0xAB
+
+    def test_int_suffixes_ignored(self):
+        assert tokenize("42UL")[0].value == 42
+
+    def test_float(self):
+        tok = tokenize("3.5")[0]
+        assert tok.kind == "FLOAT" and tok.value == 3.5
+
+    def test_float_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+
+    def test_float_negative_exponent(self):
+        assert tokenize("2.5e-2")[0].value == 0.025
+
+    def test_float_f_suffix(self):
+        tok = tokenize("1.5f")[0]
+        assert tok.kind == "FLOAT" and tok.value == 1.5
+
+    def test_leading_dot_float(self):
+        assert tokenize(".25")[0].value == 0.25
+
+    def test_member_access_is_not_float(self):
+        assert texts("a.b") == ["a", ".", "b"]
+
+
+class TestCharAndString:
+    def test_char_literal(self):
+        assert tokenize("'A'")[0].value == 65
+
+    def test_char_escape_newline(self):
+        assert tokenize(r"'\n'")[0].value == 10
+
+    def test_char_escape_nul(self):
+        assert tokenize(r"'\0'")[0].value == 0
+
+    def test_char_hex_escape(self):
+        assert tokenize(r"'\x41'")[0].value == 65
+
+    def test_string_literal(self):
+        assert tokenize('"hi"')[0].value == "hi"
+
+    def test_string_with_escapes(self):
+        assert tokenize(r'"a\tb\n"')[0].value == "a\tb\n"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_unterminated_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+
+class TestOperators:
+    def test_longest_match_shift_assign(self):
+        assert texts("a <<= 1") == ["a", "<<=", "1"]
+
+    def test_arrow_vs_minus(self):
+        assert texts("a->b - c") == ["a", "->", "b", "-", "c"]
+
+    def test_increment_vs_plus(self):
+        assert texts("a++ + b") == ["a", "++", "+", "b"]
+
+    def test_ellipsis(self):
+        assert "..." in texts("f(int a, ...)")
+
+    def test_all_compound_assigns(self):
+        source = "+= -= *= /= %= &= |= ^= <<= >>="
+        assert texts(source) == source.split()
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestCommentsAndPragmas:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\nb") == ["ID", "ID", "EOF"]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* x\ny */ b") == ["ID", "ID", "EOF"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_pragma_token(self):
+        toks = tokenize("#pragma expand parallel(doall)\nint x;")
+        assert toks[0].kind == "PRAGMA"
+        assert toks[0].text == "expand parallel(doall)"
+
+    def test_include_directive_ignored(self):
+        assert kinds("#include <stdio.h>\nint x;") == \
+            ["KW", "ID", "OP", "EOF"]

@@ -1,0 +1,359 @@
+"""Interpreter semantics tests: every C behaviour the transform and the
+benchmark kernels rely on, checked against ground truth."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.interp import InterpError, Machine, run_source
+from repro.interp.memory import MemoryError_
+from repro.frontend import parse_and_analyze
+
+
+def run(source):
+    return run_source(source)
+
+
+def out_of(body, prelude=""):
+    machine = run(f"{prelude}\nint main(void) {{ {body} return 0; }}")
+    return machine.output
+
+
+def one_int(expr, prelude="", setup=""):
+    return int(out_of(f"{setup} print_int({expr});", prelude)[0])
+
+
+class TestIntegerArithmetic:
+    def test_division_truncates_toward_zero(self):
+        assert one_int("-7 / 2") == -3
+        assert one_int("7 / -2") == -3
+
+    def test_modulo_sign_follows_dividend(self):
+        assert one_int("-7 % 3") == -1
+        assert one_int("7 % -3") == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError, match="division by zero"):
+            run("int main(void) { int z = 0; print_int(1 / z); return 0; }")
+
+    def test_signed_overflow_wraps(self):
+        assert one_int("x + 1", setup="int x = 2147483647;") == -2147483648
+
+    def test_unsigned_wraps(self):
+        assert one_int("(int)(x - 2)", setup="unsigned int x = 1;") == -1
+
+    def test_logical_shift_on_unsigned(self):
+        assert one_int("(int)(x >> 28)",
+                       setup="unsigned int x = 0x80000000;") == 8
+
+    def test_arithmetic_shift_on_signed(self):
+        assert one_int("x >> 1", setup="int x = -8;") == -4
+
+    def test_bitwise_ops(self):
+        assert one_int("(0xF0 | 0x0F) ^ 0xFF") == 0
+        assert one_int("~0") == -1
+
+    def test_short_circuit_and(self):
+        src = """
+        int hits = 0;
+        int bump(void) { hits++; return 1; }
+        int main(void) {
+            int r = 0 && bump();
+            print_int(r); print_int(hits);
+            return 0;
+        }
+        """
+        assert run(src).output == ["0", "0"]
+
+    def test_short_circuit_or(self):
+        src = """
+        int hits = 0;
+        int bump(void) { hits++; return 1; }
+        int main(void) {
+            int r = 1 || bump();
+            print_int(r); print_int(hits);
+            return 0;
+        }
+        """
+        assert run(src).output == ["1", "0"]
+
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_add_matches_python(self, a, b):
+        assert one_int(f"({a}) + ({b})") == a + b
+
+    @given(st.integers(-1000, 1000), st.integers(1, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_divmod_matches_c(self, a, b):
+        q = one_int(f"({a}) / ({b})")
+        r = one_int(f"({a}) % ({b})")
+        assert q == int(a / b)
+        assert r == a - q * b
+
+
+class TestFloats:
+    def test_double_arithmetic(self):
+        assert out_of("print_double(0.5 * 4.0 + 1.0);") == ["3"]
+
+    def test_float_truncation_on_store(self):
+        assert out_of(
+            "float f; f = 0.1; print_int(f == 0.1 ? 1 : 0);"
+        ) == ["0"]
+
+    def test_int_to_double_conversion(self):
+        assert out_of("double d; d = 3; print_double(d / 2);") == ["1.5"]
+
+    def test_double_to_int_truncates(self):
+        assert one_int("(int)2.9") == 2
+        assert one_int("(int)-2.9") == -2
+
+    def test_math_builtins(self):
+        assert out_of("print_double(sqrt(9.0));") == ["3"]
+        assert out_of("print_double(pow(2.0, 10.0));") == ["1024"]
+        assert out_of("print_double(fabs(-2.5));") == ["2.5"]
+
+
+class TestControlFlow:
+    def test_for_loop_sum(self):
+        assert one_int(
+            "acc", setup="int i; int acc = 0; for (i=1;i<=10;i++) acc += i;"
+        ) == 55
+
+    def test_while_with_break(self):
+        body = "int i = 0; while (1) { i++; if (i == 5) break; }"
+        assert one_int("i", setup=body) == 5
+
+    def test_continue_skips(self):
+        body = ("int i; int acc = 0; for (i=0;i<10;i++) "
+                "{ if (i % 2) continue; acc += i; }")
+        assert one_int("acc", setup=body) == 20
+
+    def test_do_while_runs_once(self):
+        assert one_int("n", setup="int n = 0; do n++; while (0);") == 1
+
+    def test_nested_break_only_inner(self):
+        body = ("int i; int j; int acc = 0;"
+                "for (i=0;i<3;i++) { for (j=0;j<10;j++) "
+                "{ if (j==2) break; acc++; } }")
+        assert one_int("acc", setup=body) == 6
+
+    def test_recursion(self):
+        src = """
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main(void) { print_int(fib(12)); return 0; }
+        """
+        assert run(src).output == ["144"]
+
+    def test_stack_overflow_detected(self):
+        src = "int f(int n) { return f(n); } int main(void) { return f(1); }"
+        with pytest.raises(InterpError, match="stack overflow"):
+            run(src)
+
+    def test_exit_builtin(self):
+        machine = run(
+            "int main(void) { print_int(1); exit(7); print_int(2); return 0; }"
+        )
+        assert machine.exit_code == 7 and machine.output == ["1"]
+
+
+class TestPointersAndMemory:
+    def test_address_of_and_deref(self):
+        assert one_int("*p", setup="int x = 9; int *p = &x;") == 9
+
+    def test_write_through_pointer(self):
+        assert one_int("x", setup="int x = 1; int *p = &x; *p = 42;") == 42
+
+    def test_pointer_arithmetic_scales(self):
+        setup = "int a[4]; int *p = a; a[2] = 7;"
+        assert one_int("*(p + 2)", setup=setup) == 7
+
+    def test_pointer_difference(self):
+        setup = "int a[8]; int *p = &a[6]; int *q = &a[1];"
+        assert one_int("(int)(p - q)", setup=setup) == 5
+
+    def test_pointer_compound_assignment(self):
+        setup = "int a[4]; int *p = a; a[3] = 5; p += 3;"
+        assert one_int("*p", setup=setup) == 5
+
+    def test_pointer_increment_walks_elements(self):
+        setup = ("int a[3]; int *p = a; a[0]=1; a[1]=2; a[2]=3;"
+                 "int s = 0; int i; for (i=0;i<3;i++) { s += *p; p++; }")
+        assert one_int("s", setup=setup) == 6
+
+    def test_null_dereference_raises(self):
+        with pytest.raises(MemoryError_, match="NULL"):
+            run("int main(void) { int *p = 0; return *p; }")
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(MemoryError_):
+            run("int main(void) { int *p = (int*)malloc(8);"
+                " p[5] = 1; return 0; }")
+
+    def test_use_after_free_raises(self):
+        with pytest.raises(MemoryError_):
+            run("int main(void) { int *p = (int*)malloc(8); free(p);"
+                " return p[0]; }")
+
+    def test_double_free_raises(self):
+        with pytest.raises(MemoryError_):
+            run("int main(void) { int *p = (int*)malloc(8); free(p);"
+                " free(p); return 0; }")
+
+    def test_free_null_ok(self):
+        run("int main(void) { free(0); return 0; }")
+
+    def test_realloc_preserves_prefix(self):
+        setup = ("int *p = (int*)malloc(2 * sizeof(int)); p[0]=1; p[1]=2;"
+                 "p = (int*)realloc(p, 4 * sizeof(int)); p[3] = 4;")
+        assert one_int("p[0] + p[1] + p[3]", setup=setup) == 7
+
+    def test_calloc_zeroes(self):
+        setup = "int *p = (int*)calloc(4, sizeof(int));"
+        assert one_int("p[0] + p[3]", setup=setup) == 0
+
+    def test_recast_short_int_little_endian(self):
+        """The bzip2 zptr pattern: byte-accurate layout."""
+        setup = ("int *zp = (int*)malloc(8); short *sp = (short*)zp;"
+                 "zp[0] = 0x00020001;")
+        assert one_int("sp[0]", setup=setup) == 1
+        assert one_int("sp[1]", setup=setup) == 2
+
+    def test_recast_write_short_read_int(self):
+        setup = ("int *zp = (int*)malloc(4); short *sp = (short*)zp;"
+                 "sp[0] = 3; sp[1] = 4;")
+        assert one_int("zp[0]", setup=setup) == 3 + (4 << 16)
+
+    def test_char_array_and_strlen(self):
+        setup = 'char s[8]; memcpy(s, "abc", 4);'
+        assert one_int("(int)strlen(s)", setup=setup) == 3
+
+    def test_memset_fills(self):
+        setup = "int a[4]; memset(a, 0xFF, sizeof(a));"
+        assert one_int("a[3]", setup=setup) == -1
+
+
+class TestStructs:
+    PRELUDE = "struct pt { int x; int y; };"
+
+    def test_member_assignment(self):
+        assert one_int("p.x + p.y", self.PRELUDE,
+                       "struct pt p; p.x = 3; p.y = 4;") == 7
+
+    def test_struct_copy_by_value(self):
+        setup = "struct pt a; struct pt b; a.x = 1; a.y = 2; b = a; a.x = 99;"
+        assert one_int("b.x + b.y", self.PRELUDE, setup) == 3
+
+    def test_struct_passed_by_value(self):
+        src = self.PRELUDE + """
+        int sum(struct pt p) { p.x = 99; return p.x + p.y; }
+        int main(void) {
+            struct pt a; a.x = 1; a.y = 5;
+            print_int(sum(a));
+            print_int(a.x);
+            return 0;
+        }
+        """
+        assert run(src).output == ["104", "1"]
+
+    def test_arrow_through_malloc(self):
+        setup = ("struct pt *p = (struct pt*)malloc(sizeof(struct pt));"
+                 "p->x = 10; p->y = 20;")
+        assert one_int("p->x + p->y", self.PRELUDE, setup) == 30
+
+    def test_linked_list_walk(self):
+        src = """
+        struct n { int v; struct n *next; };
+        int main(void) {
+            struct n *head = 0;
+            int i;
+            for (i = 0; i < 5; i++) {
+                struct n *x = (struct n*)malloc(sizeof(struct n));
+                x->v = i; x->next = head; head = x;
+            }
+            int s = 0;
+            while (head) { s = s * 10 + head->v; head = head->next; }
+            print_int(s);
+            return 0;
+        }
+        """
+        assert run(src).output == ["43210"]
+
+    def test_array_of_structs(self):
+        setup = ("struct pt a[3]; int i;"
+                 "for (i=0;i<3;i++) { a[i].x = i; a[i].y = i * 10; }")
+        assert one_int("a[2].x + a[2].y", self.PRELUDE, setup) == 22
+
+    def test_struct_return_value(self):
+        src = self.PRELUDE + """
+        struct pt make(int x, int y) {
+            struct pt p; p.x = x; p.y = y; return p;
+        }
+        int main(void) {
+            struct pt q; q = make(4, 5);
+            print_int(q.x * 10 + q.y);
+            return 0;
+        }
+        """
+        assert run(src).output == ["45"]
+
+
+class TestGlobalsAndInit:
+    def test_global_initializers_order(self):
+        src = "int a = 3; int b = 4; int main(void) { return 0; }"
+        machine = run(src)
+        assert machine.exit_code == 0
+
+    def test_global_array_init(self):
+        assert one_int("w[0] + w[3]", "int w[4] = {1, 2, 3, 4};") == 5
+
+    def test_global_struct_init(self):
+        assert one_int(
+            "g.x * 10 + g.y",
+            "struct pt { int x; int y; }; struct pt g = {7, 8};",
+        ) == 78
+
+    def test_global_double_array(self):
+        assert out_of(
+            "print_double(w[1]);", "double w[2] = {0.25, 0.75};"
+        ) == ["0.75"]
+
+    def test_uninitialized_global_is_zero(self):
+        assert one_int("g", "int g;") == 0
+
+    def test_string_literal(self):
+        assert out_of('print_str("hello world");') == ["hello world"]
+
+
+class TestVLA:
+    def test_vla_allocation_and_access(self):
+        """The machinery behind Table 1's local expansion."""
+        from repro.frontend import ast as A
+        program, sema = parse_and_analyze(
+            "int main(void) { int k; k = 3; print_int(k); return 0; }"
+        )
+        # manually convert k to a VLA of __nthreads copies, like expand.py
+        machine = Machine(program, sema)
+        machine.nthreads = 4
+        machine.run()
+        assert machine.output == ["3"]
+
+
+class TestCostModel:
+    def test_cycles_accumulate(self):
+        machine = run("int main(void) { int i; int s = 0;"
+                      " for (i=0;i<100;i++) s += i; return s; }")
+        assert machine.cost.cycles > 100
+        assert machine.cost.instructions > 300
+
+    def test_memory_loads_counted(self):
+        machine = run("int main(void) { int *p = (int*)malloc(40); int i;"
+                      " for (i=0;i<10;i++) p[i] = i;"
+                      " int s = 0; for (i=0;i<10;i++) s += p[i];"
+                      " return s; }")
+        assert machine.cost.loads >= 10
+        assert machine.cost.stores >= 10
+
+    def test_register_slots_not_counted_as_memory(self):
+        machine = run("int main(void) { int a = 0; int i;"
+                      " for (i=0;i<50;i++) a += 2; return a; }")
+        # local scalar traffic stays out of the load/store counters
+        assert machine.cost.loads < 10

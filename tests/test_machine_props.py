@@ -1,0 +1,148 @@
+"""Property-based differential testing of expression evaluation: random
+MiniC integer expressions are evaluated by the machine and by a Python
+oracle implementing C's wrap/truncate semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend.ctypes import INT
+from repro.interp import run_source
+
+
+class Lit:
+    def __init__(self, value):
+        self.value = INT.wrap(value)
+
+    def render(self):
+        # negative literals parenthesized to survive unary parsing
+        return f"({self.value})" if self.value < 0 else str(self.value)
+
+    def eval(self):
+        return self.value
+
+
+class Bin:
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def render(self):
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+    def eval(self):
+        a = self.left.eval()
+        b = self.right.eval()
+        if a is None or b is None:
+            return None  # poisoned subtree (div-by-zero/negative shift)
+        if self.op == "+":
+            return INT.wrap(a + b)
+        if self.op == "-":
+            return INT.wrap(a - b)
+        if self.op == "*":
+            return INT.wrap(a * b)
+        if self.op == "/":
+            if b == 0:
+                return None
+            q = abs(a) // abs(b)
+            return INT.wrap(-q if (a < 0) != (b < 0) else q)
+        if self.op == "%":
+            if b == 0:
+                return None
+            q = abs(a) // abs(b)
+            q = -q if (a < 0) != (b < 0) else q
+            return INT.wrap(a - q * b)
+        if self.op == "&":
+            return INT.wrap(a & b)
+        if self.op == "|":
+            return INT.wrap(a | b)
+        if self.op == "^":
+            return INT.wrap(a ^ b)
+        if self.op == "<<":
+            return INT.wrap(a << (b & 63)) if b >= 0 else None
+        if self.op == ">>":
+            return INT.wrap(a >> (b & 63)) if b >= 0 else None
+        if self.op == "<":
+            return 1 if a < b else 0
+        if self.op == "==":
+            return 1 if a == b else 0
+        raise AssertionError(self.op)
+
+
+OPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "<", "=="]
+
+
+def expr_strategy(depth=3):
+    leaf = st.integers(-2**31, 2**31 - 1).map(Lit)
+    if depth == 0:
+        return leaf
+    sub = expr_strategy(depth - 1)
+    node = st.builds(Bin, st.sampled_from(OPS), sub, sub)
+    return st.one_of(leaf, node)
+
+
+class TestExpressionOracle:
+    @given(expr_strategy())
+    @settings(max_examples=120, deadline=None)
+    def test_machine_matches_oracle(self, tree):
+        expected = tree.eval()
+        if expected is None:
+            return  # division by zero somewhere: skip
+        source = (
+            f"int main(void) {{ int r = {tree.render()};"
+            f" print_int(r); return 0; }}"
+        )
+        machine = run_source(source)
+        assert machine.output == [str(expected)], tree.render()
+
+    @given(st.integers(-2**31, 2**31 - 1), st.integers(-2**31, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_commutativity_of_wrapping_ops(self, a, b):
+        def run_one(expr):
+            return run_source(
+                f"int main(void) {{ print_int({expr}); return 0; }}"
+            ).output[0]
+
+        la = f"({a})" if a < 0 else str(a)
+        lb = f"({b})" if b < 0 else str(b)
+        for op in ("+", "*", "&", "|", "^"):
+            assert run_one(f"{la} {op} {lb}") == run_one(f"{lb} {op} {la}")
+
+    @given(st.integers(-10**9, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_negation_involution(self, a):
+        lit = f"({a})" if a < 0 else str(a)
+        machine = run_source(
+            f"int main(void) {{ int x = {lit}; print_int(-(-x));"
+            f" return 0; }}"
+        )
+        assert machine.output == [str(INT.wrap(a))]
+
+
+class TestMemoryRoundtripProps:
+    @given(st.lists(st.integers(-2**31, 2**31 - 1), min_size=1,
+                    max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_array_store_load_roundtrip(self, values):
+        n = len(values)
+        stores = " ".join(
+            f"a[{i}] = ({v});" for i, v in enumerate(values)
+        )
+        prints = " ".join(f"print_int(a[{i}]);" for i in range(n))
+        machine = run_source(
+            f"int main(void) {{ int a[{n}]; {stores} {prints} return 0; }}"
+        )
+        assert machine.output == [str(INT.wrap(v)) for v in values]
+
+    @given(st.lists(st.integers(-128, 127), min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_char_narrowing(self, values):
+        n = len(values)
+        stores = " ".join(
+            f"c[{i}] = ({v});" for i, v in enumerate(values)
+        )
+        prints = " ".join(f"print_int(c[{i}]);" for i in range(n))
+        machine = run_source(
+            f"int main(void) {{ char c[{n}]; {stores} {prints}"
+            f" return 0; }}"
+        )
+        assert machine.output == [str(v) for v in values]

@@ -1,0 +1,237 @@
+"""Memory model unit + property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.interp.memory import (
+    GLOBAL, HEAP, Memory, MemoryError_, STACK,
+)
+
+
+class TestAllocation:
+    def test_alloc_returns_aligned_nonnull(self):
+        mem = Memory()
+        addr = mem.alloc(10)
+        assert addr >= 4096 and addr % 8 == 0
+
+    def test_distinct_allocations_disjoint(self):
+        mem = Memory()
+        a = mem.alloc(16)
+        b = mem.alloc(16)
+        assert b >= a + 16 or a >= b + 16
+
+    def test_zero_size_allocation_gets_a_byte(self):
+        mem = Memory()
+        addr = mem.alloc(0)
+        assert mem.find(addr).size == 1
+
+    def test_negative_size_raises(self):
+        with pytest.raises(MemoryError_):
+            Memory().alloc(-1)
+
+    def test_find_interior_address(self):
+        mem = Memory()
+        addr = mem.alloc(32)
+        record = mem.find(addr + 17)
+        assert record is not None and record.addr == addr
+
+    def test_find_outside_returns_none(self):
+        mem = Memory()
+        mem.alloc(8)
+        assert mem.find(10) is None  # inside the null guard page
+
+    def test_labels_and_tags(self):
+        mem = Memory()
+        addr = mem.alloc(8, HEAP, label="zptr", tag=1234)
+        record = mem.find(addr)
+        assert record.label == "zptr" and record.tag == 1234
+
+
+class TestFree:
+    def test_free_marks_dead(self):
+        mem = Memory()
+        addr = mem.alloc(8)
+        mem.free(addr)
+        assert not mem.find(addr).live
+
+    def test_free_interior_raises(self):
+        mem = Memory()
+        addr = mem.alloc(16)
+        with pytest.raises(MemoryError_):
+            mem.free(addr + 4)
+
+    def test_free_of_global_raises(self):
+        mem = Memory()
+        addr = mem.alloc(8, GLOBAL)
+        with pytest.raises(MemoryError_):
+            mem.free(addr)
+
+    def test_free_null_is_noop(self):
+        Memory().free(0)
+
+    def test_heap_address_reuse(self):
+        """Deliberate fidelity: freed heap addresses are reused
+        (same-size first), which is what creates the loop-carried
+        dependences of the paper's dijkstra story."""
+        mem = Memory()
+        a = mem.alloc(24, HEAP)
+        mem.free(a)
+        b = mem.alloc(24, HEAP)
+        assert b == a
+
+    def test_reuse_requires_same_size(self):
+        mem = Memory()
+        a = mem.alloc(24, HEAP)
+        mem.free(a)
+        b = mem.alloc(32, HEAP)
+        assert b != a
+
+    def test_reused_block_zeroed(self):
+        mem = Memory()
+        a = mem.alloc(8, HEAP)
+        mem.write_bytes(a, b"\xff" * 8)
+        mem.free(a)
+        b = mem.alloc(8, HEAP)
+        assert mem.read_bytes(b, 8) == b"\0" * 8
+
+    def test_stack_release(self):
+        mem = Memory()
+        addr = mem.alloc(8, STACK)
+        record = mem.find(addr)
+        mem.release_stack([record])
+        assert not record.live
+
+
+class TestRealloc:
+    def test_realloc_grows_and_copies(self):
+        mem = Memory()
+        addr = mem.alloc(8, HEAP)
+        mem.write_bytes(addr, b"12345678")
+        new = mem.realloc(addr, 16)
+        assert mem.read_bytes(new, 8) == b"12345678"
+        assert not mem.find(addr).live or new == addr
+
+    def test_realloc_null_is_malloc(self):
+        mem = Memory()
+        addr = mem.realloc(0, 8)
+        assert mem.find(addr).live
+
+    def test_realloc_shrinks(self):
+        mem = Memory()
+        addr = mem.alloc(16, HEAP)
+        mem.write_bytes(addr, b"abcdefghijklmnop")
+        new = mem.realloc(addr, 4)
+        assert mem.read_bytes(new, 4) == b"abcd"
+
+
+class TestAccessChecking:
+    def test_valid_access(self):
+        mem = Memory()
+        addr = mem.alloc(8)
+        assert mem.check_access(addr, 8).addr == addr
+
+    def test_overrun_raises(self):
+        mem = Memory()
+        addr = mem.alloc(8)
+        with pytest.raises(MemoryError_, match="out-of-bounds"):
+            mem.check_access(addr + 4, 8)
+
+    def test_null_raises(self):
+        with pytest.raises(MemoryError_, match="NULL"):
+            Memory().check_access(0, 1)
+
+    def test_dead_block_raises(self):
+        mem = Memory()
+        addr = mem.alloc(8, HEAP)
+        mem.free(addr)
+        with pytest.raises(MemoryError_, match="use-after-free"):
+            mem.check_access(addr, 1)
+
+    def test_straddling_allocations_raises(self):
+        mem = Memory()
+        a = mem.alloc(8)
+        mem.alloc(8)
+        with pytest.raises(MemoryError_):
+            mem.check_access(a + 4, 8)
+
+
+class TestAccounting:
+    def test_live_bytes_tracks_alloc_free(self):
+        mem = Memory()
+        addr = mem.alloc(100, HEAP)
+        assert mem.live_bytes[HEAP] == 100
+        mem.free(addr)
+        assert mem.live_bytes[HEAP] == 0
+
+    def test_peak_persists_after_free(self):
+        mem = Memory()
+        a = mem.alloc(64, HEAP)
+        mem.free(a)
+        mem.alloc(8, HEAP)
+        assert mem.peak_bytes[HEAP] == 64
+
+    def test_footprint_excludes_stack(self):
+        mem = Memory()
+        mem.alloc(1000, STACK)
+        mem.alloc(10, HEAP)
+        mem.alloc(20, GLOBAL)
+        assert mem.peak_footprint() == 30
+
+    def test_scalar_roundtrip(self):
+        mem = Memory()
+        addr = mem.alloc(8)
+        mem.write_scalar(addr, "i", -12345)
+        assert mem.read_scalar(addr, "i", 4) == -12345
+        mem.write_scalar(addr, "d", 2.75)
+        assert mem.read_scalar(addr, "d", 8) == 2.75
+
+    def test_cstring(self):
+        mem = Memory()
+        addr = mem.alloc(8)
+        mem.write_bytes(addr, b"hi\0rest!")
+        assert mem.read_cstring(addr) == "hi"
+
+
+@st.composite
+def alloc_free_script(draw):
+    """A sequence of alloc(size)/free(handle) operations."""
+    ops = []
+    live = 0
+    for _ in range(draw(st.integers(1, 30))):
+        if live and draw(st.booleans()):
+            ops.append(("free", draw(st.integers(0, live - 1))))
+        else:
+            ops.append(("alloc", draw(st.integers(1, 256))))
+            live += 1
+    return ops
+
+
+class TestProperties:
+    @given(alloc_free_script())
+    @settings(max_examples=60, deadline=None)
+    def test_alloc_free_invariants(self, script):
+        """Live allocations never overlap; accounting matches; reuse
+        never hands out a block that is still live."""
+        mem = Memory()
+        handles = []
+        freed = set()
+        for op, arg in script:
+            if op == "alloc":
+                addr = mem.alloc(arg, HEAP)
+                record = mem.find(addr)
+                assert record.live and record.addr == addr
+                handles.append(addr)
+            else:
+                if arg in freed or handles[arg] in freed:
+                    continue
+                target = handles[arg]
+                if mem.find(target).live and mem.find(target).addr == target:
+                    mem.free(target)
+                    freed.add(target)
+        live = mem.live_allocations(HEAP)
+        # pairwise disjoint
+        spans = sorted((a.addr, a.end) for a in live)
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        assert mem.live_bytes[HEAP] == sum(a.size for a in live)
+        assert mem.peak_bytes[HEAP] >= mem.live_bytes[HEAP]

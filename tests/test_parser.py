@@ -1,0 +1,243 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.frontend import ast, parse
+from repro.frontend.ctypes import ArrayType, IntType, PointerType, StructType
+from repro.frontend.parser import ParseError
+
+
+def parse_expr(text):
+    program = parse(f"int main(void) {{ x = {text}; return 0; }}")
+    stmt = program.function("main").body.stmts[0]
+    return stmt.expr.value
+
+
+def parse_stmts(body):
+    program = parse(f"int main(void) {{ {body} }}")
+    return program.function("main").body.stmts
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        decl = next(parse("int a;").globals())
+        assert decl.name == "a" and decl.ctype == IntType("int")
+
+    def test_global_with_init(self):
+        decl = next(parse("int a = 5;").globals())
+        assert isinstance(decl.init, ast.IntLit) and decl.init.value == 5
+
+    def test_pointer_declarator(self):
+        decl = next(parse("int **pp;").globals())
+        assert decl.ctype == PointerType(PointerType(IntType("int")))
+
+    def test_array_declarator(self):
+        decl = next(parse("int a[3][4];").globals())
+        assert decl.ctype == ArrayType(ArrayType(IntType("int"), 4), 3)
+
+    def test_multi_declarator_line(self):
+        decls = list(parse("int a, *b, c[2];").globals())
+        assert [d.name for d in decls] == ["a", "b", "c"]
+        assert decls[1].ctype.is_pointer and decls[2].ctype.is_array
+
+    def test_unsigned_types(self):
+        decl = next(parse("unsigned char a;").globals())
+        assert decl.ctype == IntType("char", signed=False)
+
+    def test_bare_unsigned_is_unsigned_int(self):
+        decl = next(parse("unsigned a;").globals())
+        assert decl.ctype == IntType("int", signed=False)
+
+    def test_struct_definition(self):
+        program = parse("struct s { int a; double b; };")
+        sdecl = program.decls[0]
+        assert isinstance(sdecl, ast.StructDecl)
+        assert sdecl.struct_type.field("b").offset == 8
+
+    def test_recursive_struct(self):
+        program = parse("struct n { int v; struct n *next; };")
+        stype = program.decls[0].struct_type
+        assert stype.field("next").type.pointee is stype
+
+    def test_brace_initializer(self):
+        decl = next(parse("int a[3] = {1, 2, 3};").globals())
+        assert [i.value for i in decl.init] == [1, 2, 3]
+
+    def test_nested_brace_initializer(self):
+        decl = next(parse("int a[2][2] = {{1, 2}, {3, 4}};").globals())
+        assert decl.init[1][0].value == 3
+
+    def test_function_prototype(self):
+        program = parse("int f(int a, double b);")
+        fn = program.decls[0]
+        assert fn.body is None and len(fn.params) == 2
+
+    def test_array_param_decays(self):
+        program = parse("void f(int a[10]) { }")
+        assert program.decls[0].params[0].ctype.is_pointer
+
+    def test_void_param_list(self):
+        assert parse("int f(void) { return 0; }").decls[0].params == []
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        e = parse_expr("1 << 2 + 3")
+        assert e.op == "<<" and e.right.op == "+"
+
+    def test_parentheses_override(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_logical_lowest(self):
+        e = parse_expr("a == 1 && b < 2")
+        assert e.op == "&&"
+
+    def test_assignment_right_associative(self):
+        stmts = parse_stmts("a = b = 1;")
+        inner = stmts[0].expr.value
+        assert isinstance(inner, ast.Assign)
+
+    def test_ternary(self):
+        e = parse_expr("a ? b : c")
+        assert isinstance(e, ast.Cond)
+
+    def test_nested_ternary_right_assoc(self):
+        e = parse_expr("a ? b : c ? d : e")
+        assert isinstance(e.els, ast.Cond)
+
+    def test_unary_chain(self):
+        e = parse_expr("-*&a")
+        assert e.op == "-" and e.operand.op == "*" and \
+            e.operand.operand.op == "&"
+
+    def test_postfix_chain(self):
+        e = parse_expr("a.b[1]->c")
+        assert isinstance(e, ast.Member) and e.arrow
+        assert isinstance(e.base, ast.Index)
+
+    def test_postincrement(self):
+        e = parse_expr("a++")
+        assert e.op == "p++"
+
+    def test_cast(self):
+        e = parse_expr("(struct s*)p")
+        assert isinstance(e, ast.Cast) and e.to_type.is_pointer
+
+    def test_cast_binds_tighter_than_mul(self):
+        e = parse_expr("(int)a * b")
+        assert e.op == "*" and isinstance(e.left, ast.Cast)
+
+    def test_sizeof_type(self):
+        e = parse_expr("sizeof(int)")
+        assert isinstance(e, ast.SizeofType)
+
+    def test_sizeof_expr(self):
+        e = parse_expr("sizeof(*p)")
+        assert isinstance(e, ast.SizeofExpr)
+
+    def test_sizeof_pointer_type(self):
+        e = parse_expr("sizeof(struct s*)")
+        assert isinstance(e, ast.SizeofType) and e.of_type.is_pointer
+
+    def test_call_with_args(self):
+        e = parse_expr("f(1, a + 2)")
+        assert isinstance(e, ast.Call) and len(e.args) == 2
+
+    def test_comma_in_parens(self):
+        e = parse_expr("(a, b)")
+        assert isinstance(e, ast.Comma)
+
+    def test_comma_not_splitting_call_args(self):
+        e = parse_expr("f(a, b)")
+        assert len(e.args) == 2
+
+
+class TestStatements:
+    def test_if_else(self):
+        (stmt,) = parse_stmts("if (a) b = 1; else b = 2;")
+        assert isinstance(stmt, ast.If) and stmt.els is not None
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = parse_stmts("if (a) if (b) c = 1; else c = 2;")
+        assert stmt.els is None and stmt.then.els is not None
+
+    def test_while(self):
+        (stmt,) = parse_stmts("while (a) a = a - 1;")
+        assert isinstance(stmt, ast.While)
+
+    def test_do_while(self):
+        (stmt,) = parse_stmts("do a = 1; while (a < 3);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_for_full(self):
+        (stmt,) = parse_stmts("for (i = 0; i < 3; i++) x = i;")
+        assert isinstance(stmt, ast.For) and stmt.init is not None
+
+    def test_for_with_decl(self):
+        (stmt,) = parse_stmts("for (int i = 0; i < 3; i++) x = i;")
+        assert isinstance(stmt.init, ast.DeclStmt)
+
+    def test_for_empty_clauses(self):
+        (stmt,) = parse_stmts("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_break_continue(self):
+        stmts = parse_stmts("while (1) { break; } while (1) { continue; }")
+        assert isinstance(stmts[0].body.stmts[0], ast.Break)
+        assert isinstance(stmts[1].body.stmts[0], ast.Continue)
+
+    def test_empty_statement(self):
+        (stmt,) = parse_stmts(";")
+        assert isinstance(stmt, ast.Block) and not stmt.stmts
+
+    def test_loop_label(self):
+        (stmt,) = parse_stmts("L1: while (1) break;")
+        assert stmt.label == "L1"
+
+    def test_loop_pragma(self):
+        stmts = parse_stmts(
+            "#pragma expand parallel(doacross)\nL: while (1) break;"
+        )
+        assert stmts[0].pragmas == ["expand parallel(doacross)"]
+
+    def test_label_on_non_loop_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmts("L: x = 1;")
+
+    def test_find_loop_by_label(self):
+        program = parse(
+            "int main(void) { int i; A: for (i=0;i<2;i++) { } return 0; }"
+        )
+        assert ast.find_loop(program, "A").label == "A"
+        with pytest.raises(KeyError):
+            ast.find_loop(program, "missing")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "int main(void) { return 0 }",       # missing semicolon
+        "int main(void) { if a) x = 1; }",   # missing paren
+        "int = 3;",                          # missing name
+        "int main(void) { x = ; }",          # missing expression
+        "struct { int a; } x;",              # anonymous struct unsupported
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+
+class TestNodeInfrastructure:
+    def test_unique_node_ids(self):
+        program = parse("int main(void) { int a = 1 + 2; return a; }")
+        nids = [n.nid for n in program.walk()]
+        assert len(nids) == len(set(nids))
+
+    def test_walk_covers_children(self):
+        program = parse("int main(void) { if (1) { x = 2; } return 0; }")
+        kinds = {type(n).__name__ for n in program.walk()}
+        assert {"Program", "FunctionDef", "Block", "If", "Assign"} <= kinds

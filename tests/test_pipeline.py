@@ -1,0 +1,302 @@
+"""End-to-end pipeline tests on the paper's own examples: Figure 1
+(bzip2's zptr), Figure 3 (hmmer's two-site mx), plus pipeline plumbing
+(origins, serial-statement planning, expansion-source modes)."""
+
+import pytest
+
+from repro.frontend import ast, parse_and_analyze, print_program
+from repro.interp import Machine
+from repro.runtime import run_parallel
+from repro.transform import DOACROSS, DOALL, expand_for_threads
+from repro.transform.pipeline import parse_loop_kind
+from repro.transform.rewrite import origin_of
+
+FIGURE1 = """
+int results[6];
+int main(void) {
+    int m = 12;
+    int b;
+    int k;
+    int blk;
+    int *zptr = (int*)malloc(sizeof(int) * m);
+    #pragma expand parallel(doall)
+    L: for (blk = 0; blk < 6; blk++) {
+        for (k = 0; k < m; k++) zptr[k] = blk * 100 + k;  // initialize
+        b = 0;
+        for (k = 0; k < m; k++) b += zptr[k];
+        results[blk] = b;
+    }
+    for (k = 0; k < 6; k++) print_int(results[k]);
+    return 0;
+}
+"""
+
+FIGURE3 = """
+int out[6];
+int main(void) {
+    int it;
+    int k;
+    int m1 = 40;
+    int m2 = 24;
+    int n;
+    int *mx;
+    #pragma expand parallel(doall)
+    L: for (it = 0; it < 6; it++) {
+        if (it % 2) {
+            mx = (int*)malloc(m1);
+            n = 10;
+        } else {
+            mx = (int*)malloc(m2);
+            n = 6;
+        }
+        for (k = 0; k < n; k++) mx[k] = it * 10 + k;
+        out[it] = mx[n - 1];
+        free(mx);
+    }
+    for (k = 0; k < 6; k++) print_int(out[k]);
+    return 0;
+}
+"""
+
+
+def run_both(source, labels=("L",), **kw):
+    program, sema = parse_and_analyze(source)
+    base = Machine(program, sema)
+    base.run()
+    result = expand_for_threads(program, sema, list(labels), **kw)
+    return program, sema, base, result
+
+
+class TestFigure1:
+    def test_transformed_shape(self):
+        _, _, base, result = run_both(FIGURE1)
+        text = print_program(result.program)
+        # malloc enlarged by N
+        assert "* m * __nthreads)" in text
+        # span records the original size
+        assert "zptr.span = sizeof(int) * m;" in text
+        # private dereferences redirected by tid*span
+        assert "__tid * zptr.span / 4" in text
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_parallel_equivalent(self, n):
+        _, _, base, result = run_both(FIGURE1)
+        outcome = run_parallel(result, n)
+        assert outcome.output == base.output and not outcome.races
+
+    def test_zptr_variable_itself_shared(self):
+        """zptr is assigned before the loop and only read inside: the
+        pointer variable is a shared access; only the chunk expands."""
+        _, _, _, result = run_both(FIGURE1)
+        expanded_names = {
+            ev.decl.name for ev in result.expansion.expanded_vars.values()
+        }
+        assert "zptr" not in expanded_names
+        assert len(result.expansion.expanded_alloc_origins) == 1
+
+
+class TestFigure3:
+    def test_two_malloc_sites_expanded(self):
+        _, _, _, result = run_both(FIGURE3)
+        assert len(result.expansion.expanded_alloc_origins) == 2
+
+    def test_spans_stay_dynamic(self):
+        """m1 != m2, so no constant span can be substituted — exactly
+        why the paper needs runtime spans here."""
+        _, _, _, result = run_both(FIGURE3)
+        assert result.redirect_stats.dynamic_span > 0
+
+    def test_mx_pointer_variable_is_expanded(self):
+        """mx is written each iteration before use: the pointer
+        variable itself is private (scalar expansion of a fat pointer)."""
+        _, _, _, result = run_both(FIGURE3)
+        expanded_names = {
+            ev.decl.name for ev in result.expansion.expanded_vars.values()
+        }
+        assert "mx" in expanded_names
+
+    @pytest.mark.parametrize("n", [1, 3, 8])
+    def test_parallel_equivalent(self, n):
+        _, _, base, result = run_both(FIGURE3)
+        outcome = run_parallel(result, n)
+        assert outcome.output == base.output and not outcome.races
+
+
+class TestPipelinePlumbing:
+    def test_origin_tracking_to_candidate_loop(self):
+        program, sema, _, result = run_both(FIGURE1)
+        orig_loop = ast.find_loop(program, "L")
+        assert origin_of(result.loops[0].loop) == orig_loop.nid
+
+    def test_loop_kind_from_pragma(self):
+        program, _ = parse_and_analyze(FIGURE1)
+        assert parse_loop_kind(ast.find_loop(program, "L")) == DOALL
+
+    def test_doacross_kind(self):
+        src = FIGURE1.replace("parallel(doall)", "parallel(doacross)")
+        program, _ = parse_and_analyze(src)
+        assert parse_loop_kind(ast.find_loop(program, "L")) == DOACROSS
+
+    def test_expansion_source_profile_matches_static(self):
+        _, _, base1, r_static = run_both(FIGURE1, expansion_source="static")
+        _, _, base2, r_profile = run_both(FIGURE1, expansion_source="profile")
+        assert (len(r_static.expansion.expanded_alloc_origins)
+                == len(r_profile.expansion.expanded_alloc_origins))
+        m = Machine(r_profile.program, r_profile.sema)
+        m.nthreads = 1
+        m.run()
+        assert m.output == base2.output
+
+    def test_serial_statements_detected_for_doacross(self):
+        src = """
+        int acc;
+        int scratch[4];
+        int out[6];
+        int main(void) {
+            int i; int k;
+            #pragma expand parallel(doacross)
+            L: for (i = 0; i < 6; i++) {
+                for (k = 0; k < 4; k++) scratch[k] = i + k;
+                out[i] = scratch[3];
+                acc = acc * 3 + out[i];
+            }
+            print_int(acc);
+            return 0;
+        }
+        """
+        _, _, base, result = run_both(src)
+        tl = result.loops[0]
+        assert tl.kind == DOACROSS
+        assert len(tl.serial_stmt_origins) == 1  # only the acc update
+        outcome = run_parallel(result, 4)
+        assert outcome.output == base.output
+
+    def test_num_privatized_counts_structures(self):
+        _, _, _, result = run_both(FIGURE1)
+        # the zptr chunk is the only aggregate; b/k are scalars
+        assert result.num_privatized == 1
+        assert result.expansion.num_scalars >= 2
+
+    def test_table2_stats_recorded(self):
+        _, _, _, result = run_both(FIGURE1)
+        assert result.redirect_stats.redirected >= 2
+
+    def test_multiple_candidate_loops(self):
+        src = """
+        int buf[4];
+        int outa[4];
+        int outb[4];
+        int main(void) {
+            int i; int k;
+            #pragma expand parallel(doall)
+            A: for (i = 0; i < 4; i++) {
+                for (k = 0; k < 4; k++) buf[k] = i;
+                outa[i] = buf[0];
+            }
+            #pragma expand parallel(doall)
+            B: for (i = 0; i < 4; i++) {
+                for (k = 0; k < 4; k++) buf[k] = i * 2;
+                outb[i] = buf[3];
+            }
+            print_int(outa[3] + outb[3]);
+            return 0;
+        }
+        """
+        program, sema, base, result = run_both(src, labels=("A", "B"))
+        assert len(result.loops) == 2
+        outcome = run_parallel(result, 4)
+        assert outcome.output == base.output and not outcome.races
+
+    def test_original_program_unmodified(self):
+        program, sema = parse_and_analyze(FIGURE1)
+        before = print_program(program)
+        expand_for_threads(program, sema, ["L"])
+        assert print_program(program) == before
+
+    def test_unopt_mode_still_correct(self):
+        _, _, base, result = run_both(FIGURE1, optimize=False)
+        for n in (1, 4):
+            outcome = run_parallel(result, n)
+            assert outcome.output == base.output and not outcome.races
+
+    def test_unopt_slower_than_opt(self):
+        _, _, _, r_opt = run_both(FIGURE1, optimize=True)
+        _, _, _, r_unopt = run_both(FIGURE1, optimize=False)
+        def seq_cycles(result):
+            m = Machine(result.program, result.sema)
+            m.nthreads = 1
+            m.run()
+            return m.cost.cycles
+        assert seq_cycles(r_unopt) > seq_cycles(r_opt)
+
+
+class TestInterprocedural:
+    def test_privatization_through_calls(self):
+        src = """
+        int buf[8];
+        int out[5];
+        void fill(int seed) {
+            int k;
+            for (k = 0; k < 8; k++) buf[k] = seed * k;
+        }
+        int take(void) { return buf[7]; }
+        int main(void) {
+            int i;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 5; i++) {
+                fill(i);
+                out[i] = take();
+            }
+            print_int(out[4]);
+            return 0;
+        }
+        """
+        _, _, base, result = run_both(src)
+        outcome = run_parallel(result, 4)
+        assert outcome.output == base.output and not outcome.races
+        names = {
+            ev.decl.name for ev in result.expansion.expanded_vars.values()
+        }
+        assert "buf" in names
+
+    def test_linked_queue_interprocedural(self):
+        """dijkstra's shape in miniature: globals + per-iteration
+        malloc/free through helper functions."""
+        src = """
+        struct q { int v; struct q *next; };
+        struct q *head;
+        int out[6];
+        void push(int v) {
+            struct q *x = (struct q*)malloc(sizeof(struct q));
+            x->v = v;
+            x->next = head;
+            head = x;
+        }
+        int pop_sum(void) {
+            int s = 0;
+            while (head) {
+                struct q *t;
+                t = head;
+                head = head->next;
+                s += t->v;
+                free(t);
+            }
+            return s;
+        }
+        int main(void) {
+            int i;
+            #pragma expand parallel(doall)
+            L: for (i = 0; i < 6; i++) {
+                int j;
+                head = 0;
+                for (j = 0; j <= i; j++) push(j * (i + 1));
+                out[i] = pop_sum();
+            }
+            for (i = 0; i < 6; i++) print_int(out[i]);
+            return 0;
+        }
+        """
+        _, _, base, result = run_both(src)
+        for n in (2, 4, 8):
+            outcome = run_parallel(result, n)
+            assert outcome.output == base.output and not outcome.races

@@ -1,0 +1,116 @@
+"""Printer round-trip tests: printed programs re-parse to behaviourally
+identical programs (checked by running both)."""
+
+import pytest
+
+from repro.bench import all_benchmarks
+from repro.frontend import parse_and_analyze, print_program
+from repro.interp import Machine
+from repro.transform import expand_for_threads
+
+SAMPLES = [
+    # operator precedence / parenthesization
+    """
+    int main(void) {
+        int a = 2; int b = 3; int c = 4;
+        print_int(a + b * c);
+        print_int((a + b) * c);
+        print_int(a << b | c);
+        print_int(a < b == 1);
+        print_int(-a * b);
+        print_int(a - (b - c));
+        print_int(a ? b : c ? 1 : 2);
+        return 0;
+    }
+    """,
+    # declarations, structs, loops
+    """
+    struct p { int x; int y; };
+    int tab[3] = {9, 8, 7};
+    int main(void) {
+        struct p q;
+        int i;
+        q.x = 0;
+        for (i = 0; i < 3; i++) q.x += tab[i];
+        do { q.x--; } while (q.x > 20);
+        while (q.x > 10) { q.x -= 2; }
+        print_int(q.x);
+        return 0;
+    }
+    """,
+    # pointers, casts, sizeof, strings
+    """
+    int main(void) {
+        int *p = (int*)malloc(2 * sizeof(int));
+        short *s = (short*)p;
+        s[1] = 258;
+        print_int(p[0] >> 16);
+        print_str("x\\ny");
+        free(p);
+        return 0;
+    }
+    """,
+]
+
+
+def roundtrip_outputs(source):
+    program, sema = parse_and_analyze(source)
+    m1 = Machine(program, sema)
+    m1.run()
+    printed = print_program(program)
+    program2, sema2 = parse_and_analyze(printed)
+    m2 = Machine(program2, sema2)
+    m2.run()
+    return m1.output, m2.output, printed
+
+
+@pytest.mark.parametrize("source", SAMPLES)
+def test_roundtrip_behaviour(source):
+    out1, out2, _ = roundtrip_outputs(source)
+    assert out1 == out2
+
+
+def test_print_is_idempotent():
+    program, _ = parse_and_analyze(SAMPLES[1])
+    once = print_program(program)
+    program2, _ = parse_and_analyze(once)
+    twice = print_program(program2)
+    assert once == twice
+
+
+@pytest.mark.parametrize(
+    "name", [s.name for s in all_benchmarks()]
+)
+def test_benchmark_kernels_roundtrip(name):
+    from repro.bench import get
+    out1, out2, _ = roundtrip_outputs(get(name).source)
+    assert out1 == out2
+
+
+def test_transformed_program_roundtrips():
+    """Printed transformed code re-parses and still behaves (the VLA
+    syntax, fat structs, and __tid references survive printing)."""
+    source = """
+    int buf[4];
+    int out[3];
+    int main(void) {
+        int i; int k;
+        #pragma expand parallel(doall)
+        L: for (i = 0; i < 3; i++) {
+            for (k = 0; k < 4; k++) buf[k] = i + k;
+            out[i] = buf[3];
+        }
+        print_int(out[2]);
+        return 0;
+    }
+    """
+    program, sema = parse_and_analyze(source)
+    result = expand_for_threads(program, sema, ["L"])
+    printed = print_program(result.program)
+    program2, sema2 = parse_and_analyze(printed)
+    machine = Machine(program2, sema2)
+    machine.nthreads = 1
+    machine.run()
+    base = Machine(program, sema)
+    base.run()
+    assert machine.output == base.output

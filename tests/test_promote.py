@@ -1,0 +1,294 @@
+"""Fat-pointer promotion tests: Figures 5-6 type/reference rules and
+Table 3 span computation, checked row by row."""
+
+import pytest
+
+from repro.frontend import ast, parse_and_analyze, print_program
+from repro.frontend.ctypes import INT, LONG, PointerType, StructType
+from repro.frontend.sema import analyze
+from repro.interp import Machine
+from repro.transform.promote import (
+    PTR_FIELD, PromotionPlan, SPAN_FIELD, TransformError, TypePromoter,
+    promote_program,
+)
+from repro.transform.rewrite import clone_program
+
+
+def promote_all(source, keep_trivial=False):
+    """Promote every pointer in the program; run sema; return pieces."""
+    program, sema = parse_and_analyze(source)
+    clone, _ = clone_program(program)
+    plan = PromotionPlan(promote_all=True)
+    promoter = promote_program(clone, sema, plan,
+                               keep_trivial_spans=keep_trivial)
+    new_sema = analyze(clone)
+    return clone, new_sema, promoter
+
+
+def run_promoted(source, keep_trivial=False):
+    clone, sema, _ = promote_all(source, keep_trivial)
+    machine = Machine(clone, sema)
+    machine.run()
+    return machine
+
+
+def spans_in(source, fn="main", keep_trivial=False):
+    """Texts of all `.span = ...` assignments in a function."""
+    clone, _, _ = promote_all(source, keep_trivial)
+    from repro.frontend.printer import print_expr
+    out = []
+    for node in clone.function(fn).body.walk():
+        if isinstance(node, ast.Assign) and \
+                isinstance(node.target, ast.Member) and \
+                node.target.name == SPAN_FIELD:
+            out.append(print_expr(node))
+    return out
+
+
+class TestTypePromotion:
+    def test_promote_int_is_identity(self):
+        promoter = TypePromoter(PromotionPlan(promote_all=True))
+        assert promoter.promote(INT) is INT
+
+    def test_promote_pointer_is_fat_struct(self):
+        promoter = TypePromoter(PromotionPlan(promote_all=True))
+        fat = promoter.promote(PointerType(INT))
+        assert isinstance(fat, StructType)
+        assert fat.field(PTR_FIELD).type == PointerType(INT)
+        assert fat.field(SPAN_FIELD).type == LONG
+        assert fat.size == 16
+
+    def test_promotion_memoized(self):
+        promoter = TypePromoter(PromotionPlan(promote_all=True))
+        assert promoter.promote(PointerType(INT)) is \
+            promoter.promote(PointerType(INT))
+
+    def test_recursive_struct_promotion(self):
+        node = StructType("node")
+        node.define([("v", INT), ("next", PointerType(node))])
+        promoter = TypePromoter(PromotionPlan(promote_all=True))
+        promoted = promoter.promote(node)
+        fat = promoted.field("next").type
+        assert promoter.is_fat(fat)
+        # the fat struct's pointer field points at the *promoted* node
+        assert fat.field(PTR_FIELD).type.pointee is promoted
+
+    def test_unaffected_struct_reused(self):
+        plain = StructType("plain", [("a", INT), ("b", INT)])
+        promoter = TypePromoter(PromotionPlan(promote_all=False))
+        assert promoter.promote(plain) is plain
+
+    def test_selective_plan_by_group(self):
+        plan = PromotionPlan()
+        plan.mark_promoted(INT)
+        assert plan.should_promote(INT)
+        # all primitives promote together (recast safety)
+        from repro.frontend.ctypes import SHORT, DOUBLE
+        assert plan.should_promote(SHORT) and plan.should_promote(DOUBLE)
+        node = StructType("n2", [("v", INT)])
+        assert not plan.should_promote(node)
+
+
+class TestSpanRules:
+    """Table 3, one test per row."""
+
+    def test_malloc_span(self):
+        spans = spans_in(
+            "int main(void) { int *p; p = (int*)malloc(24);"
+            " free(p); return 0; }"
+        )
+        assert any("24" in s for s in spans)
+
+    def test_calloc_span_is_product(self):
+        spans = spans_in(
+            "int main(void) { int *p; p = (int*)calloc(3, 8);"
+            " free(p); return 0; }"
+        )
+        assert any("3 * 8" in s for s in spans)
+
+    def test_address_taken_1(self):
+        spans = spans_in(
+            "int main(void) { int a[6]; int *p; p = &a[0]; return *p; }"
+        )
+        assert any("sizeof(int[6])" in s for s in spans)
+
+    def test_address_taken_2_whole_struct(self):
+        """&s.a records sizeof(s), the whole structure."""
+        spans = spans_in("""
+        struct s { int a; int b; int c; };
+        int main(void) { struct s x; int *p; p = &x.b; return *p; }
+        """)
+        assert any("sizeof(struct s)" in s for s in spans)
+
+    def test_pointer_assignment_via_struct_copy(self):
+        """p = q moves pointer and span together (whole fat copy)."""
+        clone, sema, _ = promote_all(
+            "int main(void) { int *p; int *q; q = (int*)malloc(8);"
+            " p = q; free(p.__x); return 0; }".replace(".__x", "")
+        )
+        text = print_program(clone)
+        assert "p = q;" in text  # single struct assignment, no split
+
+    def test_pointer_arith_span_from_base(self):
+        spans = spans_in(
+            "int main(void) { int *q; int *p; q = (int*)malloc(16);"
+            " p = q + 2; free(q); return *p; }"
+        )
+        assert any("q.span" in s for s in spans)
+
+    def test_null_span_zero(self):
+        spans = spans_in("int main(void) { int *p; p = 0; return 0; }")
+        assert any(s.endswith("= 0") for s in spans)
+
+    def test_trivial_self_span_kept_when_unoptimized(self):
+        src = ("int main(void) { int *p; p = (int*)malloc(8);"
+               " p += 1; free(p - 1); return 0; }")
+        spans_noopt = spans_in(src, keep_trivial=True)
+        spans_opt = spans_in(src, keep_trivial=False)
+        assert any("p.span = p.span" in s for s in spans_noopt)
+        assert not any("p.span = p.span" in s for s in spans_opt)
+
+    def test_array_decay_span(self):
+        spans = spans_in(
+            "int main(void) { int a[5]; int *p; p = a; return *p; }"
+        )
+        assert any("sizeof(int[5])" in s for s in spans)
+
+
+class TestReferenceAdjustment:
+    """Figure 5's Ref/Deref rules, validated by running the promoted
+    program: behaviour must be identical to the original."""
+
+    CASES = [
+        # deref
+        "int x = 7; int *p; p = &x; print_int(*p);",
+        # index through pointer
+        "int a[3]; int *p; p = a; a[2] = 9; print_int(p[2]);",
+        # pointer in condition
+        "int *p; p = 0; if (!p) { print_int(1); } else { print_int(2); }",
+        # pointer comparison
+        "int a[2]; int *p; int *q; p = a; q = a + 1;"
+        " print_int(p == q ? 1 : 0); print_int(p < q ? 1 : 0);",
+        # pointer increments
+        "int a[3]; int *p; p = a; a[1] = 4; p++; print_int(*p);",
+        # arrow through promoted field
+        "",
+    ]
+
+    @pytest.mark.parametrize("body", [c for c in CASES if c])
+    def test_behaviour_preserved(self, body):
+        source = f"int main(void) {{ {body} return 0; }}"
+        program, sema = parse_and_analyze(source)
+        base = Machine(program, sema)
+        base.run()
+        promoted = run_promoted(source)
+        assert promoted.output == base.output
+
+    def test_linked_list_promoted(self):
+        source = """
+        struct n { int v; struct n *next; };
+        int main(void) {
+            struct n *head = 0;
+            int i;
+            for (i = 0; i < 4; i++) {
+                struct n *x = (struct n*)malloc(sizeof(struct n));
+                x->v = i; x->next = head; head = x;
+            }
+            int s = 0;
+            struct n *w;
+            w = head;
+            while (w) { s = s * 10 + w->v; w = w->next; }
+            print_int(s);
+            return 0;
+        }
+        """
+        assert run_promoted(source).output == ["3210"]
+
+    def test_function_params_carry_span(self):
+        source = """
+        int total(int *p, int n) {
+            int s = 0; int i;
+            for (i = 0; i < n; i++) s += p[i];
+            return s;
+        }
+        int main(void) {
+            int *buf; int i;
+            buf = (int*)malloc(4 * sizeof(int));
+            for (i = 0; i < 4; i++) buf[i] = i + 1;
+            print_int(total(buf, 4));
+            free(buf);
+            return 0;
+        }
+        """
+        assert run_promoted(source).output == ["10"]
+
+    def test_returned_pointer_is_fat(self):
+        source = """
+        int *make(int n) {
+            int *p;
+            p = (int*)malloc(n * sizeof(int));
+            return p;
+        }
+        int main(void) {
+            int *q;
+            q = make(3);
+            q[2] = 5;
+            print_int(q[2]);
+            free(q);
+            return 0;
+        }
+        """
+        assert run_promoted(source).output == ["5"]
+
+    def test_recast_short_int_promoted(self):
+        source = """
+        int main(void) {
+            int *zp; short *sp;
+            zp = (int*)malloc(8);
+            sp = (short*)zp;
+            sp[0] = 3; sp[1] = 1;
+            print_int(zp[0]);
+            free(zp);
+            return 0;
+        }
+        """
+        assert run_promoted(source).output == [str(3 + (1 << 16))]
+
+    def test_builtin_args_projected(self):
+        source = """
+        int main(void) {
+            char *b;
+            b = (char*)malloc(8);
+            memset(b, 65, 3);
+            b[3] = 0;
+            print_str(b);
+            free(b);
+            return 0;
+        }
+        """
+        assert run_promoted(source).output == ["AAA"]
+
+
+class TestRestrictions:
+    def test_address_of_promoted_pointer_rejected(self):
+        with pytest.raises(TransformError, match="address of a promoted"):
+            promote_all(
+                "int main(void) { int *p; int **pp; p = 0; pp = &p;"
+                " return 0; }"
+            )
+
+    def test_null_literal_to_promoted_param_rejected(self):
+        with pytest.raises(TransformError):
+            promote_all("""
+            int f(int *p) { return p == 0; }
+            int main(void) { return f(0); }
+            """)
+
+    def test_global_fat_pointer_zero_init_dropped(self):
+        clone, sema, _ = promote_all(
+            "int *g = 0; int main(void) { return g == 0 ? 0 : 1; }"
+        )
+        gdecl = next(d for d in clone.globals() if d.name == "g")
+        assert gdecl.init is None
+        machine = Machine(clone, sema)
+        assert machine.run() == 0

@@ -1,0 +1,181 @@
+"""Semantic analysis unit tests."""
+
+import pytest
+
+from repro.frontend import ast, parse, parse_and_analyze
+from repro.frontend.ctypes import DOUBLE, INT, LONG, PointerType
+from repro.frontend.sema import SemaError, analyze
+
+
+def check(source):
+    return parse_and_analyze(source)
+
+
+def expr_type(expr_text, prelude=""):
+    program, _ = check(
+        f"{prelude}\nint main(void) {{ {expr_text}; return 0; }}"
+    )
+    stmt = program.function("main").body.stmts[0]
+    return stmt.expr.ctype
+
+
+class TestScoping:
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemaError, match="undeclared"):
+            check("int main(void) { return zzz; }")
+
+    def test_global_visible_in_function(self):
+        program, _ = check("int g; int main(void) { return g; }")
+        ret = program.function("main").body.stmts[0]
+        assert isinstance(ret.expr.decl, ast.VarDecl)
+        assert ret.expr.decl.storage == "global"
+
+    def test_shadowing_resolves_to_inner(self):
+        program, _ = check(
+            "int x; int main(void) { int x; x = 1; return x; }"
+        )
+        stmt = program.function("main").body.stmts[1]
+        assert stmt.expr.target.decl.storage == "local"
+
+    def test_block_scope_ends(self):
+        with pytest.raises(SemaError, match="undeclared"):
+            check("int main(void) { { int y; } return y; }")
+
+    def test_redeclaration_same_scope_rejected(self):
+        with pytest.raises(SemaError, match="redeclaration"):
+            check("int main(void) { int a; int a; return 0; }")
+
+    def test_param_visible_in_body(self):
+        check("int f(int a) { return a + 1; } int main(void) { return f(1); }")
+
+    def test_function_redefinition_rejected(self):
+        with pytest.raises(SemaError, match="redefinition"):
+            check("int f(void) { return 0; } int f(void) { return 1; }")
+
+    def test_prototype_then_definition_ok(self):
+        check("int f(void); int f(void) { return 1; } "
+              "int main(void) { return f(); }")
+
+    def test_forward_call_via_two_pass(self):
+        check("int main(void) { return f(); } int f(void) { return 3; }")
+
+
+class TestThreadContext:
+    def test_tid_and_nthreads_predeclared(self):
+        program, sema = check("int main(void) { return __tid + __nthreads; }")
+        assert "__tid" in sema.thread_context
+
+    def test_thread_context_is_int(self):
+        assert expr_type("__tid + 0") == INT
+
+
+class TestTypes:
+    def test_int_literal_type(self):
+        assert expr_type("1 + 1") == INT
+
+    def test_big_literal_is_long(self):
+        assert expr_type("4294967296 + 0") == LONG
+
+    def test_float_promotes(self):
+        assert expr_type("1 + 2.0") == DOUBLE
+
+    def test_pointer_arith_type(self):
+        t = expr_type("p + 1", "int *p;")
+        assert t == PointerType(INT)
+
+    def test_pointer_difference_is_long(self):
+        assert expr_type("p - q", "int *p; int *q;") == LONG
+
+    def test_comparison_is_int(self):
+        assert expr_type("1.5 < 2.5") == INT
+
+    def test_deref_type(self):
+        assert expr_type("*p + 0", "int *p;") == INT
+
+    def test_address_of_type(self):
+        assert expr_type("&g == 0", "int g;") == INT
+
+    def test_index_of_2d_array(self):
+        t = expr_type("a[1][2] + 0", "int a[3][4];")
+        assert t == INT
+
+    def test_member_type(self):
+        t = expr_type("s.d + 0", "struct t { int i; double d; }; struct t s;")
+        assert t == DOUBLE
+
+    def test_arrow_type(self):
+        t = expr_type(
+            "p->next == 0",
+            "struct n { int v; struct n *next; }; struct n *p;",
+        )
+        assert t == INT
+
+    def test_sizeof_is_long(self):
+        assert expr_type("sizeof(int)") == LONG
+
+
+class TestTypeErrors:
+    @pytest.mark.parametrize("snippet,prelude", [
+        ("*x", "int x;"),                       # deref of non-pointer
+        ("s.nope", "struct t { int a; }; struct t s;"),
+        ("x->a", "struct t { int a; }; struct t x;"),
+        ("x()", "int x;"),                      # call non-function
+        ("f(1, 2)", "int f(int a);"),           # arity
+        ("x % 1.5", "double x;"),               # float modulo
+        ("5 = 1", ""),                          # not an lvalue
+        ("&(a + b)", "int a; int b;"),          # & of rvalue
+        ("x.a = 1", "int x;"),                  # . on non-struct
+    ])
+    def test_rejected(self, snippet, prelude):
+        with pytest.raises(SemaError):
+            check(f"{prelude}\nint main(void) {{ {snippet}; return 0; }}")
+
+    def test_unknown_function(self):
+        with pytest.raises(SemaError, match="unknown function"):
+            check("int main(void) { zorp(1); return 0; }")
+
+    def test_struct_assign_mismatch(self):
+        with pytest.raises(SemaError):
+            check(
+                "struct a { int x; }; struct b { int y; };"
+                "struct a u; struct b v;"
+                "int main(void) { u = v; return 0; }"
+            )
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(SemaError):
+            check("void v; int main(void) { return 0; }")
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(SemaError):
+            check("struct s { int a; }; struct s g;"
+                  "int main(void) { return g; }")
+
+
+class TestBuiltins:
+    def test_malloc_signature(self):
+        check("int main(void) { int *p = (int*)malloc(8); free(p); return 0; }")
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(SemaError):
+            check("int main(void) { malloc(1, 2); return 0; }")
+
+    def test_user_function_shadows_builtin(self):
+        check("int abs(int x) { return x; } int main(void) { return abs(-1); }")
+
+    def test_memcpy_void_pointers(self):
+        check("int main(void) { int a[2]; int b[2];"
+              " memcpy(a, b, sizeof(a)); return 0; }")
+
+
+class TestReanalysis:
+    def test_analyze_is_repeatable(self):
+        """The pipeline re-runs sema after each transform stage."""
+        program = parse(
+            "struct n { int v; struct n *next; }; int g = 3;"
+            "int main(void) { struct n x; x.v = g; return x.v; }"
+        )
+        analyze(program)
+        analyze(program)
+        sema = analyze(program)
+        assert "main" in sema.functions

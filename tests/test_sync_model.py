@@ -1,0 +1,84 @@
+"""Runtime cost-model unit tests: sync constants, breakdown math,
+bandwidth ceiling."""
+
+from repro.interp.machine import CostSink
+from repro.runtime import sync
+from repro.runtime.stats import LoopExecution, ParallelOutcome, ThreadStats
+
+
+class TestSyncCosts:
+    def test_fork_join_grows_with_threads(self):
+        assert sync.fork_join_cost(8) > sync.fork_join_cost(2)
+
+    def test_single_thread_region_still_costs(self):
+        assert sync.fork_join_cost(1) > 0
+
+    def test_bandwidth_makespan(self):
+        assert sync.bandwidth_makespan(4000) == 4000 / sync.MEMORY_PORTS
+
+
+class TestCostSink:
+    def test_add_accumulates(self):
+        a = CostSink()
+        a.cycles = 10
+        a.loads = 2
+        b = CostSink()
+        b.cycles = 5
+        b.stores = 3
+        a.add(b)
+        assert a.cycles == 15 and a.loads == 2 and a.stores == 3
+
+    def test_copy_is_independent(self):
+        a = CostSink()
+        a.cycles = 7
+        b = a.copy()
+        b.cycles += 1
+        assert a.cycles == 7 and b.cycles == 8
+
+
+class TestLoopExecutionBreakdown:
+    def make(self, nthreads=2):
+        ex = LoopExecution("L", nthreads)
+        for t, stats in enumerate(ex.threads):
+            stats.sink.cycles = 100.0
+            stats.sync_cycles = 10.0
+            stats.wait_cycles = 5.0
+        ex.makespan = 150.0
+        ex.runtime_cycles = 20.0
+        return ex
+
+    def test_categories(self):
+        ex = self.make()
+        bd = ex.breakdown()
+        assert bd["work"] == 200.0
+        assert bd["sync"] == 20.0
+        assert bd["runtime"] == 20.0
+        # wait includes explicit stalls + tail idle up to makespan*N
+        assert bd["wait"] >= 10.0
+
+    def test_total_is_makespan_times_threads(self):
+        ex = self.make()
+        bd = ex.breakdown()
+        assert abs(sum(bd.values()) - ex.makespan * ex.nthreads) < 1e-6
+
+    def test_thread_stats_repr(self):
+        ex = self.make()
+        assert "busy=100" in repr(ex.threads[0])
+
+
+class TestParallelOutcome:
+    def test_loop_lookup(self):
+        outcome = ParallelOutcome(4)
+        ex = LoopExecution("L", 4)
+        outcome.loops["L"] = ex
+        assert outcome.loop() is ex          # single loop: no label needed
+        assert outcome.loop("L") is ex
+
+    def test_combined_makespan(self):
+        outcome = ParallelOutcome(2)
+        for label in ("A", "B"):
+            ex = LoopExecution(label, 2)
+            ex.makespan = 100.0
+            ex.runtime_cycles = 10.0
+            outcome.loops[label] = ex
+        assert outcome.loop_makespan == 220.0

@@ -1,0 +1,121 @@
+"""Access-trace observer and race-checker unit tests."""
+
+from repro.frontend import parse_and_analyze
+from repro.interp import (
+    FootprintObserver, Machine, RaceChecker, RecordingObserver,
+)
+
+
+def machine_for(source):
+    program, sema = parse_and_analyze(source)
+    return Machine(program, sema)
+
+
+SRC = """
+int g;
+int main(void) {
+    int *p = (int*)malloc(8);
+    p[0] = 1;
+    p[1] = p[0] + 1;
+    g = p[1];
+    free(p);
+    return 0;
+}
+"""
+
+
+class TestRecordingObserver:
+    def test_events_ordered_and_typed(self):
+        machine = machine_for(SRC)
+        obs = RecordingObserver()
+        machine.observers.append(obs)
+        machine.run()
+        stores = [e for e in obs.events if e.is_store]
+        loads = [e for e in obs.events if not e.is_store]
+        assert len(stores) >= 3 and len(loads) >= 2
+        # p[0] store precedes its load
+        p0_store = next(e for e in stores if e.size == 4)
+        p0_load = next(e for e in loads if e.addr == p0_store.addr)
+        assert obs.events.index(p0_store) < obs.events.index(p0_load)
+
+    def test_sites_are_node_ids(self):
+        machine = machine_for(SRC)
+        obs = RecordingObserver()
+        machine.observers.append(obs)
+        machine.run()
+        nids = {n.nid for n in machine.program.walk()}
+        assert all(e.site in nids for e in obs.events)
+
+
+class TestFootprintObserver:
+    def test_byte_totals(self):
+        machine = machine_for(SRC)
+        obs = FootprintObserver()
+        machine.observers.append(obs)
+        machine.run()
+        assert sum(obs.writes.values()) >= 12  # three 4-byte stores
+        assert sum(obs.reads.values()) >= 8
+
+
+class TestRaceChecker:
+    def test_disabled_outside_region(self):
+        checker = RaceChecker()
+        checker.on_access(1, 100, 4, True)
+        assert not checker.races()
+
+    def test_conflict_detection(self):
+        checker = RaceChecker()
+        checker.begin_region()
+        checker.current_thread = 0
+        checker.on_access(1, 100, 4, True)
+        checker.current_thread = 1
+        checker.on_access(2, 102, 4, True)   # overlaps bytes 102-103
+        races = checker.end_region()
+        assert races and races[0][1] == "write-write"
+
+    def test_shared_reads_fine(self):
+        checker = RaceChecker()
+        checker.begin_region()
+        for tid in range(4):
+            checker.current_thread = tid
+            checker.on_access(1, 100, 4, False)
+        assert not checker.end_region()
+
+    def test_read_write_conflict(self):
+        checker = RaceChecker()
+        checker.begin_region()
+        checker.current_thread = 0
+        checker.on_access(1, 100, 4, True)
+        checker.current_thread = 1
+        checker.on_access(2, 100, 4, False)
+        races = checker.end_region()
+        assert ("read-write" in {kind for _, kind in races})
+
+    def test_same_thread_no_conflict(self):
+        checker = RaceChecker()
+        checker.begin_region()
+        checker.current_thread = 2
+        checker.on_access(1, 100, 4, True)
+        checker.on_access(2, 100, 4, False)
+        assert not checker.end_region()
+
+    def test_exempt_addresses(self):
+        checker = RaceChecker()
+        checker.exempt = set(range(100, 104))
+        checker.begin_region()
+        checker.current_thread = 0
+        checker.on_access(1, 100, 4, True)
+        checker.current_thread = 1
+        checker.on_access(2, 100, 4, True)
+        assert not checker.end_region()
+
+    def test_regions_reset_state(self):
+        checker = RaceChecker()
+        checker.begin_region()
+        checker.current_thread = 0
+        checker.on_access(1, 100, 4, True)
+        checker.end_region()
+        checker.begin_region()
+        checker.current_thread = 1
+        checker.on_access(2, 100, 4, True)   # different region: no clash
+        assert not checker.end_region()

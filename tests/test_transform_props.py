@@ -1,0 +1,121 @@
+"""Differential property testing of the whole pipeline.
+
+Hypothesis generates small loop programs from a grammar of privatizable
+patterns; for each we assert the reproduction's core soundness
+property: *the transformed program, run with any thread count, produces
+exactly the sequential original's output, race-free*.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import parse_and_analyze
+from repro.interp import Machine
+from repro.runtime import run_parallel
+from repro.transform import expand_for_threads
+
+
+@st.composite
+def loop_program(draw):
+    """A random program around a privatizable candidate loop."""
+    iters = draw(st.integers(3, 9))
+    buf_len = draw(st.integers(2, 8))
+    use_struct = draw(st.booleans())
+    use_heap = draw(st.booleans())
+    use_helper = draw(st.booleans())
+    doacross = draw(st.booleans())
+    ops = draw(st.lists(
+        st.sampled_from(["+", "*", "^", "|"]), min_size=1, max_size=3
+    ))
+
+    decls = [f"int buf[{buf_len}];", f"int out[{iters}];"]
+    body_init = []
+    if use_struct:
+        decls.append("struct st { int a; int b; };")
+        decls.append("struct st sc;")
+    if use_heap:
+        body_init.append(
+            f"int *hp = (int*)malloc(sizeof(int) * {buf_len});"
+        )
+    helper = ""
+    if use_helper:
+        helper = f"""
+        int mix(int x) {{ return (x * 7) % 23 + 1; }}
+        """
+
+    expr = "i"
+    for k, op in enumerate(ops):
+        expr = f"(({expr}) {op} (k + {k + 1}))"
+    if use_helper:
+        expr = f"mix({expr})"
+
+    inner = [f"for (k = 0; k < {buf_len}; k++) buf[k] = {expr};"]
+    acc_src = f"buf[{buf_len - 1}]"
+    if use_heap:
+        inner.append(
+            f"for (k = 0; k < {buf_len}; k++) hp[k] = buf[k] + 1;"
+        )
+        acc_src = f"(hp[0] + buf[{buf_len - 1}])"
+    if use_struct:
+        inner.append(f"sc.a = {acc_src}; sc.b = sc.a * 2;")
+        acc_src = "(sc.a + sc.b)"
+    inner.append(f"out[i] = {acc_src};")
+    if doacross:
+        decls.append("int chain;")
+        inner.append("chain = chain * 5 + out[i];")
+
+    pragma = "doacross" if doacross else "doall"
+    body = "\n            ".join(inner)
+    heap_decl = "\n        ".join(body_init)
+    source = f"""
+    {' '.join(decls)}
+    {helper}
+    int main(void) {{
+        int i; int k;
+        {heap_decl}
+        #pragma expand parallel({pragma})
+        L: for (i = 0; i < {iters}; i++) {{
+            {body}
+        }}
+        for (i = 0; i < {iters}; i++) print_int(out[i]);
+        {"print_int(chain);" if doacross else ""}
+        return 0;
+    }}
+    """
+    return source
+
+
+class TestDifferential:
+    @given(loop_program(), st.sampled_from([2, 3, 4, 8]))
+    @settings(max_examples=25, deadline=None)
+    def test_parallel_matches_sequential(self, source, nthreads):
+        program, sema = parse_and_analyze(source)
+        base = Machine(program, sema)
+        base.run()
+        result = expand_for_threads(program, sema, ["L"])
+        outcome = run_parallel(result, nthreads)
+        assert outcome.output == base.output
+        assert not outcome.races
+
+    @given(loop_program())
+    @settings(max_examples=10, deadline=None)
+    def test_unoptimized_also_sound(self, source):
+        program, sema = parse_and_analyze(source)
+        base = Machine(program, sema)
+        base.run()
+        result = expand_for_threads(program, sema, ["L"], optimize=False)
+        outcome = run_parallel(result, 4)
+        assert outcome.output == base.output
+        assert not outcome.races
+
+    @given(loop_program())
+    @settings(max_examples=10, deadline=None)
+    def test_single_thread_transform_is_identity_on_output(self, source):
+        program, sema = parse_and_analyze(source)
+        base = Machine(program, sema)
+        base.run()
+        result = expand_for_threads(program, sema, ["L"])
+        machine = Machine(result.program, result.sema)
+        machine.nthreads = 1
+        machine.run()
+        assert machine.output == base.output

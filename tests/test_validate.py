@@ -1,0 +1,82 @@
+"""Transform-validator tests: clean on every benchmark, loud on
+sabotaged results."""
+
+import pytest
+
+from repro.bench import all_benchmarks, get
+from repro.frontend import ast, parse_and_analyze
+from repro.transform import expand_for_threads, validate_transform
+
+
+@pytest.mark.parametrize("name", [s.name for s in all_benchmarks()])
+def test_benchmarks_validate_clean(name):
+    spec = get(name)
+    program, sema = parse_and_analyze(spec.source)
+    result = expand_for_threads(program, sema, spec.loop_labels)
+    assert validate_transform(result) == []
+
+
+@pytest.fixture()
+def small_result():
+    source = """
+    int g;
+    int buf[4];
+    int out[5];
+    int main(void) {
+        int i; int k;
+        int *w = (int*)malloc(sizeof(int) * 3);
+        #pragma expand parallel(doall)
+        L: for (i = 0; i < 5; i++) {
+            g = i;
+            for (k = 0; k < 4; k++) buf[k] = g + k;
+            for (k = 0; k < 3; k++) w[k] = buf[k];
+            out[i] = w[2];
+        }
+        for (i = 0; i < 5; i++) print_int(out[i]);
+        return 0;
+    }
+    """
+    program, sema = parse_and_analyze(source)
+    return expand_for_threads(program, sema, ["L"])
+
+
+class TestSabotageDetection:
+    def test_clean_baseline(self, small_result):
+        assert validate_transform(small_result) == []
+
+    def test_detects_unexpanded_allocation(self, small_result):
+        for fn in small_result.program.functions():
+            for node in fn.body.walk():
+                if isinstance(node, ast.Call) and \
+                        node.callee_name == "malloc":
+                    # strip the xN multiplication
+                    if isinstance(node.args[0], ast.Binary):
+                        node.args[0] = node.args[0].left
+        problems = validate_transform(small_result)
+        assert any("multiply" in p for p in problems)
+
+    def test_detects_missing_init_call(self, small_result):
+        main = small_result.program.function("main")
+        main.body.stmts.pop(0)
+        problems = validate_transform(small_result)
+        assert any("__expand_init" in p for p in problems)
+
+    def test_detects_lost_pragma(self, small_result):
+        small_result.loops[0].loop.pragmas.clear()
+        problems = validate_transform(small_result)
+        assert any("pragma" in p for p in problems)
+
+    def test_detects_broken_vla(self, small_result):
+        for evar in small_result.expansion.expanded_vars.values():
+            if evar.mode == "vla":
+                evar.decl.vla_length = None
+        problems = validate_transform(small_result)
+        assert any("length" in p for p in problems)
+
+    def test_detects_name_breakage(self, small_result):
+        # rename a referenced global out from under its uses
+        for decl in small_result.program.globals():
+            if decl.name == "out":
+                decl.name = "renamed_out"
+        problems = validate_transform(small_result)
+        assert any("re-analysis" in p for p in problems)
