@@ -68,24 +68,44 @@ def _cmd_profile(args) -> int:
     return 0
 
 
-def _transform(args):
+def _render_diagnostics(sink) -> None:
+    """Print accumulated structured diagnostics to stderr."""
+    for diag in sink:
+        print(diag.render(), file=sys.stderr)
+
+
+def _transform(args, sink=None):
+    from .frontend import ast
     from .transform import expand_for_threads
 
     program, sema = _load(args.file)
+    for label in args.loop:
+        try:
+            ast.find_loop(program, label)
+        except KeyError:
+            if args.strict:
+                print(f"error[PIPE-NO-LOOP]: no loop labeled {label!r} "
+                      f"in {args.file}", file=sys.stderr)
+                raise SystemExit(1)
     result = expand_for_threads(
         program, sema, args.loop,
         optimize=not args.no_optimize,
         layout=args.layout,
         entry=args.entry,
+        strict=args.strict,
+        sink=sink,
     )
     return program, sema, result
 
 
 def _cmd_expand(args) -> int:
+    from .diagnostics import DiagnosticSink
     from .frontend import print_program
 
-    _, _, result = _transform(args)
+    sink = DiagnosticSink()
+    _, _, result = _transform(args, sink=sink)
     print(print_program(result.program))
+    _render_diagnostics(sink)
     stats = result.redirect_stats
     print(
         f"[{result.num_privatized} structures + "
@@ -93,35 +113,46 @@ def _cmd_expand(args) -> int:
         f"{stats.redirected} dereferences redirected "
         f"({stats.constant_span} constant-span, "
         f"{stats.dynamic_span} dynamic-span); "
-        f"{len(result.private_sites)} private sites]",
+        f"{len(result.private_sites)} private sites; "
+        f"{len(result.quarantined)} loops quarantined]",
         file=sys.stderr,
     )
     return 0
 
 
 def _cmd_parallel(args) -> int:
+    from .diagnostics import DiagnosticSink
     from .interp import Machine
     from .runtime import run_parallel
 
-    program, sema, result = (lambda p, s, r: (p, s, r))(*_transform(args))
+    sink = DiagnosticSink()
+    program, sema, result = _transform(args, sink=sink)
     base = Machine(program, sema)
     base.run(args.entry)
     outcome = run_parallel(result, args.threads, entry=args.entry,
-                           chunk=args.chunk)
+                           chunk=args.chunk, strict=args.strict,
+                           sink=sink, watchdog=args.watchdog)
     for line in outcome.output:
         print(line)
+    _render_diagnostics(sink)
     ok = outcome.output == base.output
     loop_par = sum(
         ex.makespan + ex.runtime_cycles for ex in outcome.loops.values()
     )
     loop_seq = sum(tl.profile.loop_cycles for tl in result.loops)
+    status = []
+    if result.quarantined:
+        status.append(f"quarantined {len(result.quarantined)}")
+    if outcome.recoveries:
+        status.append(f"recovered {len(outcome.recoveries)}")
     print(
         f"[{args.threads} threads: output "
         f"{'VERIFIED' if ok else 'DIVERGED!'}; "
         f"loop speedup {loop_seq / loop_par if loop_par else 0:.2f}x; "
         f"total speedup "
         f"{base.cost.cycles / outcome.total_cycles:.2f}x; "
-        f"races {len(outcome.races)}]",
+        f"races {len(outcome.races)}"
+        f"{'; ' + ', '.join(status) if status else ''}]",
         file=sys.stderr,
     )
     return 0 if ok else 1
@@ -180,10 +211,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the §3.4 optimizations (Fig. 9a mode)")
         p.add_argument("--layout", choices=("bonded", "interleaved"),
                        default="bonded")
+        mode = p.add_mutually_exclusive_group()
+        mode.add_argument(
+            "--strict", dest="strict", action="store_true", default=True,
+            help="fail fast on any pipeline/runtime failure (default)",
+        )
+        mode.add_argument(
+            "--permissive", dest="strict", action="store_false",
+            help="degrade gracefully: quarantine failing loops, recover "
+                 "races/faults by sequential re-execution",
+        )
         if name == "parallel":
             p.add_argument("--threads", "-n", type=int, default=4)
             p.add_argument("--chunk", type=int, default=1,
                            help="DOACROSS scheduling chunk size")
+            p.add_argument(
+                "--watchdog", type=int, default=None, metavar="STEPS",
+                help="per-loop-execution statement budget (structured "
+                     "timeout instead of a hang)",
+            )
         p.set_defaults(func=fn)
 
     p_bench = sub.add_parser("bench", help="run benchmark(s)")
@@ -193,8 +239,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .diagnostics import DiagnosableError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except DiagnosableError as exc:
+        # strict-mode fail-fast: render the structured diagnostic
+        # instead of dumping a traceback on the user
+        print(exc.diagnostic.render(), file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

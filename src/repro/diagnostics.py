@@ -1,0 +1,174 @@
+"""Structured diagnostics for the expansion toolchain.
+
+Every subsystem that can reject or degrade a program — semantic
+analysis, the expansion pipeline, the parallel runtime — reports
+through this module instead of bare string exceptions.  A
+:class:`Diagnostic` carries a stable error code, a severity, the
+candidate-loop label it concerns (when per-loop), a source location,
+and an arbitrary structured payload; a :class:`DiagnosticSink`
+accumulates them for one run so callers (CLI, tests, the
+fault-injection harness) can assert on *what* went wrong, not on
+message substrings.
+
+Exceptions that participate subclass :class:`DiagnosableError`, which
+builds the structured form at raise time.  The legacy string message is
+preserved verbatim, so ``str(exc)`` is unchanged for existing callers.
+
+Code taxonomy (prefix = subsystem, stable across releases):
+
+=============  =======================================================
+``SEMA-*``     name resolution / type checking
+``PIPE-*``     expansion pipeline stage failures and quarantines
+``XFORM-*``    promotion / expansion / redirection transforms
+``RT-*``       parallel runtime: races, scheduling, watchdog, recovery
+``INTERP-*``   interpreter faults (wild access, step budget, ...)
+``FAULT-*``    fault-injection harness events
+=============  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+# -- severities (ordered) ----------------------------------------------------
+NOTE = "note"
+WARNING = "warning"
+ERROR = "error"
+FATAL = "fatal"
+
+_SEVERITY_RANK = {NOTE: 0, WARNING: 1, ERROR: 2, FATAL: 3}
+
+
+def severity_rank(severity: str) -> int:
+    return _SEVERITY_RANK.get(severity, 0)
+
+
+class Diagnostic:
+    """One structured finding: code + severity + message + context."""
+
+    __slots__ = ("code", "severity", "message", "loop", "loc", "phase",
+                 "data")
+
+    def __init__(
+        self,
+        code: str,
+        severity: str,
+        message: str,
+        loop: Optional[str] = None,
+        loc: Optional[Tuple[int, int]] = None,
+        phase: str = "general",
+        data: Optional[Dict[str, Any]] = None,
+    ):
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.loop = loop
+        self.loc = loc
+        self.phase = phase
+        self.data = data or {}
+
+    def render(self) -> str:
+        """Human-readable one-liner (the CLI's rendering)."""
+        where = ""
+        if self.loop is not None:
+            where += f" loop {self.loop!r}"
+        if self.loc is not None:
+            where += f" at line {self.loc[0]}:{self.loc[1]}"
+        return f"{self.severity}[{self.code}]{where}: {self.message}"
+
+    def __repr__(self) -> str:
+        return f"<Diagnostic {self.render()}>"
+
+
+class DiagnosticSink:
+    """Per-run accumulator all subsystems report into."""
+
+    def __init__(self):
+        self.diagnostics: List[Diagnostic] = []
+
+    # -- emission -----------------------------------------------------------
+    def emit(self, diag: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diag)
+        return diag
+
+    def note(self, code: str, message: str, **ctx) -> Diagnostic:
+        return self.emit(Diagnostic(code, NOTE, message, **ctx))
+
+    def warning(self, code: str, message: str, **ctx) -> Diagnostic:
+        return self.emit(Diagnostic(code, WARNING, message, **ctx))
+
+    def error(self, code: str, message: str, **ctx) -> Diagnostic:
+        return self.emit(Diagnostic(code, ERROR, message, **ctx))
+
+    def extend(self, other: "DiagnosticSink") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def by_code(self, prefix: str) -> List[Diagnostic]:
+        """Diagnostics whose code equals or starts with ``prefix``."""
+        return [d for d in self.diagnostics
+                if d.code == prefix or d.code.startswith(prefix)]
+
+    def by_loop(self, label: Optional[str]) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.loop == label]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(severity_rank(d.severity) >= _SEVERITY_RANK[ERROR]
+                   for d in self.diagnostics)
+
+    def render(self) -> str:
+        return "\n".join(d.render() for d in self.diagnostics)
+
+
+class DiagnosableError(Exception):
+    """An exception that carries a :class:`Diagnostic`.
+
+    ``str(exc)`` is exactly the message passed in (subclasses may
+    pre-format source locations into it, matching their historical
+    behavior); the structured fields live on ``exc.diagnostic``.
+    """
+
+    default_code = "GENERIC"
+    default_phase = "general"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: Optional[str] = None,
+        severity: str = ERROR,
+        loop: Optional[str] = None,
+        loc: Optional[Tuple[int, int]] = None,
+        phase: Optional[str] = None,
+        data: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(message)
+        self.diagnostic = Diagnostic(
+            code or self.default_code, severity, message,
+            loop=loop, loc=loc, phase=phase or self.default_phase,
+            data=data,
+        )
+
+
+def diagnostic_of(exc: BaseException) -> Diagnostic:
+    """The structured form of any exception (synthesized for foreign
+    exception types, so sinks can always record a failure)."""
+    diag = getattr(exc, "diagnostic", None)
+    if isinstance(diag, Diagnostic):
+        return diag
+    return Diagnostic(
+        f"RAW-{type(exc).__name__.upper()}", ERROR, str(exc) or repr(exc)
+    )
+
+
+__all__ = [
+    "NOTE", "WARNING", "ERROR", "FATAL", "severity_rank",
+    "Diagnostic", "DiagnosticSink", "DiagnosableError", "diagnostic_of",
+]

@@ -439,6 +439,12 @@ class Parser:
             operand = self._parse_unary()
             if tok.text == "+":
                 return operand
+            if tok.text == "-" and isinstance(operand, ast.IntLit):
+                # fold negated literals so INT_MIN is one literal of
+                # type int, not LONG-typed -(2147483648)
+                return ast.IntLit(-operand.value, loc=loc)
+            if tok.text == "-" and isinstance(operand, ast.FloatLit):
+                return ast.FloatLit(-operand.value, loc=loc)
             return ast.Unary(tok.text, operand, loc=loc)
         if tok.kind == "OP" and tok.text in ("++", "--"):
             self._next()

@@ -188,7 +188,9 @@ class Printer:
     def _expr_prec(self, expr: ast.Expr) -> "tuple[str, int]":
         # precedence levels (higher = tighter); 100 for primaries
         if isinstance(expr, ast.IntLit):
-            return str(expr.value), 100
+            # negative literals print at unary precedence so contexts
+            # like `a - -1` parenthesize and round-trip
+            return str(expr.value), 100 if expr.value >= 0 else 80
         if isinstance(expr, ast.FloatLit):
             text = repr(expr.value)
             if "." not in text and "e" not in text and "inf" not in text:

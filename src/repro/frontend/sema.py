@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from . import ast
+from ..diagnostics import DiagnosableError, DiagnosticSink, diagnostic_of
 from .ctypes import (
     CHAR, CType, DOUBLE, INT, LONG, VOID, VOID_PTR,
     ArrayType, CTypeError, FunctionType, IntType, PointerType, StructType,
@@ -29,12 +30,16 @@ from .ctypes import (
 )
 
 
-class SemaError(Exception):
-    def __init__(self, message: str, node: Optional[ast.Node] = None):
-        if node is not None:
-            line, col = node.loc
-            message = f"line {line}:{col}: {message}"
-        super().__init__(message)
+class SemaError(DiagnosableError):
+    default_code = "SEMA-CHECK"
+    default_phase = "sema"
+
+    def __init__(self, message: str, node: Optional[ast.Node] = None,
+                 code: Optional[str] = None):
+        loc = node.loc if node is not None else None
+        if loc is not None:
+            message = f"line {loc[0]}:{loc[1]}: {message}"
+        super().__init__(message, code=code, loc=loc)
         self.node = node
 
 
@@ -100,14 +105,24 @@ class SemaResult:
 
 
 class Analyzer:
-    def __init__(self, program: ast.Program):
+    def __init__(self, program: ast.Program,
+                 sink: Optional[DiagnosticSink] = None):
         self.program = program
         self.result = SemaResult()
         self.global_scope = Scope()
         self.current_fn: Optional[ast.FunctionDef] = None
+        self.sink = sink
 
     # -- entry ---------------------------------------------------------------
     def run(self) -> SemaResult:
+        try:
+            return self._run()
+        except (SemaError, CTypeError) as exc:
+            if self.sink is not None:
+                self.sink.emit(diagnostic_of(exc))
+            raise
+
+    def _run(self) -> SemaResult:
         # predeclare thread context variables as implicit globals
         for name in THREAD_CONTEXT_VARS:
             decl = ast.VarDecl(name, INT, init=None, storage="global")
@@ -247,7 +262,9 @@ class Analyzer:
 
     def _expr_inner(self, expr: ast.Expr, scope: Scope) -> CType:
         if isinstance(expr, ast.IntLit):
-            return LONG if abs(expr.value) > 0x7FFFFFFF else INT
+            # int iff the value is representable in int32 (INT_MIN
+            # included — C type-at-width semantics, not abs-magnitude)
+            return INT if -0x80000000 <= expr.value <= 0x7FFFFFFF else LONG
         if isinstance(expr, ast.FloatLit):
             return DOUBLE
         if isinstance(expr, ast.StrLit):
@@ -464,6 +481,11 @@ class Analyzer:
         raise SemaError("expression is not an lvalue", expr)
 
 
-def analyze(program: ast.Program) -> SemaResult:
-    """Resolve names and type-check ``program`` in place."""
-    return Analyzer(program).run()
+def analyze(program: ast.Program,
+            sink: Optional[DiagnosticSink] = None) -> SemaResult:
+    """Resolve names and type-check ``program`` in place.
+
+    When a ``sink`` is given, any rejection is also recorded there as a
+    structured :class:`~repro.diagnostics.Diagnostic` before the
+    exception propagates."""
+    return Analyzer(program, sink=sink).run()

@@ -2,7 +2,7 @@
 
 from .machine import (
     COSTS, BreakSignal, ContinueSignal, CostSink, ExitSignal, Frame,
-    InterpError, Machine, ReturnSignal,
+    InterpError, Machine, ReturnSignal, WatchdogTimeout,
 )
 from .memory import Allocation, Memory, MemoryError_
 from .trace import AccessEvent, FootprintObserver, RaceChecker, RecordingObserver
@@ -22,6 +22,6 @@ def run_source(source: str, entry: str = "main"):
 __all__ = [
     "Machine", "Memory", "MemoryError_", "Allocation", "CostSink", "COSTS",
     "InterpError", "BreakSignal", "ContinueSignal", "ReturnSignal",
-    "ExitSignal", "Frame", "RecordingObserver", "FootprintObserver",
+    "ExitSignal", "Frame", "WatchdogTimeout", "RecordingObserver", "FootprintObserver",
     "RaceChecker", "AccessEvent", "run_source",
 ]

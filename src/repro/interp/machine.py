@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional
 if sys.getrecursionlimit() < 40000:
     sys.setrecursionlimit(40000)
 
+from ..diagnostics import DiagnosableError
 from ..frontend import ast
 from ..frontend.ctypes import (
     ArrayType, CType, FloatType, FunctionType, IntType, LONG, PointerType,
@@ -129,12 +130,31 @@ class ExitSignal(Exception):
         self.code = code
 
 
-class InterpError(Exception):
-    def __init__(self, message: str, node: Optional[ast.Node] = None):
-        if node is not None:
-            line, col = node.loc
-            message = f"line {line}:{col}: {message}"
-        super().__init__(message)
+class InterpError(DiagnosableError):
+    default_code = "INTERP-FAULT"
+    default_phase = "interp"
+
+    def __init__(self, message: str, node: Optional[ast.Node] = None,
+                 code: Optional[str] = None, loop: Optional[str] = None):
+        loc = node.loc if node is not None else None
+        if loc == (0, 0):  # synthesized nodes carry a placeholder loc
+            loc = None
+        if loc is not None:
+            message = f"line {loc[0]}:{loc[1]}: {message}"
+        super().__init__(message, code=code, loc=loc, loop=loop)
+
+
+class WatchdogTimeout(InterpError):
+    """A loop execution exceeded its step budget (the runtime guard
+    that turns runaway loops into structured errors instead of hangs)."""
+
+    default_code = "INTERP-WATCHDOG"
+
+    def __init__(self, message: str, node: Optional[ast.Node] = None,
+                 loop: Optional[str] = None, budget: Optional[int] = None):
+        super().__init__(message, node, loop=loop)
+        self.budget = budget
+        self.diagnostic.data["budget"] = budget
 
 
 class Frame:
@@ -161,6 +181,7 @@ class Machine:
         sema: SemaResult,
         check_bounds: bool = True,
         max_steps: int = 500_000_000,
+        max_loop_steps: Optional[int] = None,
     ):
         self.program = program
         self.sema = sema
@@ -171,6 +192,13 @@ class Machine:
         self.globals_frame = Frame(None)
         self.max_steps = max_steps
         self._steps = 0
+        #: per-loop-execution watchdog: when set, every loop execution
+        #: (including controller-driven parallel regions, which push
+        #: their own budget) may run at most this many statements
+        self.max_loop_steps = max_loop_steps
+        #: stack of (absolute step deadline, loop label)
+        self._watchdog_stack: List[tuple] = []
+        self._watchdog_deadline: Optional[int] = None
 
         # thread context
         self.tid = 0
@@ -423,7 +451,41 @@ class Machine:
         self._steps += 1
         if self._steps > self.max_steps:
             raise InterpError("step budget exceeded (runaway program?)", stmt)
+        if self._watchdog_deadline is not None and \
+                self._steps > self._watchdog_deadline:
+            deadline, label, budget = self._watchdog_stack[-1]
+            for entry in self._watchdog_stack:
+                if entry[0] == self._watchdog_deadline:
+                    deadline, label, budget = entry
+                    break
+            raise WatchdogTimeout(
+                f"loop {label!r} exceeded its watchdog budget of "
+                f"{budget} steps", stmt, loop=label, budget=budget,
+            )
         self._stmt_dispatch[type(stmt)](stmt)
+
+    # -- watchdog ----------------------------------------------------------
+    def push_watchdog(self, budget: int, label: Optional[str]) -> None:
+        """Bound the next ``budget`` statements (one loop execution)."""
+        self._watchdog_stack.append((self._steps + budget, label, budget))
+        self._watchdog_deadline = min(e[0] for e in self._watchdog_stack)
+
+    def pop_watchdog(self) -> None:
+        self._watchdog_stack.pop()
+        self._watchdog_deadline = (
+            min(e[0] for e in self._watchdog_stack)
+            if self._watchdog_stack else None
+        )
+
+    def exec_loop_sequential(self, loop: ast.LoopStmt) -> None:
+        """Execute a loop statement ignoring any registered controller
+        (the parallel runtime's sequential-fallback path)."""
+        saved = self.loop_controllers.pop(loop.nid, None)
+        try:
+            self.exec_stmt(loop)
+        finally:
+            if saved is not None:
+                self.loop_controllers[loop.nid] = saved
 
     def _exec_block(self, stmt: ast.Block) -> None:
         for s in stmt.stmts:
@@ -453,9 +515,23 @@ class Machine:
             return True
         return False
 
+    def _guarded_loop(self, stmt: ast.LoopStmt, body) -> None:
+        """Run a loop body-driver under the per-loop watchdog."""
+        if self.max_loop_steps is None:
+            body(stmt)
+            return
+        self.push_watchdog(self.max_loop_steps, stmt.label)
+        try:
+            body(stmt)
+        finally:
+            self.pop_watchdog()
+
     def _exec_while(self, stmt: ast.While) -> None:
         if self._check_controller(stmt):
             return
+        self._guarded_loop(stmt, self._loop_while)
+
+    def _loop_while(self, stmt: ast.While) -> None:
         while True:
             self.cost.cycles += COSTS["alu"]
             if not self._truthy(self.eval(stmt.cond)):
@@ -470,6 +546,9 @@ class Machine:
     def _exec_dowhile(self, stmt: ast.DoWhile) -> None:
         if self._check_controller(stmt):
             return
+        self._guarded_loop(stmt, self._loop_dowhile)
+
+    def _loop_dowhile(self, stmt: ast.DoWhile) -> None:
         while True:
             try:
                 self.exec_stmt(stmt.body)
@@ -484,6 +563,9 @@ class Machine:
     def _exec_for(self, stmt: ast.For) -> None:
         if self._check_controller(stmt):
             return
+        self._guarded_loop(stmt, self._loop_for)
+
+    def _loop_for(self, stmt: ast.For) -> None:
         if stmt.init is not None:
             self.exec_stmt(stmt.init)
         while True:

@@ -1,12 +1,22 @@
 """Simulated parallel runtime: schedulers, sync model, statistics."""
 
 from .parallel import (
-    ParallelError, ParallelRunner, RaceError, run_parallel,
+    MachineSnapshot, ParallelError, ParallelRunner, RaceError,
+    run_parallel,
 )
-from .stats import LoopExecution, ParallelOutcome, ThreadStats
+from .stats import (
+    LoopExecution, ParallelOutcome, RecoveryEvent, ThreadStats,
+)
+from .faults import (
+    CopyIndexSkew, FaultInjector, SpanCorruptor, SyncTokenDropper,
+    ThreadAbortFault, ThreadAborter,
+)
 from . import sync
 
 __all__ = [
     "run_parallel", "ParallelRunner", "ParallelError", "RaceError",
     "ParallelOutcome", "LoopExecution", "ThreadStats", "sync",
+    "MachineSnapshot", "RecoveryEvent",
+    "FaultInjector", "SpanCorruptor", "CopyIndexSkew",
+    "SyncTokenDropper", "ThreadAborter", "ThreadAbortFault",
 ]

@@ -1,0 +1,257 @@
+"""Deterministic fault injection for the parallel runtime.
+
+The robustness layer (permissive mode, watchdog, race recovery) is only
+trustworthy if it is exercised against actual failures.  This module
+provides seedable injectors that corrupt the runtime's own mechanisms —
+the quantities the expansion transform's correctness *depends on* — so
+the test suite can assert the contract:
+
+    every injected fault is either **detected** (a structured
+    diagnostic is recorded, strict mode raises) or **recovered** (the
+    loop re-executes sequentially and program output is bit-identical
+    to the untransformed baseline).
+
+Injectors:
+
+* :class:`SpanCorruptor` — garbles values stored into fat-pointer
+  ``span`` fields, collapsing or skewing the per-thread copy stride.
+  Privatized structures are reused by every iteration (that is why
+  they were privatized), so a collapsed stride makes threads collide
+  on the same bytes and the race checker fires.
+* :class:`CopyIndexSkew` — perturbs reads of ``__tid`` inside parallel
+  regions, redirecting a fraction of accesses into a neighbour
+  thread's copy.
+* :class:`SyncTokenDropper` — drops DOACROSS post/wait tokens in
+  flight; the runtime cross-checks observed tokens against the
+  producer-side ledger and repairs (permissive) or raises (strict).
+* :class:`ThreadAborter` — kills one virtual thread mid-chunk with a
+  :class:`ThreadAbortFault`, modeling an asynchronous thread death.
+
+Each injector draws from its own ``random.Random(seed)``, so a given
+(seed, program) pair replays the exact same fault schedule.
+
+Injectors hook the machine three different ways, dictated by how the
+interpreter binds its internals: ``exec_stmt`` and ``store`` are looked
+up as instance attributes on every call, so wrapping the attribute
+works; expression evaluation goes through ``_eval_dispatch``, a dict of
+bound methods frozen at ``__init__``, so :class:`CopyIndexSkew` must
+replace the dict entry instead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set
+
+from ..frontend import ast
+from ..interp.machine import InterpError
+from ..transform.promote import SPAN_FIELD
+
+
+class ThreadAbortFault(InterpError):
+    """A virtual thread died mid-chunk (injected)."""
+
+    default_code = "FAULT-ABORT"
+
+
+class FaultInjector:
+    """Base injector: arming, seeding, bookkeeping, sink reporting."""
+
+    code = "FAULT-GENERIC"
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.armed = True
+        self.fired = 0
+        self.runner = None
+
+    # -- wiring (called by ParallelRunner) ---------------------------------
+    def install(self, runner) -> None:
+        self.runner = runner
+        self._wire(runner)
+
+    def _wire(self, runner) -> None:  # pragma: no cover - overridden
+        pass
+
+    def suspend(self) -> None:
+        """Disarm during sequential recovery (the fault hit the
+        parallel attempt; the fallback models the untransformed path)."""
+        self.armed = False
+
+    def resume(self) -> None:
+        self.armed = True
+
+    # -- runtime consultation points ---------------------------------------
+    def at(self, point: str, value, **ctx):
+        """Perturb ``value`` at a named runtime point; default pass."""
+        return value
+
+    # -- helpers ------------------------------------------------------------
+    def _in_region(self) -> bool:
+        checker = getattr(self.runner, "checker", None)
+        if checker is not None:
+            return checker.enabled
+        return True
+
+    def _record(self, message: str, **data) -> None:
+        """Count a fire; report the first occurrence to the sink."""
+        self.fired += 1
+        if self.fired > 1 or self.runner is None:
+            return
+        sink = getattr(self.runner, "sink", None)
+        if sink is not None:
+            sink.note(self.code, message, phase="fault", data=data)
+
+
+class SpanCorruptor(FaultInjector):
+    """Corrupt stores into fat-pointer ``span`` fields.
+
+    ``factor=0`` (default) collapses every per-thread stride to zero,
+    so all threads redirect into copy 0 of each expanded structure —
+    the original shared-memory conflict the transform was supposed to
+    remove.  Sequential execution is immune (thread 0's offset is
+    ``0 * span`` regardless), so permissive recovery stays correct.
+    """
+
+    code = "FAULT-SPAN"
+
+    def __init__(self, seed: int = 0, factor: int = 0):
+        super().__init__(seed)
+        self.factor = factor
+        #: Assign nids whose target is a ``.span`` member
+        self.sites: Set[int] = set()
+
+    def _wire(self, runner) -> None:
+        program = runner.tresult.program
+        for fn in program.functions():
+            for node in fn.body.walk():
+                if isinstance(node, ast.Assign) and \
+                        isinstance(node.target, ast.Member) and \
+                        node.target.name == SPAN_FIELD:
+                    self.sites.add(node.nid)
+        machine = runner.machine
+        original = machine.store
+
+        def store(addr, ctype, value, site, cheap=False):
+            if self.armed and site in self.sites:
+                corrupted = int(value) * self.factor
+                self._record(
+                    f"span store at site {site} corrupted "
+                    f"({int(value)} -> {corrupted})",
+                    site=site, original=int(value), corrupted=corrupted,
+                )
+                value = corrupted
+            original(addr, ctype, value, site, cheap=cheap)
+
+        machine.store = store
+
+
+class CopyIndexSkew(FaultInjector):
+    """Skew a fraction of in-region ``__tid`` reads to the next thread.
+
+    Redirected copy selection (``base + __tid * span``) then mixes two
+    threads' accesses into one copy; because privatized structures are
+    rewritten by every iteration, the overlap is byte-identical and the
+    race checker detects it.
+    """
+
+    code = "FAULT-SKEW"
+
+    def __init__(self, seed: int = 0, rate: float = 0.5):
+        super().__init__(seed)
+        self.rate = rate
+
+    def _wire(self, runner) -> None:
+        machine = runner.machine
+        original = machine._eval_dispatch[ast.Ident]
+        tid_decl = machine._tid_decl
+
+        def eval_ident(expr):
+            value = original(expr)
+            if self.armed and expr.decl is tid_decl \
+                    and machine.nthreads > 1 and self._in_region() \
+                    and self.rng.random() < self.rate:
+                skewed = (int(value) + 1) % machine.nthreads
+                self._record(
+                    f"__tid read skewed ({int(value)} -> {skewed})",
+                    site=expr.nid,
+                )
+                return skewed
+            return value
+
+        machine._eval_dispatch[ast.Ident] = eval_ident
+
+
+class SyncTokenDropper(FaultInjector):
+    """Drop DOACROSS post/wait tokens in flight.
+
+    The DOACROSS controller consults :meth:`at` with point
+    ``"doacross-wait"`` before honoring a token; a dropped token reads
+    as 0.0 (never posted).  The runtime's ledger cross-check turns the
+    drop into an ``RT-SYNC-DROP`` diagnostic.
+    """
+
+    code = "FAULT-SYNC-DROP"
+
+    def __init__(self, seed: int = 0, rate: float = 1.0):
+        super().__init__(seed)
+        self.rate = rate
+
+    def at(self, point: str, value, **ctx):
+        if point != "doacross-wait" or not self.armed:
+            return value
+        if value and self.rng.random() < self.rate:
+            self._record(
+                f"dropped sync token for statement {ctx.get('origin')} "
+                f"at iteration {ctx.get('k')}",
+                origin=ctx.get("origin"), iteration=ctx.get("k"),
+            )
+            return 0.0
+        return value
+
+
+class ThreadAborter(FaultInjector):
+    """Kill one virtual thread after N in-region statements.
+
+    Models an asynchronous thread death mid-chunk; the loop's partial
+    effects are rolled back by the permissive recovery checkpoint.
+    Fires exactly once per injector instance.
+    """
+
+    code = "FAULT-ABORT"
+
+    def __init__(self, seed: int = 0, target_tid: int = 1,
+                 after: int = 10):
+        super().__init__(seed)
+        self.target_tid = target_tid
+        self.after = after
+        self.count = 0
+
+    def _wire(self, runner) -> None:
+        machine = runner.machine
+        original = machine.exec_stmt
+
+        def exec_stmt(stmt):
+            if self.armed and machine.tid == self.target_tid \
+                    and self._in_region():
+                self.count += 1
+                if self.count == self.after:
+                    self._record(
+                        f"virtual thread {machine.tid} aborted after "
+                        f"{self.after} statements",
+                        tid=machine.tid, after=self.after,
+                    )
+                    raise ThreadAbortFault(
+                        f"virtual thread {machine.tid} aborted mid-chunk "
+                        f"(injected)", stmt,
+                    )
+            original(stmt)
+
+        machine.exec_stmt = exec_stmt
+
+
+__all__ = [
+    "FaultInjector", "SpanCorruptor", "CopyIndexSkew",
+    "SyncTokenDropper", "ThreadAborter", "ThreadAbortFault",
+]

@@ -31,34 +31,55 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..diagnostics import (
+    DiagnosableError, DiagnosticSink, diagnostic_of,
+)
 from ..frontend import ast
 from ..interp.machine import (
-    BreakSignal, ContinueSignal, CostSink, Machine,
+    BreakSignal, ContinueSignal, CostSink, InterpError, Machine,
+    WatchdogTimeout,
 )
+from ..interp.memory import MemoryError_
 from ..interp.trace import RaceChecker
 from ..analysis.profiler import find_control_decl
 from ..transform.pipeline import (
-    DOACROSS, DOALL, TransformResult, TransformedLoop,
+    DOACROSS, DOALL, QuarantinedLoop, TransformResult, TransformedLoop,
+    parse_loop_kind,
 )
 from ..transform.rewrite import origin_of
 from . import sync
-from .stats import LoopExecution, ParallelOutcome, ThreadStats
+from .stats import LoopExecution, ParallelOutcome, RecoveryEvent, ThreadStats
 
 
-class ParallelError(Exception):
-    pass
+class ParallelError(DiagnosableError):
+    """The parallel runtime cannot execute a loop as planned."""
+
+    default_code = "RT-PLAN"
+    default_phase = "runtime"
 
 
 class RaceError(ParallelError):
     """Cross-thread conflict detected in a supposedly-independent loop."""
 
+    default_code = "RT-RACE"
+
+
+#: failures a permissive run recovers from by sequential re-execution.
+#: WatchdogTimeout is an InterpError; injected faults subclass it too.
+RECOVERABLE = (ParallelError, InterpError, MemoryError_)
+
 
 def _canonical_bounds(machine: Machine, loop: ast.For):
-    """(control decl, lo, hi, step, inclusive) of a canonical for loop."""
+    """(control decl, lo, hi, step, inclusive) of a canonical for loop.
+
+    Every rejection carries the loop label and source location in its
+    diagnostic, so the failure stays attributable even when the loop
+    was reached through nested calls."""
     control = find_control_decl(loop)
     if control is None:
         raise ParallelError(
-            f"loop {loop.label!r} is not canonical (no induction variable)"
+            f"loop {loop.label!r} is not canonical (no induction variable)",
+            code="RT-NONCANONICAL", loop=loop.label, loc=loop.loc,
         )
     cond = loop.cond
     if not (isinstance(cond, ast.Binary) and cond.op in ("<", "<=")
@@ -66,7 +87,8 @@ def _canonical_bounds(machine: Machine, loop: ast.For):
             and cond.left.decl is control):
         raise ParallelError(
             f"loop {loop.label!r} condition must be 'i < bound' or "
-            f"'i <= bound'"
+            f"'i <= bound'",
+            code="RT-NONCANONICAL", loop=loop.label, loc=loop.loc,
         )
     step_expr = loop.step
     if isinstance(step_expr, ast.Unary) and step_expr.op in ("++", "p++"):
@@ -75,7 +97,8 @@ def _canonical_bounds(machine: Machine, loop: ast.For):
         step = int(machine.eval(step_expr.value))
     else:
         raise ParallelError(
-            f"loop {loop.label!r} step must be i++ or i += c"
+            f"loop {loop.label!r} step must be i++ or i += c",
+            code="RT-NONCANONICAL", loop=loop.label, loc=loop.loc,
         )
     addr = machine.var_addr(control)
     lo = int(machine.memory.read_scalar(addr, control.ctype.fmt,
@@ -84,23 +107,180 @@ def _canonical_bounds(machine: Machine, loop: ast.For):
     return control, addr, lo, hi, step, cond.op == "<="
 
 
+class MachineSnapshot:
+    """Enough machine + memory state to re-execute a loop from scratch
+    after a failed parallel attempt.  The bump allocator never moves
+    earlier blocks, so truncating the allocation list to the saved
+    length and restoring the byte image rewinds the address space
+    exactly; allocation records that survive are shared objects whose
+    mutable fields are restored in place (freelist buckets hold the
+    same objects)."""
+
+    def __init__(self, machine: Machine):
+        memory = machine.memory
+        self.data = bytes(memory.data)
+        self.brk = memory.brk
+        self.n_allocs = len(memory._allocs)
+        self.alloc_state = [
+            (a.live, a.label, a.tag) for a in memory._allocs
+        ]
+        self.freelist = {
+            size: list(bucket) for size, bucket in memory._freelist.items()
+        }
+        self.live_bytes = dict(memory.live_bytes)
+        self.peak_bytes = dict(memory.peak_bytes)
+        self.total_allocs = memory.total_allocs
+        self.n_output = len(machine.output)
+        self.strlit_cache = dict(machine._strlit_cache)
+        self.tid = machine.tid
+
+    def restore(self, machine: Machine) -> None:
+        memory = machine.memory
+        del memory._allocs[self.n_allocs:]
+        del memory._starts[self.n_allocs:]
+        for record, (live, label, tag) in zip(memory._allocs,
+                                              self.alloc_state):
+            record.live = live
+            record.label = label
+            record.tag = tag
+        memory.data = bytearray(self.data)
+        memory.brk = self.brk
+        memory._freelist = {
+            size: list(bucket) for size, bucket in self.freelist.items()
+        }
+        memory.live_bytes = dict(self.live_bytes)
+        memory.peak_bytes = dict(self.peak_bytes)
+        memory.total_allocs = self.total_allocs
+        del machine.output[self.n_output:]
+        machine._strlit_cache = dict(self.strlit_cache)
+        machine.tid = self.tid
+
+
+def _recover_sequential(
+    runner,
+    machine: Machine,
+    loop: ast.LoopStmt,
+    execution: LoopExecution,
+    snapshot: MachineSnapshot,
+    exc: BaseException,
+    races,
+) -> None:
+    """Permissive-mode recovery: roll the machine back to its pre-loop
+    state and run the loop sequentially on pristine memory.  Injected
+    faults are suspended for the retry (the fault hit the parallel
+    attempt; the fallback models failover to the untransformed path).
+    A watchdog timeout during the retry itself propagates — that is a
+    genuine runaway, not a parallelization artifact."""
+    snapshot.restore(machine)
+    diag = diagnostic_of(exc)
+    if diag.loop is None:
+        diag.loop = loop.label
+    runner.outcome.recoveries.append(
+        RecoveryEvent(loop.label, diag, races=races)
+    )
+    sink = getattr(runner, "sink", None)
+    if sink is not None:
+        sink.emit(diag)
+        sink.warning(
+            "RT-RECOVERED",
+            f"loop {loop.label!r} re-executed sequentially after "
+            f"{diag.code}",
+            loop=loop.label, loc=loop.loc, phase="runtime",
+        )
+    suspend = getattr(runner, "suspend_faults", None)
+    if suspend is not None:
+        suspend()
+    try:
+        machine.exec_loop_sequential(loop)
+    finally:
+        resume = getattr(runner, "resume_faults", None)
+        if resume is not None:
+            resume()
+    # the aborted attempt's loads/stores stay in the thread sinks; sync
+    # the bandwidth ledger so the next execution's diff starts clean
+    from ..interp.machine import COSTS
+    execution._mem_seen = [
+        (execution.threads[t].sink.loads
+         + execution.threads[t].sink.stores) * COSTS["load"]
+        for t in range(execution.nthreads)
+    ]
+
+
 class _BaseController:
+    """Common scheduling scaffolding, plus the robustness guard: in
+    permissive mode (``runner.strict == False``) every parallel loop
+    execution is checkpointed, and a recoverable failure or a detected
+    race rolls back and re-runs the loop sequentially instead of
+    killing the program."""
+
     def __init__(self, runner: "ParallelRunner", tloop: TransformedLoop):
         self.runner = runner
         self.tloop = tloop
         self.execution = runner.outcome.loops.setdefault(
             tloop.loop.label, LoopExecution(tloop.loop.label, runner.nthreads)
         )
+        #: conflicts found by the checker in the most recent region
+        self._region_races: List[Tuple[int, str]] = []
+        #: serialized-statement origins whose dropped sync tokens were
+        #: already reported (one diagnostic per origin, not per wait)
+        self._drops_reported: Set[int] = set()
+
+    # The baseline shim runner predates the robustness knobs; default
+    # to strict / no-watchdog / no-faults when they are absent.
+    @property
+    def _strict(self) -> bool:
+        return getattr(self.runner, "strict", True)
+
+    def __call__(self, machine: Machine, loop: ast.LoopStmt) -> None:
+        if self._strict:
+            self._watchdogged(machine, loop, self._parallel_exec)
+            return
+        snapshot = MachineSnapshot(machine)
+        try:
+            self._watchdogged(machine, loop, self._parallel_exec)
+        except RECOVERABLE as exc:
+            _recover_sequential(
+                self.runner, machine, loop, self.execution, snapshot,
+                exc, self._region_races,
+            )
+            return
+        if self._region_races:
+            races = self._region_races
+            exc = RaceError(
+                f"{len(races)} cross-thread conflicts in loop "
+                f"{loop.label!r}",
+                loop=loop.label, loc=loop.loc,
+                data={"races": races[:5]},
+            )
+            _recover_sequential(
+                self.runner, machine, loop, self.execution, snapshot,
+                exc, races,
+            )
+
+    def _watchdogged(self, machine: Machine, loop: ast.LoopStmt,
+                     body) -> None:
+        """Bound one controlled loop execution by the runner's watchdog
+        (controllers bypass the machine's own per-loop guard)."""
+        budget = getattr(self.runner, "watchdog", None)
+        if budget is None:
+            body(machine, loop)
+            return
+        machine.push_watchdog(budget, loop.label)
+        try:
+            body(machine, loop)
+        finally:
+            machine.pop_watchdog()
 
     def _begin_region(self) -> None:
+        self._region_races = []
         if self.runner.checker is not None:
             self.runner.checker.begin_region()
 
     def _end_region(self) -> None:
         if self.runner.checker is not None:
-            self.runner.outcome.races.extend(
-                self.runner.checker.end_region()
-            )
+            self._region_races = self.runner.checker.end_region()
+            if self._strict:
+                self.runner.outcome.races.extend(self._region_races)
 
     def _set_thread(self, machine: Machine, tid: int) -> None:
         machine.tid = tid
@@ -118,13 +298,14 @@ class _BaseController:
 class _DoallController(_BaseController):
     """Static chunk scheduling over a canonical for loop."""
 
-    def __call__(self, machine: Machine, loop: ast.For) -> None:
+    def _parallel_exec(self, machine: Machine, loop: ast.For) -> None:
         execution = self.execution
         execution.executions += 1
         nthreads = self.runner.nthreads
         if not isinstance(loop, ast.For):
             raise ParallelError(
-                f"DOALL loop {loop.label!r} must be a canonical for loop"
+                f"DOALL loop {loop.label!r} must be a canonical for loop",
+                code="RT-NONCANONICAL", loop=loop.label, loc=loop.loc,
             )
         if loop.init is not None:
             machine.exec_stmt(loop.init)
@@ -163,7 +344,8 @@ class _DoallController(_BaseController):
                         pass
                     except BreakSignal:
                         raise ParallelError(
-                            f"break inside DOALL loop {loop.label!r}"
+                            f"break inside DOALL loop {loop.label!r}",
+                            code="RT-BREAK", loop=loop.label, loc=loop.loc,
                         )
                     if loop.step is not None:
                         machine.eval(loop.step)
@@ -202,7 +384,7 @@ class _DoallController(_BaseController):
 class _DoacrossController(_BaseController):
     """Dynamic scheduling (chunk size 1) with pipelined serial sections."""
 
-    def __call__(self, machine: Machine, loop: ast.LoopStmt) -> None:
+    def _parallel_exec(self, machine: Machine, loop: ast.LoopStmt) -> None:
         execution = self.execution
         execution.executions += 1
         nthreads = self.runner.nthreads
@@ -259,6 +441,9 @@ class _DoacrossController(_BaseController):
                 for origin, is_serial, cycles in segments:
                     if is_serial:
                         token = sync_done.get(origin, 0.0)
+                        token = self._checked_token(
+                            loop, origin, k, tid, token
+                        )
                         if token > clock:
                             stats.wait_cycles += token - clock
                             clock = token
@@ -327,9 +512,81 @@ class _DoacrossController(_BaseController):
             pass
         return segments
 
+    def _checked_token(self, loop: ast.LoopStmt, origin: int, k: int,
+                       tid: int, token: float) -> float:
+        """Validate the post/wait token for one serialized statement.
+
+        Fault injectors may drop or garble the token in flight; the
+        runtime cross-checks what the consumer observed against the
+        producer-side ledger (``sync_done``).  A mismatch is a detected
+        synchronization fault: strict mode raises, permissive mode
+        reports it once per statement and repairs from the ledger."""
+        fire = getattr(self.runner, "faults_fire", None)
+        if fire is None:
+            return token
+        observed = fire("doacross-wait", token, loop=loop.label,
+                        origin=origin, k=k, tid=tid)
+        if observed == token:
+            return token
+        if self._strict:
+            raise ParallelError(
+                f"DOACROSS sync token for statement {origin} lost at "
+                f"iteration {k} of loop {loop.label!r}",
+                code="RT-SYNC-DROP", loop=loop.label, loc=loop.loc,
+                data={"origin": origin, "iteration": k},
+            )
+        sink = getattr(self.runner, "sink", None)
+        if sink is not None and origin not in self._drops_reported:
+            self._drops_reported.add(origin)
+            sink.warning(
+                "RT-SYNC-DROP",
+                f"DOACROSS sync token for statement {origin} lost at "
+                f"iteration {k} of loop {loop.label!r}; repaired from "
+                f"the producer-side ledger",
+                loop=loop.label, loc=loop.loc,
+                data={"origin": origin, "iteration": k},
+            )
+        return token
+
+
+class _QuarantineController:
+    """Executes a quarantined loop via its fallback: SpiceC-style
+    runtime privatization when the loop's profile survived, with plain
+    sequential execution as the last resort if even that fails."""
+
+    def __init__(self, runner: "ParallelRunner", inner, label: str):
+        self.runner = runner
+        self.inner = inner
+        self.label = label
+
+    def __call__(self, machine: Machine, loop: ast.LoopStmt) -> None:
+        runner = self.runner
+        if runner.strict:
+            self.inner(machine, loop)
+            return
+        snapshot = MachineSnapshot(machine)
+        try:
+            self.inner(machine, loop)
+        except RECOVERABLE as exc:
+            execution = runner.outcome.loops.setdefault(
+                self.label, LoopExecution(self.label, runner.nthreads)
+            )
+            _recover_sequential(
+                runner, machine, loop, execution, snapshot, exc, [],
+            )
+
 
 class ParallelRunner:
-    """Executes a transformed program with N virtual threads."""
+    """Executes a transformed program with N virtual threads.
+
+    ``strict=False`` (permissive mode) arms the robustness layer:
+    recoverable failures inside a parallel loop roll back to a
+    checkpoint and re-execute sequentially, quarantined loops from a
+    permissive transform run under their fallback, and nothing short of
+    a genuine runaway (watchdog timeout on the *sequential* retry)
+    escapes.  ``watchdog`` bounds every loop execution to that many
+    interpreted statements.  ``fault_injectors`` are
+    :mod:`repro.runtime.faults` objects wired in for testing."""
 
     def __init__(
         self,
@@ -337,14 +594,24 @@ class ParallelRunner:
         nthreads: int,
         check_races: bool = True,
         chunk: int = 1,
+        strict: bool = True,
+        sink: Optional[DiagnosticSink] = None,
+        watchdog: Optional[int] = None,
+        fault_injectors: Optional[List] = None,
     ):
         if tresult.program is None or tresult.sema is None:
-            raise ParallelError("transform result has no program")
+            raise ParallelError("transform result has no program",
+                                code="RT-NOPROGRAM")
         self.tresult = tresult
         self.nthreads = nthreads
         self.chunk = chunk
+        self.strict = strict
+        # empty sinks are falsy (len 0) — compare to None explicitly
+        self.sink = sink if sink is not None else DiagnosticSink()
+        self.watchdog = watchdog
         self.outcome = ParallelOutcome(nthreads)
-        self.machine = Machine(tresult.program, tresult.sema)
+        self.machine = Machine(tresult.program, tresult.sema,
+                               max_loop_steps=watchdog)
         self.machine.nthreads = nthreads
         self.checker: Optional[RaceChecker] = None
         if check_races:
@@ -356,23 +623,121 @@ class ParallelRunner:
                 else _DoacrossController(self, tloop)
             )
             self.machine.loop_controllers[tloop.loop.nid] = controller
+        self._install_quarantined()
+        self.fault_injectors = list(fault_injectors or [])
+        for injector in self.fault_injectors:
+            injector.install(self)
 
+    # -- fault-injection hooks --------------------------------------------
+    def suspend_faults(self) -> None:
+        for injector in self.fault_injectors:
+            injector.suspend()
+
+    def resume_faults(self) -> None:
+        for injector in self.fault_injectors:
+            injector.resume()
+
+    def faults_fire(self, point: str, value=None, **ctx):
+        """Give every active injector a chance to perturb ``value`` at a
+        named runtime point (e.g. ``doacross-wait``)."""
+        for injector in self.fault_injectors:
+            value = injector.at(point, value, **ctx)
+        return value
+
+    # -- quarantine fallback ----------------------------------------------
+    def _install_quarantined(self) -> None:
+        """Wire quarantined loops (permissive transform) to their
+        fallback.  ``sequential`` needs nothing — the loop simply has
+        no controller.  ``runtime-priv`` reuses the SpiceC baseline's
+        access-control layer on this machine, with the original-program
+        private sites translated into the transformed program."""
+        quarantined = getattr(self.tresult, "quarantined", None) or []
+        plans = []
+        for q in quarantined:
+            if q.fallback != QuarantinedLoop.RUNTIME_PRIV:
+                continue
+            try:
+                clone_loop = ast.find_loop(self.tresult.program, q.label)
+            except KeyError:
+                self.sink.warning(
+                    "RT-QUARANTINE-LOST",
+                    f"quarantined loop {q.label!r} not found in the "
+                    f"transformed program; it will run sequentially",
+                    loop=q.label, phase="runtime",
+                )
+                continue
+            plans.append((q, clone_loop))
+        if not plans:
+            return
+        from ..baselines.runtime_priv import (
+            AccessControl, _BaselineController, _LoopPlan,
+            _serial_stmts_for,
+        )
+        # private sites are original-program nids; translate to clones
+        orig_sites: Set[int] = set()
+        for q, _clone_loop in plans:
+            orig_sites |= q.priv.private_sites
+        clone_sites: Set[int] = set()
+        for fn in self.tresult.program.functions():
+            for node in fn.body.walk():
+                if origin_of(node) in orig_sites:
+                    clone_sites.add(node.nid)
+        access_control = AccessControl(self.machine, clone_sites)
+        access_control.checker = self.checker
+        host = _QuarantineHost(self, access_control)
+        for q, clone_loop in plans:
+            # serial statements stay keyed by original nids: the
+            # DOACROSS controller compares origin_of(stmt) against them
+            serial = _serial_stmts_for(
+                q.loop, q.profile, q.priv.private_sites
+            )
+            plan = _LoopPlan(clone_loop, parse_loop_kind(q.loop),
+                             clone_sites, serial)
+            inner = _BaselineController(host, plan)
+            self.machine.loop_controllers[clone_loop.nid] = \
+                _QuarantineController(self, inner, q.label)
+
+    # -- execution ---------------------------------------------------------
     def run(self, entry: str = "main",
             raise_on_race: bool = True) -> ParallelOutcome:
         outcome = self.outcome
-        outcome.exit_code = self.machine.run(entry)
+        try:
+            outcome.exit_code = self.machine.run(entry)
+        except DiagnosableError as exc:
+            self.sink.emit(diagnostic_of(exc))
+            outcome.diagnostics = list(self.sink.diagnostics)
+            raise
         outcome.output = list(self.machine.output)
         outcome.total_cycles = self.machine.cost.cycles
         outcome.peak_memory = self.machine.memory.peak_footprint()
-        if self.checker is not None:
-            if outcome.races and raise_on_race:
+        if outcome.races:
+            if raise_on_race and self.strict:
                 sample = outcome.races[:5]
                 raise RaceError(
                     f"{len(outcome.races)} cross-thread conflicts detected "
                     f"(first: {sample}); the expansion transform failed to "
-                    f"privatize some contended structure"
+                    f"privatize some contended structure",
+                    data={"races": sample},
                 )
+            if not self.strict:
+                self.sink.warning(
+                    "RT-RACE",
+                    f"{len(outcome.races)} unrecovered cross-thread "
+                    f"conflicts recorded", phase="runtime",
+                )
+        outcome.diagnostics = list(self.sink.diagnostics)
         return outcome
+
+
+class _QuarantineHost:
+    """BaselineRunner facade: lets the SpiceC baseline controller run a
+    quarantined loop on the expansion runtime's machine and outcome."""
+
+    def __init__(self, runner: ParallelRunner, access_control):
+        self.nthreads = runner.nthreads
+        self.checker = runner.checker
+        self.outcome = runner.outcome
+        self.access_control = access_control
 
 
 def run_parallel(
@@ -382,12 +747,26 @@ def run_parallel(
     entry: str = "main",
     raise_on_race: bool = True,
     chunk: int = 1,
+    strict: bool = True,
+    sink: Optional[DiagnosticSink] = None,
+    watchdog: Optional[int] = None,
+    fault_injectors: Optional[List] = None,
 ) -> ParallelOutcome:
     """Run a transformed program on ``nthreads`` virtual threads.
 
     ``chunk`` sets the DOACROSS dynamic-scheduling chunk size (the
     paper uses 1; larger chunks trade scheduling overhead for pipeline
-    latency — see the scheduling ablation bench)."""
+    latency — see the scheduling ablation bench).
+
+    ``strict=False`` arms the robustness layer (checkpoint + sequential
+    re-execution on recoverable failures or detected races, quarantine
+    fallbacks, sync-token repair); ``watchdog`` bounds every loop
+    execution to that many interpreted statements and turns runaway
+    loops into a structured :class:`WatchdogTimeout`;
+    ``fault_injectors`` wires in :mod:`repro.runtime.faults`
+    injectors."""
     runner = ParallelRunner(tresult, nthreads, check_races=check_races,
-                            chunk=chunk)
+                            chunk=chunk, strict=strict, sink=sink,
+                            watchdog=watchdog,
+                            fault_injectors=fault_injectors)
     return runner.run(entry, raise_on_race=raise_on_race)

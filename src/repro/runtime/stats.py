@@ -4,7 +4,29 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..diagnostics import Diagnostic
 from ..interp.machine import CostSink
+
+
+class RecoveryEvent:
+    """One permissive-mode recovery: a parallel loop execution hit a
+    fault (race, interpreter error, watchdog, injected fault), was
+    rolled back to its pre-loop memory state, and re-executed
+    sequentially."""
+
+    def __init__(self, label: Optional[str], diagnostic: Diagnostic,
+                 races: Optional[List[Tuple[int, str]]] = None):
+        self.label = label
+        #: the structured cause (what the parallel attempt died of)
+        self.diagnostic = diagnostic
+        #: conflicts the race checker saw in the aborted attempt
+        self.races = list(races or [])
+
+    def __repr__(self) -> str:
+        return (
+            f"<RecoveryEvent loop={self.label!r} "
+            f"cause={self.diagnostic.code}>"
+        )
 
 
 class ThreadStats:
@@ -81,6 +103,10 @@ class ParallelOutcome:
         self.peak_memory = 0
         self.races: List[Tuple[int, str]] = []
         self.exit_code = 0
+        #: permissive-mode sequential re-executions (empty when strict)
+        self.recoveries: List[RecoveryEvent] = []
+        #: structured findings from the run (copied from the sink)
+        self.diagnostics: List[Diagnostic] = []
 
     def loop(self, label: Optional[str] = None) -> LoopExecution:
         if label is None and len(self.loops) == 1:

@@ -30,9 +30,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..diagnostics import (
+    Diagnostic, DiagnosticSink, diagnostic_of,
+)
 from ..frontend import ast
-from ..frontend.ctypes import ArrayType, CType
-from ..frontend.sema import SemaResult, analyze
+from ..frontend.ctypes import ArrayType, CType, CTypeError
+from ..frontend.sema import SemaError, SemaResult, analyze
+from ..interp.machine import InterpError
+from ..interp.memory import MemoryError_
 from ..analysis.access_classes import build_access_classes
 from ..analysis.breakdown import Breakdown, compute_breakdown
 from ..analysis.ddg import FLOW
@@ -51,6 +56,48 @@ from .rewrite import clone_program, origin_of
 
 DOALL = "doall"
 DOACROSS = "doacross"
+
+#: failure classes the permissive pipeline degrades on (anything else
+#: is a toolchain bug and propagates regardless of mode)
+PIPELINE_FAULTS = (
+    TransformError, SemaError, CTypeError, InterpError, MemoryError_,
+    KeyError, ValueError,
+)
+
+
+class QuarantinedLoop:
+    """A candidate loop excluded from the transform after a stage
+    failure.  It stays sequential in the emitted program; when its
+    profile and privatization classification survived, the parallel
+    runtime may instead run it under SpiceC-style runtime privatization
+    (``fallback == RUNTIME_PRIV``), which needs exactly that data."""
+
+    SEQUENTIAL = "sequential"
+    RUNTIME_PRIV = "runtime-priv"
+
+    def __init__(
+        self,
+        label: str,
+        phase: str,
+        reason: str,
+        fallback: str = SEQUENTIAL,
+        loop: Optional[ast.LoopStmt] = None,
+        profile: Optional[LoopProfile] = None,
+        priv: Optional[PrivatizationResult] = None,
+    ):
+        self.label = label
+        self.phase = phase
+        self.reason = reason
+        self.fallback = fallback
+        self.loop = loop
+        self.profile = profile
+        self.priv = priv
+
+    def __repr__(self) -> str:
+        return (
+            f"<QuarantinedLoop {self.label!r} phase={self.phase} "
+            f"fallback={self.fallback}>"
+        )
 
 
 class OptFlags:
@@ -108,6 +155,10 @@ class TransformResult:
         self.private_sites: Set[int] = set()
         self.redirect_origins: Set[int] = set()
         self.expansion_objs: Set[Obj] = set()
+        #: structured findings from this run (quarantines, degradations)
+        self.diagnostics: List[Diagnostic] = []
+        #: loops excluded from the transform in permissive mode
+        self.quarantined: List[QuarantinedLoop] = []
 
     @property
     def num_privatized(self) -> int:
@@ -263,6 +314,8 @@ class ExpansionPipeline:
         entry: str = "main",
         profiles: Optional[Dict[str, LoopProfile]] = None,
         layout: str = "bonded",
+        strict: bool = True,
+        sink: Optional[DiagnosticSink] = None,
     ):
         if expansion_source not in ("static", "profile"):
             raise ValueError("expansion_source must be 'static' or 'profile'")
@@ -282,23 +335,160 @@ class ExpansionPipeline:
         self.entry = entry
         self.layout = layout
         self._given_profiles = profiles or {}
+        self.strict = strict
+        # empty sinks are falsy (len 0) — compare to None explicitly
+        self.sink = sink if sink is not None else DiagnosticSink()
+        self.quarantined: List[QuarantinedLoop] = []
         self.result = TransformResult()
+
+    # -- graceful degradation ----------------------------------------------
+    def _quarantine(
+        self,
+        label: str,
+        phase: str,
+        exc: BaseException,
+        loop: Optional[ast.LoopStmt] = None,
+        profile: Optional[LoopProfile] = None,
+        priv: Optional[PrivatizationResult] = None,
+    ) -> QuarantinedLoop:
+        """Exclude one loop (permissive mode) or fail fast (strict)."""
+        if self.strict:
+            raise exc
+        fallback = (
+            QuarantinedLoop.RUNTIME_PRIV
+            if loop is not None and profile is not None and priv is not None
+            else QuarantinedLoop.SEQUENTIAL
+        )
+        q = QuarantinedLoop(label, phase, str(exc), fallback,
+                            loop=loop, profile=profile, priv=priv)
+        self.quarantined.append(q)
+        cause = diagnostic_of(exc)
+        cause.loop = cause.loop or label
+        self.sink.emit(cause)
+        self.sink.warning(
+            "PIPE-QUARANTINE",
+            f"loop {label!r} quarantined after {phase} failure; "
+            f"it will execute via {fallback} fallback",
+            loop=label, phase=phase, data={"fallback": fallback},
+        )
+        return q
+
+    def _resolve_labels(self) -> List[ast.LoopStmt]:
+        loops: List[ast.LoopStmt] = []
+        for lbl in self.loop_labels:
+            try:
+                loops.append(ast.find_loop(self.program, lbl))
+            except KeyError as exc:
+                self._quarantine(lbl, "lookup", exc)
+        return loops
+
+    def _profile_and_classify(self, loops: List[ast.LoopStmt]):
+        profiles: Dict[str, LoopProfile] = {}
+        privs: Dict[str, PrivatizationResult] = {}
+        kept: List[ast.LoopStmt] = []
+        for loop in loops:
+            label = loop.label
+            try:
+                profile = self._given_profiles.get(label) or profile_loop(
+                    self.program, self.sema, loop, self.entry
+                )
+            except PIPELINE_FAULTS as exc:
+                self._quarantine(label, "profile", exc, loop=loop)
+                continue
+            try:
+                priv = classify(
+                    profile.ddg, build_access_classes(profile.ddg)
+                )
+            except PIPELINE_FAULTS as exc:
+                self._quarantine(label, "classify", exc, loop=loop,
+                                 profile=profile)
+                continue
+            profiles[label] = profile
+            privs[label] = priv
+            kept.append(loop)
+        return kept, profiles, privs
+
+    def _attribute_failure(
+        self,
+        loops: List[ast.LoopStmt],
+        profiles: Dict[str, LoopProfile],
+        privs: Dict[str, PrivatizationResult],
+        exc: BaseException,
+    ) -> List[ast.LoopStmt]:
+        """Bisect a whole-transform failure: retry each loop alone and
+        quarantine the ones that fail individually."""
+        if len(loops) <= 1:
+            for loop in loops:
+                self._quarantine(
+                    loop.label, "transform", exc, loop=loop,
+                    profile=profiles.get(loop.label),
+                    priv=privs.get(loop.label),
+                )
+            return []
+        survivors: List[ast.LoopStmt] = []
+        for loop in loops:
+            try:
+                self._run_transform([loop], profiles, privs)
+            except PIPELINE_FAULTS as solo_exc:
+                self._quarantine(
+                    loop.label, "transform", solo_exc, loop=loop,
+                    profile=profiles.get(loop.label),
+                    priv=privs.get(loop.label),
+                )
+            else:
+                survivors.append(loop)
+        return survivors
+
+    def _identity_result(self) -> TransformResult:
+        """Last-resort degradation: keep the program untransformed so
+        every candidate loop runs sequentially (or via runtime
+        privatization) instead of taking the run down."""
+        result = TransformResult()
+        clone, _nid_map = clone_program(self.program)
+        result.program = clone
+        result.sema = analyze(clone)
+        result.redirect_stats = RedirectStats()
+        self.sink.warning(
+            "PIPE-DEGRADED",
+            "no candidate loop survived the transform; program left "
+            "untransformed (sequential / runtime-priv execution)",
+            phase="transform",
+        )
+        self.result = result
+        return result
 
     # -- stages ------------------------------------------------------------
     def run(self) -> TransformResult:
-        loops = [ast.find_loop(self.program, lbl) for lbl in self.loop_labels]
-        profiles = {
-            loop.label: self._given_profiles.get(loop.label)
-            or profile_loop(self.program, self.sema, loop, self.entry)
-            for loop in loops
-        }
-        privs = {
-            label: classify(profile.ddg, build_access_classes(profile.ddg))
-            for label, profile in profiles.items()
-        }
+        loops = self._resolve_labels()
+        loops, profiles, privs = self._profile_and_classify(loops)
+        try:
+            self._run_transform(loops, profiles, privs)
+        except PIPELINE_FAULTS as exc:
+            if self.strict:
+                raise
+            survivors = self._attribute_failure(loops, profiles, privs, exc)
+            try:
+                self._run_transform(survivors, profiles, privs)
+            except PIPELINE_FAULTS:
+                self._identity_result()
+        self.result.diagnostics = list(self.sink.diagnostics)
+        self.result.quarantined = list(self.quarantined)
+        return self.result
+
+    def _run_transform(
+        self,
+        loops: List[ast.LoopStmt],
+        profiles: Dict[str, LoopProfile],
+        privs: Dict[str, PrivatizationResult],
+    ) -> TransformResult:
+        self.result = TransformResult()
+        # only the loops actually being transformed contribute sites:
+        # quarantined loops must not drag their structures into the
+        # expansion set on a retry
+        labels = [loop.label for loop in loops]
         private_sites: Set[int] = set()
-        for priv in privs.values():
-            private_sites |= priv.private_sites
+        for label in labels:
+            private_sites |= privs[label].private_sites
         self.result.private_sites = private_sites
 
         pointsto = analyze_pointsto(self.program, self.sema)
@@ -308,7 +498,8 @@ class ExpansionPipeline:
         self.result.pointsto = pointsto
 
         expansion_objs = self._expansion_set(
-            private_sites, pointsto, profiles
+            private_sites, pointsto,
+            {label: profiles[label] for label in labels},
         )
         self.result.expansion_objs = expansion_objs
 
@@ -600,6 +791,8 @@ def expand_for_threads(
     entry: str = "main",
     profiles: Optional[Dict[str, LoopProfile]] = None,
     layout: str = "bonded",
+    strict: bool = True,
+    sink: Optional[DiagnosticSink] = None,
 ) -> TransformResult:
     """Transform ``program`` so the labeled loops can run multithreaded.
 
@@ -616,10 +809,17 @@ def expand_for_threads(
     ablation.  ``layout`` selects bonded (default) or interleaved copy
     placement (Figure 2); interleaved refuses heap-allocated expansion
     targets, reproducing the paper's recasting argument.
+
+    ``strict=False`` turns on graceful degradation: a stage failure on
+    one labeled loop quarantines *that loop* (it stays sequential, or
+    falls back to runtime privatization when its profile survived) with
+    a structured diagnostic in ``result.diagnostics``, while the
+    remaining loops still transform.  ``sink`` collects diagnostics
+    across calls when provided.
     """
     pipeline = ExpansionPipeline(
         program, sema, loop_labels, optimize=optimize,
         expansion_source=expansion_source, entry=entry, profiles=profiles,
-        layout=layout,
+        layout=layout, strict=strict, sink=sink,
     )
     return pipeline.run()

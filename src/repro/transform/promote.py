@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..diagnostics import DiagnosableError
 from ..frontend import ast
 from ..frontend.ctypes import (
     ArrayType, CType, FloatType, FunctionType, IntType, LONG, PointerType,
@@ -53,9 +54,12 @@ PTR_FIELD = "pointer"
 SPAN_FIELD = "span"
 
 
-class TransformError(Exception):
+class TransformError(DiagnosableError):
     """Raised when a program uses a construct outside the transform's
     supported subset (documented restrictions, not silent miscompiles)."""
+
+    default_code = "XFORM-UNSUPPORTED"
+    default_phase = "transform"
 
 
 def _group_key(pointee: CType) -> str:

@@ -84,6 +84,14 @@ def test_interleaved_layout_flag(demo_file, capsys):
     assert "__nthreads +" in capsys.readouterr().out
 
 
-def test_missing_loop_errors(demo_file):
-    with pytest.raises(KeyError):
+def test_missing_loop_errors(demo_file, capsys):
+    with pytest.raises(SystemExit) as info:
         main(["expand", demo_file, "--loop", "NOPE"])
+    assert info.value.code == 1
+    assert "PIPE-NO-LOOP" in capsys.readouterr().err
+
+
+def test_missing_loop_quarantined_permissive(demo_file, capsys):
+    assert main(["expand", demo_file, "--loop", "L", "--loop", "NOPE",
+                 "--permissive"]) == 0
+    assert "quarantined" in capsys.readouterr().err

@@ -1,0 +1,200 @@
+"""Fault-injection harness: every injected fault is either *detected*
+(a structured diagnostic is produced) or *recovered* (the loop re-runs
+sequentially and the program output is bit-identical to the
+untransformed baseline)."""
+
+import pytest
+
+from repro.diagnostics import DiagnosticSink
+from repro.frontend import parse_and_analyze
+from repro.interp import Machine
+from repro.runtime import (
+    CopyIndexSkew, RaceError, SpanCorruptor, SyncTokenDropper,
+    ThreadAborter, run_parallel,
+)
+from repro.transform import expand_for_threads
+
+
+def prepare(source, labels=("L",), optimize=False):
+    program, sema = parse_and_analyze(source)
+    base = Machine(program, sema)
+    base.run()
+    result = expand_for_threads(program, sema, list(labels),
+                                optimize=optimize)
+    return base, result
+
+
+# Statically-sized scratch structure: spans fold into literal offsets,
+# so this exercises the skew/abort injectors (which hook tid reads and
+# statement execution, not span stores).
+DOALL_SRC = """
+int buf[16];
+int out[12];
+int main(void) {
+    int i; int k;
+    #pragma expand parallel(doall)
+    L: for (i = 0; i < 12; i++) {
+        for (k = 0; k < 16; k++) buf[k] = i * k + 1;
+        out[i] = buf[15];
+    }
+    for (i = 0; i < 12; i++) print_int(out[i]);
+    return 0;
+}
+"""
+
+# Runtime-sized malloc: the expansion emits fat-pointer structs with an
+# explicit ``.span = n * sizeof(int)`` store — the SpanCorruptor target.
+FAT_SRC = """
+int n;
+int out[12];
+int main(void) {
+    int i; int k;
+    n = 16;
+    int* buf = malloc(n * sizeof(int));
+    #pragma expand parallel(doall)
+    L: for (i = 0; i < 12; i++) {
+        for (k = 0; k < n; k++) buf[k] = i * k + 1;
+        out[i] = buf[n - 1];
+    }
+    for (i = 0; i < 12; i++) print_int(out[i]);
+    return 0;
+}
+"""
+
+DOACROSS_SRC = """
+int buf[16];
+int acc;
+int main(void) {
+    int i; int k;
+    #pragma expand parallel(doacross)
+    L: for (i = 0; i < 12; i++) {
+        for (k = 0; k < 16; k++) buf[k] = i * k + 1;
+        acc = acc * 7 + buf[15];
+    }
+    print_int(acc);
+    return 0;
+}
+"""
+
+
+class TestSpanCorruptor:
+    def test_permissive_recovers_bit_identical(self):
+        base, result = prepare(FAT_SRC)
+        inj = SpanCorruptor(seed=1)
+        sink = DiagnosticSink()
+        outcome = run_parallel(result, 4, strict=False, sink=sink,
+                               fault_injectors=[inj])
+        assert inj.sites, "no span stores found to corrupt"
+        assert inj.fired > 0
+        assert outcome.output == base.output
+        assert outcome.recoveries
+        assert sink.by_code("FAULT-SPAN")
+        assert sink.by_code("RT-RECOVERED")
+
+    def test_strict_detects_as_race(self):
+        base, result = prepare(FAT_SRC)
+        with pytest.raises(RaceError) as info:
+            run_parallel(result, 4, strict=True,
+                         fault_injectors=[SpanCorruptor(seed=1)])
+        assert info.value.diagnostic.code == "RT-RACE"
+
+
+class TestCopyIndexSkew:
+    def test_permissive_recovers_bit_identical(self):
+        base, result = prepare(DOALL_SRC)
+        inj = CopyIndexSkew(seed=7, rate=0.5)
+        outcome = run_parallel(result, 4, strict=False,
+                               fault_injectors=[inj])
+        assert inj.fired > 0
+        assert outcome.output == base.output
+        assert outcome.recoveries
+
+    def test_strict_detects_as_race(self):
+        base, result = prepare(DOALL_SRC)
+        with pytest.raises(RaceError):
+            run_parallel(result, 4, strict=True,
+                         fault_injectors=[CopyIndexSkew(seed=7)])
+
+
+class TestSyncTokenDropper:
+    def test_permissive_repairs_token(self):
+        base, result = prepare(DOACROSS_SRC)
+        inj = SyncTokenDropper(seed=3)
+        sink = DiagnosticSink()
+        outcome = run_parallel(result, 4, strict=False, sink=sink,
+                               fault_injectors=[inj])
+        assert inj.fired > 0
+        assert outcome.output == base.output
+        codes = [d.code for d in outcome.diagnostics]
+        assert "FAULT-SYNC-DROP" in codes  # injection site recorded
+        assert "RT-SYNC-DROP" in codes     # detection recorded
+
+    def test_strict_detects_dropped_token(self):
+        from repro.runtime import ParallelError
+
+        base, result = prepare(DOACROSS_SRC)
+        with pytest.raises(ParallelError) as info:
+            run_parallel(result, 4, strict=True,
+                         fault_injectors=[SyncTokenDropper(seed=3)])
+        assert info.value.diagnostic.code == "RT-SYNC-DROP"
+        assert info.value.diagnostic.loop == "L"
+
+
+class TestThreadAborter:
+    def test_permissive_recovers_bit_identical(self):
+        base, result = prepare(DOALL_SRC)
+        inj = ThreadAborter(seed=0, target_tid=2, after=5)
+        outcome = run_parallel(result, 4, strict=False,
+                               fault_injectors=[inj])
+        assert inj.fired > 0
+        assert outcome.output == base.output
+        assert outcome.recoveries
+        assert outcome.recoveries[0].diagnostic.code == "FAULT-ABORT"
+
+    def test_strict_propagates_abort(self):
+        from repro.runtime import ThreadAbortFault
+
+        base, result = prepare(DOALL_SRC)
+        with pytest.raises(ThreadAbortFault):
+            run_parallel(result, 4, strict=True,
+                         fault_injectors=[ThreadAborter(target_tid=1)])
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        runs = []
+        for _ in range(2):
+            base, result = prepare(DOALL_SRC)
+            inj = CopyIndexSkew(seed=42, rate=0.5)
+            outcome = run_parallel(result, 4, strict=False,
+                                   fault_injectors=[inj])
+            runs.append((inj.fired, tuple(outcome.output),
+                         len(outcome.recoveries)))
+        assert runs[0] == runs[1]
+
+    def test_different_seed_still_recovers(self):
+        for seed in (1, 2, 3):
+            base, result = prepare(DOALL_SRC)
+            outcome = run_parallel(
+                result, 4, strict=False,
+                fault_injectors=[CopyIndexSkew(seed=seed, rate=0.5)],
+            )
+            assert outcome.output == base.output
+
+
+class TestPermissiveNeverEscapes:
+    """In permissive mode no exception escapes run_parallel for any of
+    the four fault classes — the headline robustness guarantee."""
+
+    @pytest.mark.parametrize("make_injector,source", [
+        (lambda: SpanCorruptor(seed=5), FAT_SRC),
+        (lambda: CopyIndexSkew(seed=5, rate=0.5), DOALL_SRC),
+        (lambda: SyncTokenDropper(seed=5), DOACROSS_SRC),
+        (lambda: ThreadAborter(seed=5, target_tid=1, after=3), DOALL_SRC),
+    ], ids=["span", "skew", "sync-drop", "abort"])
+    def test_no_unhandled_exception(self, make_injector, source):
+        base, result = prepare(source)
+        outcome = run_parallel(result, 4, strict=False,
+                               fault_injectors=[make_injector()])
+        assert outcome.output == base.output
+        assert outcome.races == []
