@@ -17,6 +17,8 @@ technique:
   sync-only baseline
 * :mod:`repro.bench`    — the eight benchmark kernels plus harness and
   report generators for every table/figure in the paper
+* :mod:`repro.obs`      — observability: phase tracing, per-thread
+  runtime timelines, metrics, Chrome trace-event export
 
 Quick start::
 
@@ -24,24 +26,64 @@ Quick start::
 
     outcome = expand_and_run(source, loop_labels=["L"], nthreads=4)
     print(outcome.output, outcome.loop_speedup)
+
+With observability::
+
+    from repro import expand_and_run
+    from repro.obs import write_chrome_trace
+
+    outcome = expand_and_run(source, ["L"], nthreads=4, trace=True)
+    print(outcome.trace.metrics.as_dict())
+    write_chrome_trace(outcome.trace, "out.json")   # chrome://tracing
 """
 
+from typing import List, Optional
+
+from .diagnostics import (
+    Diagnostic, DiagnosableError, DiagnosticSink, diagnostic_of,
+)
 from .frontend import parse_and_analyze, print_program
 from .interp import Machine, run_source
-from .transform import TransformResult, expand_for_threads
-from .runtime import ParallelOutcome, run_parallel
+from .obs import (
+    MetricsRegistry, NULL_TRACER, NullTracer, Tracer, chrome_trace,
+    trace_summary, write_chrome_trace,
+)
+from .transform import OptFlags, TransformResult, expand_for_threads
+from .runtime import (
+    CopyIndexSkew, FaultInjector, ParallelOutcome, SpanCorruptor,
+    SyncTokenDropper, ThreadAborter, run_parallel,
+)
+
+
+class OutputDivergence(DiagnosableError, AssertionError):
+    """The parallel run computed different program output than the
+    sequential original (subclasses :class:`AssertionError` for
+    backward compatibility with pre-1.1 callers)."""
+
+    default_code = "RT-DIVERGED"
+    default_phase = "runtime"
 
 
 class ExpandAndRunOutcome:
     """Convenience bundle returned by :func:`expand_and_run`."""
 
     def __init__(self, transform: TransformResult,
-                 sequential: Machine, parallel: ParallelOutcome):
+                 sequential: Machine, parallel: ParallelOutcome,
+                 diagnostics: Optional[List[Diagnostic]] = None,
+                 trace: Optional[Tracer] = None,
+                 verified: bool = True):
         self.transform = transform
         self.sequential = sequential
         self.parallel = parallel
         self.output = parallel.output
         self.races = parallel.races
+        #: structured findings from transform + runtime (quarantines,
+        #: recoveries, divergence), in emission order
+        self.diagnostics = list(diagnostics or [])
+        #: the :class:`repro.obs.Tracer` observing the run, or None
+        self.trace = trace
+        #: parallel output matched the sequential original
+        self.verified = verified
 
     @property
     def loop_speedup(self) -> float:
@@ -60,32 +102,95 @@ class ExpandAndRunOutcome:
 
 
 def expand_and_run(source: str, loop_labels, nthreads: int = 4,
-                   optimize: bool = True) -> ExpandAndRunOutcome:
+                   optimize=True, *,
+                   entry: str = "main",
+                   strict: bool = True,
+                   sink: Optional[DiagnosticSink] = None,
+                   chunk: int = 1,
+                   watchdog: Optional[int] = None,
+                   layout: str = "bonded",
+                   expansion_source: str = "static",
+                   check_races: bool = True,
+                   tracer: Optional[Tracer] = None,
+                   trace: bool = False) -> ExpandAndRunOutcome:
     """One-call API: parse, analyze, profile, expand, run in parallel.
 
     The labeled loops must carry ``#pragma expand parallel(doall)`` or
     ``parallel(doacross)`` annotations.  The parallel run's output is
-    verified against the sequential original; cross-thread races abort.
+    verified against the sequential original.
+
+    ``optimize`` accepts a bool (all §3.4 optimizations on/off) or an
+    :class:`~repro.transform.OptFlags` for per-optimization ablation.
+
+    ``strict=True`` (default) raises :class:`OutputDivergence` when the
+    parallel output differs from sequential, and fails fast on pipeline
+    or runtime faults.  ``strict=False`` degrades gracefully instead:
+    failing loops are quarantined, races/faults recover by sequential
+    re-execution, and a divergence is recorded as an ``RT-DIVERGED``
+    diagnostic with ``outcome.verified == False``.
+
+    ``entry``, ``chunk``, ``watchdog``, ``layout``,
+    ``expansion_source`` and ``sink`` forward to
+    :func:`~repro.transform.expand_for_threads` and
+    :func:`~repro.runtime.run_parallel`.
+
+    ``trace=True`` (or an explicit ``tracer=``) records phase spans,
+    the per-thread runtime timeline and the transform/runtime metrics;
+    the tracer is attached as ``outcome.trace``.
     """
-    program, sema = parse_and_analyze(source)
-    seq = Machine(program, sema)
-    seq.exit_code = seq.run()
+    if tracer is None:
+        tracer = Tracer() if trace else NULL_TRACER
+    sink = sink if sink is not None else DiagnosticSink()
+    program, sema = parse_and_analyze(source, tracer=tracer)
+    with tracer.phase("sequential-baseline"):
+        seq = Machine(program, sema)
+        seq.exit_code = seq.run(entry)
     transform = expand_for_threads(
-        program, sema, list(loop_labels), optimize=optimize
+        program, sema, list(loop_labels), optimize=optimize,
+        expansion_source=expansion_source, entry=entry, layout=layout,
+        strict=strict, sink=sink, tracer=tracer,
     )
-    outcome = run_parallel(transform, nthreads)
-    if outcome.output != seq.output:
-        raise AssertionError(
+    outcome = run_parallel(
+        transform, nthreads, check_races=check_races, entry=entry,
+        chunk=chunk, strict=strict, sink=sink, watchdog=watchdog,
+        tracer=tracer,
+    )
+    verified = outcome.output == seq.output
+    if not verified:
+        message = (
             f"parallel output diverged: {outcome.output} != {seq.output}"
         )
-    return ExpandAndRunOutcome(transform, seq, outcome)
+        if strict:
+            exc = OutputDivergence(message)
+            sink.emit(exc.diagnostic)
+            raise exc
+        sink.error("RT-DIVERGED", message, phase="runtime")
+    return ExpandAndRunOutcome(
+        transform, seq, outcome,
+        diagnostics=list(sink.diagnostics),
+        trace=tracer if tracer else None,
+        verified=verified,
+    )
 
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: the stable public surface; everything else is implementation detail
 __all__ = [
-    "expand_and_run", "ExpandAndRunOutcome",
+    # one-call workflow
+    "expand_and_run", "ExpandAndRunOutcome", "OutputDivergence",
+    # frontend / interpreter
     "parse_and_analyze", "print_program", "Machine", "run_source",
-    "expand_for_threads", "TransformResult",
+    # transform
+    "expand_for_threads", "TransformResult", "OptFlags",
+    # runtime
     "run_parallel", "ParallelOutcome",
+    # diagnostics
+    "Diagnostic", "DiagnosticSink", "DiagnosableError", "diagnostic_of",
+    # observability
+    "Tracer", "NullTracer", "NULL_TRACER", "MetricsRegistry",
+    "chrome_trace", "write_chrome_trace", "trace_summary",
+    # fault injection
+    "FaultInjector", "SpanCorruptor", "CopyIndexSkew",
+    "SyncTokenDropper", "ThreadAborter",
 ]

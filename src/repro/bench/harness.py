@@ -95,23 +95,32 @@ def _check_output(spec: BenchmarkSpec, expected: List[str],
 
 
 class Harness:
-    """Computes and caches BenchmarkResults."""
+    """Computes and caches BenchmarkResults.
 
-    def __init__(self, thread_counts=THREAD_COUNTS):
+    Pass a :class:`repro.obs.Tracer` to record per-benchmark phase
+    spans and the runtime timelines of every measured parallel run.
+    """
+
+    def __init__(self, thread_counts=THREAD_COUNTS, tracer=None):
+        from ..obs import ensure_tracer
+
         self.thread_counts = tuple(thread_counts)
+        self.tracer = ensure_tracer(tracer)
         self._cache: Dict[str, BenchmarkResult] = {}
 
     def result(self, name: str) -> BenchmarkResult:
         cached = self._cache.get(name)
         if cached is None:
-            cached = self._compute(get(name))
+            with self.tracer.phase("bench", benchmark=name):
+                cached = self._compute(get(name))
             self._cache[name] = cached
         return cached
 
     # -- the measurement protocol ----------------------------------------
     def _compute(self, spec: BenchmarkSpec) -> BenchmarkResult:
+        tracer = self.tracer
         result = BenchmarkResult(spec)
-        program, sema = parse_and_analyze(spec.source)
+        program, sema = parse_and_analyze(spec.source, tracer=tracer)
 
         # 1. sequential baseline.  The baseline gets the same standard
         # loop-invariant-code-motion treatment the transform's output
@@ -120,7 +129,8 @@ class Harness:
         base_prog, _nid_map = clone_program(program)
         licm_globals(base_prog)
         base_sema = analyze(base_prog)
-        seq = _seq_run(base_prog, base_sema)
+        with tracer.phase("sequential-baseline", benchmark=spec.name):
+            seq = _seq_run(base_prog, base_sema)
         result.seq_output = list(seq.output)
         result.seq_cycles = seq.cost.cycles
         result.seq_memory = seq.memory.peak_footprint()
@@ -154,7 +164,8 @@ class Harness:
 
         # 3. transforms (reusing the profiles)
         opt = expand_for_threads(
-            program, sema, spec.loop_labels, optimize=True, profiles=profiles
+            program, sema, spec.loop_labels, optimize=True,
+            profiles=profiles, tracer=tracer,
         )
         unopt = expand_for_threads(
             program, sema, spec.loop_labels, optimize=False, profiles=profiles
@@ -179,7 +190,7 @@ class Harness:
 
         # 6. figures 11-14: parallel runs
         for n in self.thread_counts:
-            out = run_parallel(opt, n)
+            out = run_parallel(opt, n, tracer=tracer)
             _check_output(spec, result.seq_output, out.output,
                           f"parallel(N={n})")
             point = ParallelPoint(n)

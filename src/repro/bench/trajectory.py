@@ -1,0 +1,128 @@
+"""Machine-readable benchmark trajectories.
+
+``emit_trajectory`` serializes a set of :class:`BenchmarkResult`\\ s to
+a ``BENCH_<timestamp>.json`` file so runs can be archived (e.g. as CI
+artifacts) and diffed across commits.  The payload carries everything
+the paper's figures are built from:
+
+* sequential baseline cycles / memory and loop coverage (Table 1);
+* single-core overheads of the optimized / unoptimized transform and
+  of runtime privatization (Figures 9-10);
+* per-thread-count loop/total speedups, memory multiples and cycle
+  breakdowns for expansion and runtime privatization (Figures 11-14);
+* the sync-only baseline speedup (§4.3);
+* harmonic-mean summary rows across all benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Optional
+
+#: bump when the payload layout changes incompatibly
+TRAJECTORY_SCHEMA = 1
+
+
+def _harmonic(values) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def _point_payload(point) -> Dict[str, object]:
+    return {
+        "loop_speedup": point.loop_speedup,
+        "total_speedup": point.total_speedup,
+        "memory_multiple": point.memory_multiple,
+        "breakdown": dict(point.breakdown),
+    }
+
+
+def trajectory_payload(results, timestamp: Optional[str] = None) -> dict:
+    """Build the JSON-serializable trajectory for ``results`` (a
+    mapping of benchmark name to :class:`BenchmarkResult`)."""
+    benchmarks = {}
+    for name, res in sorted(results.items()):
+        bd = res.breakdown
+        benchmarks[name] = {
+            "loops": list(res.spec.loop_labels),
+            "seq_cycles": res.seq_cycles,
+            "seq_loop_cycles": res.seq_loop_cycles,
+            "seq_memory_bytes": res.seq_memory,
+            "pct_time_in_loops": res.pct_time,
+            "num_privatized": res.num_privatized,
+            "access_breakdown": {
+                "free": bd.free,
+                "expandable": bd.expandable,
+                "carried": bd.carried,
+            } if bd is not None else None,
+            "overheads": {
+                "expansion_opt": res.overhead_opt,
+                "expansion_unopt": res.overhead_unopt,
+                "runtime_priv": res.overhead_rtpriv,
+            },
+            "expansion": {
+                str(n): _point_payload(p)
+                for n, p in sorted(res.expansion.items())
+            },
+            "runtime_priv": {
+                str(n): _point_payload(p)
+                for n, p in sorted(res.rtpriv.items())
+            },
+            "sync_only_speedup": res.sync_only_speedup,
+        }
+
+    thread_counts = sorted({
+        n for res in results.values() for n in res.expansion
+    })
+    summary = {
+        "overhead_opt_hmean": _harmonic(
+            r.overhead_opt for r in results.values()
+        ),
+        "overhead_unopt_hmean": _harmonic(
+            r.overhead_unopt for r in results.values()
+        ),
+        "overhead_rtpriv_hmean": _harmonic(
+            r.overhead_rtpriv for r in results.values()
+        ),
+        "loop_speedup_hmean": {
+            str(n): _harmonic(
+                r.expansion[n].loop_speedup
+                for r in results.values() if n in r.expansion
+            )
+            for n in thread_counts
+        },
+        "total_speedup_hmean": {
+            str(n): _harmonic(
+                r.expansion[n].total_speedup
+                for r in results.values() if n in r.expansion
+            )
+            for n in thread_counts
+        },
+    }
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "generator": "repro.bench",
+        "timestamp": timestamp or time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "benchmarks": benchmarks,
+        "summary": summary,
+    }
+
+
+def emit_trajectory(results, path: Optional[str] = None,
+                    timestamp: Optional[str] = None) -> str:
+    """Write the trajectory JSON; returns the path written.
+
+    ``path=None`` picks ``BENCH_<timestamp>.json`` in the working
+    directory (the shape CI archives as an artifact).
+    """
+    payload = trajectory_payload(results, timestamp=timestamp)
+    if path is None:
+        stamp = time.strftime("%Y%m%d_%H%M%S")
+        path = f"BENCH_{stamp}.json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -11,13 +11,24 @@ without writing Python:
 * ``parallel`` — expand + run on N simulated threads; print speedups
 * ``bench``    — run one benchmark (or ``all``) through the harness
 
+Every subcommand accepts ``--trace out.json`` (Chrome trace-event
+JSON: compile-phase spans + per-thread runtime timeline + metrics,
+viewable in chrome://tracing or Perfetto) and ``--trace-summary``
+(human-readable phase/event/metric tables on stderr).
+
+The §3.4 optimizations are individually addressable: ``--no-opt-NAME``
+disables one (``selective-promotion``, ``trivial-span-elim``,
+``constant-spans``, ``hoisting``, ``licm``), ``--opt NAME`` re-enables
+one, and the blunt ``--no-optimize`` (kept for compatibility) disables
+them all.
+
 Examples::
 
     python -m repro run program.c
     python -m repro profile program.c --loop L --save-ddg graph.json
-    python -m repro expand program.c --loop L --no-optimize
-    python -m repro parallel program.c --loop L --threads 8
-    python -m repro bench dijkstra
+    python -m repro expand program.c --loop L --no-opt-constant-spans
+    python -m repro parallel program.c --loop L --threads 8 --trace t.json
+    python -m repro bench dijkstra --json BENCH_run.json
 """
 
 from __future__ import annotations
@@ -26,21 +37,74 @@ import argparse
 import sys
 from typing import List, Optional
 
+#: §3.4 optimization names as CLI flags (dashes) — field names in
+#: :class:`repro.transform.OptFlags` use underscores
+OPT_NAMES = (
+    "selective-promotion", "trivial-span-elim", "constant-spans",
+    "hoisting", "licm",
+)
 
-def _load(path: str):
+
+def _load(path: str, tracer=None):
     from .frontend import parse_and_analyze
 
     with open(path) as fh:
         source = fh.read()
-    return parse_and_analyze(source)
+    return parse_and_analyze(source, tracer=tracer)
 
+
+# -- observability plumbing -------------------------------------------------
+
+def _make_tracer(args):
+    """A real tracer when the user asked for any trace output, the
+    no-op singleton otherwise."""
+    from .obs import NULL_TRACER, Tracer
+
+    if getattr(args, "trace", None) or getattr(args, "trace_summary",
+                                               False):
+        return Tracer()
+    return NULL_TRACER
+
+
+def _finish_trace(args, tracer) -> None:
+    if not tracer:
+        return
+    from .obs import trace_summary, write_chrome_trace
+
+    if args.trace:
+        write_chrome_trace(tracer, args.trace)
+        print(f"[trace written to {args.trace}]", file=sys.stderr)
+    if args.trace_summary:
+        print(trace_summary(tracer), file=sys.stderr)
+
+
+def _opt_flags(args):
+    """Build :class:`OptFlags` from the granular CLI switches."""
+    from .transform import OptFlags
+
+    base_on = not args.no_optimize
+    enabled = {name.replace("-", "_") for name in args.opt}
+    kwargs = {}
+    for name in OPT_NAMES:
+        field = name.replace("-", "_")
+        on = base_on and not getattr(args, f"no_opt_{field}")
+        kwargs[field] = on or field in enabled
+    return OptFlags(**kwargs)
+
+
+# -- subcommands ------------------------------------------------------------
 
 def _cmd_run(args) -> int:
     from .interp import Machine
 
-    program, sema = _load(args.file)
-    machine = Machine(program, sema)
-    code = machine.run(args.entry)
+    tracer = _make_tracer(args)
+    try:
+        program, sema = _load(args.file, tracer=tracer)
+        machine = Machine(program, sema)
+        with tracer.phase("run", cat="runtime"):
+            code = machine.run(args.entry)
+    finally:
+        _finish_trace(args, tracer)
     for line in machine.output:
         print(line)
     print(
@@ -57,9 +121,14 @@ def _cmd_profile(args) -> int:
     from .analysis.ddg_io import save_profile, verification_report
     from .frontend import ast
 
-    program, sema = _load(args.file)
-    loop = ast.find_loop(program, args.loop)
-    profile = profile_loop(program, sema, loop, entry=args.entry)
+    tracer = _make_tracer(args)
+    try:
+        program, sema = _load(args.file, tracer=tracer)
+        loop = ast.find_loop(program, args.loop)
+        with tracer.phase("profile", loop=args.loop):
+            profile = profile_loop(program, sema, loop, entry=args.entry)
+    finally:
+        _finish_trace(args, tracer)
     print(verification_report(program, profile))
     if args.save_ddg:
         save_profile(profile, args.save_ddg)
@@ -74,11 +143,11 @@ def _render_diagnostics(sink) -> None:
         print(diag.render(), file=sys.stderr)
 
 
-def _transform(args, sink=None):
+def _transform(args, sink=None, tracer=None):
     from .frontend import ast
     from .transform import expand_for_threads
 
-    program, sema = _load(args.file)
+    program, sema = _load(args.file, tracer=tracer)
     for label in args.loop:
         try:
             ast.find_loop(program, label)
@@ -89,11 +158,12 @@ def _transform(args, sink=None):
                 raise SystemExit(1)
     result = expand_for_threads(
         program, sema, args.loop,
-        optimize=not args.no_optimize,
+        optimize=_opt_flags(args),
         layout=args.layout,
         entry=args.entry,
         strict=args.strict,
         sink=sink,
+        tracer=tracer,
     )
     return program, sema, result
 
@@ -103,7 +173,11 @@ def _cmd_expand(args) -> int:
     from .frontend import print_program
 
     sink = DiagnosticSink()
-    _, _, result = _transform(args, sink=sink)
+    tracer = _make_tracer(args)
+    try:
+        _, _, result = _transform(args, sink=sink, tracer=tracer)
+    finally:
+        _finish_trace(args, tracer)
     print(print_program(result.program))
     _render_diagnostics(sink)
     stats = result.redirect_stats
@@ -126,12 +200,18 @@ def _cmd_parallel(args) -> int:
     from .runtime import run_parallel
 
     sink = DiagnosticSink()
-    program, sema, result = _transform(args, sink=sink)
-    base = Machine(program, sema)
-    base.run(args.entry)
-    outcome = run_parallel(result, args.threads, entry=args.entry,
-                           chunk=args.chunk, strict=args.strict,
-                           sink=sink, watchdog=args.watchdog)
+    tracer = _make_tracer(args)
+    try:
+        program, sema, result = _transform(args, sink=sink, tracer=tracer)
+        base = Machine(program, sema)
+        with tracer.phase("sequential-baseline"):
+            base.run(args.entry)
+        outcome = run_parallel(result, args.threads, entry=args.entry,
+                               chunk=args.chunk, strict=args.strict,
+                               sink=sink, watchdog=args.watchdog,
+                               tracer=tracer)
+    finally:
+        _finish_trace(args, tracer)
     for line in outcome.output:
         print(line)
     _render_diagnostics(sink)
@@ -161,15 +241,23 @@ def _cmd_parallel(args) -> int:
 def _cmd_bench(args) -> int:
     from .bench import Harness, all_benchmarks
     from .bench.report import full_report
+    from .bench.trajectory import emit_trajectory
 
     names = [s.name for s in all_benchmarks()] if args.name == "all" \
         else [args.name]
-    harness = Harness()
+    tracer = _make_tracer(args)
+    harness = Harness(tracer=tracer)
     results = {}
-    for name in names:
-        print(f"measuring {name} ...", file=sys.stderr)
-        results[name] = harness.result(name)
+    try:
+        for name in names:
+            print(f"measuring {name} ...", file=sys.stderr)
+            results[name] = harness.result(name)
+    finally:
+        _finish_trace(args, tracer)
     print(full_report(results))
+    if args.json is not None:
+        path = emit_trajectory(results, path=args.json or None)
+        print(f"[trajectory written to {path}]", file=sys.stderr)
     return 0
 
 
@@ -181,6 +269,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_trace(p):
+        p.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="write Chrome trace-event JSON (phase spans + runtime "
+                 "timeline + metrics) to PATH",
+        )
+        p.add_argument(
+            "--trace-summary", action="store_true",
+            help="print aggregated phase/event/metric tables to stderr",
+        )
+
     def add_common(p, needs_loop=False):
         p.add_argument("file", help="MiniC source file")
         p.add_argument("--entry", default="main")
@@ -189,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
                 "--loop", action="append", required=True,
                 help="candidate loop label (repeatable)",
             )
+        add_trace(p)
 
     p_run = sub.add_parser("run", help="interpret a program sequentially")
     add_common(p_run)
@@ -199,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--entry", default="main")
     p_prof.add_argument("--loop", required=True)
     p_prof.add_argument("--save-ddg", metavar="PATH")
+    add_trace(p_prof)
     p_prof.set_defaults(func=_cmd_profile)
 
     for name, fn, help_text in (
@@ -208,8 +309,18 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         add_common(p, needs_loop=True)
         p.add_argument("--no-optimize", action="store_true",
-                       help="disable the §3.4 optimizations (Fig. 9a mode)")
-        p.add_argument("--layout", choices=("bonded", "interleaved"),
+                       help="disable all §3.4 optimizations (Fig. 9a "
+                            "mode; shorthand for every --no-opt-*)")
+        for opt in OPT_NAMES:
+            p.add_argument(f"--no-opt-{opt}", action="store_true",
+                           help=f"disable the {opt.replace('-', ' ')} "
+                                f"optimization")
+        p.add_argument("--opt", action="append", default=[],
+                       choices=OPT_NAMES, metavar="NAME",
+                       help="re-enable one optimization (combine with "
+                            "--no-optimize for single-opt ablations)")
+        p.add_argument("--layout", choices=("bonded", "interleaved",
+                                            "adaptive"),
                        default="bonded")
         mode = p.add_mutually_exclusive_group()
         mode.add_argument(
@@ -234,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser("bench", help="run benchmark(s)")
     p_bench.add_argument("name", help="benchmark name or 'all'")
+    p_bench.add_argument(
+        "--json", nargs="?", const="", default=None, metavar="PATH",
+        help="emit a BENCH_<timestamp>.json speedup/overhead trajectory "
+             "(default name when PATH omitted)",
+    )
+    add_trace(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -18,10 +18,20 @@ from .printer import format_type, print_expr, print_program, print_stmt
 from .sema import BUILTIN_SIGNATURES, SemaError, SemaResult, analyze
 
 
-def parse_and_analyze(source: str):
-    """Parse and type-check MiniC source; returns ``(program, sema)``."""
-    program = parse(source)
-    sema = analyze(program)
+def parse_and_analyze(source: str, tracer=None):
+    """Parse and type-check MiniC source; returns ``(program, sema)``.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records ``parse`` and
+    ``sema`` phase spans when given.
+    """
+    if tracer is None or not tracer:
+        program = parse(source)
+        sema = analyze(program)
+        return program, sema
+    with tracer.phase("parse", bytes=len(source)):
+        program = parse(source)
+    with tracer.phase("sema"):
+        sema = analyze(program)
     return program, sema
 
 

@@ -1,0 +1,28 @@
+"""repro.obs — observability for the expansion toolchain.
+
+A span-based :class:`Tracer` records nested toolchain phases (wall
+clock) and a per-virtual-thread runtime timeline (simulated cycles),
+plus a :class:`MetricsRegistry` of the counters the paper reports.
+Exporters render Chrome trace-event JSON (:func:`write_chrome_trace`)
+and a human summary (:func:`trace_summary`).
+
+Tracing is opt-in and near-zero cost when off: subsystems hold the
+falsy :data:`NULL_TRACER` singleton and guard hot-path emission with
+``if tracer:``.
+"""
+
+from .tracer import (
+    MetricsRegistry, NULL_TRACER, NullTracer, RuntimeEvent, Span, Tracer,
+    ensure_tracer,
+)
+from .export import (
+    COMPILE_PID, RUNTIME_PID, SCHEMA_VERSION, chrome_trace, trace_summary,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Tracer", "NullTracer", "NULL_TRACER", "ensure_tracer",
+    "Span", "RuntimeEvent", "MetricsRegistry",
+    "chrome_trace", "write_chrome_trace", "trace_summary",
+    "COMPILE_PID", "RUNTIME_PID", "SCHEMA_VERSION",
+]

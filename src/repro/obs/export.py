@@ -1,0 +1,148 @@
+"""Trace exporters: Chrome trace-event JSON and a human summary table.
+
+The Chrome format (``chrome://tracing`` / Perfetto "JSON object
+format") gets two synthetic processes so the clock domains never mix:
+
+* pid 1 — toolchain phase spans, ``ts`` in wall-clock microseconds;
+* pid 2 — simulated runtime events, ``ts`` in modeled cycles (one
+  "microsecond" per cycle as far as the viewer is concerned), ``tid``
+  is the virtual thread.
+
+Metrics are exported both as Chrome counter events (``ph: "C"``) and
+verbatim under ``otherData.metrics`` for programmatic consumers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence
+
+COMPILE_PID = 1
+RUNTIME_PID = 2
+SCHEMA_VERSION = 1
+
+
+def chrome_trace(tracer) -> Dict[str, Any]:
+    """The full trace as a Chrome trace-event JSON object."""
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": COMPILE_PID, "tid": 0,
+         "ts": 0, "args": {"name": "toolchain (wall-clock us)"}},
+        {"ph": "M", "name": "process_name", "pid": RUNTIME_PID, "tid": 0,
+         "ts": 0, "args": {"name": "simulated runtime (cycles)"}},
+    ]
+    origin = min((s.start_us for s in tracer.spans), default=0.0)
+    for span in tracer.spans:
+        events.append({
+            "name": span.name, "cat": span.cat, "ph": "X",
+            "ts": span.start_us - origin,
+            "dur": span.dur_us if span.dur_us is not None else 0.0,
+            "pid": COMPILE_PID, "tid": 0, "args": dict(span.args),
+        })
+    for ev in tracer.events:
+        record: Dict[str, Any] = {
+            "name": ev.name, "cat": "runtime",
+            "ts": ev.ts, "pid": RUNTIME_PID, "tid": ev.tid,
+            "args": dict(ev.args),
+        }
+        if ev.dur is None:
+            record["ph"] = "i"
+            record["s"] = "t"       # thread-scoped instant
+        else:
+            record["ph"] = "X"
+            record["dur"] = ev.dur
+        events.append(record)
+    metrics = tracer.metrics.as_dict()
+    for name, value in metrics.items():
+        events.append({
+            "name": name, "ph": "C", "ts": 0,
+            "pid": COMPILE_PID, "tid": 0, "args": {"value": value},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "schema_version": SCHEMA_VERSION,
+            "metrics": metrics,
+        },
+    }
+
+
+def write_chrome_trace(tracer, path: str) -> str:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Human-readable summary
+# ---------------------------------------------------------------------------
+
+def _table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row):
+        return "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def trace_summary(tracer) -> str:
+    """Aggregated phase/event/metric tables (the ``--trace-summary``
+    rendering)."""
+    parts: List[str] = []
+
+    # phases, aggregated by name (self time = total minus child time)
+    totals: Dict[str, float] = {}
+    selfs: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    order: List[str] = []
+    for span in tracer.spans:
+        dur = span.dur_us or 0.0
+        if span.name not in totals:
+            order.append(span.name)
+        totals[span.name] = totals.get(span.name, 0.0) + dur
+        selfs[span.name] = selfs.get(span.name, 0.0) + dur
+        counts[span.name] = counts.get(span.name, 0) + 1
+        if span.parent is not None:
+            selfs[span.parent.name] = selfs.get(span.parent.name, 0.0) - dur
+    if order:
+        rows = [
+            [name, counts[name], f"{totals[name]:,.0f}",
+             f"{max(selfs[name], 0.0):,.0f}"]
+            for name in order
+        ]
+        parts.append("Phases (wall-clock us)\n" + _table(
+            ["phase", "count", "total", "self"], rows))
+
+    # runtime events, aggregated by name
+    ev_counts: Dict[str, int] = {}
+    ev_cycles: Dict[str, float] = {}
+    ev_order: List[str] = []
+    for ev in tracer.events:
+        if ev.name not in ev_counts:
+            ev_order.append(ev.name)
+        ev_counts[ev.name] = ev_counts.get(ev.name, 0) + 1
+        ev_cycles[ev.name] = ev_cycles.get(ev.name, 0.0) + (ev.dur or 0.0)
+    if ev_order:
+        rows = [
+            [name, ev_counts[name], f"{ev_cycles[name]:,.0f}"]
+            for name in ev_order
+        ]
+        parts.append("Runtime events (simulated cycles)\n" + _table(
+            ["event", "count", "cycles"], rows))
+
+    metrics = tracer.metrics.as_dict()
+    if metrics:
+        rows = [[name, f"{value:,g}"] for name, value in metrics.items()]
+        parts.append("Metrics\n" + _table(["metric", "value"], rows))
+
+    return "\n\n".join(parts) if parts else "(empty trace)"

@@ -1,0 +1,275 @@
+"""Span tracer + metrics registry for the expansion toolchain.
+
+Two clock domains, deliberately kept apart (DESIGN.md §10):
+
+* **Phase spans** — wall-clock (microseconds) nesting spans around the
+  toolchain stages (parse → sema → profile → DDG → classify → promote →
+  expand → redirect → optimize → run).  Recorded with strict stack
+  discipline, so every span knows its parent and nesting depth.
+* **Runtime events** — *simulated-cycle* timestamps from the
+  :class:`~repro.interp.machine.Machine` cost model: iteration
+  start/end, DOACROSS token waits/posts, watchdog trips, snapshot
+  rollbacks, quarantine fallbacks.  One event per virtual thread
+  occurrence, timestamped on the program's modeled clock.
+
+A :class:`MetricsRegistry` rides along for the scalar counters the
+paper reports (redirected accesses, span stores inserted/eliminated,
+fat-pointer promotions, expansion bytes, races detected/recovered).
+
+When tracing is off, every subsystem holds the :data:`NULL_TRACER`
+singleton instead of ``None``: it is *falsy* (``if tracer:`` guards the
+per-iteration hot paths) and every method is a no-op, so the disabled
+cost is one attribute load and a branch.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+
+def _wall_us() -> float:
+    """Default phase clock: monotonic microseconds."""
+    return time.perf_counter_ns() / 1000.0
+
+
+class Span:
+    """One completed (or in-flight) phase span on the wall clock."""
+
+    __slots__ = ("name", "cat", "start_us", "dur_us", "args", "parent",
+                 "depth")
+
+    def __init__(self, name: str, cat: str, start_us: float,
+                 parent: Optional["Span"], depth: int,
+                 args: Dict[str, Any]):
+        self.name = name
+        self.cat = cat
+        self.start_us = start_us
+        self.dur_us: Optional[float] = None   # None while open
+        self.args = args
+        self.parent = parent
+        self.depth = depth
+
+    @property
+    def end_us(self) -> Optional[float]:
+        return None if self.dur_us is None else self.start_us + self.dur_us
+
+    def __repr__(self) -> str:
+        dur = "open" if self.dur_us is None else f"{self.dur_us:.1f}us"
+        return f"<Span {self.name!r} depth={self.depth} {dur}>"
+
+
+class RuntimeEvent:
+    """One simulated-runtime occurrence on a virtual thread.
+
+    ``ts``/``dur`` are modeled cycles (the Machine cost model), not
+    wall time; ``dur is None`` marks an instant event.
+    """
+
+    __slots__ = ("name", "tid", "ts", "dur", "args")
+
+    def __init__(self, name: str, tid: int, ts: float,
+                 dur: Optional[float], args: Dict[str, Any]):
+        self.name = name
+        self.tid = tid
+        self.ts = ts
+        self.dur = dur
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"<RuntimeEvent {self.name!r} tid={self.tid} ts={self.ts:.0f}>"
+
+
+class MetricsRegistry:
+    """Named scalar counters/gauges populated across the toolchain."""
+
+    def __init__(self):
+        self._values: Dict[str, float] = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self._values[name] = self._values.get(name, 0) + value
+
+    def set(self, name: str, value: float) -> None:
+        self._values[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        return self._values.get(name, default)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(sorted(self._values.items()))
+
+    def __getitem__(self, name: str) -> float:
+        return self._values[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self):
+        return iter(sorted(self._values))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry {len(self._values)} metrics>"
+
+
+class Tracer:
+    """Structured trace of one toolchain run (phases + runtime events +
+    metrics).  See :mod:`repro.obs` for the export formats."""
+
+    enabled = True
+
+    def __init__(self, clock=None):
+        #: injectable for deterministic tests
+        self._clock = clock or _wall_us
+        #: completed-or-open spans in *start* order
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        #: simulated-cycle runtime timeline
+        self.events: List[RuntimeEvent] = []
+        self.metrics = MetricsRegistry()
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- phase spans (wall clock) -----------------------------------------
+    def begin(self, name: str, cat: str = "compile", **args) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, cat, self._clock(), parent, len(self._stack),
+                    args)
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Optional[Span] = None) -> None:
+        """Close ``span`` (default: the innermost open one).  Closing a
+        non-innermost span closes everything nested inside it too, so
+        the stack discipline survives exceptional exits."""
+        if not self._stack:
+            return
+        target = span if span is not None else self._stack[-1]
+        if target not in self._stack:
+            return  # already closed (cascade or double end)
+        while self._stack:
+            top = self._stack.pop()
+            top.dur_us = self._clock() - top.start_us
+            if top is target:
+                return
+
+    @contextmanager
+    def phase(self, name: str, cat: str = "compile", **args):
+        span = self.begin(name, cat, **args)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def instant(self, name: str, cat: str = "compile", **args) -> None:
+        """Zero-duration wall-clock marker at the current nesting."""
+        span = Span(name, cat, self._clock(),
+                    self.current, len(self._stack), args)
+        span.dur_us = 0.0
+        self.spans.append(span)
+
+    # -- runtime timeline (simulated cycles) ------------------------------
+    def event(self, name: str, tid: int, ts: float,
+              dur: Optional[float] = None, **args) -> None:
+        self.events.append(RuntimeEvent(name, tid, ts, dur, args))
+
+    # -- introspection -----------------------------------------------------
+    def open_spans(self) -> List[Span]:
+        return list(self._stack)
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CTX = _NullContext()
+
+
+class _NullMetrics:
+    """No-op metrics sink for the disabled tracer."""
+
+    __slots__ = ()
+
+    def inc(self, name, value=1):
+        pass
+
+    def set(self, name, value):
+        pass
+
+    def get(self, name, default=0):
+        return default
+
+    def as_dict(self):
+        return {}
+
+    def __contains__(self, name):
+        return False
+
+    def __iter__(self):
+        return iter(())
+
+    def __len__(self):
+        return 0
+
+
+class NullTracer:
+    """Disabled tracer: falsy, every method a no-op, shared singleton.
+
+    Hot paths guard per-iteration emission with ``if tracer:``; coarse
+    once-per-stage calls may go through unconditionally — each costs
+    one no-op method call.
+    """
+
+    enabled = False
+    spans = ()
+    events = ()
+    metrics = _NullMetrics()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def begin(self, name, cat="compile", **args):
+        return None
+
+    def end(self, span=None):
+        pass
+
+    def phase(self, name, cat="compile", **args):
+        return _NULL_CTX
+
+    @property
+    def current(self):
+        return None
+
+    def instant(self, name, cat="compile", **args):
+        pass
+
+    def event(self, name, tid, ts, dur=None, **args):
+        pass
+
+    def open_spans(self):
+        return []
+
+
+#: process-wide disabled tracer; subsystems default to this, never None
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(tracer: Optional[object]):
+    """Normalize an optional tracer argument (None → disabled)."""
+    return tracer if tracer is not None else NULL_TRACER

@@ -35,6 +35,7 @@ from ..diagnostics import (
     DiagnosableError, DiagnosticSink, diagnostic_of,
 )
 from ..frontend import ast
+from ..obs import NULL_TRACER, ensure_tracer
 from ..interp.machine import (
     BreakSignal, ContinueSignal, CostSink, InterpError, Machine,
     WatchdogTimeout,
@@ -178,6 +179,17 @@ def _recover_sequential(
     runner.outcome.recoveries.append(
         RecoveryEvent(loop.label, diag, races=races)
     )
+    tracer = getattr(runner, "tracer", NULL_TRACER)
+    if tracer:
+        tracer.event("snapshot-rollback", 0, machine.cost.cycles,
+                     loop=loop.label, cause=diag.code)
+        tracer.metrics.inc("runtime.recoveries")
+        if races:
+            tracer.metrics.inc("runtime.races_recovered", len(races))
+        if isinstance(exc, WatchdogTimeout):
+            tracer.event("watchdog-trip", 0, machine.cost.cycles,
+                         loop=loop.label)
+            tracer.metrics.inc("runtime.watchdog_trips")
     sink = getattr(runner, "sink", None)
     if sink is not None:
         sink.emit(diag)
@@ -226,10 +238,14 @@ class _BaseController:
         self._drops_reported: Set[int] = set()
 
     # The baseline shim runner predates the robustness knobs; default
-    # to strict / no-watchdog / no-faults when they are absent.
+    # to strict / no-watchdog / no-faults / no-tracer when absent.
     @property
     def _strict(self) -> bool:
         return getattr(self.runner, "strict", True)
+
+    @property
+    def _tracer(self):
+        return getattr(self.runner, "tracer", NULL_TRACER)
 
     def __call__(self, machine: Machine, loop: ast.LoopStmt) -> None:
         if self._strict:
@@ -320,6 +336,8 @@ class _DoallController(_BaseController):
                 range(addr, addr + control.ctype.size)
             )
         saved = machine.cost
+        t0 = saved.cycles          # program clock at loop entry
+        tracer = self._tracer
         start_cycles = [0.0] * nthreads
         self._begin_region()
         try:
@@ -336,6 +354,7 @@ class _DoallController(_BaseController):
                     addr, control.ctype.fmt, lo + chunk_lo * step
                 )
                 for _k in range(chunk_lo, chunk_hi):
+                    it_start = stats.sink.cycles if tracer else 0.0
                     if loop.cond is not None:
                         machine.eval(loop.cond)
                     try:
@@ -349,6 +368,13 @@ class _DoallController(_BaseController):
                         )
                     if loop.step is not None:
                         machine.eval(loop.step)
+                    if tracer:
+                        tracer.event(
+                            "iteration", tid,
+                            t0 + (it_start - start_cycles[tid]),
+                            dur=stats.sink.cycles - it_start,
+                            loop=loop.label, k=_k,
+                        )
                     stats.iterations += 1
                     execution.iterations += 1
         finally:
@@ -358,6 +384,14 @@ class _DoallController(_BaseController):
             execution.threads[t].sink.cycles - start_cycles[t]
             for t in range(nthreads)
         ]
+        if tracer:
+            for t in range(nthreads):
+                if spans[t] > 0:
+                    tracer.event(
+                        "doall-chunk", t, t0, dur=spans[t],
+                        loop=loop.label,
+                        iterations=execution.threads[t].iterations,
+                    )
         makespan = max(spans) if spans else 0.0
         # shared memory system: N threads' combined traffic cannot beat
         # the controller's bandwidth, which caps memory-bound loops
@@ -390,6 +424,8 @@ class _DoacrossController(_BaseController):
         nthreads = self.runner.nthreads
         serial_origins = self.tloop.serial_stmt_origins
         saved = machine.cost
+        t0 = saved.cycles          # program clock at loop entry
+        tracer = self._tracer
 
         thread_free = [0.0] * nthreads
         #: per serialized-statement origin: finish time of that statement
@@ -438,6 +474,7 @@ class _DoacrossController(_BaseController):
                 # on this thread's clock; each serialized statement
                 # waits on its own token from the previous iteration
                 clock = thread_free[tid] + sync.DYNAMIC_DEQUEUE
+                iter_start = clock
                 for origin, is_serial, cycles in segments:
                     if is_serial:
                         token = sync_done.get(origin, 0.0)
@@ -446,14 +483,36 @@ class _DoacrossController(_BaseController):
                         )
                         if token > clock:
                             stats.wait_cycles += token - clock
+                            if tracer:
+                                tracer.event(
+                                    "token-wait", tid, t0 + clock,
+                                    dur=token - clock, loop=loop.label,
+                                    origin=origin, k=k,
+                                )
+                                tracer.metrics.inc("runtime.token_waits")
+                                tracer.metrics.inc(
+                                    "runtime.token_wait_cycles",
+                                    token - clock,
+                                )
                             clock = token
                         stats.sync_cycles += (
                             sync.POST_COST + sync.WAIT_CHECK_COST
                         )
                         clock += cycles
                         sync_done[origin] = clock
+                        if tracer:
+                            tracer.event(
+                                "token-post", tid, t0 + clock,
+                                loop=loop.label, origin=origin, k=k,
+                            )
+                            tracer.metrics.inc("runtime.token_posts")
                     else:
                         clock += cycles
+                if tracer:
+                    tracer.event(
+                        "iteration", tid, t0 + iter_start,
+                        dur=clock - iter_start, loop=loop.label, k=k,
+                    )
                 thread_free[tid] = clock
                 k += 1
                 if isinstance(loop, ast.DoWhile):
@@ -561,6 +620,12 @@ class _QuarantineController:
 
     def __call__(self, machine: Machine, loop: ast.LoopStmt) -> None:
         runner = self.runner
+        if runner.tracer:
+            runner.tracer.event(
+                "quarantine-fallback", 0, machine.cost.cycles,
+                loop=self.label,
+            )
+            runner.tracer.metrics.inc("runtime.quarantine_fallbacks")
         if runner.strict:
             self.inner(machine, loop)
             return
@@ -598,6 +663,7 @@ class ParallelRunner:
         sink: Optional[DiagnosticSink] = None,
         watchdog: Optional[int] = None,
         fault_injectors: Optional[List] = None,
+        tracer=None,
     ):
         if tresult.program is None or tresult.sema is None:
             raise ParallelError("transform result has no program",
@@ -608,6 +674,7 @@ class ParallelRunner:
         self.strict = strict
         # empty sinks are falsy (len 0) — compare to None explicitly
         self.sink = sink if sink is not None else DiagnosticSink()
+        self.tracer = ensure_tracer(tracer)
         self.watchdog = watchdog
         self.outcome = ParallelOutcome(nthreads)
         self.machine = Machine(tresult.program, tresult.sema,
@@ -702,14 +769,31 @@ class ParallelRunner:
             raise_on_race: bool = True) -> ParallelOutcome:
         outcome = self.outcome
         try:
-            outcome.exit_code = self.machine.run(entry)
+            with self.tracer.phase("run", cat="runtime",
+                                   nthreads=self.nthreads):
+                outcome.exit_code = self.machine.run(entry)
         except DiagnosableError as exc:
             self.sink.emit(diagnostic_of(exc))
             outcome.diagnostics = list(self.sink.diagnostics)
+            if isinstance(exc, WatchdogTimeout):
+                self.tracer.metrics.inc("runtime.watchdog_trips")
             raise
         outcome.output = list(self.machine.output)
         outcome.total_cycles = self.machine.cost.cycles
         outcome.peak_memory = self.machine.memory.peak_footprint()
+        if self.tracer:
+            outcome.trace = self.tracer
+            metrics = self.tracer.metrics
+            metrics.inc("runtime.races_detected", len(outcome.races))
+            metrics.set("runtime.total_cycles", outcome.total_cycles)
+            metrics.set("runtime.peak_memory_bytes", outcome.peak_memory)
+            for label, ex in outcome.loops.items():
+                prefix = f"runtime.loop.{label}"
+                metrics.set(f"{prefix}.makespan", ex.makespan)
+                metrics.set(f"{prefix}.iterations", ex.iterations)
+                bd = ex.breakdown()
+                for key, value in bd.items():
+                    metrics.set(f"{prefix}.{key}_cycles", value)
         if outcome.races:
             if raise_on_race and self.strict:
                 sample = outcome.races[:5]
@@ -751,6 +835,7 @@ def run_parallel(
     sink: Optional[DiagnosticSink] = None,
     watchdog: Optional[int] = None,
     fault_injectors: Optional[List] = None,
+    tracer=None,
 ) -> ParallelOutcome:
     """Run a transformed program on ``nthreads`` virtual threads.
 
@@ -764,9 +849,16 @@ def run_parallel(
     execution to that many interpreted statements and turns runaway
     loops into a structured :class:`WatchdogTimeout`;
     ``fault_injectors`` wires in :mod:`repro.runtime.faults`
-    injectors."""
+    injectors.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records the per-thread
+    runtime timeline — iteration spans, DOACROSS token waits/posts,
+    watchdog trips, snapshot rollbacks, quarantine fallbacks — with
+    simulated-cycle timestamps, and is attached to the outcome as
+    ``outcome.trace``."""
     runner = ParallelRunner(tresult, nthreads, check_races=check_races,
                             chunk=chunk, strict=strict, sink=sink,
                             watchdog=watchdog,
-                            fault_injectors=fault_injectors)
+                            fault_injectors=fault_injectors,
+                            tracer=tracer)
     return runner.run(entry, raise_on_race=raise_on_race)

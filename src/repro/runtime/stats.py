@@ -107,6 +107,9 @@ class ParallelOutcome:
         self.recoveries: List[RecoveryEvent] = []
         #: structured findings from the run (copied from the sink)
         self.diagnostics: List[Diagnostic] = []
+        #: the :class:`repro.obs.Tracer` that observed this run (None
+        #: when tracing was disabled)
+        self.trace = None
 
     def loop(self, label: Optional[str] = None) -> LoopExecution:
         if label is None and len(self.loops) == 1:

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..diagnostics import (
     Diagnostic, DiagnosticSink, diagnostic_of,
 )
+from ..obs import ensure_tracer
 from ..frontend import ast
 from ..frontend.ctypes import ArrayType, CType, CTypeError
 from ..frontend.sema import SemaError, SemaResult, analyze
@@ -316,6 +317,7 @@ class ExpansionPipeline:
         layout: str = "bonded",
         strict: bool = True,
         sink: Optional[DiagnosticSink] = None,
+        tracer=None,
     ):
         if expansion_source not in ("static", "profile"):
             raise ValueError("expansion_source must be 'static' or 'profile'")
@@ -338,6 +340,7 @@ class ExpansionPipeline:
         self.strict = strict
         # empty sinks are falsy (len 0) — compare to None explicitly
         self.sink = sink if sink is not None else DiagnosticSink()
+        self.tracer = ensure_tracer(tracer)
         self.quarantined: List[QuarantinedLoop] = []
         self.result = TransformResult()
 
@@ -389,16 +392,19 @@ class ExpansionPipeline:
         for loop in loops:
             label = loop.label
             try:
-                profile = self._given_profiles.get(label) or profile_loop(
-                    self.program, self.sema, loop, self.entry
-                )
+                with self.tracer.phase("profile", loop=label):
+                    profile = self._given_profiles.get(label) or \
+                        profile_loop(
+                            self.program, self.sema, loop, self.entry
+                        )
             except PIPELINE_FAULTS as exc:
                 self._quarantine(label, "profile", exc, loop=loop)
                 continue
             try:
-                priv = classify(
-                    profile.ddg, build_access_classes(profile.ddg)
-                )
+                with self.tracer.phase("classify", loop=label):
+                    priv = classify(
+                        profile.ddg, build_access_classes(profile.ddg)
+                    )
             except PIPELINE_FAULTS as exc:
                 self._quarantine(label, "classify", exc, loop=loop,
                                  profile=profile)
@@ -459,21 +465,60 @@ class ExpansionPipeline:
 
     # -- stages ------------------------------------------------------------
     def run(self) -> TransformResult:
-        loops = self._resolve_labels()
-        loops, profiles, privs = self._profile_and_classify(loops)
-        try:
-            self._run_transform(loops, profiles, privs)
-        except PIPELINE_FAULTS as exc:
-            if self.strict:
-                raise
-            survivors = self._attribute_failure(loops, profiles, privs, exc)
+        with self.tracer.phase("expand-pipeline",
+                               loops=",".join(self.loop_labels)):
+            loops = self._resolve_labels()
+            loops, profiles, privs = self._profile_and_classify(loops)
             try:
-                self._run_transform(survivors, profiles, privs)
-            except PIPELINE_FAULTS:
-                self._identity_result()
-        self.result.diagnostics = list(self.sink.diagnostics)
-        self.result.quarantined = list(self.quarantined)
+                self._run_transform(loops, profiles, privs)
+            except PIPELINE_FAULTS as exc:
+                if self.strict:
+                    raise
+                survivors = self._attribute_failure(
+                    loops, profiles, privs, exc
+                )
+                try:
+                    self._run_transform(survivors, profiles, privs)
+                except PIPELINE_FAULTS:
+                    self._identity_result()
+            self.result.diagnostics = list(self.sink.diagnostics)
+            self.result.quarantined = list(self.quarantined)
+            self._record_metrics()
         return self.result
+
+    def _record_metrics(self) -> None:
+        """Publish the transform counters the paper reports (§3.4
+        effectiveness, Table 5) into the tracer's metrics registry."""
+        if not self.tracer:
+            return
+        metrics = self.tracer.metrics
+        result = self.result
+        stats = result.redirect_stats
+        if stats is not None:
+            metrics.set("transform.redirected_accesses", stats.redirected)
+            metrics.set("transform.constant_span_redirects",
+                        stats.constant_span)
+            metrics.set("transform.dynamic_span_redirects",
+                        stats.dynamic_span)
+            metrics.set("transform.hoisted_redirects", stats.hoisted)
+        promoter = result.promoter
+        if promoter is not None:
+            metrics.set("transform.fat_pointer_types",
+                        promoter.num_fat_types)
+            metrics.set("transform.span_stores_inserted",
+                        promoter.span_stores_inserted)
+            metrics.set("transform.span_stores_eliminated",
+                        promoter.span_stores_eliminated)
+        metrics.set("transform.structures_expanded",
+                    result.expansion.num_expanded)
+        metrics.set("transform.scalars_expanded",
+                    result.expansion.num_scalars)
+        metrics.set("transform.expansion_bytes_per_thread", sum(
+            ev.orig_type.size or 0
+            for ev in result.expansion.expanded_vars.values()
+        ))
+        metrics.set("transform.private_sites", len(result.private_sites))
+        metrics.set("transform.quarantined_loops", len(result.quarantined))
 
     def _run_transform(
         self,
@@ -482,6 +527,7 @@ class ExpansionPipeline:
         privs: Dict[str, PrivatizationResult],
     ) -> TransformResult:
         self.result = TransformResult()
+        tracer = self.tracer
         # only the loops actually being transformed contribute sites:
         # quarantined loops must not drag their structures into the
         # expansion set on a retry
@@ -491,7 +537,8 @@ class ExpansionPipeline:
             private_sites |= privs[label].private_sites
         self.result.private_sites = private_sites
 
-        pointsto = analyze_pointsto(self.program, self.sema)
+        with tracer.phase("pointsto"):
+            pointsto = analyze_pointsto(self.program, self.sema)
         # heap object types feed promotion-group decisions
         for nid, types in heap_object_types(self.program).items():
             pointsto.object_types.setdefault(("heap", nid), set()).update(types)
@@ -508,35 +555,39 @@ class ExpansionPipeline:
         )
         self.result.redirect_origins = redirect_origins
 
-        plan = PromotionPlan.from_analysis(
-            self.program, self.sema, pointsto, expansion_objs,
-            promote_all=not self.flags.selective_promotion,
-        )
+        with tracer.phase("promote"):
+            plan = PromotionPlan.from_analysis(
+                self.program, self.sema, pointsto, expansion_objs,
+                promote_all=not self.flags.selective_promotion,
+            )
+            clone, _nid_map = clone_program(self.program)
+            promoter = promote_program(
+                clone, self.sema, plan,
+                keep_trivial_spans=not self.flags.trivial_span_elim,
+            )
+            self.result.promoter = promoter
+            analyze(clone)
 
-        clone, _nid_map = clone_program(self.program)
-        promoter = promote_program(
-            clone, self.sema, plan,
-            keep_trivial_spans=not self.flags.trivial_span_elim,
-        )
-        self.result.promoter = promoter
-        analyze(clone)
+        with tracer.phase("expand"):
+            self._heapify_and_expand(clone, expansion_objs,
+                                     redirect_origins)
+            sema3 = analyze(clone)
+            static_spans = self._static_spans(
+                clone, pointsto, redirect_origins
+            ) if self.flags.constant_spans else {}
+            ex.expand_allocations(
+                clone,
+                {nid for kind, nid in expansion_objs if kind == "heap"},
+                self.result.expansion,
+            )
 
-        self._heapify_and_expand(clone, expansion_objs, redirect_origins)
-        sema3 = analyze(clone)
-
-        static_spans = self._static_spans(
-            clone, pointsto, redirect_origins
-        ) if self.flags.constant_spans else {}
-        ex.expand_allocations(
-            clone,
-            {nid for kind, nid in expansion_objs if kind == "heap"},
-            self.result.expansion,
-        )
-        self.result.redirect_stats = redirect_private_derefs(
-            clone, promoter, redirect_origins,
-            static_spans, use_constant_spans=self.flags.constant_spans,
-        )
+        with tracer.phase("redirect"):
+            self.result.redirect_stats = redirect_private_derefs(
+                clone, promoter, redirect_origins,
+                static_spans, use_constant_spans=self.flags.constant_spans,
+            )
         if self.flags.hoisting or self.flags.licm:
+            optimize_span = tracer.begin("optimize")
             # LICM-lite over *every* loop (innermost first): redirected
             # derefs inside called functions hoist to their own loops
             all_loops: List[ast.LoopStmt] = []
@@ -556,17 +607,23 @@ class ExpansionPipeline:
                 build_parent_blocks, hoist_expanded_bases, licm_globals,
             )
             parents = build_parent_blocks(clone)
-            if self.flags.hoisting:
-                hoist_redirections(all_loops, self.result.redirect_stats,
-                                   candidate_nids, parents)
-                hoist_expanded_bases(all_loops, candidate_nids, parents)
-            if self.flags.licm:
-                licm_globals(clone)
+            try:
+                if self.flags.hoisting:
+                    hoist_redirections(all_loops,
+                                       self.result.redirect_stats,
+                                       candidate_nids, parents)
+                    hoist_expanded_bases(all_loops, candidate_nids,
+                                         parents)
+                if self.flags.licm:
+                    licm_globals(clone)
+            finally:
+                tracer.end(optimize_span)
         final_sema = analyze(clone)
 
         self.result.program = clone
         self.result.sema = final_sema
-        self._plan_loops(clone, loops, profiles, privs)
+        with tracer.phase("plan"):
+            self._plan_loops(clone, loops, profiles, privs)
         return self.result
 
     # -- helpers --------------------------------------------------------------
@@ -793,6 +850,7 @@ def expand_for_threads(
     layout: str = "bonded",
     strict: bool = True,
     sink: Optional[DiagnosticSink] = None,
+    tracer=None,
 ) -> TransformResult:
     """Transform ``program`` so the labeled loops can run multithreaded.
 
@@ -816,10 +874,14 @@ def expand_for_threads(
     a structured diagnostic in ``result.diagnostics``, while the
     remaining loops still transform.  ``sink`` collects diagnostics
     across calls when provided.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records per-stage phase
+    spans and the transform metrics; omit it for zero-overhead
+    operation.
     """
     pipeline = ExpansionPipeline(
         program, sema, loop_labels, optimize=optimize,
         expansion_source=expansion_source, entry=entry, profiles=profiles,
-        layout=layout, strict=strict, sink=sink,
+        layout=layout, strict=strict, sink=sink, tracer=tracer,
     )
     return pipeline.run()

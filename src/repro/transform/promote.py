@@ -199,6 +199,16 @@ class TypePromoter:
         self._fat_registry: Dict[CType, StructType] = {}
         self._fat_names: Set[str] = set()
         self._counter = 0
+        #: span stores emitted into the program (Table 3 rows)
+        self.span_stores_inserted = 0
+        #: trivial span stores the §3.4 optimization proved dead and
+        #: dropped (``keep_trivial_spans`` retains them instead)
+        self.span_stores_eliminated = 0
+
+    @property
+    def num_fat_types(self) -> int:
+        """Distinct pointer types promoted to fat pointers."""
+        return len(self._fat_registry)
 
     # -- queries -------------------------------------------------------------
     def is_fat(self, ctype: CType) -> bool:
@@ -489,6 +499,9 @@ class _PromoteExprs(Rewriter):
                     rw.assign(span_lv, rw.clone_expr(span_lv), like=expr),
                     like=stmt,
                 ))
+                self.promoter.span_stores_inserted += 1
+            else:
+                self.promoter.span_stores_eliminated += 1
             return out
         value = expr.value
         if _is_fat_expr(value):
@@ -503,7 +516,9 @@ class _PromoteExprs(Rewriter):
             like=stmt,
         )
         if not self.keep_trivial_spans and self._is_self_span(target, span_value):
+            self.promoter.span_stores_eliminated += 1
             return stmt
+        self.promoter.span_stores_inserted += 1
         return [stmt, span_stmt]
 
     def _decl_stmt(self, stmt: ast.DeclStmt):
