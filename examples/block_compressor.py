@@ -92,7 +92,7 @@ def main():
                                 profiles={"BLOCKS": profile})
     tl = result.loops[0]
     print(f"\nDOACROSS plan: {len(tl.serial_stmt_origins)} of the loop "
-          f"body's statements stay ordered; the rest pipeline freely")
+          "body's statements stay ordered; the rest pipeline freely")
 
     print(f"\n{'threads':>8} {'expansion':>12} {'rt-priv':>12} "
           f"{'stalled':>10}")

@@ -113,7 +113,7 @@ def main():
     for ev in result.expansion.expanded_vars.values():
         print(f"  {ev.decl.name}: {ev.mode} expansion of {ev.orig_type!r}")
     print(f"  + {len(result.expansion.expanded_alloc_origins)} "
-          f"heap allocation site(s) enlarged xN")
+          "heap allocation site(s) enlarged xN")
 
     print("\n== transformed program ==")
     print(print_program(result.program))

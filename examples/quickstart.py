@@ -51,7 +51,7 @@ def main():
     print(f"thread-private access sites : {len(transform.private_sites)}")
     print(f"data structures expanded    : {transform.num_privatized}")
     print(f"scalars expanded            : {transform.expansion.num_scalars}")
-    print(f"pointer derefs redirected   : "
+    print("pointer derefs redirected   : "
           f"{transform.redirect_stats.redirected}")
 
     print("\n== transformed source (compare with the paper's Fig. 1b) ==")

@@ -108,7 +108,7 @@ def main():
     print("\n== expansion decisions ==")
     print(f"expanded structures: {expanded}")
     print(f"promotion produced {len(result.promoter.fat_structs())} "
-          f"fat pointer type(s)")
+          "fat pointer type(s)")
 
     # step 3: the speedup curve
     print("\n== speedup over sequential (output verified each run) ==")

@@ -101,7 +101,7 @@ def main():
     with open(out_path, "w") as fh:
         fh.write(PREAMBLE)
         fh.write(
-            f"\nHeadline result: harmonic-mean total-program speedup "
+            "\nHeadline result: harmonic-mean total-program speedup "
             f"**{hm4:.2f}x at 4 threads** (paper: 1.93) and "
             f"**{hm8:.2f}x at 8 threads** (paper: 2.24).\n"
         )
@@ -109,7 +109,7 @@ def main():
             fh.write(f"\n## {title}\n\n```\n{body}\n```\n\n{comment}\n")
         fh.write(
             f"\n---\nGenerated in {time.time() - t0:.0f}s by "
-            f"scripts/generate_experiments.py.\n"
+            "scripts/generate_experiments.py.\n"
         )
     print(f"wrote {out_path} in {time.time() - t0:.0f}s")
 

@@ -1,0 +1,82 @@
+"""Run the static lint engine over every example kernel.
+
+Each ``examples/*.py`` embeds one or more MiniC kernels as module-level
+string constants.  This script extracts every constant containing a
+``#pragma expand`` loop, pushes it through the transformation pipeline,
+and lints the output — the same gate CI applies to the benchmark suite
+via ``repro lint --bench all``.
+
+Usage:  python scripts/lint_examples.py [--fail-on-warning]
+
+Exit status 0 when every kernel lints clean (or, without
+``--fail-on-warning``, produces no error-severity finding), 1 otherwise.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+from repro.diagnostics import severity_rank
+from repro.frontend import ast, parse_and_analyze
+from repro.lint import run_lint
+from repro.transform import expand_for_threads
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(
+        f"_lint_example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _kernels(module):
+    """Module-level string constants holding a candidate loop."""
+    for name in sorted(vars(module)):
+        if name.startswith("_"):
+            continue
+        value = getattr(module, name)
+        if isinstance(value, str) and "#pragma expand" in value:
+            yield name, value
+
+
+def lint_kernel(title, source):
+    program, sema = parse_and_analyze(source)
+    labels = [
+        loop.label for loop in ast.iter_loops(program)
+        if loop.label and loop.pragmas
+    ]
+    if not labels:
+        print(f"{title}: no labeled #pragma expand loop", file=sys.stderr)
+        return []
+    result = expand_for_threads(program, sema, labels)
+    report = run_lint(result)
+    for diag in report.findings:
+        print(diag.render())
+    print(f"[{title}: {report.rules_run} rules, "
+          f"{len(report.findings)} finding(s)]", file=sys.stderr)
+    return report.findings
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    fail_on_warning = "--fail-on-warning" in argv
+    findings = []
+    for path in sorted(EXAMPLES.glob("*.py")):
+        module = _load_module(path)
+        for name, source in _kernels(module):
+            findings.extend(lint_kernel(f"{path.name}:{name}", source))
+    has_errors = any(
+        severity_rank(d.severity) >= severity_rank("error")
+        for d in findings
+    )
+    if has_errors or (fail_on_warning and findings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,17 @@
 
 from .access_classes import AccessClasses, UnionFind, build_access_classes
 from .breakdown import Breakdown, compute_breakdown
+from .cfg import BasicBlock, CFG, build_cfg, build_loop_body_cfg
+from .dataflow import (
+    Analysis,
+    DataflowResult,
+    DownwardExposure,
+    Liveness,
+    ReachingDefinitions,
+    UpwardExposure,
+    element_info,
+    solve,
+)
 from .ddg import ANTI, DDG, Dep, FLOW, OUTPUT
 from .pointsto import PointsToResult, analyze_pointsto
 from .privatization import ClassInfo, PrivatizationResult, classify
@@ -16,4 +27,8 @@ __all__ = [
     "Breakdown", "compute_breakdown",
     "PointsToResult", "analyze_pointsto",
     "build_static_ddg", "static_parallelizability_report",
+    "BasicBlock", "CFG", "build_cfg", "build_loop_body_cfg",
+    "Analysis", "DataflowResult", "solve", "element_info",
+    "ReachingDefinitions", "Liveness",
+    "UpwardExposure", "DownwardExposure",
 ]

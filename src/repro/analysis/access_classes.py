@@ -13,7 +13,7 @@ every loop-independent edge.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, List, Set
 
 from .ddg import DDG
 

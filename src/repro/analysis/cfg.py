@@ -1,0 +1,260 @@
+"""Per-function control-flow graphs over the MiniC AST.
+
+The transformation pipeline reasons about straight-line statement lists
+(Table 3 span-store placement, §3.4 hoisting); the static auditor needs
+path-sensitive facts — "is this span ever read again?", "does any
+definition reach this use?".  This module provides the control-flow
+skeleton those questions are asked over: a :class:`CFG` of
+:class:`BasicBlock`\\ s per function, built directly from the analyzed
+AST (MiniC has no ``goto``/``switch``, so ``if``/loops/``break``/
+``continue``/``return`` cover the language).
+
+Each basic block holds a list of *elements* in execution order.  An
+element is either an expression evaluated for value or effect
+(``ExprStmt`` payloads, loop conditions, ``for`` steps, ``return``
+operands) or a :class:`~repro.frontend.ast.VarDecl` executed as a
+declaration.  Dataflow analyses (:mod:`repro.analysis.dataflow`) fold
+transfer functions over these elements; they never need to re-derive
+statement structure.
+
+Two entry points:
+
+* :func:`build_cfg` — whole function body, parameters seeded into the
+  entry block (their binding is a definition).
+* :func:`build_loop_body_cfg` — the single-iteration region of one
+  loop (body plus condition/step), with no back edge: the graph used
+  for Definition 2/3-style upward/downward exposure, where ``break``
+  and ``continue`` both lead to the region exit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..frontend import ast
+
+#: what a basic block holds: expressions and declarations, in order
+Element = Union[ast.Expr, ast.VarDecl]
+
+
+class BasicBlock:
+    """A maximal straight-line run of elements."""
+
+    __slots__ = ("bid", "elems", "succs", "preds")
+
+    def __init__(self, bid: int):
+        self.bid = bid
+        self.elems: List[Element] = []
+        self.succs: List["BasicBlock"] = []
+        self.preds: List["BasicBlock"] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"<B{self.bid} elems={len(self.elems)} "
+            f"succs={[s.bid for s in self.succs]}>"
+        )
+
+
+class CFG:
+    """Control-flow graph with unique entry and exit blocks."""
+
+    def __init__(self):
+        self.blocks: List[BasicBlock] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+        #: element nid -> containing block (filled by the builder)
+        self.block_of: Dict[int, BasicBlock] = {}
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src: BasicBlock, dst: BasicBlock) -> None:
+        if dst not in src.succs:
+            src.succs.append(dst)
+            dst.preds.append(src)
+
+    def elements(self):
+        """All elements in block order (deterministic)."""
+        for block in self.blocks:
+            for elem in block.elems:
+                yield block, elem
+
+
+class _Builder:
+    """Recursive statement walk threading the "current" block.
+
+    ``self.cur`` is None right after a jump (``break``/``continue``/
+    ``return``); statements found there are unreachable but still get a
+    predecessor-less block, so analyses see every element."""
+
+    def __init__(self):
+        self.cfg = CFG()
+        self.cur: Optional[BasicBlock] = self.cfg.entry
+        self.break_targets: List[BasicBlock] = []
+        self.continue_targets: List[BasicBlock] = []
+
+    # -- plumbing ---------------------------------------------------------
+    def _reachable(self) -> BasicBlock:
+        if self.cur is None:
+            self.cur = self.cfg.new_block()  # dead code: no predecessors
+        return self.cur
+
+    def _emit(self, elem: Element) -> None:
+        block = self._reachable()
+        block.elems.append(elem)
+        self.cfg.block_of[elem.nid] = block
+
+    def _jump(self, target: BasicBlock) -> None:
+        if self.cur is not None:
+            self.cfg.add_edge(self.cur, target)
+        self.cur = None
+
+    def _start(self, block: BasicBlock) -> BasicBlock:
+        """Fall through from the current block into ``block``."""
+        if self.cur is not None:
+            self.cfg.add_edge(self.cur, block)
+        self.cur = block
+        return block
+
+    # -- statements -------------------------------------------------------
+    def stmt(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.Block):
+            for child in s.stmts:
+                self.stmt(child)
+        elif isinstance(s, ast.ExprStmt):
+            if s.expr is not None:
+                self._emit(s.expr)
+        elif isinstance(s, ast.DeclStmt):
+            for decl in s.decls:
+                self._emit(decl)
+        elif isinstance(s, ast.If):
+            self._emit(s.cond)
+            branch = self.cur
+            join = self.cfg.new_block()
+            then = self.cfg.new_block()
+            self.cfg.add_edge(branch, then)
+            self.cur = then
+            self.stmt(s.then)
+            self._jump(join)
+            if s.els is not None:
+                els = self.cfg.new_block()
+                self.cfg.add_edge(branch, els)
+                self.cur = els
+                self.stmt(s.els)
+                self._jump(join)
+            else:
+                self.cfg.add_edge(branch, join)
+            self.cur = join
+        elif isinstance(s, ast.While):
+            header = self.cfg.new_block()
+            after = self.cfg.new_block()
+            self._start(header)
+            self._emit(s.cond)
+            body = self.cfg.new_block()
+            self.cfg.add_edge(header, body)
+            self.cfg.add_edge(header, after)
+            self._loop_body(s.body, body, continue_to=header, break_to=after)
+            self._jump(header)
+            self.cur = after
+        elif isinstance(s, ast.DoWhile):
+            body = self.cfg.new_block()
+            latch = self.cfg.new_block()
+            after = self.cfg.new_block()
+            self._start(body)
+            self._loop_body(s.body, body, continue_to=latch, break_to=after,
+                            enter=False)
+            self._jump(latch)
+            self.cur = latch
+            self._emit(s.cond)
+            self.cfg.add_edge(latch, body)
+            self.cfg.add_edge(latch, after)
+            self.cur = after
+        elif isinstance(s, ast.For):
+            if s.init is not None:
+                self.stmt(s.init)
+            header = self.cfg.new_block()
+            after = self.cfg.new_block()
+            step = self.cfg.new_block()
+            self._start(header)
+            if s.cond is not None:
+                self._emit(s.cond)
+                self.cfg.add_edge(header, after)
+            body = self.cfg.new_block()
+            self.cfg.add_edge(header, body)
+            self._loop_body(s.body, body, continue_to=step, break_to=after)
+            self._jump(step)
+            self.cur = step
+            if s.step is not None:
+                self._emit(s.step)
+            self._jump(header)
+            self.cur = after
+        elif isinstance(s, ast.Return):
+            if s.expr is not None:
+                self._emit(s.expr)
+            self._jump(self.cfg.exit)
+        elif isinstance(s, ast.Break):
+            self._reachable()
+            self._jump(self.break_targets[-1])
+        elif isinstance(s, ast.Continue):
+            self._reachable()
+            self._jump(self.continue_targets[-1])
+        else:  # pragma: no cover - exhaustive over MiniC statements
+            raise TypeError(f"unhandled statement {type(s).__name__}")
+
+    def _loop_body(self, body: ast.Stmt, block: BasicBlock, *,
+                   continue_to: BasicBlock, break_to: BasicBlock,
+                   enter: bool = True) -> None:
+        if enter:
+            self.cur = block
+        self.break_targets.append(break_to)
+        self.continue_targets.append(continue_to)
+        try:
+            self.stmt(body)
+        finally:
+            self.break_targets.pop()
+            self.continue_targets.pop()
+
+
+def build_cfg(fn: ast.FunctionDef) -> CFG:
+    """CFG of a whole function; parameter bindings are entry elements."""
+    builder = _Builder()
+    for param in fn.params:
+        builder._emit(param)
+    if fn.body is not None:
+        builder.stmt(fn.body)
+    builder._jump(builder.cfg.exit)
+    return builder.cfg
+
+
+def build_loop_body_cfg(loop: ast.LoopStmt) -> CFG:
+    """Single-iteration region CFG of ``loop`` — no back edge.
+
+    Models one trip through the loop in evaluation order: condition
+    first for ``while``/``for`` (step last), body first for
+    ``do``/``while``.  ``break`` and ``continue`` of *this* loop exit
+    the region; nested loops keep their full structure."""
+    builder = _Builder()
+    cfg = builder.cfg
+    builder.break_targets.append(cfg.exit)
+    builder.continue_targets.append(cfg.exit)
+    if isinstance(loop, ast.DoWhile):
+        builder.stmt(loop.body)
+        if loop.cond is not None:
+            builder._emit(loop.cond)
+    elif isinstance(loop, ast.For):
+        if loop.cond is not None:
+            builder._emit(loop.cond)
+        step_block = cfg.new_block()
+        builder.continue_targets[-1] = step_block
+        builder.stmt(loop.body)
+        builder._start(step_block)
+        if loop.step is not None:
+            builder._emit(loop.step)
+    else:
+        if loop.cond is not None:
+            builder._emit(loop.cond)
+        builder.stmt(loop.body)
+    builder._jump(cfg.exit)
+    return builder.cfg

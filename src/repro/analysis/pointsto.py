@@ -32,9 +32,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..frontend import ast
-from ..frontend.ctypes import (
-    ArrayType, CType, PointerType, StructType,
-)
+from ..frontend.ctypes import ArrayType, CType, StructType
 from ..frontend.sema import SemaResult
 
 #: object / constraint-variable handles

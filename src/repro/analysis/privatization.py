@@ -16,10 +16,10 @@ accesses are *shared* and keep targeting copy 0.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Set
+from typing import List, NamedTuple, Set
 
 from .access_classes import AccessClasses, build_access_classes
-from .ddg import ANTI, DDG, FLOW, OUTPUT
+from .ddg import DDG, FLOW
 
 
 class ClassInfo(NamedTuple):

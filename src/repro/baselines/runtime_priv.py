@@ -26,17 +26,14 @@ cost annotation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..frontend import ast
 from ..interp import memory as mem
-from ..interp.machine import (
-    BreakSignal, ContinueSignal, CostSink, Machine,
-)
+from ..interp.machine import Machine
 from ..interp.trace import RaceChecker
 from ..analysis.privatization import PrivatizationResult
-from ..analysis.profiler import LoopProfile, find_control_decl
-from ..runtime import sync
+from ..analysis.profiler import LoopProfile
 from ..runtime.stats import LoopExecution, ParallelOutcome
 from ..transform.pipeline import (
     DOACROSS, DOALL, parse_loop_kind,
@@ -222,7 +219,7 @@ class BaselineRunner:
         if outcome.races and raise_on_race:
             raise RuntimeError(
                 f"runtime privatization left {len(outcome.races)} "
-                f"cross-thread conflicts"
+                "cross-thread conflicts"
             )
         return outcome
 
@@ -241,9 +238,6 @@ class _BaselineController:
         )
 
     def __call__(self, machine: Machine, loop: ast.LoopStmt) -> None:
-        from ..runtime.parallel import (
-            _DoacrossController, _DoallController,
-        )
         runner = self.runner
         self.execution.executions += 1
         runner.access_control.begin_loop(runner.nthreads)

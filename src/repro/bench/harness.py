@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 from ..frontend import ast, parse_and_analyze
 from ..frontend.sema import analyze
 from ..transform.optimize import licm_globals
-from ..transform.rewrite import clone_program, origin_of
+from ..transform.rewrite import clone_program
 from ..analysis import (
     Breakdown, build_access_classes, classify, compute_breakdown,
     profile_loop,

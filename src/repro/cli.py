@@ -9,6 +9,9 @@ without writing Python:
 * ``expand``   — run the expansion pipeline; print the transformed
   source and a summary
 * ``parallel`` — expand + run on N simulated threads; print speedups
+* ``lint``     — expand, then statically audit the transformed IR
+  (span discipline, allocation scaling, privatization races); findings
+  are structured ``LINT-*`` diagnostics
 * ``bench``    — run one benchmark (or ``all``) through the harness
 
 Every subcommand accepts ``--trace out.json`` (Chrome trace-event
@@ -28,6 +31,8 @@ Examples::
     python -m repro profile program.c --loop L --save-ddg graph.json
     python -m repro expand program.c --loop L --no-opt-constant-spans
     python -m repro parallel program.c --loop L --threads 8 --trace t.json
+    python -m repro lint program.c --fail-on-warning
+    python -m repro lint --bench all --fail-on-warning
     python -m repro bench dijkstra --json BENCH_run.json
 """
 
@@ -229,13 +234,97 @@ def _cmd_parallel(args) -> int:
         f"[{args.threads} threads: output "
         f"{'VERIFIED' if ok else 'DIVERGED!'}; "
         f"loop speedup {loop_seq / loop_par if loop_par else 0:.2f}x; "
-        f"total speedup "
+        "total speedup "
         f"{base.cost.cycles / outcome.total_cycles:.2f}x; "
         f"races {len(outcome.races)}"
         f"{'; ' + ', '.join(status) if status else ''}]",
         file=sys.stderr,
     )
     return 0 if ok else 1
+
+
+def _discover_loops(program) -> List[str]:
+    """Labels of every ``#pragma expand``-marked candidate loop."""
+    from .frontend import ast
+
+    return [
+        loop.label for loop in ast.iter_loops(program)
+        if loop.label and loop.pragmas
+    ]
+
+
+def _lint_one(title, program, sema, labels, args, sink, tracer) -> "object":
+    from .lint import run_lint
+    from .transform import expand_for_threads
+
+    result = expand_for_threads(
+        program, sema, labels,
+        optimize=_opt_flags(args),
+        layout=args.layout,
+        entry=getattr(args, "entry", "main"),
+        strict=args.strict,
+        sink=sink,
+        tracer=tracer,
+    )
+    report = run_lint(result, sink=sink, tracer=tracer,
+                      codes=args.rule or None)
+    for diag in report.findings:
+        print(diag.render())
+    print(
+        f"[{title}: {report.rules_run} rules, "
+        f"{len(report.findings)} finding(s)]",
+        file=sys.stderr,
+    )
+    return report
+
+
+def _cmd_lint(args) -> int:
+    from .diagnostics import DiagnosticSink, severity_rank
+
+    if bool(args.file) == bool(args.bench):
+        print("error: lint needs a source file or --bench NAME|all "
+              "(not both)", file=sys.stderr)
+        return 2
+    sink = DiagnosticSink()
+    tracer = _make_tracer(args)
+    reports = []
+    try:
+        if args.bench:
+            from .bench import all_benchmarks, get
+
+            names = [s.name for s in all_benchmarks()] \
+                if args.bench == "all" else [args.bench]
+            from .frontend import parse_and_analyze
+
+            for name in names:
+                spec = get(name)
+                program, sema = parse_and_analyze(spec.source,
+                                                  tracer=tracer)
+                reports.append(_lint_one(
+                    name, program, sema, spec.loop_labels, args, sink,
+                    tracer,
+                ))
+        else:
+            program, sema = _load(args.file, tracer=tracer)
+            labels = args.loop or _discover_loops(program)
+            if not labels:
+                print("error[PIPE-NO-LOOP]: no labeled "
+                      f"#pragma expand loop in {args.file}",
+                      file=sys.stderr)
+                return 1
+            reports.append(_lint_one(
+                args.file, program, sema, labels, args, sink, tracer,
+            ))
+    finally:
+        _finish_trace(args, tracer)
+    findings = [d for r in reports for d in r.findings]
+    has_errors = any(
+        severity_rank(d.severity) >= severity_rank("error")
+        for d in findings
+    )
+    if has_errors or (args.fail_on_warning and findings):
+        return 1
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -305,16 +394,40 @@ def build_parser() -> argparse.ArgumentParser:
     for name, fn, help_text in (
         ("expand", _cmd_expand, "print the transformed program"),
         ("parallel", _cmd_parallel, "expand and run on N threads"),
+        ("lint", _cmd_lint, "statically audit the transformed IR"),
     ):
         p = sub.add_parser(name, help=help_text)
-        add_common(p, needs_loop=True)
+        if name == "lint":
+            p.add_argument("file", nargs="?", default=None,
+                           help="MiniC source file (or use --bench)")
+            p.add_argument("--entry", default="main")
+            p.add_argument(
+                "--loop", action="append", default=None,
+                help="candidate loop label (default: every labeled "
+                     "#pragma expand loop)",
+            )
+            p.add_argument(
+                "--bench", metavar="NAME", default=None,
+                help="lint a registered benchmark kernel, or 'all'",
+            )
+            p.add_argument(
+                "--fail-on-warning", action="store_true",
+                help="exit nonzero on any finding, not just errors",
+            )
+            p.add_argument(
+                "--rule", action="append", default=[], metavar="CODE",
+                help="run only the named LINT-* rule (repeatable)",
+            )
+            add_trace(p)
+        else:
+            add_common(p, needs_loop=True)
         p.add_argument("--no-optimize", action="store_true",
                        help="disable all §3.4 optimizations (Fig. 9a "
                             "mode; shorthand for every --no-opt-*)")
         for opt in OPT_NAMES:
             p.add_argument(f"--no-opt-{opt}", action="store_true",
                            help=f"disable the {opt.replace('-', ' ')} "
-                                f"optimization")
+                                "optimization")
         p.add_argument("--opt", action="append", default=[],
                        choices=OPT_NAMES, metavar="NAME",
                        help="re-enable one optimization (combine with "

@@ -18,7 +18,7 @@ Expression nodes carry a ``ctype`` annotation filled in by
 from __future__ import annotations
 
 import itertools
-from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from .ctypes import CType
 

@@ -18,8 +18,7 @@ from typing import List, Optional, Tuple
 
 from . import ast
 from .ctypes import (
-    CHAR, CType, DOUBLE, FLOAT, INT, LONG, SHORT, VOID,
-    ArrayType, FunctionType, IntType, PointerType, StructType,
+    CType, DOUBLE, FLOAT, VOID, ArrayType, IntType, PointerType, StructType,
 )
 from .lexer import Token, tokenize
 

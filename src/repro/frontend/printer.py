@@ -9,7 +9,7 @@ stability: ``parse(print(parse(src)))`` is structurally identical to
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from . import ast
 from .ctypes import (

@@ -24,9 +24,7 @@ from typing import Dict, List, Optional
 from . import ast
 from ..diagnostics import DiagnosableError, DiagnosticSink, diagnostic_of
 from .ctypes import (
-    CHAR, CType, DOUBLE, INT, LONG, VOID, VOID_PTR,
-    ArrayType, CTypeError, FunctionType, IntType, PointerType, StructType,
-    common_arith_type, is_assignable, sizeof,
+    CHAR, CType, DOUBLE, INT, LONG, VOID, VOID_PTR, ArrayType, CTypeError, FunctionType, PointerType, StructType, common_arith_type, is_assignable, sizeof,
 )
 
 

@@ -12,7 +12,7 @@ byte-range accesses so the dependence profiler sees them.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List
+from typing import Callable, Dict
 
 from . import memory as mem
 

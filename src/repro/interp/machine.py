@@ -38,8 +38,7 @@ if sys.getrecursionlimit() < 40000:
 from ..diagnostics import DiagnosableError
 from ..frontend import ast
 from ..frontend.ctypes import (
-    ArrayType, CType, FloatType, FunctionType, IntType, LONG, PointerType,
-    StructType,
+    ArrayType, CType, FloatType, IntType, PointerType, StructType,
 )
 from ..frontend.sema import SemaResult
 from . import memory as mem

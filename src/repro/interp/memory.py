@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import bisect
 import struct as _struct
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 #: allocation kinds (segments)
 GLOBAL = "global"

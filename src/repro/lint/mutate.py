@@ -1,0 +1,76 @@
+"""Deterministic IR mutations mirroring the runtime fault injectors.
+
+The robustness layer proves the *dynamic* detectors catch injected
+faults (:mod:`repro.runtime.faults`); these helpers apply the same two
+corruptions directly to a transformed AST so the test suite can assert
+the *static* auditor catches them too — every fault-injected
+miscompilation must be flagged by at least one lint rule, without
+running the program:
+
+* :func:`corrupt_spans` — the :class:`~repro.runtime.faults.SpanCorruptor`
+  analogue: every span-store value becomes ``value * factor``; with the
+  default ``factor=0`` all per-thread strides collapse to zero
+  (``LINT-SPAN-CLOBBER`` territory).
+* :func:`skew_copy_index` — the
+  :class:`~repro.runtime.faults.CopyIndexSkew` analogue: ``__tid``
+  reads become ``__tid + stride``, aiming accesses into a neighbour
+  thread's copy (``LINT-RACE-TID-FORM`` territory).
+
+Both mutate in place and return the number of sites changed, so tests
+can assert the corruption actually landed.
+"""
+
+from __future__ import annotations
+
+from ..frontend import ast
+from ..transform import rewrite as rw
+from ..transform.expand import TID
+from ..transform.optimize import _span_store
+from ..transform.promote import SPAN_FIELD  # noqa: F401  (re-export aid)
+
+
+def corrupt_spans(program: ast.Program, factor: int = 0) -> int:
+    """Multiply every statement-level span-store value by ``factor``."""
+    count = 0
+    for fn in program.functions():
+        if fn.body is None:
+            continue
+        for node in fn.body.walk():
+            if not isinstance(node, ast.Block):
+                continue
+            for stmt in node.stmts:
+                assign = _span_store(stmt)
+                if assign is None:
+                    continue
+                assign.value = rw.binary(
+                    "*", assign.value, ast.IntLit(factor), like=assign
+                )
+                count += 1
+    return count
+
+
+def skew_copy_index(program: ast.Program, stride: int = 1) -> int:
+    """Replace every ``__tid`` read with ``__tid + stride``."""
+    count = 0
+    for fn in program.functions():
+        if fn.body is None:
+            continue
+        targets = [
+            node for node in fn.body.walk()
+            if isinstance(node, ast.Ident) and node.name == TID
+        ]
+        for node in targets:
+            inner = ast.Ident(TID)
+            inner.decl = node.decl
+            inner.ctype = node.ctype
+            skewed = rw.binary(
+                "+", inner, ast.IntLit(stride), like=node
+            )
+            node.__class__ = ast.Binary
+            node.__dict__.clear()
+            node.__dict__.update(skewed.__dict__)
+            count += 1
+    return count
+
+
+__all__ = ["corrupt_spans", "skew_copy_index"]

@@ -41,7 +41,7 @@ replace the dict entry instead.
 from __future__ import annotations
 
 import random
-from typing import Optional, Set
+from typing import Set
 
 from ..frontend import ast
 from ..interp.machine import InterpError
@@ -244,7 +244,7 @@ class ThreadAborter(FaultInjector):
                     )
                     raise ThreadAbortFault(
                         f"virtual thread {machine.tid} aborted mid-chunk "
-                        f"(injected)", stmt,
+                        "(injected)", stmt,
                     )
             original(stmt)
 

@@ -44,8 +44,7 @@ from ..interp.memory import MemoryError_
 from ..interp.trace import RaceChecker
 from ..analysis.profiler import find_control_decl
 from ..transform.pipeline import (
-    DOACROSS, DOALL, QuarantinedLoop, TransformResult, TransformedLoop,
-    parse_loop_kind,
+    DOALL, QuarantinedLoop, TransformResult, TransformedLoop, parse_loop_kind,
 )
 from ..transform.rewrite import origin_of
 from . import sync
@@ -88,7 +87,7 @@ def _canonical_bounds(machine: Machine, loop: ast.For):
             and cond.left.decl is control):
         raise ParallelError(
             f"loop {loop.label!r} condition must be 'i < bound' or "
-            f"'i <= bound'",
+            "'i <= bound'",
             code="RT-NONCANONICAL", loop=loop.label, loc=loop.loc,
         )
     step_expr = loop.step
@@ -601,7 +600,7 @@ class _DoacrossController(_BaseController):
                 "RT-SYNC-DROP",
                 f"DOACROSS sync token for statement {origin} lost at "
                 f"iteration {k} of loop {loop.label!r}; repaired from "
-                f"the producer-side ledger",
+                "the producer-side ledger",
                 loop=loop.label, loc=loop.loc,
                 data={"origin": origin, "iteration": k},
             )
@@ -729,7 +728,7 @@ class ParallelRunner:
                 self.sink.warning(
                     "RT-QUARANTINE-LOST",
                     f"quarantined loop {q.label!r} not found in the "
-                    f"transformed program; it will run sequentially",
+                    "transformed program; it will run sequentially",
                     loop=q.label, phase="runtime",
                 )
                 continue
@@ -800,14 +799,14 @@ class ParallelRunner:
                 raise RaceError(
                     f"{len(outcome.races)} cross-thread conflicts detected "
                     f"(first: {sample}); the expansion transform failed to "
-                    f"privatize some contended structure",
+                    "privatize some contended structure",
                     data={"races": sample},
                 )
             if not self.strict:
                 self.sink.warning(
                     "RT-RACE",
                     f"{len(outcome.races)} unrecovered cross-thread "
-                    f"conflicts recorded", phase="runtime",
+                    "conflicts recorded", phase="runtime",
                 )
         outcome.diagnostics = list(self.sink.diagnostics)
         return outcome

@@ -29,7 +29,7 @@ carries its access's classification.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..frontend import ast
 from ..frontend.ctypes import (
@@ -231,7 +231,7 @@ class _RewriteRefs:
         if evar.layout == INTERLEAVED and evar.is_array:
             raise TransformError(
                 f"interleaved layout: array {expr.name!r} used without a "
-                f"subscript (whole-copy operations need bonded mode)"
+                "subscript (whole-copy operations need bonded mode)"
             )
         """The uniform Table 2 rewrite at the access's root identifier.
 

@@ -12,16 +12,28 @@ so the cycle model sees what hardware would see:
   ``__expand_init``), so compute it once per loop iteration in a local
   (register) slot.
 
+* :func:`eliminate_dead_spans` — the §3.4 dead span-store elimination,
+  re-derived from liveness on the :mod:`repro.analysis.dataflow` engine
+  instead of the emission-time self-assignment peephole: a span store
+  ``X.span = e`` is removable when it is an identity (``X.span =
+  X.span``) or when ``X``'s span cell is provably never read again on
+  any path.  Span cells are *unaliasable* — taking the address of a
+  promoted pointer is rejected during promotion — so plain-identifier
+  fat variables are tracked exactly; span lvalues rooted in structs,
+  arrays or pointers are never touched.
+
 (The companion pass for fat-pointer *dereference* redirections lives in
 :func:`repro.transform.redirect.hoist_redirections`.)
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from ..analysis.cfg import build_cfg
+from ..analysis.dataflow import Analysis, solve
 from ..frontend import ast
-from ..frontend.ctypes import PointerType
+from ..frontend.ctypes import PointerType, StructType
 from . import rewrite as rw
 from .rewrite import origin_of
 
@@ -287,3 +299,229 @@ def licm_globals(program: ast.Program) -> int:  # noqa: C901
                     _morph(node, repl)
             place_hoist(loop, _ast.DeclStmt(decls), parents, in_body=False)
     return count
+
+
+# -- §3.4 dead span-store elimination (liveness-derived) -------------------
+
+def is_fat_struct(ctype) -> bool:
+    """Structural test for the compiler-generated fat-pointer structs
+    (``struct __fatN { T *pointer; long span; }``)."""
+    from .promote import PTR_FIELD, SPAN_FIELD
+
+    return (
+        isinstance(ctype, StructType)
+        and ctype.name.startswith("__fat")
+        and [f.name for f in ctype.fields] == [PTR_FIELD, SPAN_FIELD]
+    )
+
+
+class DeadSpanStore:
+    """One statement-level span store proven removable."""
+
+    __slots__ = ("fn", "block", "assign", "reason")
+
+    def __init__(self, fn: ast.FunctionDef, block: ast.Block,
+                 assign: ast.Assign, reason: str):
+        self.fn = fn
+        self.block = block
+        self.assign = assign
+        #: "identity" (``X.span = X.span``) or "dead" (span never read)
+        self.reason = reason
+
+
+def _span_store(stmt: ast.Stmt) -> Optional[ast.Assign]:
+    """The ``X.span = e`` assignment when ``stmt`` is a statement-level
+    span store into a fat-pointer lvalue, else None."""
+    from .promote import SPAN_FIELD
+
+    if not (isinstance(stmt, ast.ExprStmt)
+            and isinstance(stmt.expr, ast.Assign)):
+        return None
+    assign = stmt.expr
+    target = assign.target
+    if assign.op == "=" and isinstance(target, ast.Member) and \
+            not target.arrow and target.name == SPAN_FIELD and \
+            is_fat_struct(target.base.ctype):
+        return assign
+    return None
+
+
+def _span_cells(program: ast.Program) -> Set[int]:
+    """Decl nids of plain fat-pointer variables — the trackable span
+    cells.  Fat variables cannot be address-taken (promotion rejects
+    ``&p``), so every read or write of their span goes through the
+    identifier; struct members, array elements, and heap objects are
+    not cells and stay conservatively live."""
+    cells: Set[int] = set()
+    for decl in program.globals():
+        if is_fat_struct(decl.ctype):
+            cells.add(decl.nid)
+    for fn in program.functions():
+        for param in fn.params:
+            if is_fat_struct(param.ctype):
+                cells.add(param.nid)
+        if fn.body is None:
+            continue
+        for node in fn.body.walk():
+            if isinstance(node, ast.VarDecl) and is_fat_struct(node.ctype):
+                cells.add(node.nid)
+    return cells
+
+
+def _fat_uses(root, cells: Set[int]) -> Set[int]:
+    out: Set[int] = set()
+    nodes = root if isinstance(root, list) else [root]
+    for node in nodes:
+        if not isinstance(node, ast.Node):
+            continue
+        for sub in node.walk():
+            if isinstance(sub, ast.Ident) and \
+                    isinstance(sub.decl, ast.VarDecl) and \
+                    sub.decl.nid in cells:
+                out.add(sub.decl.nid)
+    return out
+
+
+def _is_pure(expr: ast.Expr) -> bool:
+    for node in expr.walk():
+        if isinstance(node, (ast.Assign, ast.Call)):
+            return False
+        if isinstance(node, ast.Unary) and node.op in (
+            "++", "--", "p++", "p--"
+        ):
+            return False
+    return True
+
+
+class _SpanLiveness(Analysis):
+    """Backward liveness of span cells.
+
+    A cell's span is *used* by any appearance of the variable other
+    than as the target of its own span store (whole-struct copies,
+    redirected dereferences, calls taking the struct by value all read
+    the span, or may).  It is *killed* by a statement-level span store
+    or a whole-struct assignment.  Calls keep every global cell live —
+    a callee may read a global fat pointer."""
+
+    forward = False
+
+    def __init__(self, cells: Set[int], exit_live: Set[int]):
+        super().__init__()
+        self._cells = cells
+        self._exit = frozenset(exit_live)
+        self._span: Dict[int, Tuple[FrozenSet, FrozenSet, bool]] = {}
+
+    def boundary(self) -> FrozenSet:
+        return self._exit
+
+    def _span_info(self, elem) -> Tuple[FrozenSet, FrozenSet, bool]:
+        cached = self._span.get(elem.nid)
+        if cached is not None:
+            return cached
+        from .promote import SPAN_FIELD
+
+        cells = self._cells
+        kill: Set[int] = set()
+        use: Set[int]
+        has_call = any(
+            isinstance(n, ast.Call)
+            for n in (elem.walk() if isinstance(elem, ast.Node) else ())
+        )
+        if isinstance(elem, ast.VarDecl):
+            if elem.nid in cells:
+                kill.add(elem.nid)
+            use = _fat_uses(elem.init, cells) if elem.init is not None \
+                else set()
+        elif isinstance(elem, ast.Assign) and elem.op == "=":
+            target = elem.target
+            if isinstance(target, ast.Member) and not target.arrow and \
+                    target.name == SPAN_FIELD and \
+                    isinstance(target.base, ast.Ident) and \
+                    isinstance(target.base.decl, ast.VarDecl) and \
+                    target.base.decl.nid in cells:
+                kill.add(target.base.decl.nid)
+                use = _fat_uses(elem.value, cells)
+            elif isinstance(target, ast.Ident) and \
+                    isinstance(target.decl, ast.VarDecl) and \
+                    target.decl.nid in cells:
+                kill.add(target.decl.nid)
+                use = _fat_uses(elem.value, cells)
+            else:
+                use = _fat_uses(elem, cells)
+        else:
+            use = _fat_uses(elem, cells)
+        info = (frozenset(kill), frozenset(use), has_call)
+        self._span[elem.nid] = info
+        return info
+
+    def transfer(self, elem, facts: FrozenSet) -> FrozenSet:
+        kill, use, has_call = self._span_info(elem)
+        out = (set(facts) - kill) | use
+        if has_call:
+            out |= self._exit
+        return frozenset(out)
+
+
+def _is_identity_span(assign: ast.Assign) -> bool:
+    from .promote import SPAN_FIELD, _lvalue_repr
+
+    value = assign.value
+    if not (isinstance(value, ast.Member) and not value.arrow
+            and value.name == SPAN_FIELD):
+        return False
+    target = assign.target
+    assert isinstance(target, ast.Member)
+    lhs = _lvalue_repr(target.base)
+    return lhs is not None and lhs == _lvalue_repr(value.base)
+
+
+def find_dead_span_stores(program: ast.Program) -> List[DeadSpanStore]:
+    """Span stores provably removable, without mutating the program.
+
+    Two proofs: identity stores (``X.span = X.span`` — the exact set
+    the emission-time §3.4 peephole drops) and liveness-dead stores
+    (``X``'s span cell is not live after the statement and the stored
+    value is side-effect free)."""
+    cells = _span_cells(program)
+    exit_live = {
+        decl.nid for decl in program.globals()
+        if decl.nid in cells
+    }
+    out: List[DeadSpanStore] = []
+    for fn in program.functions():
+        if fn.body is None:
+            continue
+        stores = []
+        for node in fn.body.walk():
+            if isinstance(node, ast.Block):
+                for stmt in node.stmts:
+                    assign = _span_store(stmt)
+                    if assign is not None:
+                        stores.append((node, assign))
+        if not stores:
+            continue
+        live = solve(build_cfg(fn), _SpanLiveness(cells, exit_live))
+        for block, assign in stores:
+            if _is_identity_span(assign):
+                out.append(DeadSpanStore(fn, block, assign, "identity"))
+                continue
+            base = assign.target.base
+            if isinstance(base, ast.Ident) and \
+                    isinstance(base.decl, ast.VarDecl) and \
+                    base.decl.nid in cells and \
+                    base.decl.nid not in live.after(assign.nid) and \
+                    _is_pure(assign.value):
+                out.append(DeadSpanStore(fn, block, assign, "dead"))
+    return out
+
+
+def eliminate_dead_spans(program: ast.Program) -> int:
+    """Remove every provably dead span store; returns the count."""
+    dead = find_dead_span_stores(program)
+    for entry in dead:
+        entry.block.stmts = [
+            stmt for stmt in entry.block.stmts
+            if not (isinstance(stmt, ast.ExprStmt)
+                    and stmt.expr is entry.assign)
+        ]
+    return len(dead)

@@ -28,25 +28,23 @@ parallel runtime and the benchmark harness need.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..diagnostics import (
     Diagnostic, DiagnosticSink, diagnostic_of,
 )
 from ..obs import ensure_tracer
 from ..frontend import ast
-from ..frontend.ctypes import ArrayType, CType, CTypeError
+from ..frontend.ctypes import ArrayType, CTypeError
 from ..frontend.sema import SemaError, SemaResult, analyze
 from ..interp.machine import InterpError
 from ..interp.memory import MemoryError_
 from ..analysis.access_classes import build_access_classes
 from ..analysis.breakdown import Breakdown, compute_breakdown
-from ..analysis.ddg import FLOW
 from ..analysis.pointsto import Obj, PointsToResult, analyze_pointsto
 from ..analysis.privatization import PrivatizationResult, classify
 from ..analysis.profiler import LoopProfile, profile_loop
 from . import expand as ex
-from . import rewrite as rw
 from .promote import (
     PromotionPlan, TransformError, TypePromoter, heap_object_types,
     promote_program,
@@ -160,6 +158,8 @@ class TransformResult:
         self.diagnostics: List[Diagnostic] = []
         #: loops excluded from the transform in permissive mode
         self.quarantined: List[QuarantinedLoop] = []
+        #: span stores removed by the liveness-based §3.4 pass
+        self.span_stores_dead_eliminated = 0
 
     @property
     def num_privatized(self) -> int:
@@ -509,6 +509,8 @@ class ExpansionPipeline:
                         promoter.span_stores_inserted)
             metrics.set("transform.span_stores_eliminated",
                         promoter.span_stores_eliminated)
+        metrics.set("transform.span_stores_dead_eliminated",
+                    result.span_stores_dead_eliminated)
         metrics.set("transform.structures_expanded",
                     result.expansion.num_expanded)
         metrics.set("transform.scalars_expanded",
@@ -571,7 +573,7 @@ class ExpansionPipeline:
         with tracer.phase("expand"):
             self._heapify_and_expand(clone, expansion_objs,
                                      redirect_origins)
-            sema3 = analyze(clone)
+            analyze(clone)
             static_spans = self._static_spans(
                 clone, pointsto, redirect_origins
             ) if self.flags.constant_spans else {}
@@ -619,6 +621,17 @@ class ExpansionPipeline:
             finally:
                 tracer.end(optimize_span)
         final_sema = analyze(clone)
+        if self.flags.trivial_span_elim:
+            # §3.4 dead span-store elimination, liveness-derived: sweeps
+            # whatever the emission-time peephole could not see (e.g.
+            # spans never read again on any path).  Runs after the
+            # re-analysis so hoisted initializers have resolved
+            # identifiers — liveness must see their span reads.
+            from .optimize import eliminate_dead_spans
+            self.result.span_stores_dead_eliminated = \
+                eliminate_dead_spans(clone)
+            if self.result.span_stores_dead_eliminated:
+                final_sema = analyze(clone)
 
         self.result.program = clone
         self.result.sema = final_sema

@@ -34,7 +34,7 @@ cast, which merged the groups.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..diagnostics import DiagnosableError
 from ..frontend import ast
@@ -42,7 +42,7 @@ from ..frontend.ctypes import (
     ArrayType, CType, FloatType, FunctionType, IntType, LONG, PointerType,
     StructType, VoidType,
 )
-from ..frontend.sema import BUILTIN_SIGNATURES, SemaResult
+from ..frontend.sema import SemaResult
 from ..analysis.pointsto import Obj, PointsToResult
 from . import rewrite as rw
 from .rewrite import Rewriter, inherit_origin
@@ -364,7 +364,6 @@ class _PromoteExprs(Rewriter):
         if isinstance(expr, ast.Call):
             return self._call(expr)
         if isinstance(expr, ast.Cast):
-            inner_fat = _is_fat_expr(expr.expr)
             expr.expr = self._proj(expr.expr)
             expr.to_type = self.promoter.promote(expr.to_type)
             if self.promoter.is_fat(expr.to_type):
@@ -425,9 +424,9 @@ class _PromoteExprs(Rewriter):
                     new_args.append(arg)
                 elif _is_null_literal(arg):
                     raise TransformError(
-                        f"passing a null/raw pointer literal to promoted "
+                        "passing a null/raw pointer literal to promoted "
                         f"parameter {param.name!r} of {fn.name}: assign it "
-                        f"to a pointer variable first"
+                        "to a pointer variable first"
                     )
                 else:
                     raise TransformError(
@@ -726,7 +725,7 @@ def promote_program(
                 else:
                     raise TransformError(
                         f"global promoted pointer {decl.name!r} has a "
-                        f"non-null initializer; move it to program startup"
+                        "non-null initializer; move it to program startup"
                     )
             emit_fat_decls()
             new_decls.append(decl)

@@ -26,8 +26,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..frontend import ast
-from ..frontend.ctypes import ArrayType, PointerType, StructType, VoidType
-from .promote import PTR_FIELD, SPAN_FIELD, TransformError, TypePromoter
+from ..frontend.ctypes import PointerType, VoidType
+from .promote import PTR_FIELD, SPAN_FIELD, TypePromoter
 from . import rewrite as rw
 from .rewrite import origin_of
 

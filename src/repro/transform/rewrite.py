@@ -10,7 +10,7 @@ addressable across arbitrarily many rewriting stages.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..frontend import ast
 from ..frontend.ctypes import CType

@@ -5,50 +5,82 @@ output or race reports — but some classes of miscompilation could hide
 behind lucky data (an unexpanded allocation only races under specific
 interleavings; a missing span statement only matters when sizes
 differ).  ``validate_transform`` checks structural invariants directly
-on the transformed AST and returns a list of human-readable violations
-(empty = clean).  The test suite runs it on every benchmark kernel and
-the pipeline can be asked to run it eagerly (``validate=True``).
+on the transformed AST and returns a list of structured
+:class:`~repro.diagnostics.Diagnostic`\\ s (empty = clean), each with a
+stable ``VALID-*`` code, loop attribution when per-loop, and the source
+location of the offending node.  Pass a
+:class:`~repro.diagnostics.DiagnosticSink` to accumulate them alongside
+the pipeline's own diagnostics.  The test suite runs the validator on
+every benchmark kernel.
 
-Checked invariants:
+Checked invariants (code in parentheses):
 
 1. every expansion-set heap allocation's size argument multiplies by
-   ``__nthreads``;
+   ``__nthreads`` (``VALID-ALLOC-SCALE``) and no expanded allocation
+   site vanished (``VALID-ALLOC-LOST``);
 2. every fat struct has exactly the ``pointer``/``span`` field pair
-   with a pointer/long layout (Figure 4);
-3. every candidate loop survived the rewrite and kept its pragma;
-4. expanded VLA locals declare a ``__nthreads`` length;
+   with a pointer/long layout — Figure 4 (``VALID-FAT-LAYOUT``);
+3. every candidate loop survived the rewrite and kept its pragma
+   (``VALID-LOOP-SHAPE``, ``VALID-LOOP-PRAGMA``, ``VALID-LOOP-KIND``);
+4. expanded VLA locals declare a ``__nthreads`` length
+   (``VALID-VLA-SHAPE``) and heapified variables became pointers
+   (``VALID-HEAP-SHAPE``);
 5. converted globals are allocated in ``__expand_init``, which is the
-   first statement of ``main``;
-6. the transformed program re-analyzes cleanly (names resolve, types
-   check) — guaranteed if the pipeline's final ``analyze`` ran, but
-   re-checked here so hand-modified results are also validated.
+   first statement of ``main`` (``VALID-INIT-FN``);
+6. the transformed program re-analyzes cleanly — names resolve, types
+   check (``VALID-REANALYZE``); guaranteed if the pipeline's final
+   ``analyze`` ran, but re-checked here so hand-modified results are
+   also validated.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..diagnostics import Diagnostic, DiagnosticSink, ERROR
 from ..frontend import ast
-from ..frontend.ctypes import ArrayType, LONG, PointerType, StructType
+from ..frontend.ctypes import ArrayType, LONG, PointerType
 from ..frontend.sema import SemaError, analyze
 from .expand import INIT_FN_NAME, MODE_HEAP, MODE_VLA, NTHREADS
-from .promote import PTR_FIELD, SPAN_FIELD
 
 
-def validate_transform(result) -> List[str]:
-    """Check a :class:`TransformResult`; returns violation strings."""
-    problems: List[str] = []
+class _Reporter:
+    """Collects validator findings as diagnostics (and mirrors them
+    into the caller's sink when one is given)."""
+
+    def __init__(self, sink: Optional[DiagnosticSink]):
+        self.sink = sink
+        self.found: List[Diagnostic] = []
+
+    def problem(self, code: str, message: str,
+                node: Optional[ast.Node] = None,
+                loop: Optional[str] = None, **data) -> Diagnostic:
+        loc = getattr(node, "loc", None) if node is not None else None
+        diag = Diagnostic(code, ERROR, message, loop=loop, loc=loc,
+                          phase="validate", data=data or None)
+        self.found.append(diag)
+        if self.sink is not None:
+            self.sink.emit(diag)
+        return diag
+
+
+def validate_transform(result,
+                       sink: Optional[DiagnosticSink] = None
+                       ) -> List[Diagnostic]:
+    """Check a :class:`TransformResult`; returns violation diagnostics."""
+    rep = _Reporter(sink)
     program = result.program
     if program is None:
-        return ["transform produced no program"]
+        rep.problem("VALID-NO-PROGRAM", "transform produced no program")
+        return rep.found
 
-    _check_expanded_allocations(result, program, problems)
-    _check_fat_structs(result, problems)
-    _check_candidate_loops(result, problems)
-    _check_expanded_vars(result, problems)
-    _check_init_function(result, program, problems)
-    _check_reanalysis(program, problems)
-    return problems
+    _check_expanded_allocations(result, program, rep)
+    _check_fat_structs(result, rep)
+    _check_candidate_loops(result, rep)
+    _check_expanded_vars(result, rep)
+    _check_init_function(result, program, rep)
+    _check_reanalysis(program, rep)
+    return rep.found
 
 
 def _contains_nthreads(expr: ast.Expr) -> bool:
@@ -58,7 +90,7 @@ def _contains_nthreads(expr: ast.Expr) -> bool:
     )
 
 
-def _check_expanded_allocations(result, program, problems) -> None:
+def _check_expanded_allocations(result, program, rep: _Reporter) -> None:
     from .expand import _ALLOC_SIZE_ARG
     from .rewrite import origin_of
 
@@ -75,85 +107,108 @@ def _check_expanded_allocations(result, program, problems) -> None:
                 found.add(origin_of(node))
                 arg = node.args[_ALLOC_SIZE_ARG[name]]
                 if not _contains_nthreads(arg):
-                    problems.append(
+                    rep.problem(
+                        "VALID-ALLOC-SCALE",
                         f"expanded allocation at L{node.loc[0]} does not "
-                        f"multiply its size by {NTHREADS}"
+                        f"multiply its size by {NTHREADS}",
+                        node=node,
                     )
     missing = expanded - found
     if missing:
-        problems.append(
+        rep.problem(
+            "VALID-ALLOC-LOST",
             f"{len(missing)} expanded allocation site(s) vanished from "
-            f"the transformed program"
+            "the transformed program",
+            count=len(missing),
         )
 
 
-def _check_fat_structs(result, problems) -> None:
+def _check_fat_structs(result, rep: _Reporter) -> None:
+    from .promote import PTR_FIELD, SPAN_FIELD
+
     promoter = result.promoter
     if promoter is None:
         return
     for fat in promoter.fat_structs():
         names = [f.name for f in fat.fields]
         if names != [PTR_FIELD, SPAN_FIELD]:
-            problems.append(
+            rep.problem(
+                "VALID-FAT-LAYOUT",
                 f"fat struct {fat.name} has fields {names}, expected "
-                f"[{PTR_FIELD!r}, {SPAN_FIELD!r}]"
+                f"[{PTR_FIELD!r}, {SPAN_FIELD!r}]",
             )
             continue
         if not isinstance(fat.field(PTR_FIELD).type, PointerType):
-            problems.append(
-                f"fat struct {fat.name}.{PTR_FIELD} is not a pointer"
+            rep.problem(
+                "VALID-FAT-LAYOUT",
+                f"fat struct {fat.name}.{PTR_FIELD} is not a pointer",
             )
         if fat.field(SPAN_FIELD).type != LONG:
-            problems.append(
-                f"fat struct {fat.name}.{SPAN_FIELD} is not long"
+            rep.problem(
+                "VALID-FAT-LAYOUT",
+                f"fat struct {fat.name}.{SPAN_FIELD} is not long",
             )
         if fat.size != 16:
-            problems.append(
-                f"fat struct {fat.name} has size {fat.size}, expected 16"
+            rep.problem(
+                "VALID-FAT-LAYOUT",
+                f"fat struct {fat.name} has size {fat.size}, expected 16",
             )
 
 
-def _check_candidate_loops(result, problems) -> None:
+def _check_candidate_loops(result, rep: _Reporter) -> None:
     for tl in result.loops:
         loop = tl.loop
         if not isinstance(loop, ast.LoopStmt):
-            problems.append(f"candidate loop {loop!r} is not a loop")
+            rep.problem(
+                "VALID-LOOP-SHAPE",
+                f"candidate loop {loop!r} is not a loop",
+            )
             continue
         if not loop.pragmas:
-            problems.append(
-                f"candidate loop {loop.label!r} lost its pragma"
+            rep.problem(
+                "VALID-LOOP-PRAGMA",
+                f"candidate loop {loop.label!r} lost its pragma",
+                node=loop, loop=loop.label,
             )
         if tl.kind not in ("doall", "doacross"):
-            problems.append(
-                f"candidate loop {loop.label!r} has kind {tl.kind!r}"
+            rep.problem(
+                "VALID-LOOP-KIND",
+                f"candidate loop {loop.label!r} has kind {tl.kind!r}",
+                node=loop, loop=loop.label,
             )
 
 
-def _check_expanded_vars(result, problems) -> None:
+def _check_expanded_vars(result, rep: _Reporter) -> None:
     for evar in result.expansion.expanded_vars.values():
         decl = evar.decl
         if evar.mode == MODE_VLA:
             if not isinstance(decl.ctype, ArrayType) or \
                     decl.ctype.length is not None:
-                problems.append(
+                rep.problem(
+                    "VALID-VLA-SHAPE",
                     f"VLA-expanded {decl.name!r} has type "
-                    f"{decl.ctype!r}, expected an unsized array"
+                    f"{decl.ctype!r}, expected an unsized array",
+                    node=decl,
                 )
             elif decl.vla_length is None or \
                     not _contains_nthreads(decl.vla_length):
-                problems.append(
+                rep.problem(
+                    "VALID-VLA-SHAPE",
                     f"VLA-expanded {decl.name!r} lacks a {NTHREADS} "
-                    f"length"
+                    "length",
+                    node=decl,
                 )
         elif evar.mode == MODE_HEAP:
             if not isinstance(decl.ctype, PointerType):
-                problems.append(
+                rep.problem(
+                    "VALID-HEAP-SHAPE",
                     f"heap-expanded {decl.name!r} has type "
-                    f"{decl.ctype!r}, expected a pointer"
+                    f"{decl.ctype!r}, expected a pointer",
+                    node=decl,
                 )
 
 
-def _check_init_function(result, program, problems) -> None:
+def _check_init_function(result, program, rep: _Reporter) -> None:
     has_heapified_global = any(
         evar.mode == MODE_HEAP and evar.decl.storage == "global"
         for evar in result.expansion.expanded_vars.values()
@@ -163,14 +218,15 @@ def _check_init_function(result, program, problems) -> None:
     try:
         init_fn = program.function(INIT_FN_NAME)
     except KeyError:
-        problems.append(
-            f"globals were heapified but {INIT_FN_NAME} is missing"
+        rep.problem(
+            "VALID-INIT-FN",
+            f"globals were heapified but {INIT_FN_NAME} is missing",
         )
         return
     try:
         main = program.function("main")
     except KeyError:
-        problems.append("program has no main")
+        rep.problem("VALID-INIT-FN", "program has no main")
         return
     first = main.body.stmts[0] if main.body.stmts else None
     is_init_call = (
@@ -179,8 +235,9 @@ def _check_init_function(result, program, problems) -> None:
         and first.expr.callee_name == INIT_FN_NAME
     )
     if not is_init_call:
-        problems.append(
-            f"main does not call {INIT_FN_NAME} as its first statement"
+        rep.problem(
+            "VALID-INIT-FN",
+            f"main does not call {INIT_FN_NAME} as its first statement",
         )
     allocated = {
         stmt.expr.target.name
@@ -194,14 +251,19 @@ def _check_init_function(result, program, problems) -> None:
     for evar in result.expansion.expanded_vars.values():
         if evar.mode == MODE_HEAP and evar.decl.storage == "global" and \
                 evar.decl.name not in allocated:
-            problems.append(
+            rep.problem(
+                "VALID-INIT-FN",
                 f"heapified global {evar.decl.name!r} is never "
-                f"allocated in {INIT_FN_NAME}"
+                f"allocated in {INIT_FN_NAME}",
+                node=evar.decl,
             )
 
 
-def _check_reanalysis(program, problems) -> None:
+def _check_reanalysis(program, rep: _Reporter) -> None:
     try:
         analyze(program)
     except SemaError as exc:
-        problems.append(f"transformed program fails re-analysis: {exc}")
+        rep.problem(
+            "VALID-REANALYZE",
+            f"transformed program fails re-analysis: {exc}",
+        )

@@ -1,0 +1,342 @@
+"""CFG construction and dataflow-engine unit tests."""
+
+
+from repro.analysis.cfg import build_cfg, build_loop_body_cfg
+from repro.analysis.dataflow import (
+    DownwardExposure,
+    Liveness,
+    ReachingDefinitions,
+    UpwardExposure,
+    solve,
+)
+from repro.frontend import ast, parse_and_analyze
+
+
+def _main(source):
+    program, _sema = parse_and_analyze(source)
+    return program.function("main")
+
+
+def _decl(fn, name):
+    for param in fn.params:
+        if param.name == name:
+            return param
+    for node in fn.body.walk():
+        if isinstance(node, ast.VarDecl) and node.name == name:
+            return node
+    raise KeyError(name)
+
+
+def _assign_to(fn, name, index=0):
+    hits = [
+        node for node in fn.body.walk()
+        if isinstance(node, ast.Assign)
+        and isinstance(node.target, ast.Ident)
+        and node.target.name == name
+    ]
+    return hits[index]
+
+
+def _return_expr(fn):
+    for node in fn.body.walk():
+        if isinstance(node, ast.Return) and node.expr is not None:
+            return node.expr
+    raise AssertionError("no return with value")
+
+
+def _loop(fn):
+    for node in fn.body.walk():
+        if isinstance(node, ast.LoopStmt):
+            return node
+    raise AssertionError("no loop")
+
+
+class TestCfgConstruction:
+    def test_linear_body_single_path(self):
+        fn = _main("""
+        int main(void) {
+            int x;
+            x = 1;
+            x = x + 2;
+            return x;
+        }
+        """)
+        cfg = build_cfg(fn)
+        # every element landed in a block that reaches the exit
+        assert len(list(cfg.elements())) == 4  # decl + 2 assigns + return
+        for _block, elem in cfg.elements():
+            assert cfg.block_of[elem.nid] is _block
+
+    def test_if_else_diamond(self):
+        fn = _main("""
+        int main(void) {
+            int c; int x;
+            c = 0;
+            if (c) { x = 1; } else { x = 2; }
+            return x;
+        }
+        """)
+        cfg = build_cfg(fn)
+        cond_block = None
+        for block in cfg.blocks:
+            for elem in block.elems:
+                if isinstance(elem, ast.Ident) and elem.name == "c":
+                    cond_block = block
+        assert cond_block is not None
+        assert len(cond_block.succs) == 2
+
+    def test_loop_has_back_edge(self):
+        fn = _main("""
+        int main(void) {
+            int i; int s;
+            s = 0;
+            for (i = 0; i < 4; i++) s = s + i;
+            return s;
+        }
+        """)
+        cfg = build_cfg(fn)
+        loop = _loop(fn)
+        header = cfg.block_of[loop.cond.nid]
+        # some block downstream of the header loops back to it
+        assert any(header in block.succs for block in cfg.blocks
+                   if block is not header)
+
+    def test_loop_body_cfg_is_acyclic(self):
+        fn = _main("""
+        int main(void) {
+            int i; int s;
+            s = 0;
+            for (i = 0; i < 4; i++) {
+                if (i == 2) continue;
+                s = s + i;
+            }
+            return s;
+        }
+        """)
+        cfg = build_loop_body_cfg(_loop(fn))
+        # DFS cycle check: a single-iteration region has no back edge
+        seen, stack = set(), set()
+
+        def dfs(block):
+            seen.add(block.bid)
+            stack.add(block.bid)
+            for succ in block.succs:
+                assert succ.bid not in stack, "region CFG has a cycle"
+                if succ.bid not in seen:
+                    dfs(succ)
+            stack.discard(block.bid)
+
+        dfs(cfg.entry)
+
+    def test_params_are_entry_elements(self):
+        program, _sema = parse_and_analyze("""
+        int twice(int a) { return a + a; }
+        int main(void) { return twice(3); }
+        """)
+        fn = program.function("twice")
+        cfg = build_cfg(fn)
+        assert fn.params[0].nid in cfg.block_of
+        assert cfg.block_of[fn.params[0].nid] is cfg.entry
+
+
+class TestReachingDefinitions:
+    def test_both_branches_reach_join(self):
+        fn = _main("""
+        int main(void) {
+            int c; int x;
+            c = 0;
+            if (c) { x = 1; } else { x = 2; }
+            return x;
+        }
+        """)
+        rd = solve(build_cfg(fn), ReachingDefinitions())
+        x = _decl(fn, "x")
+        facts = {f for f in rd.before(_return_expr(fn).nid) if f[0] == x.nid}
+        sites = {site for _decl_nid, site in facts}
+        assert sites == {
+            _assign_to(fn, "x", 0).nid,
+            _assign_to(fn, "x", 1).nid,
+        }
+
+    def test_maybe_write_does_not_kill_uninit(self):
+        fn = _main("""
+        int main(void) {
+            int c; int x;
+            c = 0;
+            if (c) { x = 1; }
+            return x;
+        }
+        """)
+        rd = solve(build_cfg(fn), ReachingDefinitions())
+        x = _decl(fn, "x")
+        sites = {site for decl, site in rd.before(_return_expr(fn).nid)
+                 if decl == x.nid}
+        # the synthetic uninitialized definition survives the maybe-write
+        assert None in sites
+        assert _assign_to(fn, "x").nid in sites
+
+    def test_certain_write_kills_uninit(self):
+        fn = _main("""
+        int main(void) {
+            int x;
+            x = 5;
+            return x;
+        }
+        """)
+        rd = solve(build_cfg(fn), ReachingDefinitions())
+        x = _decl(fn, "x")
+        sites = {site for decl, site in rd.before(_return_expr(fn).nid)
+                 if decl == x.nid}
+        assert sites == {_assign_to(fn, "x").nid}
+
+    def test_break_path_merges_at_loop_exit(self):
+        fn = _main("""
+        int main(void) {
+            int i; int x;
+            x = 0;
+            for (i = 0; i < 10; i++) {
+                if (i == 5) break;
+                x = 1;
+            }
+            return x;
+        }
+        """)
+        rd = solve(build_cfg(fn), ReachingDefinitions())
+        x = _decl(fn, "x")
+        sites = {site for decl, site in rd.before(_return_expr(fn).nid)
+                 if decl == x.nid}
+        assert sites == {
+            _assign_to(fn, "x", 0).nid,
+            _assign_to(fn, "x", 1).nid,
+        }
+
+    def test_param_binding_is_boundary_definition(self):
+        program, _sema = parse_and_analyze("""
+        int twice(int a) { return a + a; }
+        int main(void) { return twice(3); }
+        """)
+        fn = program.function("twice")
+        rd = solve(build_cfg(fn), ReachingDefinitions())
+        a = fn.params[0]
+        ret = _return_expr(fn)
+        assert (a.nid, None) in rd.before(ret.nid)
+
+
+class TestLiveness:
+    def test_overwritten_value_not_live(self):
+        fn = _main("""
+        int main(void) {
+            int x;
+            x = 1;
+            x = 2;
+            return x;
+        }
+        """)
+        live = solve(build_cfg(fn), Liveness())
+        x = _decl(fn, "x")
+        second = _assign_to(fn, "x", 1)
+        assert x.nid not in live.before(second.nid)
+        assert x.nid in live.after(second.nid)
+
+    def test_loop_carried_variable_live_at_header(self):
+        fn = _main("""
+        int main(void) {
+            int i; int s;
+            s = 0;
+            for (i = 0; i < 4; i++) s = s + i;
+            return s;
+        }
+        """)
+        live = solve(build_cfg(fn), Liveness())
+        s = _decl(fn, "s")
+        loop = _loop(fn)
+        assert s.nid in live.before(loop.cond.nid)
+
+    def test_exit_live_boundary(self):
+        source = """
+        int g;
+        int main(void) {
+            g = 5;
+            return 0;
+        }
+        """
+        program, _sema = parse_and_analyze(source)
+        fn = program.function("main")
+        g = next(d for d in program.globals() if d.name == "g")
+        store = _assign_to(fn, "g")
+        dead = solve(build_cfg(fn), Liveness())
+        assert g.nid not in dead.after(store.nid)
+        kept = solve(build_cfg(fn), Liveness(exit_live={g.nid}))
+        assert g.nid in kept.after(store.nid)
+
+    def test_calls_read_call_reads(self):
+        source = """
+        int g;
+        int bump(void) { g = g + 1; return g; }
+        int main(void) {
+            g = 1;
+            bump();
+            return 0;
+        }
+        """
+        program, _sema = parse_and_analyze(source)
+        fn = program.function("main")
+        g = next(d for d in program.globals() if d.name == "g")
+        store = _assign_to(fn, "g")
+        blind = solve(build_cfg(fn), Liveness())
+        assert g.nid not in blind.after(store.nid)
+        aware = solve(build_cfg(fn), Liveness(call_reads={g.nid}))
+        assert g.nid in aware.after(store.nid)
+
+
+EXPOSURE_SRC = """
+int main(void) {
+    int i; int s; int b;
+    s = 0;
+    for (i = 0; i < 4; i++) {
+        b = 0;
+        b = b + i;
+        s = s + b;
+    }
+    return s;
+}
+"""
+
+
+class TestExposure:
+    def test_upward_exposure_matches_definition_2(self):
+        fn = _main(EXPOSURE_SRC)
+        region = build_loop_body_cfg(_loop(fn))
+        up = solve(region, UpwardExposure())
+        s = _decl(fn, "s")
+        b = _decl(fn, "b")
+        exposed = up.at_entry
+        # s is read before any write in the iteration; b is written first
+        assert s.nid in exposed
+        assert b.nid not in exposed
+
+    def test_downward_exposure_matches_definition_3(self):
+        fn = _main(EXPOSURE_SRC)
+        region = build_loop_body_cfg(_loop(fn))
+        down = solve(region, DownwardExposure())
+        s = _decl(fn, "s")
+        surviving = {decl for decl, _site in down.at_exit}
+        assert s.nid in surviving
+
+    def test_conditional_write_not_downward_certain(self):
+        fn = _main("""
+        int main(void) {
+            int i; int x;
+            x = 0;
+            for (i = 0; i < 4; i++) {
+                if (i == 2) { x = i; }
+            }
+            return x;
+        }
+        """)
+        region = build_loop_body_cfg(_loop(fn))
+        down = solve(region, DownwardExposure(
+            boundary_defs={(_decl(fn, "x").nid, None)}
+        ))
+        # the untaken path keeps the boundary definition alive
+        assert (_decl(fn, "x").nid, None) in down.at_exit

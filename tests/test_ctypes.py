@@ -4,9 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.frontend.ctypes import (
-    CHAR, CTypeError, DOUBLE, FLOAT, INT, LONG, SHORT, UINT, VOID,
-    ArrayType, FloatType, IntType, PointerType, StructType,
-    common_arith_type, is_assignable, sizeof,
+    CHAR, CTypeError, DOUBLE, FLOAT, INT, LONG, SHORT, UINT, VOID, ArrayType, PointerType, StructType, common_arith_type, is_assignable, sizeof,
 )
 
 

@@ -299,7 +299,6 @@ class TestParallelSemantics:
     def test_unexpanded_program_would_race(self):
         """Sanity: without redirection the same loop *does* conflict —
         the race checker is actually capable of failing."""
-        from repro.interp.trace import RaceChecker
         program, sema = parse_and_analyze(self.SRC)
         result = expand_for_threads(program, sema, ["L"])
         # run the ORIGINAL (unexpanded) program under the parallel

@@ -1,7 +1,6 @@
 """Transform corner cases: allocation flavors, sizeof on expanded
 variables, recasting, nested structures, unusual loop shapes."""
 
-import pytest
 
 from repro.frontend import parse_and_analyze, print_program
 from repro.interp import Machine

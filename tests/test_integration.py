@@ -1,7 +1,6 @@
 """Integration tests: the public one-call API and the example scripts."""
 
 import runpy
-import sys
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.frontend.lexer import LexError, Token, tokenize
+from repro.frontend.lexer import LexError, tokenize
 
 
 def kinds(source):

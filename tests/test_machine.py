@@ -326,7 +326,6 @@ class TestGlobalsAndInit:
 class TestVLA:
     def test_vla_allocation_and_access(self):
         """The machinery behind Table 1's local expansion."""
-        from repro.frontend import ast as A
         program, sema = parse_and_analyze(
             "int main(void) { int k; k = 3; print_int(k); return 0; }"
         )

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.frontend import ast, parse
-from repro.frontend.ctypes import ArrayType, IntType, PointerType, StructType
+from repro.frontend.ctypes import ArrayType, IntType, PointerType
 from repro.frontend.parser import ParseError
 
 

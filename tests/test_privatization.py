@@ -1,7 +1,6 @@
 """Definition 4 (access classes) and Definition 5 (thread-private
 classification) tests, including the paper's §3.2 counterexample."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis import (

@@ -179,10 +179,8 @@ class TestRaceDetection:
         # sabotage: make the transformed loop body also write one
         # shared location from every iteration
         from repro.frontend import ast as A
-        from repro.transform import rewrite as rw
         loop = result.loops[0].loop
-        shared = next(d for d in result.program.globals()
-                      if d.name == "shared")
+        assert any(d.name == "shared" for d in result.program.globals())
         store = A.ExprStmt(A.Assign(
             "=", A.Ident("shared"), A.IntLit(1)
         ))

@@ -3,7 +3,7 @@ bandwidth ceiling."""
 
 from repro.interp.machine import CostSink
 from repro.runtime import sync
-from repro.runtime.stats import LoopExecution, ParallelOutcome, ThreadStats
+from repro.runtime.stats import LoopExecution, ParallelOutcome
 
 
 class TestSyncCosts:

@@ -6,7 +6,6 @@ property: *the transformed program, run with any thread count, produces
 exactly the sequential original's output, race-free*.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.frontend import parse_and_analyze

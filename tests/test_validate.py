@@ -1,9 +1,10 @@
 """Transform-validator tests: clean on every benchmark, loud on
-sabotaged results."""
+sabotaged results — now asserting on structured diagnostic codes."""
 
 import pytest
 
 from repro.bench import all_benchmarks, get
+from repro.diagnostics import Diagnostic, DiagnosticSink
 from repro.frontend import ast, parse_and_analyze
 from repro.transform import expand_for_threads, validate_transform
 
@@ -53,25 +54,30 @@ class TestSabotageDetection:
                     if isinstance(node.args[0], ast.Binary):
                         node.args[0] = node.args[0].left
         problems = validate_transform(small_result)
-        assert any("multiply" in p for p in problems)
+        assert any(d.code == "VALID-ALLOC-SCALE" for d in problems)
+        assert any("multiply" in d.message for d in problems)
 
     def test_detects_missing_init_call(self, small_result):
         main = small_result.program.function("main")
         main.body.stmts.pop(0)
         problems = validate_transform(small_result)
-        assert any("__expand_init" in p for p in problems)
+        assert any(d.code == "VALID-INIT-FN" for d in problems)
+        assert any("__expand_init" in d.message for d in problems)
 
     def test_detects_lost_pragma(self, small_result):
         small_result.loops[0].loop.pragmas.clear()
         problems = validate_transform(small_result)
-        assert any("pragma" in p for p in problems)
+        assert any(d.code == "VALID-LOOP-PRAGMA" for d in problems)
+        # per-loop findings carry the loop label
+        assert any(d.loop == "L" for d in problems)
 
     def test_detects_broken_vla(self, small_result):
         for evar in small_result.expansion.expanded_vars.values():
             if evar.mode == "vla":
                 evar.decl.vla_length = None
         problems = validate_transform(small_result)
-        assert any("length" in p for p in problems)
+        assert any(d.code == "VALID-VLA-SHAPE" for d in problems)
+        assert any("length" in d.message for d in problems)
 
     def test_detects_name_breakage(self, small_result):
         # rename a referenced global out from under its uses
@@ -79,4 +85,23 @@ class TestSabotageDetection:
             if decl.name == "out":
                 decl.name = "renamed_out"
         problems = validate_transform(small_result)
-        assert any("re-analysis" in p for p in problems)
+        assert any(d.code == "VALID-REANALYZE" for d in problems)
+
+
+class TestStructuredForm:
+    def test_diagnostics_are_structured(self, small_result):
+        small_result.loops[0].loop.pragmas.clear()
+        problems = validate_transform(small_result)
+        assert problems and all(
+            isinstance(d, Diagnostic) for d in problems
+        )
+        assert all(d.phase == "validate" for d in problems)
+        assert all(d.severity == "error" for d in problems)
+        assert all(d.code.startswith("VALID-") for d in problems)
+
+    def test_sink_accumulates(self, small_result):
+        small_result.loops[0].loop.pragmas.clear()
+        sink = DiagnosticSink()
+        problems = validate_transform(small_result, sink=sink)
+        assert sink.diagnostics == problems
+        assert sink.by_code("VALID-LOOP-PRAGMA")
