@@ -1,0 +1,140 @@
+"""Engine-vs-engine wall-clock smoke over the benchmark suite.
+
+Runs every registered benchmark kernel sequentially, end to end, under
+each interpreter tier and prints a comparison table.  Three properties
+are enforced, matching the bytecode tier's drop-in contract:
+
+* identical program output and exit code on every kernel;
+* identical simulated cost counters (cycles, instructions, loads,
+  stores) between ``ast`` and the instrumented ``bytecode`` tier;
+* zero compile fallbacks (every construct the suite exercises is
+  compiled, none interpreted through the walker escape hatch);
+* a geometric-mean end-to-end speedup of at least ``--min-speedup``
+  (default 2.0) for ``bytecode`` over ``ast``.
+
+Usage:  python scripts/perf_smoke.py [--repeat N] [--min-speedup X]
+        [--json PATH]
+
+Exit status 0 when all kernels pass, 1 on any parity or speedup
+failure.  ``--json`` additionally dumps the raw numbers for archival
+(the CI bench-smoke job uploads this as an artifact).
+"""
+
+import argparse
+import json
+import math
+import sys
+import time
+
+from repro.bench import all_benchmarks
+from repro.frontend import parse_and_analyze
+from repro.interp import Machine
+
+ENGINES = ("ast", "bytecode", "bytecode-bare")
+
+
+def run_once(program, sema, engine):
+    """One end-to-end sequential run; returns (seconds, fingerprint)."""
+    machine = Machine(program, sema, engine=engine)
+    start = time.perf_counter()
+    code = machine.run()
+    elapsed = time.perf_counter() - start
+    cost = machine.cost
+    fingerprint = {
+        "exit": code,
+        "output": list(machine.output),
+        "cycles": cost.cycles,
+        "instructions": cost.instructions,
+        "loads": cost.loads,
+        "stores": cost.stores,
+    }
+    compiler = getattr(machine, "compiler", None)
+    if compiler is not None and compiler.fallbacks:
+        raise AssertionError(
+            f"{engine}: {compiler.fallbacks} compile fallback(s)"
+        )
+    return elapsed, fingerprint
+
+
+def measure(spec, repeat):
+    """Best-of-``repeat`` seconds per engine + parity verdicts."""
+    row = {"name": spec.name}
+    prints = {}
+    for engine in ENGINES:
+        # fresh parse per engine so no tier benefits from warm caches
+        program, sema = parse_and_analyze(spec.source)
+        best = math.inf
+        for _ in range(repeat):
+            elapsed, fingerprint = run_once(program, sema, engine)
+            best = min(best, elapsed)
+        row[engine] = best
+        prints[engine] = fingerprint
+    # the bare tier skips observer fan-out but must still compute the
+    # same answer and charge the same costs
+    row["parity"] = (prints["ast"] == prints["bytecode"]
+                     == prints["bytecode-bare"])
+    row["speedup"] = row["ast"] / row["bytecode"]
+    row["speedup_bare"] = row["ast"] / row["bytecode-bare"]
+    return row
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed runs per (kernel, engine); best "
+                             "is kept (default 3)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required geomean bytecode-over-ast "
+                             "end-to-end speedup (default 2.0)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also dump raw numbers as JSON")
+    args = parser.parse_args(argv)
+
+    rows = []
+    for spec in all_benchmarks():
+        print(f"measuring {spec.name} ...", file=sys.stderr)
+        rows.append(measure(spec, args.repeat))
+
+    header = (f"{'kernel':<16} {'ast(s)':>8} {'bytecode':>9} "
+              f"{'speedup':>8} {'bare':>8} {'speedup':>8}  parity")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['name']:<16} {row['ast']:>8.3f} "
+              f"{row['bytecode']:>9.3f} {row['speedup']:>7.2f}x "
+              f"{row['bytecode-bare']:>8.3f} "
+              f"{row['speedup_bare']:>7.2f}x  "
+              f"{'OK' if row['parity'] else 'DIVERGED'}")
+    gm = geomean([r["speedup"] for r in rows])
+    gm_bare = geomean([r["speedup_bare"] for r in rows])
+    print("-" * len(header))
+    print(f"{'geomean':<16} {'':>8} {'':>9} {gm:>7.2f}x "
+          f"{'':>8} {gm_bare:>7.2f}x")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"rows": rows, "geomean": gm,
+                       "geomean_bare": gm_bare,
+                       "min_speedup": args.min_speedup}, fh, indent=1)
+            fh.write("\n")
+        print(f"[raw numbers written to {args.json}]", file=sys.stderr)
+
+    failed = False
+    for row in rows:
+        if not row["parity"]:
+            print(f"FAIL: {row['name']} diverged between engines",
+                  file=sys.stderr)
+            failed = True
+    if gm < args.min_speedup:
+        print(f"FAIL: geomean speedup {gm:.2f}x < "
+              f"required {args.min_speedup:.2f}x", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

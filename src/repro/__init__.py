@@ -43,7 +43,7 @@ from .diagnostics import (
     Diagnostic, DiagnosableError, DiagnosticSink, diagnostic_of,
 )
 from .frontend import parse_and_analyze, print_program
-from .interp import Machine, run_source
+from .interp import ENGINES, Machine, resolve_engine, run_source
 from .obs import (
     MetricsRegistry, NULL_TRACER, NullTracer, Tracer, chrome_trace,
     trace_summary, write_chrome_trace,
@@ -112,7 +112,8 @@ def expand_and_run(source: str, loop_labels, nthreads: int = 4,
                    expansion_source: str = "static",
                    check_races: bool = True,
                    tracer: Optional[Tracer] = None,
-                   trace: bool = False) -> ExpandAndRunOutcome:
+                   trace: bool = False,
+                   engine: Optional[str] = None) -> ExpandAndRunOutcome:
     """One-call API: parse, analyze, profile, expand, run in parallel.
 
     The labeled loops must carry ``#pragma expand parallel(doall)`` or
@@ -137,13 +138,21 @@ def expand_and_run(source: str, loop_labels, nthreads: int = 4,
     ``trace=True`` (or an explicit ``tracer=``) records phase spans,
     the per-thread runtime timeline and the transform/runtime metrics;
     the tracer is attached as ``outcome.trace``.
+
+    ``engine`` picks the interpreter tier (see
+    :data:`repro.interp.ENGINES`; defaults to ``$REPRO_ENGINE``).  The
+    sequential verification baseline needs no observers, so under the
+    bytecode engine it runs the bare variant; the parallel run itself
+    uses the instrumented variant.
     """
     if tracer is None:
         tracer = Tracer() if trace else NULL_TRACER
     sink = sink if sink is not None else DiagnosticSink()
     program, sema = parse_and_analyze(source, tracer=tracer)
+    eng = resolve_engine(engine)
     with tracer.phase("sequential-baseline"):
-        seq = Machine(program, sema)
+        seq = Machine(program, sema,
+                      engine="bytecode-bare" if eng != "ast" else "ast")
         seq.exit_code = seq.run(entry)
     transform = expand_for_threads(
         program, sema, list(loop_labels), optimize=optimize,
@@ -153,7 +162,7 @@ def expand_and_run(source: str, loop_labels, nthreads: int = 4,
     outcome = run_parallel(
         transform, nthreads, check_races=check_races, entry=entry,
         chunk=chunk, strict=strict, sink=sink, watchdog=watchdog,
-        tracer=tracer,
+        tracer=tracer, engine=eng,
     )
     verified = outcome.output == seq.output
     if not verified:
@@ -173,7 +182,7 @@ def expand_and_run(source: str, loop_labels, nthreads: int = 4,
     )
 
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: the stable public surface; everything else is implementation detail
 __all__ = [
@@ -181,6 +190,7 @@ __all__ = [
     "expand_and_run", "ExpandAndRunOutcome", "OutputDivergence",
     # frontend / interpreter
     "parse_and_analyze", "print_program", "Machine", "run_source",
+    "ENGINES", "resolve_engine",
     # transform
     "expand_for_threads", "TransformResult", "OptFlags",
     # runtime

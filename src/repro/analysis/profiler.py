@@ -31,7 +31,9 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..frontend import ast
 from ..frontend.sema import SemaResult
-from ..interp.machine import BreakSignal, ContinueSignal, Machine
+from ..interp.machine import (
+    BreakSignal, ContinueSignal, Machine, resolve_engine,
+)
 from .ddg import ANTI, DDG, FLOW, OUTPUT
 
 #: an object key: (segment-kind, allocation-site tag)
@@ -274,14 +276,21 @@ def profile_loop(
     sema: SemaResult,
     loop: ast.LoopStmt,
     entry: str = "main",
+    engine: Optional[str] = None,
 ) -> LoopProfile:
     """Run the program once and profile dependences of ``loop``.
 
     The given ``program`` must be the analyzed AST containing ``loop``.
     Returns a :class:`LoopProfile`; the program's observable behaviour
     (output) is unaffected by profiling.
+
+    ``engine`` picks the interpreter tier; the bare bytecode variant is
+    promoted to instrumented (the profiler is an observer).
     """
-    machine = Machine(program, sema)
+    eng = resolve_engine(engine)
+    if eng == "bytecode-bare":
+        eng = "bytecode"
+    machine = Machine(program, sema, engine=eng)
     profile = LoopProfile(loop)
     observer = _ProfileObserver(machine, profile)
     controller = _ProfileController(observer, profile)

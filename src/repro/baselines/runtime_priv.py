@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Set
 
 from ..frontend import ast
 from ..interp import memory as mem
-from ..interp.machine import Machine
+from ..interp.machine import Machine, resolve_engine
 from ..interp.trace import RaceChecker
 from ..analysis.privatization import PrivatizationResult
 from ..analysis.profiler import LoopProfile
@@ -188,10 +188,16 @@ class BaselineRunner:
         nthreads: int,
         privatize: bool = True,
         check_races: bool = True,
+        engine: Optional[str] = None,
     ):
         self.nthreads = nthreads
         self.outcome = ParallelOutcome(nthreads)
-        self.machine = Machine(program, sema)
+        # the baseline needs observers + the access-control redirector,
+        # so bare is promoted to the instrumented bytecode variant
+        eng = resolve_engine(engine)
+        if eng == "bytecode-bare":
+            eng = "bytecode"
+        self.machine = Machine(program, sema, engine=eng)
         self.machine.nthreads = nthreads
         self.privatize = privatize
         all_private: Set[int] = set()
@@ -292,6 +298,7 @@ def run_runtime_privatization(
     entry: str = "main",
     check_races: bool = True,
     raise_on_race: bool = True,
+    engine: Optional[str] = None,
 ) -> ParallelOutcome:
     """Run the original program under SpiceC-style runtime privatization."""
     plans = []
@@ -304,7 +311,7 @@ def run_runtime_privatization(
         ))
     runner = BaselineRunner(
         program, sema, plans, nthreads, privatize=True,
-        check_races=check_races,
+        check_races=check_races, engine=engine,
     )
     return runner.run(entry, raise_on_race=raise_on_race)
 
@@ -316,6 +323,7 @@ def run_sync_only(
     profiles: Dict[str, LoopProfile],
     nthreads: int,
     entry: str = "main",
+    engine: Optional[str] = None,
 ) -> ParallelOutcome:
     """The no-privatization baseline (paper §4.3): every statement with
     *any* loop-carried dependence — including the ones privatization
@@ -328,5 +336,6 @@ def run_sync_only(
         plans.append(_LoopPlan(loop, DOACROSS, set(), serial))
     runner = BaselineRunner(
         program, sema, plans, nthreads, privatize=False, check_races=False,
+        engine=engine,
     )
     return runner.run(entry, raise_on_race=False)

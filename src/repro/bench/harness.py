@@ -19,6 +19,7 @@ loudly rather than producing a pretty but wrong speedup.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 from ..frontend import ast, parse_and_analyze
@@ -29,7 +30,7 @@ from ..analysis import (
     Breakdown, build_access_classes, classify, compute_breakdown,
     profile_loop,
 )
-from ..interp import Machine
+from ..interp import Machine, resolve_engine
 from ..runtime import run_parallel
 from ..baselines import run_runtime_privatization, run_sync_only
 from ..transform import expand_for_threads
@@ -75,13 +76,20 @@ class BenchmarkResult:
         self.expansion: Dict[int, ParallelPoint] = {}
         self.rtpriv: Dict[int, ParallelPoint] = {}
         self.sync_only_speedup: float = 0.0
+        #: interpreter tier the measurements ran on
+        self.engine = "ast"
+        #: host wall-clock seconds per measurement phase, plus "total"
+        self.wall: Dict[str, float] = {}
 
     def point(self, nthreads: int) -> ParallelPoint:
         return self.expansion[nthreads]
 
 
-def _seq_run(program, sema) -> Machine:
-    machine = Machine(program, sema)
+def _seq_run(program, sema, engine: str = "ast") -> Machine:
+    # unobserved straight-line run: the bare tier is behaviorally
+    # identical and fastest
+    machine = Machine(program, sema,
+                      engine="bytecode-bare" if engine != "ast" else "ast")
     machine.exit_code = machine.run()
     return machine
 
@@ -101,11 +109,15 @@ class Harness:
     spans and the runtime timelines of every measured parallel run.
     """
 
-    def __init__(self, thread_counts=THREAD_COUNTS, tracer=None):
+    def __init__(self, thread_counts=THREAD_COUNTS, tracer=None,
+                 engine: Optional[str] = None):
         from ..obs import ensure_tracer
 
         self.thread_counts = tuple(thread_counts)
         self.tracer = ensure_tracer(tracer)
+        #: interpreter tier; observer-driven measurements (profiling,
+        #: parallel runs) promote bare to instrumented themselves
+        self.engine = resolve_engine(engine)
         self._cache: Dict[str, BenchmarkResult] = {}
 
     def result(self, name: str) -> BenchmarkResult:
@@ -119,8 +131,20 @@ class Harness:
     # -- the measurement protocol ----------------------------------------
     def _compute(self, spec: BenchmarkSpec) -> BenchmarkResult:
         tracer = self.tracer
+        eng = self.engine
         result = BenchmarkResult(spec)
+        result.engine = eng
+        wall = result.wall
+        t_start = time.perf_counter()
+
+        def clock(phase: str, since: float) -> float:
+            now = time.perf_counter()
+            wall[phase] = wall.get(phase, 0.0) + (now - since)
+            return now
+
+        t = time.perf_counter()
         program, sema = parse_and_analyze(spec.source, tracer=tracer)
+        t = clock("frontend", t)
 
         # 1. sequential baseline.  The baseline gets the same standard
         # loop-invariant-code-motion treatment the transform's output
@@ -130,10 +154,11 @@ class Harness:
         licm_globals(base_prog)
         base_sema = analyze(base_prog)
         with tracer.phase("sequential-baseline", benchmark=spec.name):
-            seq = _seq_run(base_prog, base_sema)
+            seq = _seq_run(base_prog, base_sema, engine=eng)
         result.seq_output = list(seq.output)
         result.seq_cycles = seq.cost.cycles
         result.seq_memory = seq.memory.peak_footprint()
+        t = clock("sequential-baseline", t)
 
         # 2. profiles + classification (one run per candidate loop),
         # on the pristine program (the transform consumes these sites)
@@ -142,7 +167,7 @@ class Harness:
         agg_breakdown = Breakdown(0, 0, 0)
         for label in spec.loop_labels:
             loop = ast.find_loop(program, label)
-            profile = profile_loop(program, sema, loop)
+            profile = profile_loop(program, sema, loop, engine=eng)
             profiles[label] = profile
             priv = classify(profile.ddg, build_access_classes(profile.ddg))
             privs[label] = priv
@@ -157,10 +182,12 @@ class Harness:
         loop_cycles = 0.0
         for label in spec.loop_labels:
             base_loop = ast.find_loop(base_prog, label)
-            base_profile = profile_loop(base_prog, base_sema, base_loop)
+            base_profile = profile_loop(base_prog, base_sema, base_loop,
+                                        engine=eng)
             loop_cycles += base_profile.loop_cycles
         result.seq_loop_cycles = loop_cycles
         result.pct_time = loop_cycles / result.seq_cycles
+        t = clock("profile", t)
 
         # 3. transforms (reusing the profiles)
         opt = expand_for_threads(
@@ -171,26 +198,34 @@ class Harness:
             program, sema, spec.loop_labels, optimize=False, profiles=profiles
         )
         result.num_privatized = opt.num_privatized
+        t = clock("transform", t)
 
         # 4. figure 9: sequential single-core overhead of the transform
+        # (unobserved, so the bare tier applies like the baseline run)
         for tresult, attr in ((opt, "overhead_opt"), (unopt, "overhead_unopt")):
-            machine = Machine(tresult.program, tresult.sema)
+            machine = Machine(
+                tresult.program, tresult.sema,
+                engine="bytecode-bare" if eng != "ast" else "ast",
+            )
             machine.nthreads = 1
             machine.run()
             _check_output(spec, result.seq_output, machine.output,
                           f"transformed({attr})")
             setattr(result, attr, machine.cost.cycles / result.seq_cycles)
+        t = clock("figure9-overheads", t)
 
         # 5. figure 10: runtime privatization sequential overhead
         rt1 = run_runtime_privatization(
-            program, sema, spec.loop_labels, profiles, privs, nthreads=1
+            program, sema, spec.loop_labels, profiles, privs, nthreads=1,
+            engine=eng,
         )
         _check_output(spec, result.seq_output, rt1.output, "rt-priv(N=1)")
         result.overhead_rtpriv = rt1.total_cycles / result.seq_cycles
+        t = clock("figure10-rtpriv", t)
 
         # 6. figures 11-14: parallel runs
         for n in self.thread_counts:
-            out = run_parallel(opt, n, tracer=tracer)
+            out = run_parallel(opt, n, tracer=tracer, engine=eng)
             _check_output(spec, result.seq_output, out.output,
                           f"parallel(N={n})")
             point = ParallelPoint(n)
@@ -208,7 +243,8 @@ class Harness:
             result.expansion[n] = point
 
             rt = run_runtime_privatization(
-                program, sema, spec.loop_labels, profiles, privs, nthreads=n
+                program, sema, spec.loop_labels, profiles, privs, nthreads=n,
+                engine=eng,
             )
             _check_output(spec, result.seq_output, rt.output,
                           f"rt-priv(N={n})")
@@ -221,15 +257,19 @@ class Harness:
             rpoint.memory_multiple = rt.peak_memory / result.seq_memory
             result.rtpriv[n] = rpoint
 
+        t = clock("parallel-runs", t)
+
         # 7. sync-only baseline at 8 threads (§4.3's "slowdown instead
         # of speedup" observation)
         so = run_sync_only(program, sema, spec.loop_labels, profiles,
-                           nthreads=max(self.thread_counts))
+                           nthreads=max(self.thread_counts), engine=eng)
         _check_output(spec, result.seq_output, so.output, "sync-only")
         so_loop = sum(
             ex.makespan + ex.runtime_cycles for ex in so.loops.values()
         )
         result.sync_only_speedup = loop_cycles / so_loop if so_loop else 0.0
+        clock("sync-only", t)
+        wall["total"] = time.perf_counter() - t_start
         return result
 
 

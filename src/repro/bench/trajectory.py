@@ -12,6 +12,12 @@ the paper's figures are built from:
   breakdowns for expansion and runtime privatization (Figures 11-14);
 * the sync-only baseline speedup (§4.3);
 * harmonic-mean summary rows across all benchmarks.
+
+Schema 2 adds *host wall-clock* measurements (everything above is
+simulated cycles): per-benchmark per-phase seconds plus the end-to-end
+total, and the interpreter tier (``engine``) the measurements ran on —
+so engine-vs-engine trajectories can be diffed.  ``load_trajectory``
+reads schema-1 files too, normalizing the missing fields.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ import time
 from typing import Dict, Optional
 
 #: bump when the payload layout changes incompatibly
-TRAJECTORY_SCHEMA = 1
+TRAJECTORY_SCHEMA = 2
 
 
 def _harmonic(values) -> float:
@@ -72,6 +78,10 @@ def trajectory_payload(results, timestamp: Optional[str] = None) -> dict:
                 for n, p in sorted(res.rtpriv.items())
             },
             "sync_only_speedup": res.sync_only_speedup,
+            # schema 2: host wall-clock per measurement phase (seconds)
+            # and the interpreter tier that produced the numbers
+            "engine": getattr(res, "engine", "ast"),
+            "wall_seconds": dict(getattr(res, "wall", {})),
         }
 
     thread_counts = sorted({
@@ -102,13 +112,49 @@ def trajectory_payload(results, timestamp: Optional[str] = None) -> dict:
             for n in thread_counts
         },
     }
+    engines = sorted({
+        getattr(r, "engine", "ast") for r in results.values()
+    })
+    summary["wall_seconds_total"] = sum(
+        getattr(r, "wall", {}).get("total", 0.0) for r in results.values()
+    )
     return {
         "schema": TRAJECTORY_SCHEMA,
         "generator": "repro.bench",
         "timestamp": timestamp or time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "engines": engines,
         "benchmarks": benchmarks,
         "summary": summary,
     }
+
+
+def load_trajectory(path: str) -> dict:
+    """Read a ``BENCH_*.json`` trajectory, accepting any schema up to
+    :data:`TRAJECTORY_SCHEMA`.
+
+    Schema-1 files (no wall-clock data) are normalized in place: every
+    benchmark gains ``engine="ast"`` (the only tier that existed then)
+    and an empty ``wall_seconds``; the top level gains ``engines`` and
+    ``summary.wall_seconds_total = 0.0``.  Callers can therefore index
+    the schema-2 fields unconditionally.
+    """
+    with open(path) as fh:
+        payload = json.load(fh)
+    schema = payload.get("schema", 1)
+    if schema > TRAJECTORY_SCHEMA:
+        raise ValueError(
+            f"{path}: trajectory schema {schema} is newer than this "
+            f"reader (max {TRAJECTORY_SCHEMA})"
+        )
+    if schema < 2:
+        for bench in payload.get("benchmarks", {}).values():
+            bench.setdefault("engine", "ast")
+            bench.setdefault("wall_seconds", {})
+        payload.setdefault("engines", ["ast"])
+        payload.setdefault("summary", {}).setdefault(
+            "wall_seconds_total", 0.0
+        )
+    return payload
 
 
 def emit_trajectory(results, path: Optional[str] = None,

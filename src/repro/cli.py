@@ -105,7 +105,7 @@ def _cmd_run(args) -> int:
     tracer = _make_tracer(args)
     try:
         program, sema = _load(args.file, tracer=tracer)
-        machine = Machine(program, sema)
+        machine = Machine(program, sema, engine=args.engine)
         with tracer.phase("run", cat="runtime"):
             code = machine.run(args.entry)
     finally:
@@ -131,7 +131,8 @@ def _cmd_profile(args) -> int:
         program, sema = _load(args.file, tracer=tracer)
         loop = ast.find_loop(program, args.loop)
         with tracer.phase("profile", loop=args.loop):
-            profile = profile_loop(program, sema, loop, entry=args.entry)
+            profile = profile_loop(program, sema, loop, entry=args.entry,
+                                   engine=args.engine)
     finally:
         _finish_trace(args, tracer)
     print(verification_report(program, profile))
@@ -201,20 +202,23 @@ def _cmd_expand(args) -> int:
 
 def _cmd_parallel(args) -> int:
     from .diagnostics import DiagnosticSink
-    from .interp import Machine
+    from .interp import Machine, resolve_engine
     from .runtime import run_parallel
 
     sink = DiagnosticSink()
     tracer = _make_tracer(args)
+    eng = resolve_engine(args.engine)
     try:
         program, sema, result = _transform(args, sink=sink, tracer=tracer)
-        base = Machine(program, sema)
+        # the baseline is unobserved, so the bare tier is safe for it
+        base = Machine(program, sema,
+                       engine="bytecode-bare" if eng != "ast" else "ast")
         with tracer.phase("sequential-baseline"):
             base.run(args.entry)
         outcome = run_parallel(result, args.threads, entry=args.entry,
                                chunk=args.chunk, strict=args.strict,
                                sink=sink, watchdog=args.watchdog,
-                               tracer=tracer)
+                               tracer=tracer, engine=eng)
     finally:
         _finish_trace(args, tracer)
     for line in outcome.output:
@@ -335,7 +339,7 @@ def _cmd_bench(args) -> int:
     names = [s.name for s in all_benchmarks()] if args.name == "all" \
         else [args.name]
     tracer = _make_tracer(args)
-    harness = Harness(tracer=tracer)
+    harness = Harness(tracer=tracer, engine=args.engine)
     results = {}
     try:
         for name in names:
@@ -369,6 +373,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="print aggregated phase/event/metric tables to stderr",
         )
 
+    def add_engine(p):
+        from .interp import ENGINE_ENV, ENGINES
+
+        p.add_argument(
+            "--engine", choices=ENGINES, default=None,
+            help="interpreter tier (default: $%s, else 'ast'); "
+                 "'bytecode' matches 'ast' observation-for-observation, "
+                 "'bytecode-bare' drops observer fan-out for speed"
+                 % ENGINE_ENV,
+        )
+
     def add_common(p, needs_loop=False):
         p.add_argument("file", help="MiniC source file")
         p.add_argument("--entry", default="main")
@@ -381,6 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="interpret a program sequentially")
     add_common(p_run)
+    add_engine(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_prof = sub.add_parser("profile", help="profile a candidate loop")
@@ -389,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--loop", required=True)
     p_prof.add_argument("--save-ddg", metavar="PATH")
     add_trace(p_prof)
+    add_engine(p_prof)
     p_prof.set_defaults(func=_cmd_profile)
 
     for name, fn, help_text in (
@@ -446,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
                  "races/faults by sequential re-execution",
         )
         if name == "parallel":
+            add_engine(p)
             p.add_argument("--threads", "-n", type=int, default=4)
             p.add_argument("--chunk", type=int, default=1,
                            help="DOACROSS scheduling chunk size")
@@ -464,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default name when PATH omitted)",
     )
     add_trace(p_bench)
+    add_engine(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -1,0 +1,33 @@
+"""Bytecode compilation tier for the MiniC machine (DESIGN.md §12).
+
+Lowers each analyzed function, lazily on first call, to a tree of
+Python closures with all static decisions — dispatch, variable frame
+placement, struct field offsets, element sizes, integer wrap masks,
+``struct.Struct`` scalar codecs, cost constants, register-slot
+classification — resolved at compile time.  The result is
+subroutine-threaded code: each node's closure calls its children
+directly, replacing the walker's two dict dispatches and type tests
+per node.
+
+Two compile-time variants:
+
+* ``instrumented`` (engine ``"bytecode"``) — bit-identical cost,
+  observer, watchdog and diagnostic behavior vs the tree walker; used
+  for profiling, race-checked parallel runs and fault injection.
+* ``bare`` (engine ``"bytecode-bare"``) — same cost model (cycles /
+  instructions / loads / stores still match the walker exactly), but
+  no observer fan-out and no per-statement step/watchdog accounting;
+  used for baseline and verified re-runs.
+
+Select with ``Machine(..., engine="bytecode")``, the CLI ``--engine``
+flag, or ``$REPRO_ENGINE``.
+"""
+
+from .compiler import BARE, INSTRUMENTED, Compiler, compiler_for, \
+    invalidate_code
+from .machine import BytecodeMachine
+
+__all__ = [
+    "BARE", "INSTRUMENTED", "Compiler", "compiler_for",
+    "invalidate_code", "BytecodeMachine",
+]

@@ -1,0 +1,178 @@
+"""Compiler driver and per-program code caches for the bytecode tier.
+
+A :class:`Compiler` owns the compiled-code tables for one (program,
+sema, variant) triple: nid-keyed closures for expressions, lvalues and
+statements, and fn-nid-keyed function runners.  Compiled code is
+machine-independent — closures fetch ``m.cost`` / ``m.memory`` /
+``m.redirector`` / ``m.observers`` from the machine on every call — so
+one Compiler is shared by every machine executing that program (the
+parallel runtime, the profiler and the harness all construct several
+machines per program; compiling once amortizes the lowering).
+
+Caches are keyed weakly by the Program object.  Transforms clone
+programs before rewriting, so a compiled program's AST is stable; the
+one in-place mutator in the tree (:mod:`repro.lint.mutate`) calls
+:func:`invalidate_code` after corrupting an AST.
+
+Robustness: per-node compilation is wrapped — if lowering a node
+raises (malformed AST that the walker would only fault on when
+executed), the node gets a fallback closure that defers to the walker
+dispatch at run time, preserving the walker's error behavior and
+timing.  ``Compiler.fallbacks`` counts these for tests.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Optional
+
+from ...frontend import ast
+from ...frontend.sema import SemaResult
+from ..machine import InterpError, Machine
+from .exprs import compile_addr, compile_expr
+from .stmts import compile_function, compile_stmt
+
+#: compile-time variants
+INSTRUMENTED = "instrumented"
+BARE = "bare"
+
+
+class Compiler:
+    """Lazily lowers one analyzed program to closures, memoized by nid."""
+
+    def __init__(self, program: ast.Program, sema: SemaResult,
+                 variant: str = INSTRUMENTED, tracer=None):
+        self.program = program
+        self.sema = sema
+        self.variant = variant
+        self.instrumented = variant != BARE
+        self.tracer = tracer
+        self.exprs: Dict[int, object] = {}
+        self.addrs: Dict[int, object] = {}
+        self.stmts: Dict[int, object] = {}
+        self.fns: Dict[int, object] = {}
+        #: nodes that fell back to walker dispatch (0 for well-formed
+        #: programs; asserted by the differential tests)
+        self.fallbacks = 0
+        tc = getattr(sema, "thread_context", None) or {}
+        self.tid_decl = tc.get("__tid")
+        self.nthreads_decl = tc.get("__nthreads")
+
+    # -- compile entry points (memoized) ---------------------------------
+    def expr(self, e):
+        code = self.exprs.get(e.nid)
+        if code is None:
+            try:
+                code = compile_expr(self, e)
+            except Exception:
+                code = self._fallback_expr(e)
+            self.exprs[e.nid] = code
+        return code
+
+    def addr(self, e):
+        code = self.addrs.get(e.nid)
+        if code is None:
+            try:
+                code = compile_addr(self, e)
+            except Exception:
+                code = self._fallback_addr(e)
+            self.addrs[e.nid] = code
+        return code
+
+    def stmt(self, s):
+        code = self.stmts.get(s.nid)
+        if code is None:
+            try:
+                code = compile_stmt(self, s)
+            except Exception:
+                code = self._fallback_stmt(s)
+            self.stmts[s.nid] = code
+        return code
+
+    def function(self, fn):
+        code = self.fns.get(fn.nid)
+        if code is None:
+            tracer = self.tracer
+            if tracer:
+                with tracer.phase("compile-bytecode", cat="compile",
+                                  function=fn.name, variant=self.variant):
+                    code = compile_function(self, fn)
+            else:
+                code = compile_function(self, fn)
+            self.fns[fn.nid] = code
+        return code
+
+    # -- fallbacks --------------------------------------------------------
+    def _fallback_expr(self, e):
+        self.fallbacks += 1
+
+        def run(m):
+            m.cost.instructions += 1
+            return m._eval_dispatch[type(e)](e)
+        return run
+
+    def _fallback_addr(self, e):
+        self.fallbacks += 1
+
+        def run(m):
+            return Machine.addr_of(m, e)
+        return run
+
+    def _fallback_stmt(self, s):
+        self.fallbacks += 1
+        instrumented = self.instrumented
+
+        def run(m):
+            if instrumented:
+                h = m._stmt_hook
+                if h is not None:
+                    h(s)
+                steps = m._steps + 1
+                m._steps = steps
+                if steps > m.max_steps:
+                    raise InterpError(
+                        "step budget exceeded (runaway program?)", s)
+                dl = m._watchdog_deadline
+                if dl is not None and steps > dl:
+                    m._watchdog_trip(s)
+            m._stmt_dispatch[type(s)](s)
+        return run
+
+
+# ---------------------------------------------------------------------------
+# program-level cache
+# ---------------------------------------------------------------------------
+
+#: Program -> {(id(sema), variant): Compiler}.  The Compiler holds the
+#: sema strongly, so the id() key cannot be recycled while the entry
+#: lives; the outer mapping dies with the Program.
+_CODE_CACHE: "weakref.WeakKeyDictionary[ast.Program, dict]" = \
+    weakref.WeakKeyDictionary()
+
+
+def compiler_for(program: ast.Program, sema: SemaResult, variant: str,
+                 tracer=None) -> Compiler:
+    """The shared Compiler for (program, sema, variant); created on
+    first use.  ``tracer`` (when truthy) is adopted so subsequent lazy
+    compiles emit ``compile-bytecode`` phases."""
+    entry = _CODE_CACHE.get(program)
+    if entry is None:
+        entry = _CODE_CACHE[program] = {}
+    key = (id(sema), variant)
+    comp = entry.get(key)
+    if comp is None:
+        comp = entry[key] = Compiler(program, sema, variant, tracer)
+    elif tracer:
+        comp.tracer = tracer
+    return comp
+
+
+def invalidate_code(program: Optional[ast.Program] = None) -> None:
+    """Drop compiled code for ``program`` (or all programs).  Callers
+    that mutate an AST in place after it may have been executed (the
+    lint mutators) must invalidate, or stale closures would keep the
+    pre-mutation semantics alive."""
+    if program is None:
+        _CODE_CACHE.clear()
+    else:
+        _CODE_CACHE.pop(program, None)

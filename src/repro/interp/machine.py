@@ -27,6 +27,7 @@ Execution features the reproduction depends on:
 
 from __future__ import annotations
 
+import os
 import sys
 
 from typing import Callable, Dict, List, Optional
@@ -171,8 +172,54 @@ def scalar_fmt(ctype: CType) -> str:
     return ctype.fmt  # IntType/FloatType/PointerType all carry .fmt
 
 
+# ---------------------------------------------------------------------------
+# Execution engines
+# ---------------------------------------------------------------------------
+
+#: available interpreter engines: the tree walker ("ast"), the
+#: instrumented bytecode tier ("bytecode" — observers/watchdog/cost
+#: identical to the walker), and the bare bytecode tier
+#: ("bytecode-bare" — same cost model, no observer fan-out and no
+#: per-statement watchdog accounting; for baseline/verified re-runs).
+ENGINES = ("ast", "bytecode", "bytecode-bare")
+
+_ENGINE_ALIASES = {"bare": "bytecode-bare", "walker": "ast", "tree": "ast"}
+
+#: environment variable consulted when no explicit engine is requested
+ENGINE_ENV = "REPRO_ENGINE"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve an engine request: explicit arg > $REPRO_ENGINE > "ast"."""
+    name = engine or os.environ.get(ENGINE_ENV) or "ast"
+    name = _ENGINE_ALIASES.get(name, name)
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown interpreter engine {name!r}; "
+            f"choose from {', '.join(ENGINES)}"
+        )
+    return name
+
+
 class Machine:
-    """Interpreter for one analyzed program."""
+    """Interpreter for one analyzed program.
+
+    ``Machine(...)`` is also the engine selector: constructing it with
+    ``engine="bytecode"`` (or ``$REPRO_ENGINE`` set) returns a
+    :class:`repro.interp.bytecode.BytecodeMachine`, a drop-in subclass
+    that executes lazily compiled per-function closures instead of
+    walking the AST.  All public contracts (``observers``,
+    ``redirector``, ``free_hooks``, ``loop_controllers``, watchdog,
+    cost sinks) are engine-independent.
+    """
+
+    engine = "ast"
+
+    def __new__(cls, *args, engine: Optional[str] = None, **kwargs):
+        if cls is Machine and resolve_engine(engine) != "ast":
+            from .bytecode import BytecodeMachine
+            return object.__new__(BytecodeMachine)
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -181,6 +228,8 @@ class Machine:
         check_bounds: bool = True,
         max_steps: int = 500_000_000,
         max_loop_steps: Optional[int] = None,
+        engine: Optional[str] = None,
+        tracer=None,
     ):
         self.program = program
         self.sema = sema
@@ -452,16 +501,21 @@ class Machine:
             raise InterpError("step budget exceeded (runaway program?)", stmt)
         if self._watchdog_deadline is not None and \
                 self._steps > self._watchdog_deadline:
-            deadline, label, budget = self._watchdog_stack[-1]
-            for entry in self._watchdog_stack:
-                if entry[0] == self._watchdog_deadline:
-                    deadline, label, budget = entry
-                    break
-            raise WatchdogTimeout(
-                f"loop {label!r} exceeded its watchdog budget of "
-                f"{budget} steps", stmt, loop=label, budget=budget,
-            )
+            self._watchdog_trip(stmt)
         self._stmt_dispatch[type(stmt)](stmt)
+
+    def _watchdog_trip(self, stmt: ast.Stmt) -> None:
+        """Raise the WatchdogTimeout for the deadline that expired
+        (shared by both engines' statement prologues)."""
+        deadline, label, budget = self._watchdog_stack[-1]
+        for entry in self._watchdog_stack:
+            if entry[0] == self._watchdog_deadline:
+                deadline, label, budget = entry
+                break
+        raise WatchdogTimeout(
+            f"loop {label!r} exceeded its watchdog budget of "
+            f"{budget} steps", stmt, loop=label, budget=budget,
+        )
 
     # -- watchdog ----------------------------------------------------------
     def push_watchdog(self, budget: int, label: Optional[str]) -> None:

@@ -33,28 +33,44 @@ HEAP = "heap"
 
 _NULL_GUARD = 4096  # first page reserved; address 0 is NULL
 
+#: pre-compiled little-endian codecs, one per scalar struct format.  The
+#: set of formats is the closed set of CType.fmt values ("b"/"h"/"i"/"q"
+#: and unsigned/float variants), so the cache never grows past a dozen
+#: entries; the fat-pointer span slot ("q") shares the same codec on the
+#: redirect path.
+_CODECS: Dict[str, _struct.Struct] = {}
+
+
+def scalar_codec(fmt: str) -> _struct.Struct:
+    """The compiled ``struct.Struct`` for one little-endian scalar."""
+    codec = _CODECS.get(fmt)
+    if codec is None:
+        codec = _CODECS[fmt] = _struct.Struct("<" + fmt)
+    return codec
+
 
 class MemoryError_(Exception):
     """Raised on invalid memory operations (OOB, use-after-free...)."""
 
 
 class Allocation:
-    __slots__ = ("addr", "size", "kind", "live", "label", "tag")
+    __slots__ = ("addr", "size", "end", "kind", "live", "label", "tag")
 
     def __init__(self, addr: int, size: int, kind: str, label: str = "",
                  tag: int = 0):
         self.addr = addr
         self.size = size
+        #: one past the last byte; precomputed (``size`` never changes
+        #: after construction — realloc makes a new record), because the
+        #: containment checks in :meth:`Memory.check_access` /
+        #: :meth:`Memory.find` read it on every machine memory access
+        self.end = addr + size
         self.kind = kind
         self.live = True
         self.label = label
         #: AST node id of the allocation site (malloc Call node for heap,
         #: VarDecl node for globals/stack); object identity for analyses
         self.tag = tag
-
-    @property
-    def end(self) -> int:
-        return self.addr + self.size
 
     def __repr__(self) -> str:
         state = "live" if self.live else "dead"
@@ -81,6 +97,13 @@ class Memory:
         self.live_bytes: Dict[str, int] = {GLOBAL: 0, RODATA: 0, STACK: 0, HEAP: 0}
         self.peak_bytes: Dict[str, int] = dict(self.live_bytes)
         self.total_allocs = 0
+        #: two-entry last-hit lookup cache: tight loops touch one block
+        #: many times in a row (and copy loops alternate between two),
+        #: so remembering the last allocations that satisfied a lookup
+        #: skips the bisect.  Killed on free/realloc and on snapshot
+        #: restore (:meth:`invalidate_lookup_cache`).
+        self._hit: Optional[Allocation] = None
+        self._hit2: Optional[Allocation] = None
 
     # -- allocation -------------------------------------------------------
     def alloc(self, size: int, kind: str = HEAP, label: str = "",
@@ -97,11 +120,12 @@ class Memory:
                 record.label = label
                 record.tag = tag
                 self.data[record.addr:record.end] = b"\0" * record.size
-                self.live_bytes[kind] += size
-                self.peak_bytes[kind] = max(
-                    self.peak_bytes[kind], self.live_bytes[kind]
-                )
+                live = self.live_bytes[kind] + size
+                self.live_bytes[kind] = live
+                if live > self.peak_bytes[kind]:
+                    self.peak_bytes[kind] = live
                 self.total_allocs += 1
+                self._hit = record
                 return record.addr
         addr = (self.brk + 7) & ~7
         end = addr + size
@@ -111,9 +135,12 @@ class Memory:
         record = Allocation(addr, size, kind, label, tag)
         self._allocs.append(record)
         self._starts.append(addr)
-        self.live_bytes[kind] += size
-        self.peak_bytes[kind] = max(self.peak_bytes[kind], self.live_bytes[kind])
+        live = self.live_bytes[kind] + size
+        self.live_bytes[kind] = live
+        if live > self.peak_bytes[kind]:
+            self.peak_bytes[kind] = live
         self.total_allocs += 1
+        self._hit = record
         return addr
 
     def free(self, addr: int) -> None:
@@ -129,6 +156,10 @@ class Memory:
 
     def _kill(self, record: Allocation) -> None:
         record.live = False
+        if self._hit is record:
+            self._hit = None
+        if self._hit2 is record:
+            self._hit2 = None
         self.live_bytes[record.kind] -= record.size
         if record.kind == HEAP and self.reuse_heap:
             self._freelist.setdefault(record.size, []).append(record)
@@ -153,16 +184,46 @@ class Memory:
         return new_addr
 
     # -- lookup -------------------------------------------------------------
+    def invalidate_lookup_cache(self) -> None:
+        """Drop the last-hit cache.  Must be called whenever the
+        allocation table is rewritten wholesale (snapshot restore
+        truncates ``_allocs``), since a cached record may no longer be
+        part of the address space."""
+        self._hit = None
+        self._hit2 = None
+
     def find(self, addr: int) -> Optional[Allocation]:
         """The allocation containing ``addr``, or None."""
+        hit = self._hit
+        if hit is not None and hit.addr <= addr < hit.end:
+            return hit
+        hit = self._hit2
+        if hit is not None and hit.addr <= addr < hit.end:
+            self._hit2 = self._hit
+            self._hit = hit
+            return hit
         i = bisect.bisect_right(self._starts, addr) - 1
         if i < 0:
             return None
         record = self._allocs[i]
-        return record if addr < record.end else None
+        if addr >= record.end:
+            return None
+        self._hit2 = self._hit
+        self._hit = record
+        return record
 
     def check_access(self, addr: int, size: int) -> Allocation:
         """Validate that [addr, addr+size) lies in one live allocation."""
+        hit = self._hit
+        if hit is not None and hit.live and hit.addr <= addr \
+                and addr + size <= hit.end:
+            return hit
+        hit = self._hit2
+        if hit is not None and hit.live and hit.addr <= addr \
+                and addr + size <= hit.end:
+            self._hit2 = self._hit
+            self._hit = hit
+            return hit
         if addr == 0:
             raise MemoryError_("NULL dereference")
         record = self.find(addr)
@@ -190,20 +251,32 @@ class Memory:
     def read_scalar(self, addr: int, fmt: str, size: int):
         """Read one scalar with struct format ``fmt`` (no bounds check
         here; the machine checks before tracing)."""
-        return _struct.unpack_from("<" + fmt, self.data, addr)[0]
+        codec = _CODECS.get(fmt)
+        if codec is None:
+            codec = _CODECS[fmt] = _struct.Struct("<" + fmt)
+        return codec.unpack_from(self.data, addr)[0]
 
     def write_scalar(self, addr: int, fmt: str, value) -> None:
-        _struct.pack_into("<" + fmt, self.data, addr, value)
+        codec = _CODECS.get(fmt)
+        if codec is None:
+            codec = _CODECS[fmt] = _struct.Struct("<" + fmt)
+        codec.pack_into(self.data, addr, value)
 
     def read_cstring(self, addr: int, limit: int = 1 << 20) -> str:
         """Read a NUL-terminated string (for print_str and errors)."""
-        out = []
-        for i in range(limit):
-            b = self.data[addr + i]
-            if b == 0:
-                break
-            out.append(chr(b))
-        return "".join(out)
+        if limit <= 0:
+            return ""
+        data = self.data
+        end = addr + limit
+        nul = data.find(0, addr, end)
+        if nul >= 0:
+            return data[addr:nul].decode("latin-1")
+        if end <= len(data):
+            # no terminator within the limit: return exactly ``limit``
+            # characters, like the historical per-byte walk
+            return data[addr:end].decode("latin-1")
+        # unterminated string running off the end of memory
+        raise IndexError("bytearray index out of range")
 
     # -- accounting -------------------------------------------------------------
     def peak_footprint(self) -> int:

@@ -23,6 +23,7 @@ can assert the corruption actually landed.
 from __future__ import annotations
 
 from ..frontend import ast
+from ..interp.bytecode import invalidate_code
 from ..transform import rewrite as rw
 from ..transform.expand import TID
 from ..transform.optimize import _span_store
@@ -46,6 +47,10 @@ def corrupt_spans(program: ast.Program, factor: int = 0) -> int:
                     "*", assign.value, ast.IntLit(factor), like=assign
                 )
                 count += 1
+    if count:
+        # in-place mutation: any bytecode compiled from this program
+        # still encodes the pre-mutation expressions
+        invalidate_code(program)
     return count
 
 
@@ -70,6 +75,10 @@ def skew_copy_index(program: ast.Program, stride: int = 1) -> int:
             node.__dict__.clear()
             node.__dict__.update(skewed.__dict__)
             count += 1
+    if count:
+        # in-place mutation (the node even changes class): compiled
+        # closures keyed by these nids are stale
+        invalidate_code(program)
     return count
 
 

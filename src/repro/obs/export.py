@@ -53,10 +53,19 @@ def chrome_trace(tracer) -> Dict[str, Any]:
         events.append(record)
     metrics = tracer.metrics.as_dict()
     for name, value in metrics.items():
-        events.append({
-            "name": name, "ph": "C", "ts": 0,
-            "pid": COMPILE_PID, "tid": 0, "args": {"value": value},
-        })
+        if isinstance(value, (int, float)):
+            # counter track
+            events.append({
+                "name": name, "ph": "C", "ts": 0,
+                "pid": COMPILE_PID, "tid": 0, "args": {"value": value},
+            })
+        else:
+            # label metrics (e.g. interp.engine) as instant markers —
+            # Chrome counter tracks only accept numbers
+            events.append({
+                "name": name, "ph": "i", "s": "p", "ts": 0,
+                "pid": COMPILE_PID, "tid": 0, "args": {"value": value},
+            })
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -142,7 +151,13 @@ def trace_summary(tracer) -> str:
 
     metrics = tracer.metrics.as_dict()
     if metrics:
-        rows = [[name, f"{value:,g}"] for name, value in metrics.items()]
+        # values are usually counters, but some are labels (e.g. the
+        # interp.engine name)
+        rows = [
+            [name,
+             f"{value:,g}" if isinstance(value, (int, float)) else str(value)]
+            for name, value in metrics.items()
+        ]
         parts.append("Metrics\n" + _table(["metric", "value"], rows))
 
     return "\n\n".join(parts) if parts else "(empty trace)"

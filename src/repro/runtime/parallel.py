@@ -38,7 +38,7 @@ from ..frontend import ast
 from ..obs import NULL_TRACER, ensure_tracer
 from ..interp.machine import (
     BreakSignal, ContinueSignal, CostSink, InterpError, Machine,
-    WatchdogTimeout,
+    WatchdogTimeout, resolve_engine,
 )
 from ..interp.memory import MemoryError_
 from ..interp.trace import RaceChecker
@@ -154,6 +154,9 @@ class MachineSnapshot:
         del machine.output[self.n_output:]
         machine._strlit_cache = dict(self.strlit_cache)
         machine.tid = self.tid
+        # the allocation table was rewritten wholesale: cached lookup
+        # records may have been truncated out of the address space
+        memory.invalidate_lookup_cache()
 
 
 def _recover_sequential(
@@ -663,6 +666,7 @@ class ParallelRunner:
         watchdog: Optional[int] = None,
         fault_injectors: Optional[List] = None,
         tracer=None,
+        engine: Optional[str] = None,
     ):
         if tresult.program is None or tresult.sema is None:
             raise ParallelError("transform result has no program",
@@ -676,9 +680,18 @@ class ParallelRunner:
         self.tracer = ensure_tracer(tracer)
         self.watchdog = watchdog
         self.outcome = ParallelOutcome(nthreads)
+        # the parallel runtime needs observer fan-out (race checker) and
+        # per-statement watchdog accounting, so the bare variant is
+        # promoted to the instrumented bytecode engine
+        eng = resolve_engine(engine)
+        if eng == "bytecode-bare":
+            eng = "bytecode"
         self.machine = Machine(tresult.program, tresult.sema,
-                               max_loop_steps=watchdog)
+                               max_loop_steps=watchdog, engine=eng,
+                               tracer=self.tracer)
         self.machine.nthreads = nthreads
+        if self.tracer:
+            self.tracer.metrics.set("interp.engine", self.machine.engine)
         self.checker: Optional[RaceChecker] = None
         if check_races:
             self.checker = RaceChecker()
@@ -835,6 +848,7 @@ def run_parallel(
     watchdog: Optional[int] = None,
     fault_injectors: Optional[List] = None,
     tracer=None,
+    engine: Optional[str] = None,
 ) -> ParallelOutcome:
     """Run a transformed program on ``nthreads`` virtual threads.
 
@@ -854,10 +868,15 @@ def run_parallel(
     runtime timeline — iteration spans, DOACROSS token waits/posts,
     watchdog trips, snapshot rollbacks, quarantine fallbacks — with
     simulated-cycle timestamps, and is attached to the outcome as
-    ``outcome.trace``."""
+    ``outcome.trace``.
+
+    ``engine`` picks the interpreter tier (``"ast"`` or
+    ``"bytecode"``; defaults to ``$REPRO_ENGINE``).  The bare bytecode
+    variant is promoted to instrumented — the runtime needs the race
+    checker's observer fan-out and watchdog accounting."""
     runner = ParallelRunner(tresult, nthreads, check_races=check_races,
                             chunk=chunk, strict=strict, sink=sink,
                             watchdog=watchdog,
                             fault_injectors=fault_injectors,
-                            tracer=tracer)
+                            tracer=tracer, engine=engine)
     return runner.run(entry, raise_on_race=raise_on_race)
