@@ -12,8 +12,23 @@ are enforced, matching the bytecode tier's drop-in contract:
 * a geometric-mean end-to-end speedup of at least ``--min-speedup``
   (default 2.0) for ``bytecode`` over ``ast``.
 
+``--backend process`` switches to the multi-core differential smoke
+instead: every kernel is expanded and run under both parallel backends
+(simulated vs real worker processes over shared memory) and must be
+bit-identical — program output, diagnostics (minus the informational
+``MC-*`` fallback notes), modeled cycles/makespans, and the final live
+GLOBAL+HEAP heap image, byte for byte.  The process backend's
+wall-clock scaling (1 worker vs ``--workers``) is reported, and the
+``--min-mc-speedup`` geomean gate (default 1.8) is enforced when the
+host actually has ``--workers`` cores.
+
+``--membench`` appends the zero-copy memory micro-benchmark: bulk
+``read_bytes``/``write_bytes``/``read_cstring`` against the historical
+per-byte scalar walk, with a sanity floor on the bulk speedup.
+
 Usage:  python scripts/perf_smoke.py [--repeat N] [--min-speedup X]
-        [--json PATH]
+        [--json PATH] [--backend {engines,process}] [--workers N]
+        [--membench]
 
 Exit status 0 when all kernels pass, 1 on any parity or speedup
 failure.  ``--json`` additionally dumps the raw numbers for archival
@@ -23,6 +38,7 @@ failure.  ``--json`` additionally dumps the raw numbers for archival
 import argparse
 import json
 import math
+import os
 import sys
 import time
 
@@ -82,6 +98,240 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+# ---------------------------------------------------------------------------
+# multi-core backend differential smoke (--backend process)
+# ---------------------------------------------------------------------------
+
+def _heap_image(memory):
+    """The live GLOBAL+HEAP allocations as (kind, label, addr, size,
+    bytes) — the bit-identity fingerprint of the final address space."""
+    image = []
+    for rec in memory._allocs:
+        if rec.live and rec.kind in ("global", "heap"):
+            image.append((rec.kind, rec.label, rec.addr, rec.size,
+                          bytes(memory.data[rec.addr:rec.end])))
+    return image
+
+
+def _parallel_fingerprint(tresult, nthreads, backend, workers=None):
+    """One parallel run; returns (seconds, fingerprint dict).
+
+    The fingerprint covers everything the bit-identity contract
+    promises: output, exit code, modeled cost counters, per-loop
+    makespans/iterations, non-``MC-*`` diagnostics, and the final live
+    heap image.  (``peak_memory`` is deliberately excluded — worker
+    stack allocations live in private arenas.)
+    """
+    from repro.runtime import ParallelRunner
+
+    runner = ParallelRunner(tresult, nthreads, engine="bytecode",
+                            backend=backend, workers=workers)
+    start = time.perf_counter()
+    outcome = runner.run()
+    elapsed = time.perf_counter() - start
+    cost = runner.machine.cost
+    fingerprint = {
+        "exit": outcome.exit_code,
+        "output": list(outcome.output),
+        "cycles": cost.cycles,
+        "instructions": cost.instructions,
+        "loads": cost.loads,
+        "stores": cost.stores,
+        "loops": {
+            label: (ex.makespan, ex.iterations)
+            for label, ex in outcome.loops.items()
+        },
+        "diagnostics": [
+            d.render() for d in outcome.diagnostics
+            if not d.code.startswith("MC-")
+        ],
+        "heap": _heap_image(runner.machine.memory),
+    }
+    return elapsed, fingerprint
+
+
+def measure_process(spec, repeat, workers):
+    """Differential simulated-vs-process measurement of one kernel."""
+    from repro.transform import expand_for_threads
+
+    program, sema = parse_and_analyze(spec.source)
+    tresult = expand_for_threads(program, sema, spec.loop_labels,
+                                 optimize=True)
+    row = {"name": spec.name}
+    prints = {}
+    # simulated reference + process at full width + process at width 1
+    # (the wall-clock scaling baseline)
+    configs = (
+        ("simulated", workers, "simulated"),
+        ("process", workers, "process"),
+        ("process1", 1, "process"),
+    )
+    for key, nthreads, backend in configs:
+        best, fingerprint = math.inf, None
+        for _ in range(repeat):
+            elapsed, fingerprint = _parallel_fingerprint(
+                tresult, nthreads, backend, workers=nthreads)
+            best = min(best, elapsed)
+        row[key] = best
+        prints[key] = fingerprint
+    row["parity"] = prints["simulated"] == prints["process"]
+    if not row["parity"]:
+        row["diff"] = sorted(
+            k for k in prints["simulated"]
+            if prints["simulated"][k] != prints["process"][k]
+        )
+    row["mc_speedup"] = row["process1"] / row["process"]
+    return row
+
+
+def process_smoke(args):
+    """The ``--backend process`` mode: bit-identity differential over
+    every kernel plus the wall-clock scaling gate."""
+    from repro.runtime import process_backend_available
+
+    ok, why = process_backend_available()
+    if not ok:
+        print(f"SKIP: process backend unavailable ({why})",
+              file=sys.stderr)
+        return 0
+
+    rows = []
+    for spec in all_benchmarks():
+        print(f"measuring {spec.name} ...", file=sys.stderr)
+        rows.append(measure_process(spec, args.repeat, args.workers))
+
+    header = (f"{'kernel':<16} {'simulated':>10} {'process':>9} "
+              f"{'proc@1':>8} {'scaling':>8}  parity")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['name']:<16} {row['simulated']:>9.3f}s "
+              f"{row['process']:>8.3f}s {row['process1']:>7.3f}s "
+              f"{row['mc_speedup']:>7.2f}x  "
+              f"{'OK' if row['parity'] else 'DIVERGED'}")
+    gm = geomean([r["mc_speedup"] for r in rows])
+    print("-" * len(header))
+    print(f"{'geomean':<16} {'':>10} {'':>9} {'':>8} {gm:>7.2f}x")
+
+    if args.json:
+        payload = [
+            {k: v for k, v in row.items()} for row in rows
+        ]
+        with open(args.json, "w") as fh:
+            json.dump({"mode": "process", "workers": args.workers,
+                       "rows": payload, "geomean_mc": gm,
+                       "min_mc_speedup": args.min_mc_speedup,
+                       "cpu_count": os.cpu_count()}, fh, indent=1)
+            fh.write("\n")
+        print(f"[raw numbers written to {args.json}]", file=sys.stderr)
+
+    failed = False
+    for row in rows:
+        if not row["parity"]:
+            print(f"FAIL: {row['name']} diverged between backends "
+                  f"({', '.join(row.get('diff', []))})", file=sys.stderr)
+            failed = True
+    cores = os.cpu_count() or 1
+    if cores >= args.workers:
+        if gm < args.min_mc_speedup:
+            print(f"FAIL: geomean multi-core speedup {gm:.2f}x < "
+                  f"required {args.min_mc_speedup:.2f}x "
+                  f"({args.workers} workers on {cores} cores)",
+                  file=sys.stderr)
+            failed = True
+    else:
+        print(f"[speedup gate skipped: {cores} core(s) < "
+              f"{args.workers} workers]", file=sys.stderr)
+    return 1 if failed else 0
+
+
+# ---------------------------------------------------------------------------
+# zero-copy memory micro-benchmark (--membench)
+# ---------------------------------------------------------------------------
+
+def membench(repeat=3, size=1 << 20, min_bulk_speedup=2.0):
+    """Bulk read/write/cstring against the per-byte scalar walk.
+
+    Returns 0 on pass.  The floor is deliberately loose (the real gap
+    is orders of magnitude): it only guards against the bulk paths
+    regressing to a Python-level per-byte loop.
+    """
+    from repro.interp.memory import Memory
+
+    mem = Memory(check_bounds=False)
+    addr = mem.alloc(size + 1, kind="heap", label="membench")
+    payload = bytes(range(256)) * (size // 256)
+
+    def best(fn):
+        b = math.inf
+        for _ in range(repeat):
+            t = time.perf_counter()
+            fn()
+            b = min(b, time.perf_counter() - t)
+        return b
+
+    # per-byte scalar walks (the historical access pattern)
+    def write_scalar_walk():
+        write = mem.write_scalar
+        for i in range(size):
+            write(addr + i, "B", payload[i])
+
+    def read_scalar_walk():
+        read = mem.read_scalar
+        acc = 0
+        for i in range(size):
+            acc ^= read(addr + i, "B", 1)
+        return acc
+
+    t_w_scalar = best(write_scalar_walk)
+    t_r_scalar = best(read_scalar_walk)
+    # bulk paths
+    t_w_bulk = best(lambda: mem.write_bytes(addr, payload))
+    t_r_bulk = best(lambda: mem.read_bytes(addr, size))
+    got = mem.read_bytes(addr, size)
+    assert got == payload, "membench: bulk round-trip corrupted data"
+
+    # cstring: NUL-terminate and compare against a per-byte scan
+    text = b"x" * (size - 1)
+    mem.write_bytes(addr, text + b"\0")
+
+    def cstring_walk():
+        read = mem.read_scalar
+        chars = []
+        i = addr
+        while True:
+            b = read(i, "B", 1)
+            if b == 0:
+                break
+            chars.append(chr(b))
+            i += 1
+        return "".join(chars)
+
+    t_c_scalar = best(cstring_walk)
+    t_c_bulk = best(lambda: mem.read_cstring(addr))
+    assert mem.read_cstring(addr) == cstring_walk(), \
+        "membench: read_cstring mismatch"
+
+    mb = size / (1 << 20)
+    print(f"membench ({mb:.0f} MiB block, best of {repeat}):")
+    rows = (
+        ("write", t_w_scalar, t_w_bulk),
+        ("read", t_r_scalar, t_r_bulk),
+        ("cstring", t_c_scalar, t_c_bulk),
+    )
+    failed = False
+    for name, scalar_s, bulk_s in rows:
+        ratio = scalar_s / bulk_s if bulk_s > 0 else math.inf
+        print(f"  {name:<8} per-byte {scalar_s * 1e3:>9.2f}ms  "
+              f"bulk {bulk_s * 1e6:>9.1f}us  ({ratio:,.0f}x)")
+        if ratio < min_bulk_speedup:
+            print(f"FAIL: bulk {name} only {ratio:.2f}x over the "
+                  f"per-byte walk (< {min_bulk_speedup:.1f}x)",
+                  file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeat", type=int, default=3,
@@ -92,7 +342,27 @@ def main(argv=None):
                              "end-to-end speedup (default 2.0)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also dump raw numbers as JSON")
+    parser.add_argument("--backend", choices=("engines", "process"),
+                        default="engines",
+                        help="'engines' compares interpreter tiers "
+                             "(default); 'process' runs the multi-core "
+                             "backend differential instead")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="process-backend worker count (default 4)")
+    parser.add_argument("--min-mc-speedup", type=float, default=1.8,
+                        help="required geomean process-backend scaling "
+                             "(workers vs 1), enforced only when the "
+                             "host has that many cores (default 1.8)")
+    parser.add_argument("--membench", action="store_true",
+                        help="also run the zero-copy memory "
+                             "micro-benchmark")
     args = parser.parse_args(argv)
+
+    status = 0
+    if args.membench:
+        status = membench(repeat=args.repeat) or status
+    if args.backend == "process":
+        return process_smoke(args) or status
 
     rows = []
     for spec in all_benchmarks():
@@ -133,7 +403,7 @@ def main(argv=None):
         print(f"FAIL: geomean speedup {gm:.2f}x < "
               f"required {args.min_speedup:.2f}x", file=sys.stderr)
         failed = True
-    return 1 if failed else 0
+    return 1 if failed or status else 0
 
 
 if __name__ == "__main__":

@@ -12,7 +12,9 @@ technique:
   promotion, span computation, data structure expansion, redirection,
   and the §3.4 optimizations
 * :mod:`repro.runtime`  — simulated N-thread execution (DOALL static /
-  DOACROSS dynamic scheduling) with race checking
+  DOACROSS dynamic scheduling) with race checking, plus a true
+  multi-core process backend over OS shared memory
+  (``backend="process"``)
 * :mod:`repro.baselines` — SpiceC-style runtime privatization and the
   sync-only baseline
 * :mod:`repro.bench`    — the eight benchmark kernels plus harness and
@@ -51,7 +53,8 @@ from .obs import (
 from .transform import OptFlags, TransformResult, expand_for_threads
 from .runtime import (
     CopyIndexSkew, FaultInjector, ParallelOutcome, SpanCorruptor,
-    SyncTokenDropper, ThreadAborter, run_parallel,
+    SyncTokenDropper, ThreadAborter, WorkerCrash,
+    process_backend_available, run_parallel,
 )
 
 
@@ -182,7 +185,7 @@ def expand_and_run(source: str, loop_labels, nthreads: int = 4,
     )
 
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: the stable public surface; everything else is implementation detail
 __all__ = [
@@ -194,7 +197,8 @@ __all__ = [
     # transform
     "expand_for_threads", "TransformResult", "OptFlags",
     # runtime
-    "run_parallel", "ParallelOutcome",
+    "run_parallel", "ParallelOutcome", "process_backend_available",
+    "WorkerCrash",
     # diagnostics
     "Diagnostic", "DiagnosticSink", "DiagnosableError", "diagnostic_of",
     # observability

@@ -78,8 +78,13 @@ class BenchmarkResult:
         self.sync_only_speedup: float = 0.0
         #: interpreter tier the measurements ran on
         self.engine = "ast"
+        #: execution backend of the parallel runs ("simulated"/"process")
+        self.backend = "simulated"
         #: host wall-clock seconds per measurement phase, plus "total"
         self.wall: Dict[str, float] = {}
+        #: host wall-clock seconds of the expansion parallel run, per
+        #: thread count (real end-to-end speedup = wallclock[1]/[n])
+        self.wallclock: Dict[int, float] = {}
 
     def point(self, nthreads: int) -> ParallelPoint:
         return self.expansion[nthreads]
@@ -110,7 +115,9 @@ class Harness:
     """
 
     def __init__(self, thread_counts=THREAD_COUNTS, tracer=None,
-                 engine: Optional[str] = None):
+                 engine: Optional[str] = None,
+                 backend: str = "simulated",
+                 workers: Optional[int] = None):
         from ..obs import ensure_tracer
 
         self.thread_counts = tuple(thread_counts)
@@ -118,6 +125,10 @@ class Harness:
         #: interpreter tier; observer-driven measurements (profiling,
         #: parallel runs) promote bare to instrumented themselves
         self.engine = resolve_engine(engine)
+        #: backend for the expansion parallel runs ("process" executes
+        #: loops on real worker processes over shared memory)
+        self.backend = backend
+        self.workers = workers
         self._cache: Dict[str, BenchmarkResult] = {}
 
     def result(self, name: str) -> BenchmarkResult:
@@ -134,6 +145,7 @@ class Harness:
         eng = self.engine
         result = BenchmarkResult(spec)
         result.engine = eng
+        result.backend = self.backend
         wall = result.wall
         t_start = time.perf_counter()
 
@@ -223,9 +235,15 @@ class Harness:
         result.overhead_rtpriv = rt1.total_cycles / result.seq_cycles
         t = clock("figure10-rtpriv", t)
 
-        # 6. figures 11-14: parallel runs
+        # 6. figures 11-14: parallel runs.  The expansion run is also
+        # wall-timed: on the process backend wallclock[1]/wallclock[n]
+        # is the real end-to-end host speedup (simulated-cycle speedups
+        # are backend-invariant by the bit-identity contract).
         for n in self.thread_counts:
-            out = run_parallel(opt, n, tracer=tracer, engine=eng)
+            t_par = time.perf_counter()
+            out = run_parallel(opt, n, tracer=tracer, engine=eng,
+                               backend=self.backend, workers=self.workers)
+            result.wallclock[n] = time.perf_counter() - t_par
             _check_output(spec, result.seq_output, out.output,
                           f"parallel(N={n})")
             point = ParallelPoint(n)

@@ -16,18 +16,25 @@ the paper's figures are built from:
 Schema 2 adds *host wall-clock* measurements (everything above is
 simulated cycles): per-benchmark per-phase seconds plus the end-to-end
 total, and the interpreter tier (``engine``) the measurements ran on —
-so engine-vs-engine trajectories can be diffed.  ``load_trajectory``
-reads schema-1 files too, normalizing the missing fields.
+so engine-vs-engine trajectories can be diffed.
+
+Schema 3 adds the execution backend: per-benchmark ``backend``
+("simulated"/"process") and ``wallclock_seconds`` mapping thread count
+to the host seconds of that expansion parallel run — on the process
+backend ``wallclock_seconds["1"]/["n"]`` is the real multi-core
+speedup.  ``load_trajectory`` reads older schemas too, normalizing the
+missing fields.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import Dict, Optional
 
 #: bump when the payload layout changes incompatibly
-TRAJECTORY_SCHEMA = 2
+TRAJECTORY_SCHEMA = 3
 
 
 def _harmonic(values) -> float:
@@ -82,6 +89,13 @@ def trajectory_payload(results, timestamp: Optional[str] = None) -> dict:
             # and the interpreter tier that produced the numbers
             "engine": getattr(res, "engine", "ast"),
             "wall_seconds": dict(getattr(res, "wall", {})),
+            # schema 3: execution backend + host seconds of the
+            # expansion parallel run at each thread count
+            "backend": getattr(res, "backend", "simulated"),
+            "wallclock_seconds": {
+                str(n): secs
+                for n, secs in sorted(getattr(res, "wallclock", {}).items())
+            },
         }
 
     thread_counts = sorted({
@@ -115,6 +129,9 @@ def trajectory_payload(results, timestamp: Optional[str] = None) -> dict:
     engines = sorted({
         getattr(r, "engine", "ast") for r in results.values()
     })
+    backends = sorted({
+        getattr(r, "backend", "simulated") for r in results.values()
+    })
     summary["wall_seconds_total"] = sum(
         getattr(r, "wall", {}).get("total", 0.0) for r in results.values()
     )
@@ -123,6 +140,7 @@ def trajectory_payload(results, timestamp: Optional[str] = None) -> dict:
         "generator": "repro.bench",
         "timestamp": timestamp or time.strftime("%Y-%m-%dT%H:%M:%S"),
         "engines": engines,
+        "backends": backends,
         "benchmarks": benchmarks,
         "summary": summary,
     }
@@ -132,11 +150,13 @@ def load_trajectory(path: str) -> dict:
     """Read a ``BENCH_*.json`` trajectory, accepting any schema up to
     :data:`TRAJECTORY_SCHEMA`.
 
-    Schema-1 files (no wall-clock data) are normalized in place: every
-    benchmark gains ``engine="ast"`` (the only tier that existed then)
-    and an empty ``wall_seconds``; the top level gains ``engines`` and
-    ``summary.wall_seconds_total = 0.0``.  Callers can therefore index
-    the schema-2 fields unconditionally.
+    Older files are normalized in place so callers can index the
+    current fields unconditionally: schema-1 benchmarks gain
+    ``engine="ast"`` (the only tier that existed then) and an empty
+    ``wall_seconds`` (plus top-level ``engines`` and
+    ``summary.wall_seconds_total = 0.0``); schema-2 benchmarks gain
+    ``backend="simulated"`` (the only backend that existed then) and an
+    empty ``wallclock_seconds`` (plus top-level ``backends``).
     """
     with open(path) as fh:
         payload = json.load(fh)
@@ -154,6 +174,11 @@ def load_trajectory(path: str) -> dict:
         payload.setdefault("summary", {}).setdefault(
             "wall_seconds_total", 0.0
         )
+    if schema < 3:
+        for bench in payload.get("benchmarks", {}).values():
+            bench.setdefault("backend", "simulated")
+            bench.setdefault("wallclock_seconds", {})
+        payload.setdefault("backends", ["simulated"])
     return payload
 
 
@@ -162,12 +187,20 @@ def emit_trajectory(results, path: Optional[str] = None,
     """Write the trajectory JSON; returns the path written.
 
     ``path=None`` picks ``BENCH_<timestamp>.json`` in the working
-    directory (the shape CI archives as an artifact).
+    directory (the shape CI archives as an artifact).  Passing an
+    existing directory (or a path ending in the separator) drops the
+    generated ``BENCH_<timestamp>.json`` name inside it instead of
+    littering the current directory; any other path is used verbatim,
+    creating parent directories as needed.
     """
     payload = trajectory_payload(results, timestamp=timestamp)
-    if path is None:
+    if path is None or path.endswith(os.sep) or os.path.isdir(path):
         stamp = time.strftime("%Y%m%d_%H%M%S")
-        path = f"BENCH_{stamp}.json"
+        name = f"BENCH_{stamp}.json"
+        path = os.path.join(path, name) if path else name
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=1, sort_keys=True)
         fh.write("\n")

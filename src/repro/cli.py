@@ -31,9 +31,11 @@ Examples::
     python -m repro profile program.c --loop L --save-ddg graph.json
     python -m repro expand program.c --loop L --no-opt-constant-spans
     python -m repro parallel program.c --loop L --threads 8 --trace t.json
+    python -m repro parallel program.c --loop L --backend process --workers 4
     python -m repro lint program.c --fail-on-warning
     python -m repro lint --bench all --fail-on-warning
     python -m repro bench dijkstra --json BENCH_run.json
+    python -m repro bench all --backend process --json --out baselines/
 """
 
 from __future__ import annotations
@@ -218,7 +220,8 @@ def _cmd_parallel(args) -> int:
         outcome = run_parallel(result, args.threads, entry=args.entry,
                                chunk=args.chunk, strict=args.strict,
                                sink=sink, watchdog=args.watchdog,
-                               tracer=tracer, engine=eng)
+                               tracer=tracer, engine=eng,
+                               backend=args.backend, workers=args.workers)
     finally:
         _finish_trace(args, tracer)
     for line in outcome.output:
@@ -339,7 +342,8 @@ def _cmd_bench(args) -> int:
     names = [s.name for s in all_benchmarks()] if args.name == "all" \
         else [args.name]
     tracer = _make_tracer(args)
-    harness = Harness(tracer=tracer, engine=args.engine)
+    harness = Harness(tracer=tracer, engine=args.engine,
+                      backend=args.backend, workers=args.workers)
     results = {}
     try:
         for name in names:
@@ -348,8 +352,9 @@ def _cmd_bench(args) -> int:
     finally:
         _finish_trace(args, tracer)
     print(full_report(results))
-    if args.json is not None:
-        path = emit_trajectory(results, path=args.json or None)
+    if args.json is not None or args.out is not None:
+        path = emit_trajectory(results,
+                               path=(args.json or None) or args.out)
         print(f"[trajectory written to {path}]", file=sys.stderr)
     return 0
 
@@ -382,6 +387,22 @@ def build_parser() -> argparse.ArgumentParser:
                  "'bytecode' matches 'ast' observation-for-observation, "
                  "'bytecode-bare' drops observer fan-out for speed"
                  % ENGINE_ENV,
+        )
+
+    def add_backend(p):
+        p.add_argument(
+            "--backend", choices=("simulated", "process"),
+            default="simulated",
+            help="parallel execution backend: 'simulated' models the "
+                 "threads on the cost model; 'process' additionally "
+                 "executes eligible loops on real worker processes over "
+                 "OS shared memory (bit-identical results, real "
+                 "wall-clock parallelism)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="process-backend worker pool size (default: the "
+                 "thread count)",
         )
 
     def add_common(p, needs_loop=False):
@@ -464,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if name == "parallel":
             add_engine(p)
+            add_backend(p)
             p.add_argument("--threads", "-n", type=int, default=4)
             p.add_argument("--chunk", type=int, default=1,
                            help="DOACROSS scheduling chunk size")
@@ -481,8 +503,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a BENCH_<timestamp>.json speedup/overhead trajectory "
              "(default name when PATH omitted)",
     )
+    p_bench.add_argument(
+        "--out", metavar="DIR|FILE", default=None,
+        help="destination for the trajectory JSON: a directory (gets "
+             "the generated BENCH_<timestamp>.json name) or an exact "
+             "file path; implies --json",
+    )
     add_trace(p_bench)
     add_engine(p_bench)
+    add_backend(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 

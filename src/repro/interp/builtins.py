@@ -71,8 +71,14 @@ def _bi_memcpy(machine, args, node):
     if machine.redirector is not None:
         src = machine.redirector(node.nid, src, size, False)
         dst = machine.redirector(node.nid, dst, size, True)
-    payload = machine.memory.read_bytes(src, size)
-    machine.memory.write_bytes(dst, payload)
+    if dst + size <= src or src + size <= dst:
+        # disjoint ranges: move through a transient view, no staging copy
+        payload = machine.memory.view(src, size)
+        machine.memory.write_bytes(dst, payload)
+        payload.release()
+    else:
+        # overlap (memmove semantics): stage through bytes
+        machine.memory.write_bytes(dst, machine.memory.read_bytes(src, size))
     machine.cost.loads += 1
     machine.cost.stores += 1
     _trace(machine, node.nid, src, size, False)

@@ -167,6 +167,34 @@ def compiler_for(program: ast.Program, sema: SemaResult, variant: str,
     return comp
 
 
+#: (source fingerprint, variant) -> Compiler, held *strongly*.  Worker
+#: processes key compiled code on the hash of the program text they
+#: were forked with: tasks carry only the fingerprint (no pickled
+#: program state), and a warm worker reuses its lowered closures across
+#: every task and loop of the same program.
+_HASH_CACHE: Dict[tuple, Compiler] = {}
+
+
+def source_fingerprint(text: str) -> str:
+    """Stable content hash for compile memoization across processes."""
+    import hashlib
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def compiler_for_hash(fingerprint: str, program: ast.Program,
+                      sema: SemaResult, variant: str,
+                      tracer=None) -> Compiler:
+    """The Compiler for a (source hash, variant) pair.  ``program`` /
+    ``sema`` supply the AST on a cache miss (or when the hash collides
+    with a different in-memory program object)."""
+    key = (fingerprint, variant)
+    comp = _HASH_CACHE.get(key)
+    if comp is None or comp.program is not program:
+        comp = compiler_for(program, sema, variant, tracer)
+        _HASH_CACHE[key] = comp
+    return comp
+
+
 def invalidate_code(program: Optional[ast.Program] = None) -> None:
     """Drop compiled code for ``program`` (or all programs).  Callers
     that mutate an AST in place after it may have been executed (the
@@ -174,5 +202,9 @@ def invalidate_code(program: Optional[ast.Program] = None) -> None:
     pre-mutation semantics alive."""
     if program is None:
         _CODE_CACHE.clear()
+        _HASH_CACHE.clear()
     else:
         _CODE_CACHE.pop(program, None)
+        for key in [k for k, c in _HASH_CACHE.items()
+                    if c.program is program]:
+            del _HASH_CACHE[key]

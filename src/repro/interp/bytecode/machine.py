@@ -48,9 +48,10 @@ class BytecodeMachine(Machine):
         max_loop_steps: Optional[int] = None,
         engine: Optional[str] = None,
         tracer=None,
+        memory=None,
     ):
         super().__init__(program, sema, check_bounds, max_steps,
-                         max_loop_steps)
+                         max_loop_steps, memory=memory)
         name = resolve_engine(engine)
         if name == "ast":  # direct construction without an engine request
             name = "bytecode"

@@ -230,10 +230,14 @@ class Machine:
         max_loop_steps: Optional[int] = None,
         engine: Optional[str] = None,
         tracer=None,
+        memory: Optional[mem.Memory] = None,
     ):
         self.program = program
         self.sema = sema
-        self.memory = mem.Memory(check_bounds=check_bounds)
+        # an injected Memory lets the multi-core backend run the machine
+        # against a shared-segment buffer instead of a private bytearray
+        self.memory = memory if memory is not None \
+            else mem.Memory(check_bounds=check_bounds)
         self.cost = CostSink()
         self.output: List[str] = []
         self.frames: List[Frame] = []

@@ -1,6 +1,10 @@
 """Flat byte-addressable memory for the MiniC machine.
 
-One linear address space backed by a growable ``bytearray``:
+One linear address space backed by a growable ``bytearray`` — or, in
+*buffer mode*, by a caller-supplied writable buffer (the multi-core
+backend maps one ``multiprocessing.shared_memory`` segment into every
+process and hands each machine a ``memoryview`` of it, so redirected
+accesses from all workers hit the same bytes):
 
 * address 0 is NULL; the first page is never allocated so stray
   dereferences of small offsets fault;
@@ -80,9 +84,26 @@ class Allocation:
 class Memory:
     """The machine's address space."""
 
-    def __init__(self, check_bounds: bool = True, reuse_heap: bool = True):
-        self.data = bytearray(_NULL_GUARD)
-        self.brk = _NULL_GUARD
+    def __init__(self, check_bounds: bool = True, reuse_heap: bool = True,
+                 buffer=None, base: int = 0, limit: Optional[int] = None):
+        if buffer is not None:
+            # buffer mode: fixed-capacity region [base, limit) of a
+            # caller-owned writable buffer (typically a shared-memory
+            # segment).  The buffer must be zero-filled on arrival —
+            # bytearray mode zero-extends, and NULL-guard semantics
+            # rely on page zero staying clean.
+            view = buffer if isinstance(buffer, memoryview) \
+                else memoryview(buffer)
+            self.data = view
+            self.shared = True
+            self.limit: Optional[int] = \
+                len(view) if limit is None else limit
+            self.brk = max(base, _NULL_GUARD)
+        else:
+            self.data = bytearray(_NULL_GUARD)
+            self.shared = False
+            self.limit = None
+            self.brk = _NULL_GUARD
         self.check_bounds = check_bounds
         #: allocations sorted by start address (bump allocator => append order)
         self._allocs: List[Allocation] = []
@@ -129,7 +150,16 @@ class Memory:
                 return record.addr
         addr = (self.brk + 7) & ~7
         end = addr + size
-        if end > len(self.data):
+        if self.limit is not None:
+            # buffer mode: the region is fixed — no extend.  Exhaustion
+            # is a recoverable runtime condition (the parallel runtime
+            # rolls back and falls back to a smaller footprint).
+            if end > self.limit:
+                raise MemoryError_(
+                    f"memory region exhausted: need {end} bytes, "
+                    f"region capacity {self.limit}"
+                )
+        elif end > len(self.data):
             self.data.extend(b"\0" * max(end - len(self.data), 65536))
         self.brk = end
         record = Allocation(addr, size, kind, label, tag)
@@ -142,6 +172,36 @@ class Memory:
         self.total_allocs += 1
         self._hit = record
         return addr
+
+    def reset_region(self, base: int = 0) -> None:
+        """Rewind the allocator to an empty region starting at ``base``,
+        zeroing everything allocated so far (buffer mode: worker arenas
+        are reset between tasks so fresh allocations see zero bytes,
+        exactly like a freshly extended bytearray)."""
+        floor = max(base, _NULL_GUARD)
+        if self.brk > floor:
+            self.data[floor:self.brk] = bytes(self.brk - floor)
+        self.brk = floor
+        self._allocs.clear()
+        self._starts.clear()
+        self._freelist.clear()
+        for kind in self.live_bytes:
+            self.live_bytes[kind] = 0
+        self.peak_bytes = dict(self.live_bytes)
+        self.total_allocs = 0
+        self.invalidate_lookup_cache()
+
+    def detach(self) -> None:
+        """Buffer mode: replace the shared backing with a private
+        bytearray copy of the region so the address space stays
+        inspectable after the owning segment is closed.  No-op in
+        bytearray mode."""
+        if not self.shared:
+            return
+        snap = bytearray(self.data[:self.limit])
+        self.data = snap
+        self.shared = False
+        self.limit = None
 
     def free(self, addr: int) -> None:
         """Free a heap block; must be the start of a live heap allocation."""
@@ -243,7 +303,21 @@ class Memory:
             self.check_access(addr, size)
         return bytes(self.data[addr:addr + size])
 
-    def write_bytes(self, addr: int, payload: bytes) -> None:
+    def view(self, addr: int, size: int) -> memoryview:
+        """Zero-copy window over ``[addr, addr+size)``.  The view must
+        stay *transient*: in bytearray mode a live export pins the
+        backing store against growth, so callers read/copy and drop it
+        within the same operation (memcpy, struct blob moves)."""
+        if self.check_bounds:
+            self.check_access(addr, size)
+        data = self.data
+        if type(data) is bytearray:
+            return memoryview(data)[addr:addr + size]
+        return data[addr:addr + size]
+
+    def write_bytes(self, addr: int, payload) -> None:
+        """Write a bytes-like object (bytes/bytearray/memoryview —
+        buffer payloads land without an intermediate copy)."""
         if self.check_bounds:
             self.check_access(addr, len(payload))
         self.data[addr:addr + len(payload)] = payload
@@ -268,14 +342,31 @@ class Memory:
             return ""
         data = self.data
         end = addr + limit
-        nul = data.find(0, addr, end)
-        if nul >= 0:
-            return data[addr:nul].decode("latin-1")
+        if type(data) is bytearray:
+            nul = data.find(0, addr, end)
+            if nul >= 0:
+                return data[addr:nul].decode("latin-1")
+            if end <= len(data):
+                # no terminator within the limit: return exactly
+                # ``limit`` characters, like the historical per-byte walk
+                return data[addr:end].decode("latin-1")
+            # unterminated string running off the end of memory
+            raise IndexError("bytearray index out of range")
+        # buffer mode: memoryview has no .find — scan in chunks without
+        # materializing the whole prefix
+        stop = min(end, len(data))
+        pieces = []
+        pos = addr
+        while pos < stop:
+            chunk = bytes(data[pos:min(pos + 512, stop)])
+            nul = chunk.find(0)
+            if nul >= 0:
+                pieces.append(chunk[:nul])
+                return b"".join(pieces).decode("latin-1")
+            pieces.append(chunk)
+            pos += len(chunk)
         if end <= len(data):
-            # no terminator within the limit: return exactly ``limit``
-            # characters, like the historical per-byte walk
-            return data[addr:end].decode("latin-1")
-        # unterminated string running off the end of memory
+            return b"".join(pieces).decode("latin-1")
         raise IndexError("bytearray index out of range")
 
     # -- accounting -------------------------------------------------------------

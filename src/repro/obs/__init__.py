@@ -13,16 +13,16 @@ falsy :data:`NULL_TRACER` singleton and guard hot-path emission with
 
 from .tracer import (
     MetricsRegistry, NULL_TRACER, NullTracer, RuntimeEvent, Span, Tracer,
-    ensure_tracer,
+    WorkerEvent, ensure_tracer,
 )
 from .export import (
-    COMPILE_PID, RUNTIME_PID, SCHEMA_VERSION, chrome_trace, trace_summary,
-    write_chrome_trace,
+    COMPILE_PID, RUNTIME_PID, SCHEMA_VERSION, WORKER_PID, chrome_trace,
+    trace_summary, write_chrome_trace,
 )
 
 __all__ = [
     "Tracer", "NullTracer", "NULL_TRACER", "ensure_tracer",
-    "Span", "RuntimeEvent", "MetricsRegistry",
+    "Span", "RuntimeEvent", "WorkerEvent", "MetricsRegistry",
     "chrome_trace", "write_chrome_trace", "trace_summary",
-    "COMPILE_PID", "RUNTIME_PID", "SCHEMA_VERSION",
+    "COMPILE_PID", "RUNTIME_PID", "WORKER_PID", "SCHEMA_VERSION",
 ]

@@ -1,12 +1,15 @@
 """Trace exporters: Chrome trace-event JSON and a human summary table.
 
 The Chrome format (``chrome://tracing`` / Perfetto "JSON object
-format") gets two synthetic processes so the clock domains never mix:
+format") gets three synthetic processes so the clock domains never mix:
 
 * pid 1 — toolchain phase spans, ``ts`` in wall-clock microseconds;
 * pid 2 — simulated runtime events, ``ts`` in modeled cycles (one
   "microsecond" per cycle as far as the viewer is concerned), ``tid``
-  is the virtual thread.
+  is the virtual thread;
+* pid 3 — multi-core backend worker processes, ``ts`` in wall-clock
+  microseconds (same domain as pid 1), ``tid`` is the worker id.
+  Only present when the process backend ran.
 
 Metrics are exported both as Chrome counter events (``ph: "C"``) and
 verbatim under ``otherData.metrics`` for programmatic consumers.
@@ -19,6 +22,7 @@ from typing import Any, Dict, Iterable, List, Sequence
 
 COMPILE_PID = 1
 RUNTIME_PID = 2
+WORKER_PID = 3
 SCHEMA_VERSION = 1
 
 
@@ -30,7 +34,17 @@ def chrome_trace(tracer) -> Dict[str, Any]:
         {"ph": "M", "name": "process_name", "pid": RUNTIME_PID, "tid": 0,
          "ts": 0, "args": {"name": "simulated runtime (cycles)"}},
     ]
-    origin = min((s.start_us for s in tracer.spans), default=0.0)
+    worker_events = list(getattr(tracer, "worker_events", ()) or ())
+    if worker_events:
+        events.append(
+            {"ph": "M", "name": "process_name", "pid": WORKER_PID,
+             "tid": 0, "ts": 0,
+             "args": {"name": "mc workers (wall-clock us)"}})
+    origin = min(
+        (s.start_us for s in tracer.spans), default=0.0)
+    if worker_events:
+        origin = min(origin,
+                     min(w.ts_us for w in worker_events))
     for span in tracer.spans:
         events.append({
             "name": span.name, "cat": span.cat, "ph": "X",
@@ -51,6 +65,13 @@ def chrome_trace(tracer) -> Dict[str, Any]:
             record["ph"] = "X"
             record["dur"] = ev.dur
         events.append(record)
+    for wev in worker_events:
+        events.append({
+            "name": wev.name, "cat": "worker", "ph": "X",
+            "ts": wev.ts_us - origin, "dur": wev.dur_us,
+            "pid": WORKER_PID, "tid": wev.worker,
+            "args": dict(wev.args),
+        })
     metrics = tracer.metrics.as_dict()
     for name, value in metrics.items():
         if isinstance(value, (int, float)):
@@ -148,6 +169,23 @@ def trace_summary(tracer) -> str:
         ]
         parts.append("Runtime events (simulated cycles)\n" + _table(
             ["event", "count", "cycles"], rows))
+
+    # worker-process spans (process backend), aggregated by name
+    w_counts: Dict[str, int] = {}
+    w_us: Dict[str, float] = {}
+    w_order: List[str] = []
+    for wev in getattr(tracer, "worker_events", ()) or ():
+        if wev.name not in w_counts:
+            w_order.append(wev.name)
+        w_counts[wev.name] = w_counts.get(wev.name, 0) + 1
+        w_us[wev.name] = w_us.get(wev.name, 0.0) + wev.dur_us
+    if w_order:
+        rows = [
+            [name, w_counts[name], f"{w_us[name]:,.0f}"]
+            for name in w_order
+        ]
+        parts.append("Worker spans (wall-clock us)\n" + _table(
+            ["span", "count", "us"], rows))
 
     metrics = tracer.metrics.as_dict()
     if metrics:

@@ -81,6 +81,30 @@ class RuntimeEvent:
         return f"<RuntimeEvent {self.name!r} tid={self.tid} ts={self.ts:.0f}>"
 
 
+class WorkerEvent:
+    """One wall-clock span observed on a multi-core backend worker
+    process (a DOALL chunk or a DOACROSS strip).  Unlike
+    :class:`RuntimeEvent`, timestamps here are real microseconds —
+    worker spans live in the phase clock domain, on their own process
+    row in the Chrome export."""
+
+    __slots__ = ("name", "worker", "ts_us", "dur_us", "args")
+
+    def __init__(self, name: str, worker: int, ts_us: float,
+                 dur_us: float, args: Dict[str, Any]):
+        self.name = name
+        self.worker = worker
+        self.ts_us = ts_us
+        self.dur_us = dur_us
+        self.args = args
+
+    def __repr__(self) -> str:
+        return (
+            f"<WorkerEvent {self.name!r} worker={self.worker} "
+            f"dur={self.dur_us:.0f}us>"
+        )
+
+
 class MetricsRegistry:
     """Named scalar counters/gauges populated across the toolchain."""
 
@@ -129,6 +153,8 @@ class Tracer:
         self._stack: List[Span] = []
         #: simulated-cycle runtime timeline
         self.events: List[RuntimeEvent] = []
+        #: wall-clock worker-process timeline (process backend)
+        self.worker_events: List[WorkerEvent] = []
         self.metrics = MetricsRegistry()
 
     def __bool__(self) -> bool:
@@ -181,6 +207,12 @@ class Tracer:
     def event(self, name: str, tid: int, ts: float,
               dur: Optional[float] = None, **args) -> None:
         self.events.append(RuntimeEvent(name, tid, ts, dur, args))
+
+    # -- worker timeline (wall clock, process backend) --------------------
+    def worker_event(self, name: str, worker: int, ts_us: float,
+                     dur_us: float, **args) -> None:
+        self.worker_events.append(
+            WorkerEvent(name, worker, ts_us, dur_us, args))
 
     # -- introspection -----------------------------------------------------
     def open_spans(self) -> List[Span]:
@@ -238,6 +270,7 @@ class NullTracer:
     enabled = False
     spans = ()
     events = ()
+    worker_events = ()
     metrics = _NullMetrics()
 
     def __bool__(self) -> bool:
@@ -260,6 +293,9 @@ class NullTracer:
         pass
 
     def event(self, name, tid, ts, dur=None, **args):
+        pass
+
+    def worker_event(self, name, worker, ts_us, dur_us, **args):
         pass
 
     def open_spans(self):

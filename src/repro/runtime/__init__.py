@@ -11,6 +11,10 @@ from .faults import (
     CopyIndexSkew, FaultInjector, SpanCorruptor, SyncTokenDropper,
     ThreadAbortFault, ThreadAborter,
 )
+from .multicore import (
+    LoopAudit, ProcessSession, WorkerCrash, audit_loop,
+    process_backend_available,
+)
 from . import sync
 
 __all__ = [
@@ -19,4 +23,6 @@ __all__ = [
     "MachineSnapshot", "RecoveryEvent",
     "FaultInjector", "SpanCorruptor", "CopyIndexSkew",
     "SyncTokenDropper", "ThreadAborter", "ThreadAbortFault",
+    "process_backend_available", "ProcessSession", "WorkerCrash",
+    "LoopAudit", "audit_loop",
 ]

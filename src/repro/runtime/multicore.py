@@ -1,0 +1,1028 @@
+"""True multi-core execution backend over OS shared memory.
+
+The simulated runtime (:mod:`repro.runtime.parallel`) executes chunks
+one after another on virtual threads; this module executes them *at
+the same time* on real worker processes.  The entire expanded heap
+lives in one ``multiprocessing.shared_memory`` segment, so a
+redirected access from any worker hits the same bytes the parent (and
+every other worker) sees — exactly the property the paper's expansion
+transform establishes: after expansion, per-thread copies are disjoint
+spans of one shared structure, so threads need no further isolation.
+
+Segment layout (addresses are plain ints into one flat mapping)::
+
+    0                parent_limit   sync_base      arena 0     arena W-1
+    |  parent region |  sync slots  |  worker 0  | ... |  worker W-1  |
+    |  globals+heap  |  8B counters |  stack     |     |  stack       |
+
+* **parent region** — the program's ordinary address space.  The
+  parent machine allocates globals, rodata and heap here; bonded
+  layout makes this trivial: copy 0 *is* the shared copy, so worker
+  reads/writes of expanded structures land in this region unchanged.
+* **sync slots** — one 8-byte little-endian counter per serialized
+  statement origin (DOACROSS post/wait).  Slot value ``k`` means
+  iterations ``0..k-1`` have left that serialized section.
+* **worker arenas** — fixed-size private spans, one per worker, for
+  call-stack allocations made *inside* a chunk (locals of callees,
+  VLA copies).  Reset between tasks; never aliased by the parent.
+
+Workers are forked lazily on first dispatch and reused (warm pool)
+across loops and executions.  A task message carries only scalars:
+loop label, tid, chunk bounds, and nid→address maps for the frame in
+scope — no pickled program state.  The worker resolves the loop from
+the fork-inherited AST and executes it on a ``bytecode-bare`` machine
+whose compiled code is memoized by *source hash*
+(:func:`repro.interp.bytecode.compiler.compiler_for_hash`), so every
+task on a warm worker reuses the lowered closures.
+
+Process-capability is audited per loop (``MC-*`` reason codes below);
+loops that cannot run safely on workers — e.g. they allocate heap, so
+address assignment would race — fall back to the simulated controller
+on the same shared buffer, which is bit-identical by construction.
+
+Memory model note: token posts rely on x86-TSO store ordering plus
+CPython's per-process GIL — all data stores of a serialized section
+precede the counter store in program order, and an 8-byte aligned
+store is not torn.  See DESIGN.md §13.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import struct
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..frontend import ast, print_program
+from ..interp import memory as mem
+from ..interp.machine import (
+    BreakSignal, ContinueSignal, CostSink, Frame, Machine,
+)
+from ..analysis.profiler import find_control_decl
+from ..transform.rewrite import origin_of
+from . import sync
+from .parallel import (
+    ParallelError, _DoacrossController, _DoallController, _canonical_bounds,
+)
+
+# ---------------------------------------------------------------------------
+# audit reason codes (why a loop fell back to the simulated controller)
+# ---------------------------------------------------------------------------
+
+MC_ALLOC = "MC-ALLOC"              # heap alloc/free inside the loop
+MC_NONCANONICAL = "MC-NONCANONICAL"  # not a canonical bounded for loop
+MC_BOUND = "MC-BOUND"              # DOACROSS bound not provably stable
+MC_CONTROL = "MC-CONTROL"          # induction variable assigned in body
+MC_WORKERS = "MC-WORKERS"          # DOACROSS needs workers >= nthreads
+MC_BREAK = "MC-BREAK"              # DOACROSS loop may break early
+MC_RETURN = "MC-RETURN"            # return escapes the loop body
+MC_CHUNK = "MC-CHUNK"              # DOACROSS process path needs chunk==1
+MC_STRLIT = "MC-STRLIT"            # un-interned string literal in loop
+MC_INDIRECT = "MC-INDIRECT"        # indirect call — callees unknown
+MC_NESTED = "MC-NESTED"            # nested controlled loop in subtree
+MC_INSTRUMENTED = "MC-INSTRUMENTED"  # fault injectors / watchdog active
+MC_UNAVAILABLE = "MC-UNAVAILABLE"  # no fork / no shared memory on host
+MC_DEGRADED = "MC-DEGRADED"        # pool lost earlier (worker crash)
+
+_ALLOC_BUILTINS = frozenset(("malloc", "calloc", "realloc", "free"))
+
+#: sync-slot codec: one 8-byte little-endian counter per serialized
+#: statement origin
+_SLOT = struct.Struct("<q")
+_SLOT_BYTES = 8
+
+#: segment sizing defaults (overridable via the ``mc`` options dict)
+DEFAULT_SEGMENT_BYTES = 1 << 23    # parent region: globals + heap
+DEFAULT_ARENA_BYTES = 1 << 21      # per-worker call-stack arena
+DEFAULT_SYNC_SLOTS = 512
+DEFAULT_WORKER_TIMEOUT = 120.0     # parent-side wait per task reply (s)
+DEFAULT_SPIN_TIMEOUT = 30.0        # worker-side wait per sync token (s)
+
+
+class WorkerCrash(ParallelError):
+    """A worker process died mid-task (signal, hard exit, timeout)."""
+
+    default_code = "RT-WORKER-CRASH"
+
+
+# ---------------------------------------------------------------------------
+# availability probe
+# ---------------------------------------------------------------------------
+
+_AVAILABLE: Optional[Tuple[bool, str]] = None
+
+
+def process_backend_available(recheck: bool = False) -> Tuple[bool, str]:
+    """Whether this host can run the process backend: a ``fork`` start
+    method (workers inherit the AST instead of pickling it) and a
+    working POSIX shared-memory mount (``/dev/shm`` on Linux).  The
+    probe result is cached; ``recheck=True`` re-probes."""
+    global _AVAILABLE
+    if _AVAILABLE is not None and not recheck:
+        return _AVAILABLE
+    if "fork" not in multiprocessing.get_all_start_methods():
+        _AVAILABLE = (False, "no fork start method on this platform")
+        return _AVAILABLE
+    try:
+        from multiprocessing import shared_memory
+        probe = shared_memory.SharedMemory(create=True, size=16)
+        probe.buf[0] = 1
+        probe.close()
+        probe.unlink()
+    except Exception as exc:  # pragma: no cover - host-dependent
+        _AVAILABLE = (False, f"shared memory unavailable: {exc}")
+        return _AVAILABLE
+    _AVAILABLE = (True, "")
+    return _AVAILABLE
+
+
+# ---------------------------------------------------------------------------
+# per-loop process-capability audit
+# ---------------------------------------------------------------------------
+
+class LoopAudit:
+    """Static process-capability verdict for one transformed loop."""
+
+    def __init__(self, reasons: List[str], strlits: Set[int]):
+        self.reasons = reasons
+        #: StrLit nids the loop may evaluate; they must be interned
+        #: (parent-side RODATA) before dispatch, else MC-STRLIT
+        self.strlits = strlits
+
+    @property
+    def ok(self) -> bool:
+        return not self.reasons
+
+
+def _walk_subtree(loop: ast.LoopStmt, sema) -> Tuple[
+        List[ast.Node], List[str]]:
+    """All nodes reachable from the loop: its own subtree plus the
+    bodies of every transitively called function.  Returns the node
+    list and any reasons discovered during the walk."""
+    reasons: List[str] = []
+    nodes: List[ast.Node] = []
+    seen_fns: Set[int] = set()
+    functions = getattr(sema, "functions", {}) or {}
+    pending = [loop]
+    while pending:
+        root = pending.pop()
+        for node in root.walk():
+            nodes.append(node)
+            if isinstance(node, ast.Call):
+                name = node.callee_name
+                if name is None:
+                    if MC_INDIRECT not in reasons:
+                        reasons.append(MC_INDIRECT)
+                    continue
+                if name in _ALLOC_BUILTINS and MC_ALLOC not in reasons:
+                    reasons.append(MC_ALLOC)
+                fn = functions.get(name)
+                if fn is not None and fn.nid not in seen_fns:
+                    seen_fns.add(fn.nid)
+                    pending.append(fn.body)
+    return nodes, reasons
+
+
+def _assigned_decls(nodes: List[ast.Node]) -> Set[int]:
+    """nids of VarDecls written anywhere in the node set."""
+    written: Set[int] = set()
+    for node in nodes:
+        if isinstance(node, ast.Assign) and isinstance(node.target,
+                                                       ast.Ident):
+            decl = node.target.decl
+            if decl is not None:
+                written.add(decl.nid)
+        elif isinstance(node, ast.Unary) and node.op in (
+                "++", "--", "p++", "p--"):
+            operand = getattr(node, "operand", None)
+            if isinstance(operand, ast.Ident) and operand.decl is not None:
+                written.add(operand.decl.nid)
+    return written
+
+
+def _has_toplevel_break(body: ast.Stmt) -> bool:
+    """Whether a ``break`` in ``body`` targets the *enclosing* loop
+    (breaks bound to loops nested inside ``body`` do not count)."""
+    breaks = {id(n) for n in body.walk() if isinstance(n, ast.Break)}
+    if not breaks:
+        return False
+    for node in body.walk():
+        if isinstance(node, ast.LoopStmt):
+            for inner in node.body.walk():
+                if isinstance(inner, ast.Break):
+                    breaks.discard(id(inner))
+    return bool(breaks)
+
+
+def audit_loop(loop: ast.LoopStmt, sema, kind_doall: bool,
+               nthreads: int, workers: int, chunk: int,
+               controlled_nids: Set[int]) -> LoopAudit:
+    """Decide whether ``loop`` may execute on worker processes.
+
+    The audit is conservative: any construct whose cross-process
+    semantics differ from the simulated interleaving — heap allocation
+    (the bump allocator's address assignment is parent state), nested
+    controlled loops (their controllers live on the parent machine),
+    unstable DOACROSS trip counts — routes the loop to the simulated
+    controller instead.  Falling back is always correct: the simulated
+    controller runs on the same shared buffer.
+    """
+    nodes, reasons = _walk_subtree(loop, sema)
+    strlits = {n.nid for n in nodes if isinstance(n, ast.StrLit)}
+    for node in nodes:
+        if node is not loop and isinstance(node, ast.LoopStmt) \
+                and node.nid in controlled_nids:
+            reasons.append(MC_NESTED)
+            break
+    if any(isinstance(n, ast.Return) for n in loop.body.walk()):
+        # a return escaping the loop exits the enclosing function on
+        # the simulated path; workers cannot replicate that
+        reasons.append(MC_RETURN)
+
+    if not isinstance(loop, ast.For):
+        reasons.append(MC_NONCANONICAL)
+        return LoopAudit(reasons, strlits)
+    control = find_control_decl(loop)
+    cond = loop.cond
+    canonical = (
+        control is not None
+        and isinstance(cond, ast.Binary) and cond.op in ("<", "<=")
+        and isinstance(cond.left, ast.Ident) and cond.left.decl is control
+        and (
+            (isinstance(loop.step, ast.Unary)
+             and loop.step.op in ("++", "p++"))
+            or (isinstance(loop.step, ast.Assign) and loop.step.op == "+="
+                and isinstance(loop.step.value, ast.IntLit))
+        )
+    )
+    if not canonical:
+        reasons.append(MC_NONCANONICAL)
+        return LoopAudit(reasons, strlits)
+
+    # the trip count is precomputed parent-side, so writes to the
+    # induction variable inside the body would desynchronize chunks.
+    # The loop's own init/step subtrees are the canonical writes —
+    # exclude them before scanning for rogue assignments.
+    canonical_writers: Set[int] = set()
+    for part in (loop.init, loop.step):
+        if part is not None:
+            canonical_writers |= {id(n) for n in part.walk()}
+    written = _assigned_decls(
+        [n for n in nodes if id(n) not in canonical_writers]
+    )
+    if control.nid in written:
+        reasons.append(MC_CONTROL)
+
+    if not kind_doall:
+        if _has_toplevel_break(loop.body):
+            # the simulated DOACROSS path honors an early break; a
+            # pre-planned concurrent strip cannot
+            reasons.append(MC_BREAK)
+        # DOACROSS: the iteration->thread mapping and the final failing
+        # condition evaluation are fixed at dispatch, so the bound must
+        # be provably stable and every strip must run concurrently
+        if chunk != 1:
+            reasons.append(MC_CHUNK)
+        if workers < nthreads:
+            reasons.append(MC_WORKERS)
+        bound = cond.right
+        if isinstance(bound, ast.IntLit):
+            pass
+        elif isinstance(bound, ast.Ident) and bound.decl is not None:
+            if bound.decl.nid in written:
+                reasons.append(MC_BOUND)
+        else:
+            reasons.append(MC_BOUND)
+    return LoopAudit(reasons, strlits)
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+def _decl_index(program: ast.Program, sema) -> Dict[int, ast.VarDecl]:
+    """nid -> VarDecl for every declaration a task map may reference."""
+    index: Dict[int, ast.VarDecl] = {}
+    for decl in getattr(sema, "globals", ()) or ():
+        index[decl.nid] = decl
+    for fn in program.functions():
+        for param in fn.params:
+            index[param.nid] = param
+        for node in fn.body.walk():
+            if isinstance(node, ast.VarDecl):
+                index[node.nid] = node
+    tc = getattr(sema, "thread_context", None) or {}
+    for decl in tc.values():
+        if decl is not None:
+            index[decl.nid] = decl
+    return index
+
+
+def _spin_wait(data, slot_addr: int, want: int, timeout_s: float,
+               unpack=_SLOT.unpack_from) -> None:
+    """Busy-wait (with escalating sleeps) until the counter at
+    ``slot_addr`` reaches ``want``."""
+    if unpack(data, slot_addr)[0] >= want:
+        return
+    spins = 0
+    deadline = time.monotonic() + timeout_s
+    while unpack(data, slot_addr)[0] < want:
+        spins += 1
+        if spins < 200:
+            continue
+        time.sleep(0.00005)
+        if time.monotonic() > deadline:
+            raise _SpinTimeout(slot_addr, want)
+
+
+class _SpinTimeout(Exception):
+    def __init__(self, slot_addr: int, want: int):
+        super().__init__(f"sync slot @{slot_addr} never reached {want}")
+        self.slot_addr = slot_addr
+        self.want = want
+
+
+def _worker_main(conn, wid: int, shm, program, sema, fingerprint: str,
+                 arena_base: int, arena_limit: int) -> None:
+    """Worker process entry point.  Serves task messages until an
+    ``("exit",)`` sentinel or pipe EOF, then hard-exits — ``os._exit``
+    skips the multiprocessing atexit machinery, so the fork-inherited
+    segment registration is torn down exactly once, by the parent."""
+    status = 0
+    try:
+        from ..interp.bytecode.compiler import BARE, compiler_for_hash
+        # bare-variant code memoized on the source hash: the machine's
+        # own compiler_for() call resolves to this same object, and a
+        # warm worker reuses it for every task of the program
+        compiler_for_hash(fingerprint, program, sema, BARE)
+        memory = mem.Memory(check_bounds=False, buffer=shm.buf,
+                            base=arena_base, limit=arena_limit)
+        machine = Machine(program, sema, check_bounds=False,
+                          engine="bytecode-bare", memory=memory)
+        decls = _decl_index(program, sema)
+        loops: Dict[str, ast.LoopStmt] = {}
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            if msg[0] == "exit":
+                break
+            spec = msg[1]
+            crash = os.environ.get("REPRO_MC_CRASH")
+            if crash is not None and crash == str(spec.get("tid")):
+                os._exit(42)
+            try:
+                loop = loops.get(spec["label"])
+                if loop is None:
+                    loop = loops[spec["label"]] = ast.find_loop(
+                        program, spec["label"])
+                if msg[0] == "doall":
+                    reply = _task_doall(machine, memory, decls, loop,
+                                        arena_base, spec)
+                else:
+                    reply = _task_doacross(machine, memory, decls, loop,
+                                           arena_base, spec)
+            except _SpinTimeout as exc:
+                reply = ("err", "RT-SYNC-TIMEOUT", str(exc))
+            except BaseException as exc:
+                reply = ("err", type(exc).__name__, str(exc)[:500])
+            conn.send(reply)
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    except BaseException:
+        status = 70
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    os._exit(status)
+
+
+def _bind_task(machine: Machine, memory: mem.Memory,
+               decls: Dict[int, ast.VarDecl], arena_base: int,
+               spec: dict) -> Tuple[int, str]:
+    """Reset the worker for one task: fresh arena, fresh cost sink,
+    frame/global bindings rebuilt from the nid->address maps, and the
+    induction variable rebound to an arena-private slot.  Returns the
+    private control address and its codec format."""
+    memory.reset_region(arena_base)
+    machine.output = []
+    machine.cost = CostSink()
+    machine._steps = 0
+    machine.tid = spec["tid"]
+    machine.nthreads = spec["nthreads"]
+    machine._strlit_cache = dict(spec["strlits"])
+    machine._globals_ready = True
+    machine.globals_frame.vars = {
+        decls[nid]: addr for nid, addr in spec["globals"]
+    }
+    frame = Frame(None)
+    frame.vars = {decls[nid]: addr for nid, addr in spec["frame"]}
+    machine.frames = [frame]
+    control = decls[spec["control_nid"]]
+    caddr = memory.alloc(control.ctype.size, mem.STACK, label=control.name)
+    frame.vars[control] = caddr
+    return caddr, control.ctype.fmt
+
+
+def _task_doall(machine, memory, decls, loop, arena_base, spec):
+    """One DOALL chunk: iterations [chunk_lo, chunk_hi) with the
+    private induction variable pre-seeded, mirroring the simulated
+    controller's per-chunk execution exactly (uncosted control seed;
+    per-iteration cond / body / step)."""
+    caddr, fmt = _bind_task(machine, memory, decls, arena_base, spec)
+    lo, step = spec["lo"], spec["step"]
+    sink = machine.cost
+    iters = 0
+    t_start = time.perf_counter_ns()
+    memory.write_scalar(caddr, fmt, lo + spec["chunk_lo"] * step)
+    for _k in range(spec["chunk_lo"], spec["chunk_hi"]):
+        if loop.cond is not None:
+            machine.eval(loop.cond)
+        try:
+            machine.exec_stmt(loop.body)
+        except ContinueSignal:
+            pass
+        except BreakSignal:
+            return ("err", "RT-BREAK",
+                    f"break inside DOALL loop {spec['label']!r}")
+        if loop.step is not None:
+            machine.eval(loop.step)
+        iters += 1
+    t_end = time.perf_counter_ns()
+    return ("ok", spec["tid"], machine.output,
+            (sink.cycles, sink.instructions, sink.loads, sink.stores),
+            iters, (t_start, t_end))
+
+
+def _task_doacross(machine, memory, decls, loop, arena_base, spec):
+    """One DOACROSS strip: iterations tid, tid+N, ... of a chunk-1
+    dynamic schedule.  Serialized statements wait on / post to 8-byte
+    counters in the segment's sync region; the worker reports one
+    ``(origin, is_serial, cycles)`` segment list per iteration so the
+    parent can replay the simulated pipelining recurrence verbatim."""
+    caddr, fmt = _bind_task(machine, memory, decls, arena_base, spec)
+    lo, step = spec["lo"], spec["step"]
+    total, nthreads, tid = spec["total"], spec["nthreads"], spec["tid"]
+    slots: Dict[int, int] = dict(spec["slots"])
+    serial = set(slots)
+    timeout = spec["spin_timeout"]
+    stmts = loop.body.stmts if isinstance(loop.body, ast.Block) \
+        else [loop.body]
+    data = memory.data
+    sink = machine.cost
+    output = machine.output
+    iters = []   # (k, [(origin, is_serial, cycles)], n_output_lines)
+    t_start = time.perf_counter_ns()
+    for k in range(tid, total, nthreads):
+        memory.write_scalar(caddr, fmt, lo + k * step)
+        if loop.cond is not None:
+            machine.eval(loop.cond)
+        segments: List[Tuple[int, bool, float]] = []
+        posted: Set[int] = set()
+        n0 = len(output)
+        broke = False
+        try:
+            for stmt in stmts:
+                origin = origin_of(stmt)
+                is_serial = origin in serial
+                if is_serial:
+                    _spin_wait(data, slots[origin], k, timeout)
+                before = sink.cycles
+                try:
+                    machine.exec_stmt(stmt)
+                finally:
+                    segments.append(
+                        (origin, is_serial, sink.cycles - before))
+                    if is_serial:
+                        posted.add(origin)
+                        _SLOT.pack_into(data, slots[origin], k + 1)
+        except ContinueSignal:
+            pass
+        except BreakSignal:
+            broke = True
+        # tokens for serialized statements this iteration skipped
+        # (continue / break / short bodies): post them once the
+        # iteration is over, in statement order, so later iterations
+        # never deadlock waiting on work that will not happen
+        for stmt in stmts:
+            origin = origin_of(stmt)
+            if origin in serial and origin not in posted:
+                _spin_wait(data, slots[origin], k, timeout)
+                _SLOT.pack_into(data, slots[origin], k + 1)
+        if broke:
+            return ("err", "RT-BREAK",
+                    f"break inside DOACROSS loop {spec['label']!r}")
+        if loop.step is not None:
+            machine.eval(loop.step)
+        iters.append((k, segments, len(output) - n0))
+    if spec["final_cond_tid"] == tid and loop.cond is not None:
+        # the failing condition evaluation is this thread's work, just
+        # as in the simulated dynamic schedule
+        memory.write_scalar(caddr, fmt, lo + total * step)
+        machine.eval(loop.cond)
+    t_end = time.perf_counter_ns()
+    return ("ok", tid, output,
+            (sink.cycles, sink.instructions, sink.loads, sink.stores),
+            iters, (t_start, t_end))
+
+
+# ---------------------------------------------------------------------------
+# parent side: segment + pool session
+# ---------------------------------------------------------------------------
+
+class ProcessSession:
+    """Owns the shared segment and the (lazily forked) worker pool for
+    one :class:`~repro.runtime.parallel.ParallelRunner`."""
+
+    def __init__(self, program: ast.Program, sema, nthreads: int,
+                 workers: Optional[int] = None,
+                 options: Optional[dict] = None):
+        from multiprocessing import shared_memory
+        opts = dict(options or {})
+        self.nthreads = nthreads
+        self.workers = max(1, int(workers or nthreads))
+        self.program = program
+        self.sema = sema
+        self.parent_limit = int(opts.get("segment_bytes",
+                                         DEFAULT_SEGMENT_BYTES))
+        self.arena_bytes = int(opts.get("arena_bytes",
+                                        DEFAULT_ARENA_BYTES))
+        self.sync_slots = int(opts.get("sync_slots", DEFAULT_SYNC_SLOTS))
+        self.worker_timeout = float(opts.get("worker_timeout",
+                                             DEFAULT_WORKER_TIMEOUT))
+        self.spin_timeout = float(opts.get("spin_timeout",
+                                           DEFAULT_SPIN_TIMEOUT))
+        self.sync_base = self.parent_limit
+        self.arena_base = self.sync_base + self.sync_slots * _SLOT_BYTES
+        total = self.arena_base + self.workers * self.arena_bytes
+        self.shm = shared_memory.SharedMemory(create=True, size=total)
+        #: the parent machine's memory, handed to ParallelRunner
+        self.memory = mem.Memory(buffer=self.shm.buf,
+                                 limit=self.parent_limit)
+        self.fingerprint = _fingerprint_for(program)
+        self._ctx = multiprocessing.get_context("fork")
+        self._procs: List = []
+        self._conns: List = []
+        self._origin_slots: Dict[int, int] = {}
+        self.degraded = False
+        self.degrade_reason = ""
+        self.closed = False
+        #: (wid, name, t_start_ns, t_end_ns, meta) wall-clock samples
+        #: collected from task replies, merged into the trace export
+        self.worker_samples: List[Tuple[int, str, int, int, dict]] = []
+
+    # -- pool lifecycle ---------------------------------------------------
+    @property
+    def forked(self) -> bool:
+        return bool(self._procs)
+
+    def ensure_pool(self) -> None:
+        if self._procs or self.degraded or self.closed:
+            return
+        # pre-compile the bare variant before forking: children inherit
+        # the lowered closures copy-on-write instead of each re-lowering
+        from ..interp.bytecode.compiler import BARE, compiler_for_hash
+        comp = compiler_for_hash(self.fingerprint, self.program,
+                                 self.sema, BARE)
+        for fn in self.program.functions():
+            comp.function(fn)
+            comp.stmt(fn.body)
+        for wid in range(self.workers):
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, wid, self.shm, self.program, self.sema,
+                      self.fingerprint, self.arena_base
+                      + wid * self.arena_bytes,
+                      self.arena_base + (wid + 1) * self.arena_bytes),
+                daemon=True,
+                name=f"repro-mc-{wid}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def degrade(self, reason: str) -> None:
+        """Kill the pool and route every later dispatch to the
+        simulated fallback (the segment stays mapped — the parent
+        machine keeps running on it)."""
+        self.degraded = True
+        self.degrade_reason = reason
+        self._kill_pool()
+
+    def _kill_pool(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+            except Exception:
+                pass
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck in D state
+                proc.kill()
+                proc.join(timeout=2.0)
+        self._procs = []
+        self._conns = []
+
+    def close(self) -> None:
+        """Shut the pool down and release the segment.  The parent
+        memory is detached first (snapshotted into an ordinary
+        bytearray) so the outcome stays inspectable after unlink."""
+        if self.closed:
+            return
+        self.closed = True
+        self._kill_pool()
+        try:
+            self.memory.detach()
+        except Exception:
+            pass
+        try:
+            self.shm.close()
+        except Exception:
+            pass
+        try:
+            self.shm.unlink()
+        except Exception:
+            pass
+
+    # -- dispatch ---------------------------------------------------------
+    def run_tasks(self, kind: str, specs: List[dict]) -> List[tuple]:
+        """Send one task per spec (round-robin over workers), collect
+        one reply per task.  A dead pipe or reply timeout kills the
+        pool and raises :class:`WorkerCrash`; worker-level task errors
+        come back as ``("err", code, msg)`` entries for the caller."""
+        self.ensure_pool()
+        n = len(self._conns)
+        lanes = [self._conns[i % n] for i in range(len(specs))]
+        for spec, conn in zip(specs, lanes):
+            conn.send((kind, spec))
+        replies: List[Optional[tuple]] = [None] * len(specs)
+        dead: Set[int] = set()
+        crash: Optional[str] = None
+        for i, conn in enumerate(lanes):
+            wid = i % n
+            if wid in dead:
+                continue
+            try:
+                if not conn.poll(self.worker_timeout):
+                    raise EOFError("reply timeout")
+                replies[i] = conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                dead.add(wid)
+                code = self._procs[wid].exitcode
+                crash = crash or (
+                    f"worker {wid} died mid-task "
+                    f"(exitcode={code}, {exc or 'pipe closed'})"
+                )
+        if crash is not None:
+            self.degrade(crash)
+            raise WorkerCrash(crash)
+        return replies  # type: ignore[return-value]
+
+    # -- task-spec helpers ------------------------------------------------
+    def context_maps(self, machine: Machine) -> Tuple[list, list, list]:
+        """(globals, frame, strlits) nid->address bindings currently in
+        scope on the parent machine, as pickle-cheap pair lists."""
+        globals_map = [(decl.nid, addr) for decl, addr
+                       in machine.globals_frame.vars.items()]
+        frame_map = []
+        if machine.frames:
+            frame_map = [(decl.nid, addr) for decl, addr
+                         in machine.frames[-1].vars.items()]
+        strlits = list(machine._strlit_cache.items())
+        return globals_map, frame_map, strlits
+
+    def sync_slots_for(self, origins: List[int]) -> Dict[int, int]:
+        """Absolute slot addresses for serialized-statement origins;
+        slots are assigned once per origin and zeroed by the caller
+        before each loop execution."""
+        for origin in origins:
+            if origin not in self._origin_slots:
+                index = len(self._origin_slots)
+                if index >= self.sync_slots:
+                    raise ParallelError(
+                        f"sync region exhausted ({self.sync_slots} slots)",
+                        code="RT-PLAN",
+                    )
+                self._origin_slots[origin] = \
+                    self.sync_base + index * _SLOT_BYTES
+        return {origin: self._origin_slots[origin] for origin in origins}
+
+    def zero_slots(self, slots: Dict[int, int]) -> None:
+        zero = b"\0" * _SLOT_BYTES
+        for addr in slots.values():
+            self.memory.data[addr:addr + _SLOT_BYTES] = zero
+
+
+def _fingerprint_for(program: ast.Program) -> str:
+    from ..interp.bytecode.compiler import source_fingerprint
+    return source_fingerprint(print_program(program))
+
+
+# ---------------------------------------------------------------------------
+# parent side: controllers
+# ---------------------------------------------------------------------------
+
+class _ProcessMixin:
+    """Shared plumbing for the process controllers: the capability
+    audit (cached per loop), fallback routing, and sink/trace notes."""
+
+    session: ProcessSession
+
+    def _init_process(self, session: ProcessSession, kind_doall: bool):
+        self.session = session
+        self._kind_doall = kind_doall
+        self._audit: Optional[LoopAudit] = None
+        self._noted_fallback: Set[str] = set()
+
+    def _loop_audit(self) -> LoopAudit:
+        if self._audit is None:
+            runner = self.runner
+            self._audit = audit_loop(
+                self.tloop.loop, runner.tresult.sema, self._kind_doall,
+                runner.nthreads, self.session.workers, runner.chunk,
+                set(runner.machine.loop_controllers),
+            )
+        return self._audit
+
+    def _dispatch_reasons(self, machine: Machine) -> List[str]:
+        """Audit verdict plus dispatch-time conditions (pool health,
+        injector/watchdog instrumentation, string-literal interning)."""
+        runner = self.runner
+        audit = self._loop_audit()
+        reasons = list(audit.reasons)
+        if self.session.degraded:
+            reasons.append(MC_DEGRADED)
+        if getattr(runner, "fault_injectors", None) \
+                or getattr(runner, "watchdog", None) is not None:
+            # injected faults and statement watchdogs hook the *parent*
+            # machine; running on workers would silently disarm them
+            reasons.append(MC_INSTRUMENTED)
+        if any(nid not in machine._strlit_cache for nid in audit.strlits):
+            reasons.append(MC_STRLIT)
+        return reasons
+
+    def _note_fallback(self, loop: ast.LoopStmt,
+                       reasons: List[str]) -> None:
+        key = ",".join(reasons)
+        tracer = self._tracer
+        if tracer:
+            tracer.metrics.inc("runtime.mc_fallbacks")
+        if key in self._noted_fallback:
+            return
+        self._noted_fallback.add(key)
+        sink = getattr(self.runner, "sink", None)
+        if sink is not None:
+            sink.note(
+                "MC-FALLBACK",
+                f"loop {loop.label!r} ran on the simulated backend "
+                f"({', '.join(reasons)})",
+                loop=loop.label, loc=loop.loc, phase="runtime",
+            )
+
+    def _merge_sink(self, stats, payload: tuple) -> None:
+        cycles, instructions, loads, stores = payload
+        sink = stats.sink
+        sink.cycles += cycles
+        sink.instructions += instructions
+        sink.loads += loads
+        sink.stores += stores
+
+    def _raise_task_error(self, loop: ast.LoopStmt, reply: tuple) -> None:
+        code = reply[1]
+        if not code.startswith("RT-"):
+            code = "RT-WORKER-FAULT"
+        raise ParallelError(
+            f"worker task failed in loop {loop.label!r}: "
+            f"{reply[1]}: {reply[2]}",
+            code=code, loop=loop.label, loc=loop.loc,
+        )
+
+    def _finish_accounting(self, machine: Machine, execution,
+                           makespan: float) -> None:
+        """The simulated controllers' common tail: bandwidth cap, fork
+        cost, program-clock advance (bit-identical formulae)."""
+        from ..interp.machine import COSTS
+        nthreads = self.runner.nthreads
+        mem_cycles = sum(
+            (execution.threads[t].sink.loads
+             + execution.threads[t].sink.stores) * COSTS["load"]
+            for t in range(nthreads)
+        ) - sum(execution._mem_seen)
+        execution._mem_seen = [
+            (execution.threads[t].sink.loads
+             + execution.threads[t].sink.stores) * COSTS["load"]
+            for t in range(nthreads)
+        ]
+        makespan = max(makespan, sync.bandwidth_makespan(mem_cycles))
+        fork = sync.fork_join_cost(nthreads)
+        execution.makespan += makespan
+        execution.runtime_cycles += fork
+        machine.cost.cycles += makespan + fork
+
+
+class _ProcessDoallController(_ProcessMixin, _DoallController):
+    """DOALL over real worker processes: the same static chunking as
+    the simulated controller, but chunks execute concurrently against
+    the shared segment.  Worker cost sinks are merged per thread and
+    the makespan/bandwidth/fork tail replays the simulated arithmetic,
+    so modeled cycles stay bit-identical."""
+
+    def __init__(self, runner, tloop, session: ProcessSession):
+        super().__init__(runner, tloop)
+        self._init_process(session, kind_doall=True)
+
+    def _parallel_exec(self, machine: Machine, loop: ast.For) -> None:
+        reasons = self._dispatch_reasons(machine)
+        if reasons:
+            self._note_fallback(loop, reasons)
+            _DoallController._parallel_exec(self, machine, loop)
+            return
+        execution = self.execution
+        execution.executions += 1
+        nthreads = self.runner.nthreads
+        if loop.init is not None:
+            machine.exec_stmt(loop.init)
+        control, addr, lo, hi, step, inclusive = _canonical_bounds(
+            machine, loop
+        )
+        if inclusive:
+            hi += 1
+        total = max(0, -(-(hi - lo) // step))
+        tracer = self._tracer
+        t0 = machine.cost.cycles
+        globals_map, frame_map, strlits = self.session.context_maps(machine)
+        tasks = []
+        for tid in range(nthreads):
+            chunk_lo = tid * total // nthreads
+            chunk_hi = (tid + 1) * total // nthreads
+            if chunk_lo >= chunk_hi:
+                continue
+            tasks.append({
+                "label": loop.label, "tid": tid, "nthreads": nthreads,
+                "chunk_lo": chunk_lo, "chunk_hi": chunk_hi,
+                "lo": lo, "step": step, "control_nid": control.nid,
+                "globals": globals_map, "frame": frame_map,
+                "strlits": strlits,
+            })
+        replies = self.session.run_tasks("doall", tasks) if tasks else []
+        for reply in replies:
+            if reply[0] != "ok":
+                self._raise_task_error(loop, reply)
+        spans = [0.0] * nthreads
+        for lane, reply in enumerate(replies):
+            _ok, tid, lines, sink_payload, iters, wall = reply
+            stats = execution.threads[tid]
+            stats.sync_cycles += sync.STATIC_CHUNK_SETUP
+            self._merge_sink(stats, sink_payload)
+            spans[tid] = sink_payload[0]
+            stats.iterations += iters
+            execution.iterations += iters
+            machine.output.extend(lines)
+            self.session.worker_samples.append(
+                (lane % self.session.workers, "doall-chunk",
+                 wall[0], wall[1],
+                 {"loop": loop.label, "tid": tid, "iterations": iters})
+            )
+            if tracer:
+                tracer.event("doall-chunk", tid, t0, dur=spans[tid],
+                             loop=loop.label,
+                             iterations=stats.iterations)
+        makespan = max(spans) if spans else 0.0
+        self._finish_accounting(machine, execution, makespan)
+        machine.memory.write_scalar(addr, control.ctype.fmt,
+                                    lo + total * step)
+
+
+class _ProcessDoacrossController(_ProcessMixin, _DoacrossController):
+    """DOACROSS over real worker processes: iteration k runs on worker
+    k mod N; serialized statements synchronize through shared-segment
+    post/wait counters instead of the simulated recurrence's ledger.
+    Workers report per-iteration segment timings so the parent replays
+    the simulated pipelining recurrence for bit-identical cycles."""
+
+    def __init__(self, runner, tloop, session: ProcessSession):
+        super().__init__(runner, tloop)
+        self._init_process(session, kind_doall=False)
+
+    def _parallel_exec(self, machine: Machine, loop: ast.LoopStmt) -> None:
+        reasons = self._dispatch_reasons(machine)
+        if reasons:
+            self._note_fallback(loop, reasons)
+            _DoacrossController._parallel_exec(self, machine, loop)
+            return
+        execution = self.execution
+        execution.executions += 1
+        runner = self.runner
+        nthreads = runner.nthreads
+        session = self.session
+        tracer = self._tracer
+        t0 = machine.cost.cycles
+        if loop.init is not None:
+            machine.exec_stmt(loop.init)
+        control, addr, lo, hi, step, inclusive = _canonical_bounds(
+            machine, loop
+        )
+        if inclusive:
+            hi += 1
+        total = max(0, -(-(hi - lo) // step))
+        origins = sorted(self.tloop.serial_stmt_origins)
+        slots = session.sync_slots_for(origins)
+        session.zero_slots(slots)
+        globals_map, frame_map, strlits = session.context_maps(machine)
+        tasks = []
+        for tid in range(nthreads):
+            if tid >= total and tid != total % nthreads:
+                continue
+            tasks.append({
+                "label": loop.label, "tid": tid, "nthreads": nthreads,
+                "total": total, "lo": lo, "step": step,
+                "control_nid": control.nid,
+                "final_cond_tid": total % nthreads,
+                "slots": list(slots.items()),
+                "spin_timeout": session.spin_timeout,
+                "globals": globals_map, "frame": frame_map,
+                "strlits": strlits,
+            })
+        replies = session.run_tasks("doacross", tasks) if tasks else []
+        for reply in replies:
+            if reply[0] != "ok":
+                self._raise_task_error(loop, reply)
+        # merge busy work + output (program order = ascending k)
+        per_iter: Dict[int, tuple] = {}
+        for lane, reply in enumerate(replies):
+            _ok, tid, lines, sink_payload, iters, wall = reply
+            stats = execution.threads[tid]
+            self._merge_sink(stats, sink_payload)
+            cursor = 0
+            for k, segments, n_lines in iters:
+                per_iter[k] = (tid, segments,
+                               lines[cursor:cursor + n_lines])
+                cursor += n_lines
+            session.worker_samples.append(
+                (lane % session.workers, "doacross-strip",
+                 wall[0], wall[1],
+                 {"loop": loop.label, "tid": tid,
+                  "iterations": len(iters)})
+            )
+        # replay the simulated pipelining recurrence over the reported
+        # segments, in global iteration order
+        thread_free = [0.0] * nthreads
+        sync_done: Dict[int, float] = {}
+        for k in range(total):
+            tid, segments, lines = per_iter[k]
+            stats = execution.threads[tid]
+            stats.sync_cycles += sync.DYNAMIC_DEQUEUE
+            stats.iterations += 1
+            execution.iterations += 1
+            machine.output.extend(lines)
+            clock = thread_free[tid] + sync.DYNAMIC_DEQUEUE
+            iter_start = clock
+            for origin, is_serial, cycles in segments:
+                if is_serial:
+                    token = sync_done.get(origin, 0.0)
+                    if token > clock:
+                        stats.wait_cycles += token - clock
+                        if tracer:
+                            tracer.event(
+                                "token-wait", tid, t0 + clock,
+                                dur=token - clock, loop=loop.label,
+                                origin=origin, k=k,
+                            )
+                            tracer.metrics.inc("runtime.token_waits")
+                            tracer.metrics.inc(
+                                "runtime.token_wait_cycles",
+                                token - clock,
+                            )
+                        clock = token
+                    stats.sync_cycles += (
+                        sync.POST_COST + sync.WAIT_CHECK_COST
+                    )
+                    clock += cycles
+                    sync_done[origin] = clock
+                    if tracer:
+                        tracer.event("token-post", tid, t0 + clock,
+                                     loop=loop.label, origin=origin, k=k)
+                        tracer.metrics.inc("runtime.token_posts")
+                else:
+                    clock += cycles
+            if tracer:
+                tracer.event("iteration", tid, t0 + iter_start,
+                             dur=clock - iter_start, loop=loop.label, k=k)
+            thread_free[tid] = clock
+        makespan = max(thread_free) if thread_free else 0.0
+        self._finish_accounting(machine, execution, makespan)
+        machine.memory.write_scalar(addr, control.ctype.fmt,
+                                    lo + total * step)

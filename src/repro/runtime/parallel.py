@@ -118,7 +118,12 @@ class MachineSnapshot:
 
     def __init__(self, machine: Machine):
         memory = machine.memory
-        self.data = bytes(memory.data)
+        if memory.shared:
+            # buffer-backed region: capture only the dirty span — the
+            # segment beyond brk is still zero-filled
+            self.data = bytes(memory.data[:memory.brk])
+        else:
+            self.data = bytes(memory.data)
         self.brk = memory.brk
         self.n_allocs = len(memory._allocs)
         self.alloc_state = [
@@ -143,7 +148,15 @@ class MachineSnapshot:
             record.live = live
             record.label = label
             record.tag = tag
-        memory.data = bytearray(self.data)
+        if memory.shared:
+            # restore in place: other processes map the same buffer, so
+            # the view object must never be replaced
+            n = len(self.data)
+            memory.data[:n] = self.data
+            if memory.brk > n:
+                memory.data[n:memory.brk] = bytes(memory.brk - n)
+        else:
+            memory.data = bytearray(self.data)
         memory.brk = self.brk
         memory._freelist = {
             size: list(bucket) for size, bucket in self.freelist.items()
@@ -667,6 +680,9 @@ class ParallelRunner:
         fault_injectors: Optional[List] = None,
         tracer=None,
         engine: Optional[str] = None,
+        backend: str = "simulated",
+        workers: Optional[int] = None,
+        mc: Optional[dict] = None,
     ):
         if tresult.program is None or tresult.sema is None:
             raise ParallelError("transform result has no program",
@@ -680,32 +696,81 @@ class ParallelRunner:
         self.tracer = ensure_tracer(tracer)
         self.watchdog = watchdog
         self.outcome = ParallelOutcome(nthreads)
-        # the parallel runtime needs observer fan-out (race checker) and
-        # per-statement watchdog accounting, so the bare variant is
-        # promoted to the instrumented bytecode engine
-        eng = resolve_engine(engine)
-        if eng == "bytecode-bare":
-            eng = "bytecode"
-        self.machine = Machine(tresult.program, tresult.sema,
-                               max_loop_steps=watchdog, engine=eng,
-                               tracer=self.tracer)
-        self.machine.nthreads = nthreads
-        if self.tracer:
-            self.tracer.metrics.set("interp.engine", self.machine.engine)
-        self.checker: Optional[RaceChecker] = None
-        if check_races:
-            self.checker = RaceChecker()
-            self.machine.observers.append(self.checker)
-        for tloop in tresult.loops:
-            controller = (
-                _DoallController(self, tloop) if tloop.kind == DOALL
-                else _DoacrossController(self, tloop)
-            )
-            self.machine.loop_controllers[tloop.loop.nid] = controller
-        self._install_quarantined()
-        self.fault_injectors = list(fault_injectors or [])
-        for injector in self.fault_injectors:
-            injector.install(self)
+        # backend seam: "process" executes capable loops on real worker
+        # processes over one shared-memory segment (multicore module);
+        # "simulated" keeps the virtual-thread interleaving.  When the
+        # host cannot run the process backend, degrade with a warning —
+        # every simulated run is a correct execution of the same plan.
+        requested = backend or "simulated"
+        if requested not in ("simulated", "process"):
+            raise ParallelError(f"unknown backend {backend!r}",
+                                code="RT-BACKEND")
+        self.backend = "simulated"
+        self.workers = workers
+        self.session = None
+        memory = None
+        if requested == "process":
+            from .multicore import ProcessSession, process_backend_available
+            ok, why = process_backend_available()
+            if not ok:
+                self.sink.warning(
+                    "MC-UNAVAILABLE",
+                    f"process backend unavailable ({why}); "
+                    "falling back to simulated", phase="runtime",
+                )
+            else:
+                self.session = ProcessSession(
+                    tresult.program, tresult.sema, nthreads,
+                    workers=workers, options=mc,
+                )
+                memory = self.session.memory
+                self.backend = "process"
+        self.outcome.backend = self.backend
+        try:
+            # the parallel runtime needs observer fan-out (race checker)
+            # and per-statement watchdog accounting, so the bare variant
+            # is promoted to the instrumented bytecode engine
+            eng = resolve_engine(engine)
+            if eng == "bytecode-bare":
+                eng = "bytecode"
+            self.machine = Machine(tresult.program, tresult.sema,
+                                   max_loop_steps=watchdog, engine=eng,
+                                   tracer=self.tracer, memory=memory)
+            self.machine.nthreads = nthreads
+            if self.tracer:
+                self.tracer.metrics.set("interp.engine",
+                                        self.machine.engine)
+                self.tracer.metrics.set("runtime.backend", self.backend)
+            self.checker: Optional[RaceChecker] = None
+            if check_races:
+                self.checker = RaceChecker()
+                self.machine.observers.append(self.checker)
+            for tloop in tresult.loops:
+                if self.session is not None:
+                    from .multicore import (
+                        _ProcessDoacrossController, _ProcessDoallController,
+                    )
+                    controller = (
+                        _ProcessDoallController(self, tloop, self.session)
+                        if tloop.kind == DOALL
+                        else _ProcessDoacrossController(
+                            self, tloop, self.session)
+                    )
+                else:
+                    controller = (
+                        _DoallController(self, tloop)
+                        if tloop.kind == DOALL
+                        else _DoacrossController(self, tloop)
+                    )
+                self.machine.loop_controllers[tloop.loop.nid] = controller
+            self._install_quarantined()
+            self.fault_injectors = list(fault_injectors or [])
+            for injector in self.fault_injectors:
+                injector.install(self)
+        except BaseException:
+            if self.session is not None:
+                self.session.close()
+            raise
 
     # -- fault-injection hooks --------------------------------------------
     def suspend_faults(self) -> None:
@@ -790,6 +855,8 @@ class ParallelRunner:
             if isinstance(exc, WatchdogTimeout):
                 self.tracer.metrics.inc("runtime.watchdog_trips")
             raise
+        finally:
+            self._close_session()
         outcome.output = list(self.machine.output)
         outcome.total_cycles = self.machine.cost.cycles
         outcome.peak_memory = self.machine.memory.peak_footprint()
@@ -824,6 +891,26 @@ class ParallelRunner:
         outcome.diagnostics = list(self.sink.diagnostics)
         return outcome
 
+    def _close_session(self) -> None:
+        """Tear down the process backend (if armed): flush worker
+        wall-clock samples into the tracer's worker timeline, shut the
+        pool down, detach the parent memory and unlink the segment."""
+        session = self.session
+        if session is None:
+            return
+        if self.tracer:
+            for wid, name, t0_ns, t1_ns, meta in session.worker_samples:
+                self.tracer.worker_event(
+                    name, wid, t0_ns / 1000.0,
+                    (t1_ns - t0_ns) / 1000.0, **meta,
+                )
+            self.tracer.metrics.set("runtime.worker_tasks",
+                                    len(session.worker_samples))
+            if session.degraded:
+                self.tracer.metrics.inc("runtime.mc_degraded")
+        session.worker_samples = []
+        session.close()
+
 
 class _QuarantineHost:
     """BaselineRunner facade: lets the SpiceC baseline controller run a
@@ -849,6 +936,9 @@ def run_parallel(
     fault_injectors: Optional[List] = None,
     tracer=None,
     engine: Optional[str] = None,
+    backend: str = "simulated",
+    workers: Optional[int] = None,
+    mc: Optional[dict] = None,
 ) -> ParallelOutcome:
     """Run a transformed program on ``nthreads`` virtual threads.
 
@@ -873,10 +963,20 @@ def run_parallel(
     ``engine`` picks the interpreter tier (``"ast"`` or
     ``"bytecode"``; defaults to ``$REPRO_ENGINE``).  The bare bytecode
     variant is promoted to instrumented — the runtime needs the race
-    checker's observer fan-out and watchdog accounting."""
+    checker's observer fan-out and watchdog accounting.
+
+    ``backend="process"`` executes capable parallel loops on real
+    worker processes over one OS shared-memory segment (see
+    :mod:`repro.runtime.multicore`); ``workers`` sizes the pool
+    (default ``nthreads``) and ``mc`` tunes segment/arena sizes and
+    timeouts.  Output, diagnostics, modeled cycles and the final heap
+    image stay bit-identical to the simulated backend; loops the
+    capability audit rejects fall back to the simulated controllers on
+    the same shared buffer."""
     runner = ParallelRunner(tresult, nthreads, check_races=check_races,
                             chunk=chunk, strict=strict, sink=sink,
                             watchdog=watchdog,
                             fault_injectors=fault_injectors,
-                            tracer=tracer, engine=engine)
+                            tracer=tracer, engine=engine,
+                            backend=backend, workers=workers, mc=mc)
     return runner.run(entry, raise_on_race=raise_on_race)

@@ -97,6 +97,9 @@ class ParallelOutcome:
 
     def __init__(self, nthreads: int):
         self.nthreads = nthreads
+        #: which execution backend ran the program ("simulated" or
+        #: "process"); set by the runner
+        self.backend = "simulated"
         self.loops: Dict[Optional[str], LoopExecution] = {}
         self.output: List[str] = []
         self.total_cycles = 0.0     # program cycles with loops at makespan

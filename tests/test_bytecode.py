@@ -1,7 +1,7 @@
 """Bytecode execution tier: engine selection, differential equivalence
 against the tree walker over the whole benchmark suite, observer/cost
 parity, the parallel-runtime drop-in contract, the memory fast-path
-caches, and the schema-2 wall-clock trajectory."""
+caches, and the schema-3 wall-clock trajectory."""
 
 import json
 
@@ -393,31 +393,37 @@ class TestScalarCodecs:
 
 
 # ---------------------------------------------------------------------------
-# schema-2 trajectory (wall clock + engines)
+# schema-3 trajectory (wall clock + engines + backends)
 # ---------------------------------------------------------------------------
 
 class TestTrajectorySchema:
-    def test_schema_is_2(self):
+    def test_schema_is_3(self):
         from repro.bench import TRAJECTORY_SCHEMA
 
-        assert TRAJECTORY_SCHEMA == 2
+        assert TRAJECTORY_SCHEMA == 3
 
-    def test_payload_carries_wall_and_engine(self):
+    def test_payload_carries_wall_engine_and_backend(self):
         from repro.bench import trajectory_payload
         from repro.bench.harness import Harness
 
         harness = Harness(thread_counts=(2,), engine="bytecode")
         res = harness.result("dijkstra")
         payload = trajectory_payload({"dijkstra": res})
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert payload["engines"] == ["bytecode"]
+        assert payload["backends"] == ["simulated"]
         bench = payload["benchmarks"]["dijkstra"]
         assert bench["engine"] == "bytecode"
+        assert bench["backend"] == "simulated"
         wall = bench["wall_seconds"]
         assert wall["total"] > 0
         for phase in ("sequential-baseline", "profile", "parallel-runs"):
             assert wall[phase] > 0
         assert payload["summary"]["wall_seconds_total"] >= wall["total"]
+        # schema 3: the expansion parallel run is wall-timed per
+        # thread count
+        assert set(bench["wallclock_seconds"]) == {"2"}
+        assert bench["wallclock_seconds"]["2"] > 0
 
     def test_schema_1_files_still_readable(self, tmp_path):
         from repro.bench import load_trajectory
@@ -438,6 +444,34 @@ class TestTrajectorySchema:
         assert payload["engines"] == ["ast"]
         assert payload["summary"]["wall_seconds_total"] == 0.0
         assert payload["summary"]["overhead_opt_hmean"] == 1.1
+        # schema-3 normalization applies to schema-1 files too
+        assert bench["backend"] == "simulated"
+        assert bench["wallclock_seconds"] == {}
+        assert payload["backends"] == ["simulated"]
+
+    def test_schema_2_files_still_readable(self, tmp_path):
+        from repro.bench import load_trajectory
+
+        legacy = {
+            "schema": 2,
+            "generator": "repro.bench",
+            "timestamp": "2026-01-01T00:00:00",
+            "engines": ["bytecode"],
+            "benchmarks": {"dijkstra": {
+                "seq_cycles": 123.0, "engine": "bytecode",
+                "wall_seconds": {"total": 1.5},
+            }},
+            "summary": {"wall_seconds_total": 1.5},
+        }
+        path = tmp_path / "BENCH_s2.json"
+        path.write_text(json.dumps(legacy))
+        payload = load_trajectory(str(path))
+        bench = payload["benchmarks"]["dijkstra"]
+        assert bench["engine"] == "bytecode"           # untouched
+        assert bench["wall_seconds"] == {"total": 1.5}
+        assert bench["backend"] == "simulated"         # normalized
+        assert bench["wallclock_seconds"] == {}
+        assert payload["backends"] == ["simulated"]
 
     def test_newer_schema_rejected(self, tmp_path):
         from repro.bench import load_trajectory
@@ -454,5 +488,24 @@ class TestTrajectorySchema:
         path = tmp_path / "BENCH_now.json"
         emit_trajectory({}, path=str(path))
         payload = load_trajectory(str(path))
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert payload["engines"] == []
+
+    def test_emit_into_directory(self, tmp_path):
+        from repro.bench.trajectory import emit_trajectory
+
+        outdir = tmp_path / "artifacts"
+        outdir.mkdir()
+        written = emit_trajectory({}, path=str(outdir))
+        assert written.startswith(str(outdir))
+        name = written[len(str(outdir)) + 1:]
+        assert name.startswith("BENCH_") and name.endswith(".json")
+        assert json.loads((outdir / name).read_text())["schema"] == 3
+
+    def test_emit_creates_parent_dirs(self, tmp_path):
+        from repro.bench.trajectory import emit_trajectory
+
+        target = tmp_path / "a" / "b" / "BENCH_x.json"
+        written = emit_trajectory({}, path=str(target))
+        assert written == str(target)
+        assert target.exists()

@@ -21,6 +21,21 @@ def engine(request):
     return request.param
 
 
+@pytest.fixture(params=["simulated", "process"])
+def backend(request):
+    """...and on both execution backends.  With injectors armed the
+    process backend's capability audit routes every loop through the
+    simulated controllers (``MC-INSTRUMENTED``) — the point is that the
+    fault contracts survive the backend seam unchanged."""
+    if request.param == "process":
+        from repro.runtime import process_backend_available
+
+        ok, why = process_backend_available()
+        if not ok:
+            pytest.skip(f"process backend unavailable: {why}")
+    return request.param
+
+
 def prepare(source, labels=("L",), optimize=False, engine="ast"):
     program, sema = parse_and_analyze(source)
     base = Machine(program, sema, engine=engine)
@@ -84,11 +99,12 @@ int main(void) {
 
 
 class TestSpanCorruptor:
-    def test_permissive_recovers_bit_identical(self, engine):
+    def test_permissive_recovers_bit_identical(self, engine, backend):
         base, result = prepare(FAT_SRC, engine=engine)
         inj = SpanCorruptor(seed=1)
         sink = DiagnosticSink()
-        outcome = run_parallel(result, 4, engine=engine, strict=False, sink=sink,
+        outcome = run_parallel(result, 4, engine=engine, backend=backend,
+                               strict=False, sink=sink,
                                fault_injectors=[inj])
         assert inj.sites, "no span stores found to corrupt"
         assert inj.fired > 0
@@ -97,37 +113,40 @@ class TestSpanCorruptor:
         assert sink.by_code("FAULT-SPAN")
         assert sink.by_code("RT-RECOVERED")
 
-    def test_strict_detects_as_race(self, engine):
+    def test_strict_detects_as_race(self, engine, backend):
         base, result = prepare(FAT_SRC, engine=engine)
         with pytest.raises(RaceError) as info:
-            run_parallel(result, 4, engine=engine, strict=True,
+            run_parallel(result, 4, engine=engine, backend=backend,
+                         strict=True,
                          fault_injectors=[SpanCorruptor(seed=1)])
         assert info.value.diagnostic.code == "RT-RACE"
 
 
 class TestCopyIndexSkew:
-    def test_permissive_recovers_bit_identical(self, engine):
+    def test_permissive_recovers_bit_identical(self, engine, backend):
         base, result = prepare(DOALL_SRC, engine=engine)
         inj = CopyIndexSkew(seed=7, rate=0.5)
-        outcome = run_parallel(result, 4, engine=engine, strict=False,
-                               fault_injectors=[inj])
+        outcome = run_parallel(result, 4, engine=engine, backend=backend,
+                               strict=False, fault_injectors=[inj])
         assert inj.fired > 0
         assert outcome.output == base.output
         assert outcome.recoveries
 
-    def test_strict_detects_as_race(self, engine):
+    def test_strict_detects_as_race(self, engine, backend):
         base, result = prepare(DOALL_SRC, engine=engine)
         with pytest.raises(RaceError):
-            run_parallel(result, 4, engine=engine, strict=True,
+            run_parallel(result, 4, engine=engine, backend=backend,
+                         strict=True,
                          fault_injectors=[CopyIndexSkew(seed=7)])
 
 
 class TestSyncTokenDropper:
-    def test_permissive_repairs_token(self, engine):
+    def test_permissive_repairs_token(self, engine, backend):
         base, result = prepare(DOACROSS_SRC, engine=engine)
         inj = SyncTokenDropper(seed=3)
         sink = DiagnosticSink()
-        outcome = run_parallel(result, 4, engine=engine, strict=False, sink=sink,
+        outcome = run_parallel(result, 4, engine=engine, backend=backend,
+                               strict=False, sink=sink,
                                fault_injectors=[inj])
         assert inj.fired > 0
         assert outcome.output == base.output
@@ -135,54 +154,57 @@ class TestSyncTokenDropper:
         assert "FAULT-SYNC-DROP" in codes  # injection site recorded
         assert "RT-SYNC-DROP" in codes     # detection recorded
 
-    def test_strict_detects_dropped_token(self, engine):
+    def test_strict_detects_dropped_token(self, engine, backend):
         from repro.runtime import ParallelError
 
         base, result = prepare(DOACROSS_SRC, engine=engine)
         with pytest.raises(ParallelError) as info:
-            run_parallel(result, 4, engine=engine, strict=True,
+            run_parallel(result, 4, engine=engine, backend=backend,
+                         strict=True,
                          fault_injectors=[SyncTokenDropper(seed=3)])
         assert info.value.diagnostic.code == "RT-SYNC-DROP"
         assert info.value.diagnostic.loop == "L"
 
 
 class TestThreadAborter:
-    def test_permissive_recovers_bit_identical(self, engine):
+    def test_permissive_recovers_bit_identical(self, engine, backend):
         base, result = prepare(DOALL_SRC, engine=engine)
         inj = ThreadAborter(seed=0, target_tid=2, after=5)
-        outcome = run_parallel(result, 4, engine=engine, strict=False,
-                               fault_injectors=[inj])
+        outcome = run_parallel(result, 4, engine=engine, backend=backend,
+                               strict=False, fault_injectors=[inj])
         assert inj.fired > 0
         assert outcome.output == base.output
         assert outcome.recoveries
         assert outcome.recoveries[0].diagnostic.code == "FAULT-ABORT"
 
-    def test_strict_propagates_abort(self, engine):
+    def test_strict_propagates_abort(self, engine, backend):
         from repro.runtime import ThreadAbortFault
 
         base, result = prepare(DOALL_SRC, engine=engine)
         with pytest.raises(ThreadAbortFault):
-            run_parallel(result, 4, engine=engine, strict=True,
+            run_parallel(result, 4, engine=engine, backend=backend,
+                         strict=True,
                          fault_injectors=[ThreadAborter(target_tid=1)])
 
 
 class TestDeterminism:
-    def test_same_seed_same_outcome(self, engine):
+    def test_same_seed_same_outcome(self, engine, backend):
         runs = []
         for _ in range(2):
             base, result = prepare(DOALL_SRC, engine=engine)
             inj = CopyIndexSkew(seed=42, rate=0.5)
-            outcome = run_parallel(result, 4, engine=engine, strict=False,
+            outcome = run_parallel(result, 4, engine=engine,
+                                   backend=backend, strict=False,
                                    fault_injectors=[inj])
             runs.append((inj.fired, tuple(outcome.output),
                          len(outcome.recoveries)))
         assert runs[0] == runs[1]
 
-    def test_different_seed_still_recovers(self, engine):
+    def test_different_seed_still_recovers(self, engine, backend):
         for seed in (1, 2, 3):
             base, result = prepare(DOALL_SRC, engine=engine)
             outcome = run_parallel(
-                result, 4, engine=engine, strict=False,
+                result, 4, engine=engine, backend=backend, strict=False,
                 fault_injectors=[CopyIndexSkew(seed=seed, rate=0.5)],
             )
             assert outcome.output == base.output
@@ -198,9 +220,11 @@ class TestPermissiveNeverEscapes:
         (lambda: SyncTokenDropper(seed=5), DOACROSS_SRC),
         (lambda: ThreadAborter(seed=5, target_tid=1, after=3), DOALL_SRC),
     ], ids=["span", "skew", "sync-drop", "abort"])
-    def test_no_unhandled_exception(self, make_injector, source, engine):
+    def test_no_unhandled_exception(self, make_injector, source, engine,
+                                    backend):
         base, result = prepare(source, engine=engine)
-        outcome = run_parallel(result, 4, engine=engine, strict=False,
+        outcome = run_parallel(result, 4, engine=engine, backend=backend,
+                               strict=False,
                                fault_injectors=[make_injector()])
         assert outcome.output == base.output
         assert outcome.races == []

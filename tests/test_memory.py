@@ -192,6 +192,115 @@ class TestAccounting:
         assert mem.read_cstring(addr) == "hi"
 
 
+class TestZeroCopy:
+    """Bulk byte paths: memoryview-sliced, no per-byte Python loop."""
+
+    def test_view_is_zero_copy(self):
+        mem = Memory()
+        addr = mem.alloc(64)
+        mem.write_bytes(addr, bytes(range(64)))
+        view = mem.view(addr, 64)
+        assert isinstance(view, memoryview)
+        assert view.tobytes() == bytes(range(64))
+        # writes through the view land in the address space: same
+        # backing store, not a copy
+        view[0] = 0xFF
+        del view  # transient by contract: release before realloc/grow
+        assert mem.read_bytes(addr, 1) == b"\xff"
+
+    def test_write_bytes_accepts_memoryview(self):
+        mem = Memory()
+        a = mem.alloc(32)
+        b = mem.alloc(32)
+        mem.write_bytes(a, bytes(range(32)))
+        mem.write_bytes(b, mem.view(a, 32))   # buffer-to-buffer move
+        assert mem.read_bytes(b, 32) == bytes(range(32))
+
+    def test_bounds_checked_bulk_paths(self):
+        mem = Memory(check_bounds=True)
+        addr = mem.alloc(16)
+        with pytest.raises(MemoryError_):
+            mem.read_bytes(addr, 32)
+        with pytest.raises(MemoryError_):
+            mem.write_bytes(addr + 8, b"x" * 16)
+        with pytest.raises(MemoryError_):
+            mem.view(addr, 17)
+
+    def test_cstring_unterminated_within_limit(self):
+        mem = Memory()
+        addr = mem.alloc(8)
+        mem.write_bytes(addr, b"abcdefgh")
+        # no NUL within the limit: exactly limit chars, like the
+        # historical per-byte walk
+        assert mem.read_cstring(addr, limit=4) == "abcd"
+        assert mem.read_cstring(addr, limit=0) == ""
+
+
+class TestBufferMode:
+    """Caller-supplied backing buffer (the shared-memory segment)."""
+
+    def _mem(self, size=1 << 16, **kw):
+        backing = bytearray(size)
+        return backing, Memory(buffer=backing, limit=size, **kw)
+
+    def test_alloc_and_roundtrip(self):
+        backing, mem = self._mem()
+        assert mem.shared
+        addr = mem.alloc(64, HEAP, label="blk")
+        mem.write_bytes(addr, b"Z" * 64)
+        assert mem.read_bytes(addr, 64) == b"Z" * 64
+        # the bytes really live in the caller's buffer
+        assert bytes(backing[addr:addr + 64]) == b"Z" * 64
+
+    def test_same_addresses_as_bytearray_mode(self):
+        """Identical allocation sequences produce identical addresses
+        in both modes — the heap-image bit-identity contract."""
+        _, shared = self._mem()
+        private = Memory()
+        for size in (8, 24, 100, 1, 64):
+            assert shared.alloc(size) == private.alloc(size)
+
+    def test_capacity_exhaustion_is_structured(self):
+        _, mem = self._mem(size=1 << 13)
+        with pytest.raises(MemoryError_, match="region exhausted"):
+            mem.alloc(1 << 13)
+
+    def test_reads_beyond_limit_allowed(self):
+        """``limit`` gates allocation only: a worker's Memory may read
+        and write anywhere in the segment (the expanded copies live in
+        the parent region)."""
+        backing = bytearray(1 << 16)
+        mem = Memory(check_bounds=False, buffer=backing,
+                     base=1 << 12, limit=1 << 13)
+        backing[1 << 14] = 0x7B
+        assert mem.read_bytes(1 << 14, 1) == b"\x7b"
+        mem.write_bytes((1 << 14) + 1, b"\x01")
+        assert backing[(1 << 14) + 1] == 1
+
+    def test_reset_region_zeroes_dirty_span(self):
+        backing, mem = self._mem()
+        addr = mem.alloc(128, HEAP)
+        mem.write_bytes(addr, b"\xaa" * 128)
+        brk = mem.brk
+        mem.reset_region()
+        assert mem.brk <= brk
+        assert not mem._allocs
+        assert bytes(backing[addr:addr + 128]) == bytes(128)
+        # a fresh allocation sees zero bytes, like a new bytearray
+        again = mem.alloc(128, HEAP)
+        assert mem.read_bytes(again, 128) == bytes(128)
+
+    def test_detach_copies_out(self):
+        backing, mem = self._mem()
+        addr = mem.alloc(16, HEAP)
+        mem.write_bytes(addr, b"persist-please!!")
+        mem.detach()
+        assert not mem.shared
+        # mutating the old backing no longer affects the memory
+        backing[addr] = 0
+        assert mem.read_bytes(addr, 16) == b"persist-please!!"
+
+
 @st.composite
 def alloc_free_script(draw):
     """A sequence of alloc(size)/free(handle) operations."""

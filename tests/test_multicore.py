@@ -1,0 +1,556 @@
+"""Multi-core process backend: bit-identity differentials against the
+simulated backend, capability-audit verdicts, worker-crash recovery,
+and the shared-memory snapshot machinery.
+
+Every test here runs real worker processes over one
+``multiprocessing.shared_memory`` segment, so the whole module skips on
+hosts without ``fork`` or a usable ``/dev/shm``.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import all_benchmarks, get
+from repro.diagnostics import DiagnosticSink
+from repro.frontend import ast, parse_and_analyze
+from repro.interp import Machine
+from repro.obs import Tracer
+from repro.runtime import (
+    ParallelRunner, WorkerCrash, audit_loop, process_backend_available,
+    run_parallel,
+)
+from repro.transform import expand_for_threads
+
+_OK, _WHY = process_backend_available()
+pytestmark = pytest.mark.skipif(
+    not _OK, reason=f"process backend unavailable: {_WHY}")
+
+KERNELS = [spec.name for spec in all_benchmarks()]
+
+#: small fast-dispatch process options so tests do not burn 8 MiB
+#: segments per run
+SMALL_MC = {"segment_bytes": 1 << 21, "arena_bytes": 1 << 18}
+
+
+def _fingerprint(runner, outcome):
+    """Everything the bit-identity contract covers: output, modeled
+    cost, per-loop makespans, non-MC diagnostics, final live heap
+    image.  (peak_memory is excluded by contract: worker stack
+    allocations live in private arenas.)"""
+    memory = runner.machine.memory
+    heap = []
+    for rec in memory._allocs:
+        if rec.live and rec.kind in ("global", "heap"):
+            heap.append((rec.kind, rec.label, rec.addr, rec.size,
+                         bytes(memory.data[rec.addr:rec.end])))
+    cost = runner.machine.cost
+    return {
+        "exit": outcome.exit_code,
+        "output": list(outcome.output),
+        "cycles": cost.cycles,
+        "instructions": cost.instructions,
+        "loads": cost.loads,
+        "stores": cost.stores,
+        "loops": {label: (ex.makespan, ex.iterations)
+                  for label, ex in outcome.loops.items()},
+        "diagnostics": [d.render() for d in outcome.diagnostics
+                        if not d.code.startswith("MC-")],
+        "heap": heap,
+    }
+
+
+def _run_both(tresult, nthreads, mc=None, engine="bytecode"):
+    fps = {}
+    for backend in ("simulated", "process"):
+        runner = ParallelRunner(tresult, nthreads, engine=engine,
+                                backend=backend, workers=nthreads,
+                                mc=mc)
+        outcome = runner.run()
+        fps[backend] = _fingerprint(runner, outcome)
+    return fps
+
+
+# ---------------------------------------------------------------------------
+# kernel differential: 8 kernels x both layouts, bit for bit
+# ---------------------------------------------------------------------------
+
+class TestKernelDifferential:
+    @pytest.mark.parametrize("layout", ["bonded", "interleaved"])
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_bit_identical(self, kernel, layout):
+        spec = get(kernel)
+        program, sema = parse_and_analyze(spec.source)
+        # permissive expansion: the interleaved layout refuses
+        # heap-expanding loops (dijkstra, hmmer) — those quarantine and
+        # the differential still has to hold on whatever remains
+        tresult = expand_for_threads(program, sema, spec.loop_labels,
+                                     optimize=True, layout=layout,
+                                     strict=False,
+                                     sink=DiagnosticSink())
+        fps = _run_both(tresult, 2)
+        assert fps["process"] == fps["simulated"]
+
+
+# ---------------------------------------------------------------------------
+# process-path execution (no fallback) for both loop kinds
+# ---------------------------------------------------------------------------
+
+DOALL_SRC = """
+int out[64];
+int main(void) {
+    int i;
+    #pragma expand parallel(doall)
+    L: for (i = 0; i < 64; i++) {
+        out[i] = i * i + 3;
+    }
+    int s = 0;
+    for (i = 0; i < 64; i++) s = s + out[i];
+    print_int(s);
+    return 0;
+}
+"""
+
+DOACROSS_SRC = """
+int buf[16];
+int acc;
+int main(void) {
+    int i; int k;
+    #pragma expand parallel(doacross)
+    L: for (i = 0; i < 12; i++) {
+        for (k = 0; k < 16; k++) buf[k] = i * k + 1;
+        acc = acc * 7 + buf[15];
+    }
+    print_int(acc);
+    return 0;
+}
+"""
+
+
+def _prepare(source, **kw):
+    program, sema = parse_and_analyze(source)
+    base = Machine(program, sema, engine="bytecode")
+    base.run()
+    tresult = expand_for_threads(program, sema, ["L"], optimize=True,
+                                 **kw)
+    return base, tresult
+
+
+class TestProcessPath:
+    def test_doall_runs_on_workers(self):
+        base, tresult = _prepare(DOALL_SRC)
+        tracer = Tracer()
+        sink = DiagnosticSink()
+        outcome = run_parallel(tresult, 4, engine="bytecode",
+                               backend="process", workers=4,
+                               mc=SMALL_MC, tracer=tracer, sink=sink)
+        assert outcome.output == base.output
+        assert outcome.backend == "process"
+        # the loop genuinely ran on workers: no MC fallback note, and
+        # worker wall-clock spans landed in the tracer
+        assert not [d for d in outcome.diagnostics
+                    if d.code == "MC-FALLBACK"]
+        assert tracer.metrics.get("runtime.worker_tasks") >= 4
+        assert tracer.worker_events
+        assert {w.worker for w in tracer.worker_events} <= {0, 1, 2, 3}
+
+    def test_doall_cycles_match_simulated(self):
+        _, tresult = _prepare(DOALL_SRC)
+        fps = _run_both(tresult, 4, mc=SMALL_MC)
+        assert fps["process"] == fps["simulated"]
+
+    def test_doacross_runs_on_workers(self):
+        base, tresult = _prepare(DOACROSS_SRC)
+        tracer = Tracer()
+        outcome = run_parallel(tresult, 4, engine="bytecode",
+                               backend="process", workers=4,
+                               mc=SMALL_MC, tracer=tracer)
+        assert outcome.output == base.output
+        assert not [d for d in outcome.diagnostics
+                    if d.code == "MC-FALLBACK"]
+        assert tracer.metrics.get("runtime.worker_tasks") >= 1
+
+    def test_doacross_pipeline_parity(self):
+        """The cross-process token protocol must reproduce the
+        simulated pipelining recurrence exactly: same makespan, same
+        per-thread wait cycles, same sync ledger."""
+        _, tresult = _prepare(DOACROSS_SRC)
+        outs = {}
+        for backend in ("simulated", "process"):
+            runner = ParallelRunner(tresult, 4, engine="bytecode",
+                                    backend=backend, workers=4,
+                                    mc=SMALL_MC)
+            outs[backend] = runner.run()
+        sim = outs["simulated"].loops["L"]
+        proc = outs["process"].loops["L"]
+        assert proc.makespan == sim.makespan
+        assert proc.iterations == sim.iterations
+        sim_threads = [(t.tid, t.busy_cycles, t.wait_cycles,
+                        t.sync_cycles) for t in sim.threads]
+        proc_threads = [(t.tid, t.busy_cycles, t.wait_cycles,
+                         t.sync_cycles) for t in proc.threads]
+        assert proc_threads == sim_threads
+
+    def test_thread_count_above_pool(self):
+        """nthreads larger than the worker pool round-robins DOALL
+        chunks over the available lanes, still bit-identical."""
+        _, tresult = _prepare(DOALL_SRC)
+        fps = {}
+        for backend in ("simulated", "process"):
+            runner = ParallelRunner(tresult, 8, engine="bytecode",
+                                    backend=backend, workers=2,
+                                    mc=SMALL_MC)
+            outcome = runner.run()
+            fps[backend] = _fingerprint(runner, outcome)
+        assert fps["process"] == fps["simulated"]
+
+
+# ---------------------------------------------------------------------------
+# capability audit
+# ---------------------------------------------------------------------------
+
+def _loop_of(source):
+    program, sema = parse_and_analyze(source)
+    return ast.find_loop(program, "L"), sema
+
+
+class TestAudit:
+    def test_clean_doall_is_capable(self):
+        loop, sema = _loop_of(DOALL_SRC)
+        audit = audit_loop(loop, sema, kind_doall=True, nthreads=4,
+                           workers=4, chunk=1, controlled_nids={loop.nid})
+        assert audit.ok
+
+    def test_malloc_in_body_rejected(self):
+        loop, sema = _loop_of("""
+int main(void) {
+    int i;
+    L: for (i = 0; i < 8; i++) {
+        int* p = malloc(16);
+        free(p);
+    }
+    return 0;
+}
+""")
+        audit = audit_loop(loop, sema, kind_doall=True, nthreads=4,
+                           workers=4, chunk=1, controlled_nids={loop.nid})
+        assert "MC-ALLOC" in audit.reasons
+
+    def test_malloc_in_callee_rejected(self):
+        loop, sema = _loop_of("""
+int helper(void) {
+    int* p = malloc(16);
+    free(p);
+    return 1;
+}
+int main(void) {
+    int i; int s = 0;
+    L: for (i = 0; i < 8; i++) {
+        s = s + helper();
+    }
+    print_int(s);
+    return 0;
+}
+""")
+        audit = audit_loop(loop, sema, kind_doall=True, nthreads=4,
+                           workers=4, chunk=1, controlled_nids={loop.nid})
+        assert "MC-ALLOC" in audit.reasons
+
+    def test_noncanonical_while_rejected(self):
+        loop, sema = _loop_of("""
+int main(void) {
+    int i = 0;
+    L: while (i < 8) {
+        i = i + 1;
+    }
+    print_int(i);
+    return 0;
+}
+""")
+        audit = audit_loop(loop, sema, kind_doall=True, nthreads=4,
+                           workers=4, chunk=1, controlled_nids={loop.nid})
+        assert "MC-NONCANONICAL" in audit.reasons
+
+    def test_control_written_in_body_rejected(self):
+        loop, sema = _loop_of("""
+int main(void) {
+    int i;
+    L: for (i = 0; i < 8; i++) {
+        if (i == 5) i = 7;
+    }
+    print_int(i);
+    return 0;
+}
+""")
+        audit = audit_loop(loop, sema, kind_doall=True, nthreads=4,
+                           workers=4, chunk=1, controlled_nids={loop.nid})
+        assert "MC-CONTROL" in audit.reasons
+
+    def test_return_in_body_rejected(self):
+        loop, sema = _loop_of("""
+int main(void) {
+    int i;
+    L: for (i = 0; i < 8; i++) {
+        if (i == 5) return 1;
+    }
+    return 0;
+}
+""")
+        audit = audit_loop(loop, sema, kind_doall=True, nthreads=4,
+                           workers=4, chunk=1, controlled_nids={loop.nid})
+        assert "MC-RETURN" in audit.reasons
+
+    def test_doacross_break_rejected(self):
+        loop, sema = _loop_of("""
+int acc;
+int main(void) {
+    int i;
+    L: for (i = 0; i < 8; i++) {
+        acc = acc + i;
+        if (acc > 10) break;
+    }
+    print_int(acc);
+    return 0;
+}
+""")
+        audit = audit_loop(loop, sema, kind_doall=False, nthreads=4,
+                           workers=4, chunk=1, controlled_nids={loop.nid})
+        assert "MC-BREAK" in audit.reasons
+        # ...but the same break is fine for DOALL (workers report it as
+        # a structured error; DOALL chunks never include one in the
+        # suite, the audit only polices DOACROSS strip planning)
+        doall = audit_loop(loop, sema, kind_doall=True, nthreads=4,
+                           workers=4, chunk=1, controlled_nids={loop.nid})
+        assert "MC-BREAK" not in doall.reasons
+
+    def test_doacross_needs_full_pool_and_unit_chunk(self):
+        loop, sema = _loop_of(DOACROSS_SRC)
+        short = audit_loop(loop, sema, kind_doall=False, nthreads=4,
+                           workers=2, chunk=1,
+                           controlled_nids={loop.nid})
+        assert "MC-WORKERS" in short.reasons
+        chunked = audit_loop(loop, sema, kind_doall=False, nthreads=4,
+                             workers=4, chunk=2,
+                             controlled_nids={loop.nid})
+        assert "MC-CHUNK" in chunked.reasons
+        clean = audit_loop(loop, sema, kind_doall=False, nthreads=4,
+                           workers=4, chunk=1,
+                           controlled_nids={loop.nid})
+        assert clean.ok
+
+    def test_nested_controlled_loop_rejected(self):
+        program, sema = parse_and_analyze("""
+int out[8];
+int main(void) {
+    int i; int k;
+    L: for (i = 0; i < 8; i++) {
+        M: for (k = 0; k < 4; k++) {
+            out[i] = out[i] + k;
+        }
+    }
+    print_int(out[7]);
+    return 0;
+}
+""")
+        outer = ast.find_loop(program, "L")
+        inner = ast.find_loop(program, "M")
+        audit = audit_loop(outer, sema, kind_doall=True, nthreads=4,
+                           workers=4, chunk=1,
+                           controlled_nids={outer.nid, inner.nid})
+        assert "MC-NESTED" in audit.reasons
+        # an uncontrolled inner loop is fine
+        alone = audit_loop(outer, sema, kind_doall=True, nthreads=4,
+                           workers=4, chunk=1,
+                           controlled_nids={outer.nid})
+        assert alone.ok
+
+    def test_kernel_expectations(self):
+        """The suite-wide audit landscape: the allocating kernels and
+        the while(1) kernel fall back, the rest run on workers."""
+        expect_fallback = {"dijkstra", "456.hmmer", "256.bzip2"}
+        for spec in all_benchmarks():
+            program, sema = parse_and_analyze(spec.source)
+            controlled = set()
+            for label in spec.loop_labels:
+                controlled.add(ast.find_loop(program, label).nid)
+            verdicts = {}
+            for label in spec.loop_labels:
+                loop = ast.find_loop(program, label)
+                audit = audit_loop(loop, sema, kind_doall=True,
+                                   nthreads=2, workers=2, chunk=1,
+                                   controlled_nids=controlled)
+                verdicts[label] = audit.ok
+            if spec.name in expect_fallback:
+                assert not all(verdicts.values()), \
+                    f"{spec.name}: expected at least one fallback loop"
+            else:
+                assert all(verdicts.values()), \
+                    f"{spec.name}: unexpected fallback {verdicts}"
+
+
+# ---------------------------------------------------------------------------
+# worker crash: quarantine fallback, bounded join, structured diagnostic
+# ---------------------------------------------------------------------------
+
+class TestWorkerCrash:
+    def test_permissive_recovers_bit_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_CRASH", "1")
+        base, tresult = _prepare(DOALL_SRC)
+        sink = DiagnosticSink()
+        start = time.perf_counter()
+        outcome = run_parallel(tresult, 4, engine="bytecode",
+                               backend="process", workers=4,
+                               mc=SMALL_MC, strict=False, sink=sink)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30.0, "crash recovery must not hang"
+        assert outcome.output == base.output
+        assert outcome.recoveries
+        assert outcome.recoveries[0].diagnostic.code == "RT-WORKER-CRASH"
+        assert sink.by_code("RT-WORKER-CRASH")
+        assert sink.by_code("RT-RECOVERED")
+
+    def test_strict_raises_structured_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_CRASH", "0")
+        _, tresult = _prepare(DOALL_SRC)
+        with pytest.raises(WorkerCrash) as info:
+            run_parallel(tresult, 4, engine="bytecode",
+                         backend="process", workers=4, mc=SMALL_MC,
+                         strict=True)
+        assert info.value.diagnostic.code == "RT-WORKER-CRASH"
+
+    def test_session_degrades_after_crash(self, monkeypatch):
+        """After a crash the session is degraded: later parallel loops
+        route to the simulated controllers instead of a dead pool."""
+        monkeypatch.setenv("REPRO_MC_CRASH", "2")
+        source = """
+int a[32]; int b[32];
+int main(void) {
+    int i;
+    #pragma expand parallel(doall)
+    L: for (i = 0; i < 32; i++) { a[i] = i * 2; }
+    #pragma expand parallel(doall)
+    M: for (i = 0; i < 32; i++) { b[i] = a[i] + 1; }
+    int s = 0;
+    for (i = 0; i < 32; i++) s = s + b[i];
+    print_int(s);
+    return 0;
+}
+"""
+        program, sema = parse_and_analyze(source)
+        baseline = Machine(program, sema, engine="bytecode")
+        baseline.run()
+        tresult = expand_for_threads(program, sema, ["L", "M"],
+                                     optimize=True)
+        tracer = Tracer()
+        outcome = run_parallel(tresult, 4, engine="bytecode",
+                               backend="process", workers=4,
+                               mc=SMALL_MC, strict=False, tracer=tracer)
+        assert outcome.output == baseline.output
+        assert outcome.recoveries  # the crashed loop recovered
+        assert tracer.metrics.get("runtime.mc_degraded") == 1
+
+
+# ---------------------------------------------------------------------------
+# shared-memory snapshot/restore
+# ---------------------------------------------------------------------------
+
+class TestSharedSnapshot:
+    def test_restore_preserves_view_identity(self):
+        from repro.interp.memory import Memory
+        from repro.runtime import MachineSnapshot
+
+        backing = bytearray(1 << 16)
+        memory = Memory(check_bounds=False, buffer=backing,
+                        limit=1 << 16)
+        program, sema = parse_and_analyze("int main(void){return 0;}")
+        machine = Machine(program, sema, engine="bytecode",
+                          memory=memory)
+        addr = memory.alloc(64, kind="heap", label="blk")
+        memory.write_bytes(addr, b"A" * 64)
+        view_before = memory.data
+        snap = MachineSnapshot(machine)
+        addr2 = memory.alloc(32, kind="heap", label="later")
+        memory.write_bytes(addr, b"B" * 64)
+        memory.write_bytes(addr2, b"C" * 32)
+        snap.restore(machine)
+        # the shared view object is never replaced (other processes map
+        # the same buffer) and the image is rewound exactly
+        assert memory.data is view_before
+        assert memory.read_bytes(addr, 64) == b"A" * 64
+        assert len(memory._allocs) == 1
+        # the rolled-back allocation's bytes are zero again
+        assert bytes(backing[addr2:addr2 + 32]) == bytes(32)
+
+    def test_snapshot_captures_only_dirty_span(self):
+        from repro.interp.memory import Memory
+        from repro.runtime import MachineSnapshot
+
+        backing = bytearray(1 << 20)
+        memory = Memory(check_bounds=False, buffer=backing,
+                        limit=1 << 20)
+        program, sema = parse_and_analyze("int main(void){return 0;}")
+        machine = Machine(program, sema, engine="bytecode",
+                          memory=memory)
+        memory.alloc(128, kind="heap")
+        snap = MachineSnapshot(machine)
+        # brk-bounded, not the whole 1 MiB segment
+        assert len(snap.data) == memory.brk
+        assert len(snap.data) < len(backing)
+
+
+# ---------------------------------------------------------------------------
+# session robustness
+# ---------------------------------------------------------------------------
+
+class TestSessionLifecycle:
+    def test_segment_unlinked_after_run(self):
+        _, tresult = _prepare(DOALL_SRC)
+        runner = ParallelRunner(tresult, 2, engine="bytecode",
+                                backend="process", workers=2,
+                                mc=SMALL_MC)
+        session = runner.session
+        assert session is not None
+        name = session.shm.name
+        runner.run()
+        from multiprocessing import shared_memory
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_memory_inspectable_after_close(self):
+        """detach() keeps the final address space readable after the
+        segment is gone (reports, fingerprints)."""
+        _, tresult = _prepare(DOALL_SRC)
+        runner = ParallelRunner(tresult, 2, engine="bytecode",
+                                backend="process", workers=2,
+                                mc=SMALL_MC)
+        runner.run()
+        memory = runner.machine.memory
+        assert not memory.shared
+        assert isinstance(memory.data, bytearray)
+        assert any(r.live for r in memory._allocs)
+
+    def test_unavailable_backend_falls_back(self, monkeypatch):
+        """When the host probe fails, backend='process' degrades to the
+        simulated backend with an MC-UNAVAILABLE warning instead of
+        erroring."""
+        import repro.runtime.multicore as mc
+
+        # the probe caches its verdict module-side; forcing the cache
+        # is exactly how an unavailable host presents
+        monkeypatch.setattr(
+            mc, "_AVAILABLE", (False, "test-forced"), raising=False)
+        base, tresult = _prepare(DOALL_SRC)
+        sink = DiagnosticSink()
+        outcome = run_parallel(tresult, 2, engine="bytecode",
+                               backend="process", sink=sink)
+        assert outcome.backend == "simulated"
+        assert outcome.output == base.output
+        assert sink.by_code("MC-UNAVAILABLE")
+
+    def test_bad_backend_name_rejected(self):
+        from repro.runtime import ParallelError
+
+        _, tresult = _prepare(DOALL_SRC)
+        with pytest.raises(ParallelError) as info:
+            ParallelRunner(tresult, 2, backend="gpu")
+        assert info.value.diagnostic.code == "RT-BACKEND"
