@@ -52,9 +52,11 @@ from .obs import (
 )
 from .transform import OptFlags, TransformResult, expand_for_threads
 from .runtime import (
-    CopyIndexSkew, FaultInjector, ParallelOutcome, SpanCorruptor,
-    SyncTokenDropper, ThreadAborter, WorkerCrash,
-    process_backend_available, run_parallel,
+    CopyIndexSkew, FaultInjector, HeartbeatStaller, ParallelOutcome,
+    ProcessChaosInjector, SpanCorruptor, SyncTokenDropper,
+    ThreadAborter, TokenPostDelayer, TokenPostDropper, WorkerCrash,
+    WorkerKiller, parse_chaos_spec, process_backend_available,
+    run_parallel,
 )
 
 
@@ -185,7 +187,7 @@ def expand_and_run(source: str, loop_labels, nthreads: int = 4,
     )
 
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: the stable public surface; everything else is implementation detail
 __all__ = [
@@ -207,4 +209,7 @@ __all__ = [
     # fault injection
     "FaultInjector", "SpanCorruptor", "CopyIndexSkew",
     "SyncTokenDropper", "ThreadAborter",
+    # process-level chaos (supervised backend)
+    "ProcessChaosInjector", "WorkerKiller", "HeartbeatStaller",
+    "TokenPostDropper", "TokenPostDelayer", "parse_chaos_spec",
 ]

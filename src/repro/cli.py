@@ -217,11 +217,22 @@ def _cmd_parallel(args) -> int:
                        engine="bytecode-bare" if eng != "ast" else "ast")
         with tracer.phase("sequential-baseline"):
             base.run(args.entry)
+        mc = {}
+        if getattr(args, "max_restarts", None) is not None:
+            mc["max_restarts"] = args.max_restarts
+        if getattr(args, "retry_budget", None) is not None:
+            mc["retry_budget"] = args.retry_budget
+        injectors = None
+        if getattr(args, "chaos", None):
+            from .runtime import parse_chaos_spec
+            injectors = [parse_chaos_spec(spec, seed=i)
+                         for i, spec in enumerate(args.chaos)]
         outcome = run_parallel(result, args.threads, entry=args.entry,
                                chunk=args.chunk, strict=args.strict,
                                sink=sink, watchdog=args.watchdog,
                                tracer=tracer, engine=eng,
-                               backend=args.backend, workers=args.workers)
+                               backend=args.backend, workers=args.workers,
+                               mc=mc or None, fault_injectors=injectors)
     finally:
         _finish_trace(args, tracer)
     for line in outcome.output:
@@ -403,6 +414,25 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers", type=int, default=None, metavar="N",
             help="process-backend worker pool size (default: the "
                  "thread count)",
+        )
+        p.add_argument(
+            "--max-restarts", type=int, default=None, metavar="N",
+            help="process-backend supervision: dead-worker respawns "
+                 "allowed per session before the pool shrinks/degrades "
+                 "(default 3)",
+        )
+        p.add_argument(
+            "--retry-budget", type=int, default=None, metavar="N",
+            help="process-backend supervision: re-dispatches allowed "
+                 "per task before degrading to the simulated backend "
+                 "(default 2)",
+        )
+        p.add_argument(
+            "--chaos", action="append", default=None, metavar="SPEC",
+            help="process-backend chaos injection (repeatable): "
+                 "kill[:task=I,after-iter=K], stall[:task=I,hold=S], "
+                 "drop[:rate=R,ks=K1+K2], delay[:seconds=S] — "
+                 "deterministic, seeded by position",
         )
 
     def add_common(p, needs_loop=False):

@@ -22,7 +22,10 @@ Code taxonomy (prefix = subsystem, stable across releases):
 ``XFORM-*``    promotion / expansion / redirection transforms
 ``RT-*``       parallel runtime: races, scheduling, watchdog, recovery
 ``INTERP-*``   interpreter faults (wild access, step budget, ...)
-``FAULT-*``    fault-injection harness events
+``FAULT-*``    fault-injection harness events (incl. process chaos)
+``MC-*``       multi-core process backend: capability-audit fallbacks
+               and supervision (restart / retry / token re-issue /
+               pool shrink / degradation-ladder rungs)
 =============  =======================================================
 """
 

@@ -187,7 +187,25 @@ def trace_summary(tracer) -> str:
         parts.append("Worker spans (wall-clock us)\n" + _table(
             ["span", "count", "us"], rows))
 
-    metrics = tracer.metrics.as_dict()
+    # supervision counters (process backend fault tolerance), pulled
+    # into their own table so restart/retry activity is visible at a
+    # glance even among many metrics
+    metrics_all = tracer.metrics.as_dict()
+    sup_rows = [
+        [label, f"{metrics_all[key]:,g}"]
+        for label, key in (
+            ("worker restarts", "runtime.mc_restart"),
+            ("task retries", "runtime.mc_retry"),
+            ("degradations", "runtime.mc_degrade"),
+            ("sync-token re-issues", "runtime.mc_token_reissues"),
+            ("spin-wait backoffs", "runtime.mc_spin_backoffs"),
+        ) if key in metrics_all
+    ]
+    if sup_rows:
+        parts.append("Supervision (process backend)\n" + _table(
+            ["event", "count"], sup_rows))
+
+    metrics = metrics_all
     if metrics:
         # values are usually counters, but some are labels (e.g. the
         # interp.engine name)

@@ -8,13 +8,15 @@ from .stats import (
     LoopExecution, ParallelOutcome, RecoveryEvent, ThreadStats,
 )
 from .faults import (
-    CopyIndexSkew, FaultInjector, SpanCorruptor, SyncTokenDropper,
-    ThreadAbortFault, ThreadAborter,
+    CopyIndexSkew, FaultInjector, HeartbeatStaller, ProcessChaosInjector,
+    SpanCorruptor, SyncTokenDropper, ThreadAbortFault, ThreadAborter,
+    TokenPostDelayer, TokenPostDropper, WorkerKiller, parse_chaos_spec,
 )
 from .multicore import (
     LoopAudit, ProcessSession, WorkerCrash, audit_loop,
-    process_backend_available,
+    audit_retry_safety, process_backend_available,
 )
+from .supervisor import Supervisor
 from . import sync
 
 __all__ = [
@@ -23,6 +25,8 @@ __all__ = [
     "MachineSnapshot", "RecoveryEvent",
     "FaultInjector", "SpanCorruptor", "CopyIndexSkew",
     "SyncTokenDropper", "ThreadAborter", "ThreadAbortFault",
+    "ProcessChaosInjector", "WorkerKiller", "HeartbeatStaller",
+    "TokenPostDropper", "TokenPostDelayer", "parse_chaos_spec",
     "process_backend_available", "ProcessSession", "WorkerCrash",
-    "LoopAudit", "audit_loop",
+    "LoopAudit", "audit_loop", "audit_retry_safety", "Supervisor",
 ]

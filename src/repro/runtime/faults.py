@@ -337,7 +337,194 @@ class ThreadAborter(FaultInjector):
         machine.exec_stmt = exec_stmt
 
 
+# ---------------------------------------------------------------------------
+# process-level chaos (multi-core backend)
+# ---------------------------------------------------------------------------
+
+class ProcessChaosInjector(FaultInjector):
+    """Base class for chaos that targets the *process* backend.
+
+    These are not machine instrumentation: they do not hook the parent
+    interpreter, so arming one does **not** route loops through the
+    simulated controllers (``MC-INSTRUMENTED``) — the whole point is to
+    fail the real worker pool and watch the supervisor heal it.
+    ``ParallelRunner`` routes them to ``ProcessSession.chaos``; the
+    supervisor consults :meth:`plan` once per task at its *first*
+    dispatch (retries run chaos-free, so an injected failure cannot
+    chase its own recovery forever).
+
+    ``task`` selects which dispatch(es) to hit by the session-global
+    task sequence number: ``None`` = every task, an int = that one
+    task, a list = those tasks.
+    """
+
+    process_level = True
+
+    def __init__(self, seed: int = 0, task=0):
+        super().__init__(seed)
+        self.task = task
+
+    def _hits(self, index: int) -> bool:
+        if not self.armed:
+            return False
+        if self.task is None:
+            return True
+        if isinstance(self.task, (list, tuple, set)):
+            return index in self.task
+        return index == int(self.task)
+
+    def plan(self, kind: str, index: int, wid: int, lane, spec) -> dict:
+        """Return chaos directives (merged into ``spec["chaos"]``) for
+        this dispatch, or an empty dict."""
+        return {}
+
+
+class WorkerKiller(ProcessChaosInjector):
+    """SIGKILL a worker at a chosen chunk boundary.
+
+    ``after_iter=None`` kills the worker at dispatch time — before the
+    task lands, the cleanest chunk boundary there is.  ``after_iter=n``
+    makes the worker SIGKILL *itself* right after completing local
+    iteration ``n`` (for DOACROSS that is a committed-iteration
+    boundary, exercising the drain-and-resume lease path; for DOALL it
+    is past the write fence, exercising the retry-safety audit)."""
+
+    code = "FAULT-KILL"
+
+    def __init__(self, seed: int = 0, task=0, after_iter=None):
+        super().__init__(seed, task)
+        self.after_iter = after_iter
+
+    def plan(self, kind, index, wid, lane, spec) -> dict:
+        if not self._hits(index):
+            return {}
+        self.fired += 1
+        if self.after_iter is None:
+            return {"kill_at_dispatch": True}
+        return {"kill_after_iter": int(self.after_iter)}
+
+
+class HeartbeatStaller(ProcessChaosInjector):
+    """Freeze a worker's heartbeat without killing it.
+
+    The beat thread stops bumping BEAT for ``duration`` seconds
+    (negative = forever); ``hold`` keeps the task artificially in
+    flight so the supervisor's staleness check deterministically
+    observes the frozen beat and revokes the worker's lease."""
+
+    code = "FAULT-HB-STALL"
+
+    def __init__(self, seed: int = 0, task=0, duration: float = -1.0,
+                 hold: float = 1.0):
+        super().__init__(seed, task)
+        self.duration = duration
+        self.hold = hold
+
+    def plan(self, kind, index, wid, lane, spec) -> dict:
+        if not self._hits(index):
+            return {}
+        self.fired += 1
+        return {"stall_heartbeat": self.duration, "hold": self.hold}
+
+
+class TokenPostDropper(ProcessChaosInjector):
+    """Swallow DOACROSS sync-token posts inside the worker.
+
+    The worker records each dropped post in the iteration's committed
+    message instead of writing the slot; the supervisor re-issues the
+    token (``MC-TOKEN-REISSUE``) so downstream stages unblock.  ``ks``
+    limits drops to those iteration numbers; otherwise ``rate`` (with
+    the injector seed) draws deterministically per (origin, k)."""
+
+    code = "FAULT-POST-DROP"
+
+    def __init__(self, seed: int = 0, task=None, ks=None,
+                 rate: float = 1.0):
+        super().__init__(seed, task)
+        self.ks = list(ks) if ks is not None else None
+        self.rate = rate
+
+    def plan(self, kind, index, wid, lane, spec) -> dict:
+        if kind != "doacross" or not self._hits(index):
+            return {}
+        self.fired += 1
+        directive = {"seed": self.seed, "rate": self.rate}
+        if self.ks is not None:
+            directive["ks"] = self.ks
+        return {"drop_posts": directive}
+
+
+class TokenPostDelayer(ProcessChaosInjector):
+    """Delay DOACROSS sync-token posts by ``seconds`` of wall time.
+
+    Modeled cycles are unaffected (the cost model never sees wall
+    time), so output and metrics stay bit-identical — this exercises
+    the spin-wait backoff path and the supervisor's patience."""
+
+    code = "FAULT-POST-DELAY"
+
+    def __init__(self, seed: int = 0, task=None, ks=None,
+                 rate: float = 1.0, seconds: float = 0.005):
+        super().__init__(seed, task)
+        self.ks = list(ks) if ks is not None else None
+        self.rate = rate
+        self.seconds = seconds
+
+    def plan(self, kind, index, wid, lane, spec) -> dict:
+        if kind != "doacross" or not self._hits(index):
+            return {}
+        self.fired += 1
+        directive = {"seed": self.seed, "rate": self.rate,
+                     "seconds": self.seconds}
+        if self.ks is not None:
+            directive["ks"] = self.ks
+        return {"delay_posts": directive}
+
+
+def parse_chaos_spec(spec: str, seed: int = 0) -> ProcessChaosInjector:
+    """Build a chaos injector from a CLI ``--chaos`` spec string.
+
+    Grammar: ``name[:key=value,key=value...]`` with names ``kill``,
+    ``stall``, ``drop``, ``delay``.  Examples::
+
+        kill                      SIGKILL worker at dispatch of task 0
+        kill:task=2,after-iter=1  worker of task 2 dies after local it 1
+        stall:task=1,hold=0.5     freeze task 1's heartbeat
+        drop:rate=0.5             drop half of all sync-token posts
+        delay:seconds=0.01        delay every post by 10ms
+    """
+    name, _, rest = spec.partition(":")
+    kwargs: dict = {}
+    if rest:
+        for part in rest.split(","):
+            key, _, value = part.partition("=")
+            key = key.strip().replace("-", "_")
+            value = value.strip()
+            if key == "ks":
+                kwargs[key] = [int(v) for v in value.split("+")]
+            elif key == "task":
+                kwargs[key] = None if value == "any" else int(value)
+            elif key in ("after_iter",):
+                kwargs[key] = int(value)
+            else:
+                kwargs[key] = float(value)
+    kwargs.setdefault("seed", seed)
+    makers = {
+        "kill": WorkerKiller,
+        "stall": HeartbeatStaller,
+        "drop": TokenPostDropper,
+        "delay": TokenPostDelayer,
+    }
+    if name not in makers:
+        raise ValueError(
+            f"unknown chaos spec {name!r} "
+            f"(expected one of {sorted(makers)})")
+    return makers[name](**kwargs)
+
+
 __all__ = [
     "FaultInjector", "SpanCorruptor", "CopyIndexSkew",
     "SyncTokenDropper", "ThreadAborter", "ThreadAbortFault",
+    "ProcessChaosInjector", "WorkerKiller", "HeartbeatStaller",
+    "TokenPostDropper", "TokenPostDelayer", "parse_chaos_spec",
 ]

@@ -48,18 +48,27 @@ store is not torn.  See DESIGN.md §13.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import random
+import signal
 import struct
+import threading
 import time
+import weakref
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..frontend import ast, print_program
+from ..frontend.ctypes import PointerType
 from ..interp import memory as mem
 from ..interp.machine import (
     BreakSignal, ContinueSignal, CostSink, Frame, Machine,
 )
+from ..analysis.cfg import build_loop_body_cfg
+from ..analysis.dataflow import UpwardExposure, solve
 from ..analysis.profiler import find_control_decl
+from ..obs import NULL_TRACER
 from ..transform.rewrite import origin_of
 from . import sync
 from .parallel import (
@@ -85,6 +94,14 @@ MC_INSTRUMENTED = "MC-INSTRUMENTED"  # fault injectors / watchdog active
 MC_UNAVAILABLE = "MC-UNAVAILABLE"  # no fork / no shared memory on host
 MC_DEGRADED = "MC-DEGRADED"        # pool lost earlier (worker crash)
 
+# supervision event codes (not fallback reasons: emitted by the
+# supervisor as it walks the recovery/degradation ladder)
+MC_RESTART = "MC-RESTART"          # dead worker respawned from warm image
+MC_RETRY = "MC-RETRY"              # in-flight chunk/strip re-executed
+MC_SHRINK = "MC-SHRINK"            # restart budget gone; pool shrank
+MC_DEGRADE = "MC-DEGRADE"          # ladder bottom: simulated fallback
+MC_TOKEN_REISSUE = "MC-TOKEN-REISSUE"  # dropped sync token repaired
+
 _ALLOC_BUILTINS = frozenset(("malloc", "calloc", "realloc", "free"))
 
 #: sync-slot codec: one 8-byte little-endian counter per serialized
@@ -98,6 +115,30 @@ DEFAULT_ARENA_BYTES = 1 << 21      # per-worker call-stack arena
 DEFAULT_SYNC_SLOTS = 512
 DEFAULT_WORKER_TIMEOUT = 120.0     # parent-side wait per task reply (s)
 DEFAULT_SPIN_TIMEOUT = 30.0        # worker-side wait per sync token (s)
+DEFAULT_HEARTBEAT_INTERVAL = 0.02  # worker beat period (s)
+DEFAULT_HEARTBEAT_TIMEOUT = 5.0    # stalled-beat revocation threshold (s)
+DEFAULT_MAX_RESTARTS = 3           # worker respawns per session
+DEFAULT_RETRY_BUDGET = 2           # re-dispatches per task
+
+#: heartbeat/lease region: four 8-byte words per worker, between the
+#: sync slots and the arenas.  BEAT is bumped by a worker-side timer
+#: thread; STATUS encodes ``(tid+1) << 3 | phase`` for the task the
+#: worker is currently executing (the write fence: phase >= PHASE_BODY
+#: means program-visible stores may have landed); ITER/DIRTY implement
+#: the DOACROSS iteration lease (completed-local-iteration count, and a
+#: dirty bit held across each iteration's serialized writes).
+HB_BEAT, HB_STATUS, HB_ITER, HB_DIRTY = 0, 8, 16, 24
+HB_BYTES = 4 * _SLOT_BYTES
+
+PHASE_IDLE, PHASE_BOUND, PHASE_BODY, PHASE_DONE = 0, 1, 2, 3
+
+#: pure-spin iterations before _spin_wait starts sleeping
+SPIN_THRESHOLD = 200
+_BACKOFF_START_S = 0.00005
+_BACKOFF_MAX_S = 0.002
+
+#: /dev/shm segment name prefix (leak regression tests grep for it)
+SEGMENT_PREFIX = "repro-mc"
 
 
 class WorkerCrash(ParallelError):
@@ -298,6 +339,136 @@ def audit_loop(loop: ast.LoopStmt, sema, kind_doall: bool,
 
 
 # ---------------------------------------------------------------------------
+# chunk retry-safety audit (may a DOALL chunk be re-executed whole?)
+# ---------------------------------------------------------------------------
+
+def _base_decl(expr: ast.Expr) -> Optional[ast.VarDecl]:
+    """Root VarDecl of an access chain (``a[i].f`` -> decl of ``a``)."""
+    while True:
+        if isinstance(expr, ast.Ident):
+            return expr.decl
+        if isinstance(expr, (ast.Index, ast.Member)):
+            expr = expr.base
+        elif isinstance(expr, ast.Unary) and expr.op == "*":
+            expr = expr.operand
+        else:
+            return None
+
+
+def audit_retry_safety(loop: ast.LoopStmt, sema,
+                       private_origins: Set[int]) -> List[str]:
+    """Why re-executing a partially-run DOALL chunk of ``loop`` would
+    NOT be sound (empty list == retry-safe).
+
+    A chunk that died *past its write fence* may have landed some of
+    its stores; re-running it from the start is sound iff every store
+    it can repeat is insensitive to having already happened once:
+
+    * accesses the transform privatized (``origin in private_origins``)
+      are rewritten by every iteration by construction — that is why
+      they were privatized — so repeating them is idempotent;
+    * a non-private memory location that is *written but never read*
+      inside the body is overwritten with the same value on the re-run
+      (DOALL iterations are independent, so the value depends only on
+      the induction variable and loop-invariant inputs);
+    * a scalar is safe unless one iteration can read it before writing
+      it (upward-exposed, per the region dataflow) *and* the body also
+      writes it — the classic read-modify-write accumulator.
+
+    Everything else — non-private read+written bases, writes through
+    unresolvable or pointer-typed bases (unknown aliasing), callees
+    that write non-local scalars — is conservatively unsafe.
+    """
+    reasons: List[str] = []
+    nodes, _ = _walk_subtree(loop, sema)
+    control = find_control_decl(loop) if isinstance(loop, ast.For) else None
+
+    # -- memory accesses (Index / Member / deref), whole subtree ---------
+    plain_targets: Set[int] = set()    # ids of '=' assign targets
+    rw_targets: Set[int] = set()       # ids of compound / ++ / -- targets
+    stmt_origin: Dict[int, int] = {}   # id(target) -> write stmt origin
+    for node in nodes:
+        if isinstance(node, ast.Assign):
+            (plain_targets if node.op == "=" else rw_targets).add(
+                id(node.target))
+            stmt_origin[id(node.target)] = origin_of(node)
+        elif isinstance(node, ast.Unary) and node.op in (
+                "++", "--", "p++", "p--"):
+            rw_targets.add(id(node.operand))
+            stmt_origin[id(node.operand)] = origin_of(node)
+    written: Set[int] = set()
+    read: Set[int] = set()
+    for node in nodes:
+        if not (isinstance(node, (ast.Index, ast.Member))
+                or (isinstance(node, ast.Unary) and node.op == "*")):
+            continue
+        # privatization is recorded on the *write statement's* origin
+        # (the Assign / inc-dec node — same convention as the race
+        # lint's private-copy check), not on the access expression
+        if (origin_of(node) in private_origins
+                or stmt_origin.get(id(node)) in private_origins):
+            continue
+        decl = _base_decl(node)
+        is_write = id(node) in plain_targets or id(node) in rw_targets
+        is_read = id(node) not in plain_targets
+        if is_write:
+            if decl is None:
+                reasons.append("write through unresolvable base")
+                continue
+            if isinstance(decl.ctype, PointerType):
+                reasons.append(
+                    f"write through pointer {decl.name!r} (may alias)")
+                continue
+            written.add(decl.nid)
+        if is_read and decl is not None:
+            read.add(decl.nid)
+        elif is_read and decl is None:
+            # reads are idempotent whatever they alias
+            pass
+    for nid in sorted(written & read):
+        reasons.append(f"structure both read and written (decl {nid})")
+
+    # -- scalars: upward-exposed AND written in one iteration ------------
+    try:
+        exposed = set(solve(build_loop_body_cfg(loop),
+                            UpwardExposure()).at_entry)
+    except Exception:
+        reasons.append("region dataflow unavailable")
+        exposed = set()
+    canonical_writers: Set[int] = set()
+    if isinstance(loop, ast.For):
+        for part in (loop.init, loop.step):
+            if part is not None:
+                canonical_writers |= {id(n) for n in part.walk()}
+    scalar_writes = _assigned_decls(
+        [n for n in loop.body.walk() if id(n) not in canonical_writers]
+    )
+    if control is not None:
+        scalar_writes.discard(control.nid)
+    for nid in sorted(exposed & scalar_writes):
+        reasons.append(f"scalar read-modify-write (decl {nid})")
+
+    # -- callees that write scalars outside their own frame --------------
+    functions = getattr(sema, "functions", {}) or {}
+    seen_fns: Set[int] = set()
+    for node in nodes:
+        if not isinstance(node, ast.Call) or node.callee_name is None:
+            continue
+        fn = functions.get(node.callee_name)
+        if fn is None or fn.nid in seen_fns:
+            continue
+        seen_fns.add(fn.nid)
+        local = {p.nid for p in fn.params}
+        local |= {n.nid for n in fn.body.walk()
+                  if isinstance(n, ast.VarDecl)}
+        escaped = _assigned_decls(list(fn.body.walk())) - local
+        if escaped:
+            reasons.append(
+                f"callee {node.callee_name!r} writes non-local scalars")
+    return reasons
+
+
+# ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
 
@@ -320,18 +491,29 @@ def _decl_index(program: ast.Program, sema) -> Dict[int, ast.VarDecl]:
 
 
 def _spin_wait(data, slot_addr: int, want: int, timeout_s: float,
+               counters: Optional[dict] = None,
                unpack=_SLOT.unpack_from) -> None:
-    """Busy-wait (with escalating sleeps) until the counter at
-    ``slot_addr`` reaches ``want``."""
+    """Wait until the counter at ``slot_addr`` reaches ``want``.
+
+    Pure spinning is kept only for the first :data:`SPIN_THRESHOLD`
+    checks (tokens usually arrive within a pipeline stage); past that
+    the wait escalates through exponentially longer ``time.sleep``
+    calls so a stalled producer costs scheduler wakeups, not a burnt
+    core.  Each sleep is counted into ``counters["backoffs"]`` (the
+    parent aggregates them as ``runtime.mc_spin_backoffs``)."""
     if unpack(data, slot_addr)[0] >= want:
         return
     spins = 0
+    delay = _BACKOFF_START_S
     deadline = time.monotonic() + timeout_s
     while unpack(data, slot_addr)[0] < want:
         spins += 1
-        if spins < 200:
+        if spins < SPIN_THRESHOLD:
             continue
-        time.sleep(0.00005)
+        if counters is not None:
+            counters["backoffs"] = counters.get("backoffs", 0) + 1
+        time.sleep(delay)
+        delay = min(delay * 2.0, _BACKOFF_MAX_S)
         if time.monotonic() > deadline:
             raise _SpinTimeout(slot_addr, want)
 
@@ -343,8 +525,85 @@ class _SpinTimeout(Exception):
         self.want = want
 
 
+class _WorkerHB:
+    """Worker-side view of this worker's heartbeat/lease words.
+
+    The beat word is bumped by a daemon timer thread; the task code
+    writes STATUS (current tid + phase — the write fence), ITER and
+    DIRTY (the DOACROSS iteration lease).  All words are 8-byte aligned
+    single stores, so the parent never observes a torn value."""
+
+    __slots__ = ("data", "base", "stall_until")
+
+    def __init__(self, data, base: int):
+        self.data = data
+        self.base = base
+        self.stall_until = 0.0
+
+    def stalled(self) -> bool:
+        return bool(self.stall_until) and (
+            self.stall_until < 0 or time.monotonic() < self.stall_until)
+
+    def stall(self, seconds: float) -> None:
+        self.stall_until = (-1.0 if seconds < 0
+                            else time.monotonic() + seconds)
+
+    def status(self, tid: int, phase: int) -> None:
+        _SLOT.pack_into(self.data, self.base + HB_STATUS,
+                        ((tid + 1) << 3) | phase)
+
+    def set_iter(self, count: int) -> None:
+        _SLOT.pack_into(self.data, self.base + HB_ITER, count)
+
+    def set_dirty(self, flag: int) -> None:
+        _SLOT.pack_into(self.data, self.base + HB_DIRTY, flag)
+
+
+def _apply_chaos(hb: _WorkerHB, chaos: dict) -> None:
+    """Honor the parent-scheduled chaos directives that apply at task
+    start: heartbeat stalls and an artificial hold (the hold keeps the
+    task in flight long enough for the supervisor's staleness check to
+    observe the stalled beat deterministically)."""
+    stall = chaos.get("stall_heartbeat")
+    if stall is not None:
+        hb.stall(float(stall))
+    hold = chaos.get("hold")
+    if hold:
+        time.sleep(float(hold))
+
+
+def _chaos_hits(directive: dict, origin: int, k: int) -> bool:
+    """Deterministic per-(origin, iteration) draw for token chaos."""
+    ks = directive.get("ks")
+    if ks is not None:
+        return k in ks
+    rate = float(directive.get("rate", 1.0))
+    if rate >= 1.0:
+        return True
+    seed = int(directive.get("seed", 0))
+    return random.Random(
+        seed * 1000003 + origin * 8191 + k).random() < rate
+
+
+def _post_token(data, slots: Dict[int, int], origin: int, k: int,
+                chaos: dict, dropped: List[Tuple[int, int]]) -> None:
+    """Post one sync token, subject to chaos: a dropped post is
+    *recorded* in the iteration message instead of written (the parent
+    re-issues it — the lease-recovery path under test); a delayed post
+    sleeps first (wall-clock only; modeled cycles are unaffected)."""
+    drop = chaos.get("drop_posts")
+    if drop and _chaos_hits(drop, origin, k):
+        dropped.append((origin, k))
+        return
+    delay = chaos.get("delay_posts")
+    if delay and _chaos_hits(delay, origin, k):
+        time.sleep(float(delay.get("seconds", 0.005)))
+    _SLOT.pack_into(data, slots[origin], k + 1)
+
+
 def _worker_main(conn, wid: int, shm, program, sema, fingerprint: str,
-                 arena_base: int, arena_limit: int) -> None:
+                 arena_base: int, arena_limit: int, hb_base: int,
+                 hb_interval: float) -> None:
     """Worker process entry point.  Serves task messages until an
     ``("exit",)`` sentinel or pipe EOF, then hard-exits — ``os._exit``
     skips the multiprocessing atexit machinery, so the fork-inherited
@@ -362,6 +621,19 @@ def _worker_main(conn, wid: int, shm, program, sema, fingerprint: str,
                           engine="bytecode-bare", memory=memory)
         decls = _decl_index(program, sema)
         loops: Dict[str, ast.LoopStmt] = {}
+        hb = _WorkerHB(shm.buf, hb_base)
+        stop = threading.Event()
+
+        def _beat() -> None:
+            n = 0
+            while not stop.wait(hb_interval):
+                if hb.stalled():
+                    continue
+                n += 1
+                _SLOT.pack_into(hb.data, hb.base + HB_BEAT, n)
+
+        threading.Thread(target=_beat, daemon=True,
+                         name="repro-mc-heartbeat").start()
         while True:
             try:
                 msg = conn.recv()
@@ -380,15 +652,18 @@ def _worker_main(conn, wid: int, shm, program, sema, fingerprint: str,
                         program, spec["label"])
                 if msg[0] == "doall":
                     reply = _task_doall(machine, memory, decls, loop,
-                                        arena_base, spec)
+                                        arena_base, spec, hb)
                 else:
                     reply = _task_doacross(machine, memory, decls, loop,
-                                           arena_base, spec)
+                                           arena_base, spec, conn, hb)
             except _SpinTimeout as exc:
-                reply = ("err", "RT-SYNC-TIMEOUT", str(exc))
+                reply = ("err", spec.get("tid"), "RT-SYNC-TIMEOUT",
+                         str(exc))
             except BaseException as exc:
-                reply = ("err", type(exc).__name__, str(exc)[:500])
+                reply = ("err", spec.get("tid"), type(exc).__name__,
+                         str(exc)[:500])
             conn.send(reply)
+        stop.set()
     except (EOFError, OSError, KeyboardInterrupt):
         pass
     except BaseException:
@@ -428,17 +703,29 @@ def _bind_task(machine: Machine, memory: mem.Memory,
     return caddr, control.ctype.fmt
 
 
-def _task_doall(machine, memory, decls, loop, arena_base, spec):
+def _task_doall(machine, memory, decls, loop, arena_base, spec, hb):
     """One DOALL chunk: iterations [chunk_lo, chunk_hi) with the
     private induction variable pre-seeded, mirroring the simulated
     controller's per-chunk execution exactly (uncosted control seed;
-    per-iteration cond / body / step)."""
+    per-iteration cond / body / step).
+
+    STATUS is the write fence: it stays at PHASE_BOUND until just
+    before the first body statement can store into program memory, so
+    a death observed at PHASE_BOUND is always retryable (binding only
+    touches the worker-private arena)."""
+    tid = spec["tid"]
+    hb.status(tid, PHASE_BOUND)
     caddr, fmt = _bind_task(machine, memory, decls, arena_base, spec)
+    chaos = spec.get("chaos") or {}
+    if chaos:
+        _apply_chaos(hb, chaos)
+    kill_after = chaos.get("kill_after_iter")
     lo, step = spec["lo"], spec["step"]
     sink = machine.cost
     iters = 0
     t_start = time.perf_counter_ns()
     memory.write_scalar(caddr, fmt, lo + spec["chunk_lo"] * step)
+    hb.status(tid, PHASE_BODY)
     for _k in range(spec["chunk_lo"], spec["chunk_hi"]):
         if loop.cond is not None:
             machine.eval(loop.cond)
@@ -447,26 +734,46 @@ def _task_doall(machine, memory, decls, loop, arena_base, spec):
         except ContinueSignal:
             pass
         except BreakSignal:
-            return ("err", "RT-BREAK",
+            return ("err", tid, "RT-BREAK",
                     f"break inside DOALL loop {spec['label']!r}")
         if loop.step is not None:
             machine.eval(loop.step)
+        if kill_after is not None and iters == kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
         iters += 1
     t_end = time.perf_counter_ns()
-    return ("ok", spec["tid"], machine.output,
+    hb.status(tid, PHASE_DONE)
+    return ("ok", tid, machine.output,
             (sink.cycles, sink.instructions, sink.loads, sink.stores),
-            iters, (t_start, t_end))
+            iters, (t_start, t_end), {})
 
 
-def _task_doacross(machine, memory, decls, loop, arena_base, spec):
+def _task_doacross(machine, memory, decls, loop, arena_base, spec, conn,
+                   hb):
     """One DOACROSS strip: iterations tid, tid+N, ... of a chunk-1
     dynamic schedule.  Serialized statements wait on / post to 8-byte
-    counters in the segment's sync region; the worker reports one
-    ``(origin, is_serial, cycles)`` segment list per iteration so the
-    parent can replay the simulated pipelining recurrence verbatim."""
+    counters in the segment's sync region.
+
+    Unlike DOALL, the strip *streams*: each completed iteration is
+    committed by one pipe write — ``("it", tid, k, segments, lines,
+    cost_delta, dropped_posts)`` — before the lease words advance.
+    Pipe buffers survive the writer's death, so the parent can drain a
+    dead stage's committed iterations post-mortem and resume its
+    replacement from the exact boundary (``spec["resume_from"]`` local
+    iterations are skipped).  The DIRTY word brackets each iteration's
+    execution; a death with DIRTY set and no matching committed message
+    means serialized writes may be half-applied and the strip is not
+    resumable."""
+    tid = spec["tid"]
+    hb.status(tid, PHASE_BOUND)
     caddr, fmt = _bind_task(machine, memory, decls, arena_base, spec)
+    chaos = spec.get("chaos") or {}
+    if chaos:
+        _apply_chaos(hb, chaos)
+    kill_after = chaos.get("kill_after_iter")
+    resume = int(spec.get("resume_from", 0))
     lo, step = spec["lo"], spec["step"]
-    total, nthreads, tid = spec["total"], spec["nthreads"], spec["tid"]
+    total, nthreads = spec["total"], spec["nthreads"]
     slots: Dict[int, int] = dict(spec["slots"])
     serial = set(slots)
     timeout = spec["spin_timeout"]
@@ -475,14 +782,21 @@ def _task_doacross(machine, memory, decls, loop, arena_base, spec):
     data = memory.data
     sink = machine.cost
     output = machine.output
-    iters = []   # (k, [(origin, is_serial, cycles)], n_output_lines)
+    counters = {"backoffs": 0}
+    local = resume
     t_start = time.perf_counter_ns()
-    for k in range(tid, total, nthreads):
+    hb.set_iter(resume)
+    hb.set_dirty(0)
+    hb.status(tid, PHASE_BODY)
+    for k in range(tid + resume * nthreads, total, nthreads):
+        hb.set_dirty(1)
+        c0 = (sink.cycles, sink.instructions, sink.loads, sink.stores)
         memory.write_scalar(caddr, fmt, lo + k * step)
         if loop.cond is not None:
             machine.eval(loop.cond)
         segments: List[Tuple[int, bool, float]] = []
         posted: Set[int] = set()
+        dropped: List[Tuple[int, int]] = []
         n0 = len(output)
         broke = False
         try:
@@ -490,7 +804,7 @@ def _task_doacross(machine, memory, decls, loop, arena_base, spec):
                 origin = origin_of(stmt)
                 is_serial = origin in serial
                 if is_serial:
-                    _spin_wait(data, slots[origin], k, timeout)
+                    _spin_wait(data, slots[origin], k, timeout, counters)
                 before = sink.cycles
                 try:
                     machine.exec_stmt(stmt)
@@ -499,7 +813,8 @@ def _task_doacross(machine, memory, decls, loop, arena_base, spec):
                         (origin, is_serial, sink.cycles - before))
                     if is_serial:
                         posted.add(origin)
-                        _SLOT.pack_into(data, slots[origin], k + 1)
+                        _post_token(data, slots, origin, k, chaos,
+                                    dropped)
         except ContinueSignal:
             pass
         except BreakSignal:
@@ -511,32 +826,96 @@ def _task_doacross(machine, memory, decls, loop, arena_base, spec):
         for stmt in stmts:
             origin = origin_of(stmt)
             if origin in serial and origin not in posted:
-                _spin_wait(data, slots[origin], k, timeout)
-                _SLOT.pack_into(data, slots[origin], k + 1)
+                _spin_wait(data, slots[origin], k, timeout, counters)
+                _post_token(data, slots, origin, k, chaos, dropped)
         if broke:
-            return ("err", "RT-BREAK",
+            return ("err", tid, "RT-BREAK",
                     f"break inside DOACROSS loop {spec['label']!r}")
         if loop.step is not None:
             machine.eval(loop.step)
-        iters.append((k, segments, len(output) - n0))
+        # commit point: the iteration exists once this write lands
+        conn.send(("it", tid, k, segments, output[n0:],
+                   (sink.cycles - c0[0], sink.instructions - c0[1],
+                    sink.loads - c0[2], sink.stores - c0[3]), dropped))
+        # dirty clears *before* ITER advances: a death between the two
+        # then reads dirty=0 (resume at drained count) instead of the
+        # ambiguous dirty=1 ∧ drained==ITER that means mid-iteration
+        hb.set_dirty(0)
+        hb.set_iter(local + 1)
+        if kill_after is not None and local == kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+        local += 1
+    c0 = (sink.cycles, sink.instructions, sink.loads, sink.stores)
     if spec["final_cond_tid"] == tid and loop.cond is not None:
         # the failing condition evaluation is this thread's work, just
         # as in the simulated dynamic schedule
         memory.write_scalar(caddr, fmt, lo + total * step)
         machine.eval(loop.cond)
     t_end = time.perf_counter_ns()
-    return ("ok", tid, output,
+    hb.status(tid, PHASE_DONE)
+    return ("ok", tid, (t_start, t_end),
+            (sink.cycles - c0[0], sink.instructions - c0[1],
+             sink.loads - c0[2], sink.stores - c0[3]),
             (sink.cycles, sink.instructions, sink.loads, sink.stores),
-            iters, (t_start, t_end))
+            {"backoffs": counters["backoffs"], "resumed": resume})
 
 
 # ---------------------------------------------------------------------------
 # parent side: segment + pool session
 # ---------------------------------------------------------------------------
 
+#: sessions with a live (not yet unlinked) segment, for the teardown
+#: guards below.  Weak: a collected session already closed via __del__.
+_LIVE_SESSIONS: "weakref.WeakSet" = weakref.WeakSet()
+_guards_installed = False
+
+
+def _close_live_sessions() -> None:
+    for session in list(_LIVE_SESSIONS):
+        try:
+            session.close()
+        except Exception:
+            pass
+
+
+def _install_teardown_guards() -> None:
+    """atexit + SIGTERM guard: an exception or a polite kill between
+    segment create and close must not leak ``/dev/shm`` segments.
+    Close is owner-pid gated, so the fork-inherited handler is a no-op
+    in workers (they must never unlink the parent's segment)."""
+    global _guards_installed
+    if _guards_installed:
+        return
+    _guards_installed = True
+    atexit.register(_close_live_sessions)
+    try:
+        previous = signal.getsignal(signal.SIGTERM)
+
+        def _on_sigterm(signum, frame):
+            _close_live_sessions()
+            if callable(previous):
+                previous(signum, frame)
+            else:
+                signal.signal(signal.SIGTERM, signal.SIG_DFL)
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):
+        # not the main thread (embedding host owns signals): the
+        # atexit guard still covers orderly interpreter shutdown
+        pass
+
+
 class ProcessSession:
     """Owns the shared segment and the (lazily forked) worker pool for
-    one :class:`~repro.runtime.parallel.ParallelRunner`."""
+    one :class:`~repro.runtime.parallel.ParallelRunner`.
+
+    The pool is *supervised*: :meth:`run_tasks` hands dispatch to
+    :class:`repro.runtime.supervisor.Supervisor`, which multiplexes
+    replies, watches per-worker heartbeat words, respawns dead workers
+    (``max_restarts`` per session), re-runs their in-flight work
+    (``retry_budget`` re-dispatches per task) and walks the degradation
+    ladder when budgets run out."""
 
     def __init__(self, program: ast.Program, sema, nthreads: int,
                  workers: Optional[int] = None,
@@ -556,29 +935,103 @@ class ProcessSession:
                                              DEFAULT_WORKER_TIMEOUT))
         self.spin_timeout = float(opts.get("spin_timeout",
                                            DEFAULT_SPIN_TIMEOUT))
+        self.heartbeat_interval = float(opts.get(
+            "heartbeat_interval", DEFAULT_HEARTBEAT_INTERVAL))
+        self.heartbeat_timeout = float(opts.get(
+            "heartbeat_timeout", DEFAULT_HEARTBEAT_TIMEOUT))
+        self.max_restarts = int(opts.get("max_restarts",
+                                         DEFAULT_MAX_RESTARTS))
+        self.retry_budget = int(opts.get("retry_budget",
+                                         DEFAULT_RETRY_BUDGET))
         self.sync_base = self.parent_limit
-        self.arena_base = self.sync_base + self.sync_slots * _SLOT_BYTES
+        self.hb_base = self.sync_base + self.sync_slots * _SLOT_BYTES
+        self.arena_base = self.hb_base + self.workers * HB_BYTES
         total = self.arena_base + self.workers * self.arena_bytes
-        self.shm = shared_memory.SharedMemory(create=True, size=total)
-        #: the parent machine's memory, handed to ParallelRunner
-        self.memory = mem.Memory(buffer=self.shm.buf,
-                                 limit=self.parent_limit)
-        self.fingerprint = _fingerprint_for(program)
-        self._ctx = multiprocessing.get_context("fork")
-        self._procs: List = []
-        self._conns: List = []
-        self._origin_slots: Dict[int, int] = {}
-        self.degraded = False
-        self.degrade_reason = ""
-        self.closed = False
-        #: (wid, name, t_start_ns, t_end_ns, meta) wall-clock samples
-        #: collected from task replies, merged into the trace export
-        self.worker_samples: List[Tuple[int, str, int, int, dict]] = []
+        self._owner_pid = os.getpid()
+        name = (f"{SEGMENT_PREFIX}-{os.getpid()}-"
+                f"{os.urandom(4).hex()}")
+        try:
+            self.shm = shared_memory.SharedMemory(name=name, create=True,
+                                                  size=total)
+        except FileExistsError:  # pragma: no cover - 1-in-2^32 collision
+            self.shm = shared_memory.SharedMemory(create=True, size=total)
+        try:
+            #: the parent machine's memory, handed to ParallelRunner
+            self.memory = mem.Memory(buffer=self.shm.buf,
+                                     limit=self.parent_limit)
+            self.fingerprint = _fingerprint_for(program)
+            self._ctx = multiprocessing.get_context("fork")
+            self._procs: List = []
+            self._conns: List = []
+            self._origin_slots: Dict[int, int] = {}
+            self.degraded = False
+            self.degrade_reason = ""
+            self.closed = False
+            self.restarts_used = 0
+            #: session-global dispatch counter (chaos schedules key on it)
+            self.task_seq = 0
+            #: process-level chaos injectors (ParallelRunner routes
+            #: injectors with ``process_level = True`` here)
+            self.chaos: List = []
+            #: observability handles, attached by ParallelRunner
+            self.tracer = NULL_TRACER
+            self.sink = None
+            #: lane -> wid of the worker that completed it (last run)
+            self.lane_wids: List[int] = []
+            #: (wid, name, t_start_ns, t_end_ns, meta) wall-clock samples
+            #: collected from task replies, merged into the trace export
+            self.worker_samples: List[Tuple[int, str, int, int, dict]] = []
+        except BaseException:
+            try:
+                self.shm.close()
+            finally:
+                self.shm.unlink()
+            raise
+        _LIVE_SESSIONS.add(self)
+        _install_teardown_guards()
 
     # -- pool lifecycle ---------------------------------------------------
     @property
     def forked(self) -> bool:
         return bool(self._procs)
+
+    def live_wids(self) -> List[int]:
+        return [wid for wid, proc in enumerate(self._procs)
+                if proc is not None]
+
+    @property
+    def live_workers(self) -> int:
+        return len(self.live_wids())
+
+    def hb_addr(self, wid: int) -> int:
+        return self.hb_base + wid * HB_BYTES
+
+    def hb_read(self, wid: int, offset: int) -> int:
+        return _SLOT.unpack_from(self.memory.data,
+                                 self.hb_addr(wid) + offset)[0]
+
+    def _hb_zero(self, wid: int) -> None:
+        base = self.hb_addr(wid)
+        self.memory.data[base:base + HB_BYTES] = b"\0" * HB_BYTES
+
+    def _spawn_worker(self, wid: int):
+        """Fork one worker from the warm parent image (the compiled
+        bare-variant closures are inherited copy-on-write)."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        self._hb_zero(wid)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, wid, self.shm, self.program, self.sema,
+                  self.fingerprint,
+                  self.arena_base + wid * self.arena_bytes,
+                  self.arena_base + (wid + 1) * self.arena_bytes,
+                  self.hb_addr(wid), self.heartbeat_interval),
+            daemon=True,
+            name=f"repro-mc-{wid}",
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
 
     def ensure_pool(self) -> None:
         if self._procs or self.degraded or self.closed:
@@ -592,20 +1045,22 @@ class ProcessSession:
             comp.function(fn)
             comp.stmt(fn.body)
         for wid in range(self.workers):
-            parent_conn, child_conn = self._ctx.Pipe()
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(child_conn, wid, self.shm, self.program, self.sema,
-                      self.fingerprint, self.arena_base
-                      + wid * self.arena_bytes,
-                      self.arena_base + (wid + 1) * self.arena_bytes),
-                daemon=True,
-                name=f"repro-mc-{wid}",
-            )
-            proc.start()
-            child_conn.close()
+            proc, conn = self._spawn_worker(wid)
             self._procs.append(proc)
-            self._conns.append(parent_conn)
+            self._conns.append(conn)
+
+    def respawn_worker(self, wid: int) -> None:
+        """Replace a dead worker in place; counts against
+        ``max_restarts``.  The caller (supervisor) owns diagnostics."""
+        self.restarts_used += 1
+        proc, conn = self._spawn_worker(wid)
+        self._procs[wid] = proc
+        self._conns[wid] = conn
+
+    def retire_worker(self, wid: int) -> None:
+        """Drop a dead worker without replacement (pool shrink)."""
+        self._procs[wid] = None
+        self._conns[wid] = None
 
     def degrade(self, reason: str) -> None:
         """Kill the pool and route every later dispatch to the
@@ -617,6 +1072,8 @@ class ProcessSession:
 
     def _kill_pool(self) -> None:
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(("exit",))
             except Exception:
@@ -626,6 +1083,8 @@ class ProcessSession:
             except Exception:
                 pass
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=2.0)
             if proc.is_alive():
                 proc.terminate()
@@ -639,57 +1098,49 @@ class ProcessSession:
     def close(self) -> None:
         """Shut the pool down and release the segment.  The parent
         memory is detached first (snapshotted into an ordinary
-        bytearray) so the outcome stays inspectable after unlink."""
-        if self.closed:
+        bytearray) so the outcome stays inspectable after unlink.
+        No-op in forked children: only the creating process may unlink
+        (the SIGTERM guard is inherited across fork)."""
+        if self.closed or os.getpid() != self._owner_pid:
             return
         self.closed = True
-        self._kill_pool()
+        _LIVE_SESSIONS.discard(self)
         try:
-            self.memory.detach()
-        except Exception:
-            pass
+            self._kill_pool()
+        finally:
+            try:
+                self.memory.detach()
+            except Exception:
+                pass
+            try:
+                self.shm.close()
+            except Exception:
+                pass
+            try:
+                self.shm.unlink()
+            except Exception:
+                pass
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
         try:
-            self.shm.close()
-        except Exception:
-            pass
-        try:
-            self.shm.unlink()
+            self.close()
         except Exception:
             pass
 
     # -- dispatch ---------------------------------------------------------
-    def run_tasks(self, kind: str, specs: List[dict]) -> List[tuple]:
-        """Send one task per spec (round-robin over workers), collect
-        one reply per task.  A dead pipe or reply timeout kills the
-        pool and raises :class:`WorkerCrash`; worker-level task errors
-        come back as ``("err", code, msg)`` entries for the caller."""
+    def run_tasks(self, kind: str, specs: List[dict],
+                  retry_safe: bool = False) -> List[tuple]:
+        """Send one task per spec (round-robin over live workers) under
+        supervision; collect one reply per task.  Worker deaths are
+        recovered per the retry/degradation ladder; an unrecoverable
+        death kills the pool and raises :class:`WorkerCrash`.
+        Worker-level task errors come back as ``("err", code, msg)``
+        entries for the caller.  ``retry_safe`` is the DOALL chunk
+        retry-safety verdict (:func:`audit_retry_safety`): it gates
+        re-execution of chunks that died past their write fence."""
         self.ensure_pool()
-        n = len(self._conns)
-        lanes = [self._conns[i % n] for i in range(len(specs))]
-        for spec, conn in zip(specs, lanes):
-            conn.send((kind, spec))
-        replies: List[Optional[tuple]] = [None] * len(specs)
-        dead: Set[int] = set()
-        crash: Optional[str] = None
-        for i, conn in enumerate(lanes):
-            wid = i % n
-            if wid in dead:
-                continue
-            try:
-                if not conn.poll(self.worker_timeout):
-                    raise EOFError("reply timeout")
-                replies[i] = conn.recv()
-            except (EOFError, OSError, BrokenPipeError) as exc:
-                dead.add(wid)
-                code = self._procs[wid].exitcode
-                crash = crash or (
-                    f"worker {wid} died mid-task "
-                    f"(exitcode={code}, {exc or 'pipe closed'})"
-                )
-        if crash is not None:
-            self.degrade(crash)
-            raise WorkerCrash(crash)
-        return replies  # type: ignore[return-value]
+        from .supervisor import Supervisor
+        return Supervisor(self, kind, specs, retry_safe=retry_safe).run()
 
     # -- task-spec helpers ------------------------------------------------
     def context_maps(self, machine: Machine) -> Tuple[list, list, list]:
@@ -745,7 +1196,20 @@ class _ProcessMixin:
         self.session = session
         self._kind_doall = kind_doall
         self._audit: Optional[LoopAudit] = None
+        self._retry_audit: Optional[List[str]] = None
         self._noted_fallback: Set[str] = set()
+
+    def _retry_safe(self) -> bool:
+        """Cached chunk retry-safety verdict for this loop (DOALL only;
+        see :func:`audit_retry_safety`)."""
+        if self._retry_audit is None:
+            runner = self.runner
+            priv = getattr(self.tloop, "priv", None)
+            self._retry_audit = audit_retry_safety(
+                self.tloop.loop, runner.tresult.sema,
+                set(getattr(priv, "private_sites", None) or ()),
+            )
+        return not self._retry_audit
 
     def _loop_audit(self) -> LoopAudit:
         if self._audit is None:
@@ -765,6 +1229,12 @@ class _ProcessMixin:
         reasons = list(audit.reasons)
         if self.session.degraded:
             reasons.append(MC_DEGRADED)
+        if not self._kind_doall and self.session.forked \
+                and self.session.live_workers < runner.nthreads:
+            # DOACROSS pins stage tid to worker tid mod N; a shrunken
+            # pool would stack two stages on one (FIFO) worker and
+            # deadlock the token pipeline
+            reasons.append(MC_WORKERS)
         if getattr(runner, "fault_injectors", None) \
                 or getattr(runner, "watchdog", None) is not None:
             # injected faults and statement watchdogs hook the *parent*
@@ -877,10 +1347,13 @@ class _ProcessDoallController(_ProcessMixin, _DoallController):
                 "globals": globals_map, "frame": frame_map,
                 "strlits": strlits,
             })
-        replies = self.session.run_tasks("doall", tasks) if tasks else []
+        replies = self.session.run_tasks(
+            "doall", tasks, retry_safe=self._retry_safe()
+        ) if tasks else []
         for reply in replies:
             if reply[0] != "ok":
                 self._raise_task_error(loop, reply)
+        lane_wids = self.session.lane_wids
         spans = [0.0] * nthreads
         for lane, reply in enumerate(replies):
             _ok, tid, lines, sink_payload, iters, wall = reply
@@ -891,9 +1364,10 @@ class _ProcessDoallController(_ProcessMixin, _DoallController):
             stats.iterations += iters
             execution.iterations += iters
             machine.output.extend(lines)
+            wid = lane_wids[lane] if lane < len(lane_wids) \
+                else lane % self.session.workers
             self.session.worker_samples.append(
-                (lane % self.session.workers, "doall-chunk",
-                 wall[0], wall[1],
+                (wid, "doall-chunk", wall[0], wall[1],
                  {"loop": loop.label, "tid": tid, "iterations": iters})
             )
             if tracer:
@@ -961,6 +1435,7 @@ class _ProcessDoacrossController(_ProcessMixin, _DoacrossController):
             if reply[0] != "ok":
                 self._raise_task_error(loop, reply)
         # merge busy work + output (program order = ascending k)
+        lane_wids = session.lane_wids
         per_iter: Dict[int, tuple] = {}
         for lane, reply in enumerate(replies):
             _ok, tid, lines, sink_payload, iters, wall = reply
@@ -971,9 +1446,10 @@ class _ProcessDoacrossController(_ProcessMixin, _DoacrossController):
                 per_iter[k] = (tid, segments,
                                lines[cursor:cursor + n_lines])
                 cursor += n_lines
+            wid = lane_wids[lane] if lane < len(lane_wids) \
+                else lane % session.workers
             session.worker_samples.append(
-                (lane % session.workers, "doacross-strip",
-                 wall[0], wall[1],
+                (wid, "doacross-strip", wall[0], wall[1],
                  {"loop": loop.label, "tid": tid,
                   "iterations": len(iters)})
             )

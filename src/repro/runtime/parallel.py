@@ -725,6 +725,8 @@ class ParallelRunner:
                 )
                 memory = self.session.memory
                 self.backend = "process"
+                self.session.tracer = self.tracer
+                self.session.sink = self.sink
         self.outcome.backend = self.backend
         try:
             # the parallel runtime needs observer fan-out (race checker)
@@ -764,9 +766,19 @@ class ParallelRunner:
                     )
                 self.machine.loop_controllers[tloop.loop.nid] = controller
             self._install_quarantined()
-            self.fault_injectors = list(fault_injectors or [])
-            for injector in self.fault_injectors:
-                injector.install(self)
+            # machine-level injectors instrument the parent interpreter
+            # (and force MC-INSTRUMENTED fallback); process-level chaos
+            # targets the worker pool itself and must NOT disarm the
+            # process backend — it routes to the session's chaos list
+            self.fault_injectors = []
+            for injector in list(fault_injectors or []):
+                if getattr(injector, "process_level", False):
+                    injector.runner = self
+                    if self.session is not None:
+                        self.session.chaos.append(injector)
+                else:
+                    self.fault_injectors.append(injector)
+                    injector.install(self)
         except BaseException:
             if self.session is not None:
                 self.session.close()
@@ -908,6 +920,14 @@ class ParallelRunner:
                                     len(session.worker_samples))
             if session.degraded:
                 self.tracer.metrics.inc("runtime.mc_degraded")
+            # materialize the supervision counters at zero so trace
+            # summaries always show the fault-tolerance columns
+            metrics = self.tracer.metrics
+            for name in ("runtime.mc_restart", "runtime.mc_retry",
+                         "runtime.mc_degrade",
+                         "runtime.mc_spin_backoffs",
+                         "runtime.mc_token_reissues"):
+                metrics.set(name, metrics.get(name, 0))
         session.worker_samples = []
         session.close()
 

@@ -9,8 +9,9 @@ from repro.diagnostics import DiagnosticSink
 from repro.frontend import parse_and_analyze
 from repro.interp import Machine
 from repro.runtime import (
-    CopyIndexSkew, RaceError, SpanCorruptor, SyncTokenDropper,
-    ThreadAborter, run_parallel,
+    CopyIndexSkew, HeartbeatStaller, RaceError, SpanCorruptor,
+    SyncTokenDropper, ThreadAborter, TokenPostDelayer, TokenPostDropper,
+    WorkerKiller, run_parallel,
 )
 from repro.transform import expand_for_threads
 
@@ -228,3 +229,110 @@ class TestPermissiveNeverEscapes:
                                fault_injectors=[make_injector()])
         assert outcome.output == base.output
         assert outcome.races == []
+
+
+# ---------------------------------------------------------------------------
+# process-level chaos: faults against the REAL worker pool
+# ---------------------------------------------------------------------------
+
+def _process_or_skip():
+    from repro.runtime import process_backend_available
+
+    ok, why = process_backend_available()
+    if not ok:
+        pytest.skip(f"process backend unavailable: {why}")
+
+
+def _heap_image(memory):
+    return [(r.kind, r.label, r.addr, r.size,
+             bytes(memory.data[r.addr:r.end]))
+            for r in memory._allocs
+            if r.live and r.kind in ("global", "heap")]
+
+
+def _chaos_run(source, injectors, mc=None):
+    from repro.obs import Tracer
+    from repro.runtime import ParallelRunner
+
+    program, sema = parse_and_analyze(source)
+    result = expand_for_threads(program, sema, ["L"], optimize=True)
+    tracer = Tracer()
+    runner = ParallelRunner(result, 4, engine="bytecode",
+                            backend="process", workers=4,
+                            mc=dict({"segment_bytes": 1 << 21,
+                                     "arena_bytes": 1 << 18},
+                                    **(mc or {})),
+                            tracer=tracer, fault_injectors=injectors)
+    outcome = runner.run()
+    return (_heap_image(runner.machine.memory), tuple(outcome.output),
+            tracer.metrics.as_dict())
+
+
+class TestProcessChaos:
+    """The seeded process-level injectors (kill / stall / drop / delay)
+    drive faults into the *real* worker pool — unlike the machine-level
+    injectors above, which force the MC-INSTRUMENTED fallback — and the
+    supervisor must heal every schedule back to a bit-identical heap
+    image, with the retry metrics matching the schedule exactly."""
+
+    #: injector factory, mc overrides, source, expected supervision
+    #: metrics (exact values: the schedules are deterministic)
+    SCENARIOS = [
+        ("kill-boundary",
+         lambda: WorkerKiller(seed=0, task=1),
+         None, DOALL_SRC,
+         {"runtime.mc_restart": 1, "runtime.mc_retry": 1}),
+        ("kill-mid-chunk",
+         lambda: WorkerKiller(seed=0, task=2, after_iter=0),
+         None, DOALL_SRC,
+         {"runtime.mc_restart": 1, "runtime.mc_retry": 1}),
+        ("kill-doacross-stage",
+         lambda: WorkerKiller(seed=0, task=1, after_iter=0),
+         None, DOACROSS_SRC,
+         {"runtime.mc_restart": 1, "runtime.mc_retry": 1}),
+        ("drop-posts",
+         lambda: TokenPostDropper(seed=0, task=0),
+         None, DOACROSS_SRC,
+         # task 0 owns iterations 0,4,8 of 12: three re-issued posts
+         {"runtime.mc_token_reissues": 3, "runtime.mc_restart": 0}),
+        ("stall-heartbeat",
+         lambda: HeartbeatStaller(seed=0, task=0, duration=-1.0,
+                                  hold=1.0),
+         {"heartbeat_timeout": 0.2}, DOALL_SRC,
+         {"runtime.mc_restart": 1, "runtime.mc_retry": 1}),
+        ("delay-posts",
+         lambda: TokenPostDelayer(seed=0, task=0, seconds=0.02),
+         None, DOACROSS_SRC,
+         {"runtime.mc_restart": 0}),
+    ]
+
+    @pytest.mark.parametrize(
+        "name,make,mc,source,expect",
+        SCENARIOS, ids=[s[0] for s in SCENARIOS])
+    def test_heals_bit_identical(self, name, make, mc, source, expect):
+        _process_or_skip()
+        base_heap, base_out, base_metrics = _chaos_run(source, None)
+        assert base_metrics.get("runtime.worker_tasks", 0) > 0, \
+            "scenario kernel must dispatch to real workers"
+        heap, out, metrics = _chaos_run(source, [make()], mc=mc)
+        assert out == base_out
+        assert heap == base_heap
+        assert not metrics.get("runtime.mc_degraded", 0)
+        for key, want in expect.items():
+            assert metrics.get(key, 0) == want, \
+                f"{name}: {key} = {metrics.get(key, 0)}, want {want}"
+
+    @pytest.mark.parametrize(
+        "name,make,mc,source,expect",
+        SCENARIOS, ids=[s[0] for s in SCENARIOS])
+    def test_schedule_is_deterministic(self, name, make, mc, source,
+                                       expect):
+        _process_or_skip()
+        runs = []
+        for _ in range(2):
+            heap, out, metrics = _chaos_run(source, [make()], mc=mc)
+            runs.append((heap, out,
+                         metrics.get("runtime.mc_restart", 0),
+                         metrics.get("runtime.mc_retry", 0),
+                         metrics.get("runtime.mc_token_reissues", 0)))
+        assert runs[0] == runs[1]

@@ -554,3 +554,324 @@ class TestSessionLifecycle:
         with pytest.raises(ParallelError) as info:
             ParallelRunner(tresult, 2, backend="gpu")
         assert info.value.diagnostic.code == "RT-BACKEND"
+
+
+# ---------------------------------------------------------------------------
+# supervision: heartbeats, respawn, chunk retry, lease recovery
+# ---------------------------------------------------------------------------
+
+def _run_process(tresult, nthreads, injectors=None, mc=None,
+                 strict=True, workers=None):
+    opts = dict(SMALL_MC)
+    opts.update(mc or {})
+    tracer = Tracer()
+    sink = DiagnosticSink()
+    runner = ParallelRunner(tresult, nthreads, engine="bytecode",
+                            backend="process", workers=workers or nthreads,
+                            mc=opts, tracer=tracer, sink=sink,
+                            strict=strict, fault_injectors=injectors)
+    outcome = runner.run()
+    return runner, outcome, tracer, sink
+
+
+class TestSupervision:
+    """The tentpole contract: the pool self-heals — a dead worker is
+    respawned from the warm parent image, only its in-flight chunk is
+    re-run, and the result stays bit-identical without ever leaving
+    the process backend."""
+
+    @pytest.mark.parametrize("task", [0, 1, 2, 3])
+    def test_boundary_kill_every_task(self, task):
+        """SIGKILL at every chunk boundary in turn: the supervisor
+        respawns and re-dispatches, bit-identical, no degradation."""
+        from repro.runtime import WorkerKiller
+
+        _, tresult = _prepare(DOALL_SRC)
+        runner, outcome, tracer, _ = _run_process(
+            tresult, 4, injectors=[WorkerKiller(seed=0, task=task)])
+        disturbed = _fingerprint(runner, outcome)
+        runner2, outcome2, _, _ = _run_process(tresult, 4)
+        assert disturbed == _fingerprint(runner2, outcome2)
+        assert not tracer.metrics.get("runtime.mc_degraded", 0)
+        assert tracer.metrics.get("runtime.mc_restart") == 1
+        assert tracer.metrics.get("runtime.mc_retry") == 1
+
+    def test_mid_chunk_kill_retry_safe(self):
+        """Self-SIGKILL past the write fence: the audit proves the
+        chunk idempotent (privatized + write-only stores), so the
+        respawn re-runs it in place."""
+        from repro.runtime import WorkerKiller
+
+        _, tresult = _prepare(DOALL_SRC)
+        runner, outcome, tracer, _ = _run_process(
+            tresult, 4,
+            injectors=[WorkerKiller(seed=0, task=1, after_iter=0)])
+        disturbed = _fingerprint(runner, outcome)
+        runner2, outcome2, _, _ = _run_process(tresult, 4)
+        assert disturbed == _fingerprint(runner2, outcome2)
+        assert not tracer.metrics.get("runtime.mc_degraded", 0)
+        assert tracer.metrics.get("runtime.mc_restart") == 1
+
+    def test_mid_chunk_kill_unsafe_degrades(self):
+        """A loop whose chunks read-modify-write shared state cannot
+        be re-run; mid-chunk death must walk the ladder, and the
+        permissive layer recovers sequentially with correct output."""
+        from repro.runtime import WorkerKiller
+
+        source = """
+int a[64];
+int main(void) {
+    int i;
+    for (i = 0; i < 64; i++) a[i] = i;
+    #pragma expand parallel(doall)
+    L: for (i = 0; i < 64; i++) {
+        a[i] = a[i] * 3 + 1;
+    }
+    int s = 0;
+    for (i = 0; i < 64; i++) s = s + a[i];
+    print_int(s);
+    return 0;
+}
+"""
+        base, tresult = _prepare(source)
+        runner, outcome, tracer, sink = _run_process(
+            tresult, 4, strict=False,
+            injectors=[WorkerKiller(seed=0, task=1, after_iter=0)])
+        assert outcome.output == base.output
+        assert tracer.metrics.get("runtime.mc_degrade") == 1
+        assert sink.by_code("MC-DEGRADE")
+
+    def test_doacross_stage_death_resumes(self):
+        """A DOACROSS stage dies after committing an iteration: the
+        replacement resumes from the drained lease boundary instead of
+        replaying, and its tokens are re-issued — bit-identical."""
+        from repro.runtime import WorkerKiller
+
+        _, tresult = _prepare(DOACROSS_SRC)
+        runner, outcome, tracer, _ = _run_process(
+            tresult, 4,
+            injectors=[WorkerKiller(seed=0, task=1, after_iter=0)])
+        disturbed = _fingerprint(runner, outcome)
+        runner2, outcome2, _, _ = _run_process(tresult, 4)
+        assert disturbed == _fingerprint(runner2, outcome2)
+        assert not tracer.metrics.get("runtime.mc_degraded", 0)
+        assert tracer.metrics.get("runtime.mc_restart") == 1
+
+    def test_token_drop_reissued(self):
+        """Swallowed sync-token posts are re-issued by the parent from
+        the committed-iteration stream; downstream stages unblock."""
+        from repro.runtime import TokenPostDropper
+
+        _, tresult = _prepare(DOACROSS_SRC)
+        runner, outcome, tracer, _ = _run_process(
+            tresult, 4, injectors=[TokenPostDropper(seed=0, task=0)])
+        disturbed = _fingerprint(runner, outcome)
+        runner2, outcome2, _, _ = _run_process(tresult, 4)
+        assert disturbed == _fingerprint(runner2, outcome2)
+        # task 0 owns iterations 0,4,8 of 12 -> three dropped posts
+        assert tracer.metrics.get("runtime.mc_token_reissues") == 3
+        assert not tracer.metrics.get("runtime.mc_degraded", 0)
+
+    def test_heartbeat_stall_revoked(self):
+        """A stalled heartbeat (process alive, beat thread frozen) is
+        revoked like a death: the worker is killed and respawned."""
+        from repro.runtime import HeartbeatStaller
+
+        _, tresult = _prepare(DOALL_SRC)
+        runner, outcome, tracer, _ = _run_process(
+            tresult, 4, mc={"heartbeat_timeout": 0.2},
+            injectors=[HeartbeatStaller(seed=0, task=0, duration=-1.0,
+                                        hold=1.0)])
+        disturbed = _fingerprint(runner, outcome)
+        runner2, outcome2, _, _ = _run_process(tresult, 4)
+        assert disturbed == _fingerprint(runner2, outcome2)
+        assert tracer.metrics.get("runtime.mc_restart") == 1
+        assert not tracer.metrics.get("runtime.mc_degraded", 0)
+
+    def test_budget_exhaustion_walks_ladder(self, monkeypatch):
+        """Every dispatch of task 1 crashes its worker: the supervisor
+        burns the retry budget rung by rung (MC-RESTART, MC-RETRY per
+        attempt) and then degrades with a structured MC-DEGRADE."""
+        monkeypatch.setenv("REPRO_MC_CRASH", "1")
+        base, tresult = _prepare(DOALL_SRC)
+        runner, outcome, tracer, sink = _run_process(
+            tresult, 4, strict=False,
+            mc={"max_restarts": 2, "retry_budget": 2})
+        assert outcome.output == base.output
+        assert sink.by_code("MC-RESTART")
+        assert sink.by_code("MC-RETRY")
+        assert sink.by_code("MC-DEGRADE")
+        assert tracer.metrics.get("runtime.mc_restart") == 2
+        assert tracer.metrics.get("runtime.mc_retry") == 2
+        assert tracer.metrics.get("runtime.mc_degrade") == 1
+
+    def test_restart_exhaustion_shrinks_pool(self, monkeypatch):
+        """With no respawns left the supervisor shrinks: the dead
+        worker's chunk is reassigned to a surviving lane (MC-SHRINK)
+        and the run still completes on the process backend."""
+        monkeypatch.setenv("REPRO_MC_CRASH", "1")
+        base, tresult = _prepare(DOALL_SRC)
+        runner, outcome, tracer, sink = _run_process(
+            tresult, 4, strict=False,
+            mc={"max_restarts": 0, "retry_budget": 8})
+        assert outcome.output == base.output
+        assert sink.by_code("MC-SHRINK")
+
+    def test_deterministic_under_same_seed(self):
+        """The same chaos schedule replays to the same metrics and the
+        same fingerprint — the harness's reproducibility contract."""
+        from repro.runtime import WorkerKiller
+
+        _, tresult = _prepare(DOALL_SRC)
+        runs = []
+        for _ in range(2):
+            runner, outcome, tracer, _ = _run_process(
+                tresult, 4, injectors=[WorkerKiller(seed=3, task=2)])
+            runs.append((_fingerprint(runner, outcome),
+                         tracer.metrics.get("runtime.mc_restart"),
+                         tracer.metrics.get("runtime.mc_retry")))
+        assert runs[0] == runs[1]
+
+
+class TestRetryAudit:
+    """audit_retry_safety: the static gate that decides whether a
+    chunk that died past its write fence may be re-run in place."""
+
+    def _audit(self, source):
+        from repro.runtime import audit_retry_safety
+
+        program, sema = parse_and_analyze(source)
+        tresult = expand_for_threads(program, sema, ["L"],
+                                     optimize=True)
+        tl = tresult.loops[0]
+        priv = set(getattr(tl.priv, "private_sites", None) or ())
+        return audit_retry_safety(tl.loop, sema, priv)
+
+    def test_privatized_and_write_only_is_safe(self):
+        # buf writes are privatized (keyed on the assign statement's
+        # origin, matching the race lint), out is write-only
+        assert self._audit(DOALL_SRC) == []
+
+    def test_shared_rmw_structure_unsafe(self):
+        reasons = self._audit("""
+int a[32];
+int main(void) {
+    int i;
+    #pragma expand parallel(doall)
+    L: for (i = 0; i < 32; i++) { a[i] = a[i] + 1; }
+    print_int(a[0]);
+    return 0;
+}
+""")
+        assert any("read and written" in r for r in reasons)
+
+
+class TestSegmentGuards:
+    """Satellite: shared-memory segments are unlinked on every exit
+    path — normal close, constructor failure, SIGTERM teardown."""
+
+    def _shm_entries(self):
+        """Segments created by THIS process (the name embeds the
+        creating pid) — concurrent repro runs on the host must not
+        perturb the leak check."""
+        import os as _os
+
+        try:
+            return {n for n in _os.listdir("/dev/shm")
+                    if n.startswith(f"repro-mc-{_os.getpid()}-")}
+        except OSError:
+            return set()
+
+    def test_segment_name_is_tagged(self):
+        _, tresult = _prepare(DOALL_SRC)
+        runner = ParallelRunner(tresult, 2, engine="bytecode",
+                                backend="process", workers=2,
+                                mc=SMALL_MC)
+        assert runner.session.shm.name.startswith("repro-mc-")
+        runner.session.close()
+
+    def test_no_leak_after_worker_crash(self, monkeypatch):
+        """Forced worker crashes (the whole ladder, ending in
+        degradation) must still unlink the segment."""
+        monkeypatch.setenv("REPRO_MC_CRASH", "1")
+        before = self._shm_entries()
+        _, tresult = _prepare(DOALL_SRC)
+        run_parallel(tresult, 4, engine="bytecode", backend="process",
+                     workers=4, mc=dict(SMALL_MC, max_restarts=1,
+                                        retry_budget=1), strict=False)
+        assert self._shm_entries() <= before
+
+    def test_no_leak_after_sigterm(self, tmp_path):
+        """A SIGTERM'd host process unlinks its segment via the signal
+        guard before dying."""
+        import subprocess
+        import sys
+        import textwrap
+
+        script = tmp_path / "host.py"
+        script.write_text(textwrap.dedent("""
+            import os, signal, sys
+            from repro.frontend import parse_and_analyze
+            from repro.runtime.multicore import ProcessSession
+
+            src = 'int main(void) { return 0; }'
+            program, sema = parse_and_analyze(src)
+            session = ProcessSession(program, sema, 2, workers=2,
+                                     options={"segment_bytes": 1 << 20,
+                                              "arena_bytes": 1 << 16})
+            print(session.shm.name, flush=True)
+            os.kill(os.getpid(), signal.SIGTERM)
+            print("unreachable", flush=True)
+        """))
+        env = dict(__import__("os").environ)
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.run(
+            [sys.executable, str(script)], cwd="/root/repo",
+            capture_output=True, text=True, env=env, timeout=60)
+        name = proc.stdout.strip().splitlines()[0]
+        assert name.startswith("repro-mc-")
+        assert "unreachable" not in proc.stdout
+        import os as _os
+
+        assert not _os.path.exists(f"/dev/shm/{name}")
+
+    def test_init_failure_does_not_leak(self, monkeypatch):
+        """If session construction fails after the segment exists, the
+        constructor unlinks it before re-raising."""
+        import repro.runtime.multicore as mc
+
+        def boom(program):
+            raise RuntimeError("forced init failure")
+
+        monkeypatch.setattr(mc, "_fingerprint_for", boom)
+        before = self._shm_entries()
+        program, sema = parse_and_analyze(DOALL_SRC)
+        with pytest.raises(RuntimeError, match="forced init failure"):
+            mc.ProcessSession(program, sema, 2, workers=2,
+                              options=SMALL_MC)
+        assert self._shm_entries() <= before
+
+
+class TestSpinBackoff:
+    """Satellite: bounded spin-waits escalate to sleeps past the spin
+    threshold, and the backoff count surfaces as a runtime metric."""
+
+    def test_backoff_counter_surfaces(self):
+        _, tresult = _prepare(DOACROSS_SRC)
+        runner, outcome, tracer, _ = _run_process(tresult, 4)
+        # materialized (possibly zero) whenever the backend ran
+        assert "runtime.mc_spin_backoffs" in tracer.metrics.as_dict()
+
+    def test_backoffs_fire_under_stall(self):
+        """A delayed token post forces downstream stages past the spin
+        threshold into the sleep ladder."""
+        from repro.runtime import TokenPostDelayer
+
+        _, tresult = _prepare(DOACROSS_SRC)
+        runner, outcome, tracer, _ = _run_process(
+            tresult, 4,
+            injectors=[TokenPostDelayer(seed=0, task=0, seconds=0.05)])
+        runner2, outcome2, _, _ = _run_process(tresult, 4)
+        assert _fingerprint(runner, outcome) == \
+            _fingerprint(runner2, outcome2)
+        assert tracer.metrics.get("runtime.mc_spin_backoffs", 0) > 0
