@@ -106,19 +106,48 @@ class ExpandAndRunOutcome:
                 if self.parallel.total_cycles else 0.0)
 
 
-def expand_and_run(source: str, loop_labels, nthreads: int = 4,
+class _SequentialFacade:
+    """Stand-in for the sequential baseline :class:`Machine` when the
+    baseline came out of the stage cache instead of a live run."""
+
+    class _Cost:
+        def __init__(self, cycles):
+            self.cycles = cycles
+
+    def __init__(self, baseline: Optional[dict]):
+        baseline = baseline or {}
+        self.output = list(baseline.get("output", []))
+        self.exit_code = baseline.get("exit_code", 0)
+        self.cost = self._Cost(baseline.get("cycles", 0))
+
+
+#: sentinel marking a config kwarg the caller did not pass
+_UNSET = object()
+
+_LEGACY_EXPAND_WARNING = (
+    "passing compile/run configuration kwargs ({names}) to "
+    "expand_and_run() is deprecated; build a repro.service.Job and "
+    "pass job=..."
+)
+
+
+def expand_and_run(source: Optional[str] = None, loop_labels=None,
+                   nthreads: int = 4,
                    optimize=True, *,
-                   entry: str = "main",
-                   strict: bool = True,
+                   entry=_UNSET,
+                   strict=_UNSET,
                    sink: Optional[DiagnosticSink] = None,
-                   chunk: int = 1,
-                   watchdog: Optional[int] = None,
-                   layout: str = "bonded",
-                   expansion_source: str = "static",
-                   check_races: bool = True,
+                   chunk=_UNSET,
+                   watchdog=_UNSET,
+                   layout=_UNSET,
+                   expansion_source=_UNSET,
+                   check_races=_UNSET,
                    tracer: Optional[Tracer] = None,
                    trace: bool = False,
-                   engine: Optional[str] = None) -> ExpandAndRunOutcome:
+                   engine=_UNSET,
+                   job=None,
+                   cache=None,
+                   pool=None) -> ExpandAndRunOutcome:
     """One-call API: parse, analyze, profile, expand, run in parallel.
 
     The labeled loops must carry ``#pragma expand parallel(doall)`` or
@@ -149,45 +178,113 @@ def expand_and_run(source: str, loop_labels, nthreads: int = 4,
     sequential verification baseline needs no observers, so under the
     bytecode engine it runs the bare variant; the parallel run itself
     uses the instrumented variant.
+
+    ``job`` (a :class:`repro.service.Job`) is the canonical way to pass
+    the whole configuration as one value object; the individual config
+    kwargs remain as a deprecated shim.  ``cache`` (a
+    :class:`repro.service.StageCache`) routes the compile through the
+    staged pipeline — every stage is probed from / published to the
+    cache — and ``pool`` (a :class:`repro.service.SessionPool`) lets a
+    process-backend job draw a warm worker session.
     """
     if tracer is None:
         tracer = Tracer() if trace else NULL_TRACER
     sink = sink if sink is not None else DiagnosticSink()
-    program, sema = parse_and_analyze(source, tracer=tracer)
-    eng = resolve_engine(engine)
+
+    given = {name: value for name, value in (
+        ("entry", entry), ("strict", strict), ("chunk", chunk),
+        ("watchdog", watchdog), ("layout", layout),
+        ("expansion_source", expansion_source),
+        ("check_races", check_races), ("engine", engine),
+    ) if value is not _UNSET}
+    if job is not None:
+        if source is not None or loop_labels is not None or given:
+            extras = sorted(given)
+            if source is not None:
+                extras.insert(0, "source")
+            raise TypeError(
+                "expand_and_run() got both job= and the legacy "
+                f"arguments {extras}; the Job already carries them"
+            )
+    else:
+        if source is None or loop_labels is None:
+            raise TypeError(
+                "expand_and_run() needs source and loop_labels "
+                "(or job=)"
+            )
+        if given:
+            import warnings
+            warnings.warn(
+                _LEGACY_EXPAND_WARNING.format(
+                    names=", ".join(sorted(given))),
+                DeprecationWarning, stacklevel=2,
+            )
+        job = service.Job.from_kwargs(
+            source, loop_labels, nthreads, optimize, **given)
+
+    if cache is not None or pool is not None:
+        # staged pipeline path: memoizable stages + cached baseline +
+        # (optionally) a pooled warm session
+        compiled = service.StagedCompiler(
+            cache=cache, tracer=tracer, sink=sink,
+        ).compile(job)
+        job_outcome = service.run_job(compiled, tracer=tracer,
+                                      sink=sink, pool=pool, cache=cache)
+        result = ExpandAndRunOutcome(
+            compiled.result, _SequentialFacade(job_outcome.baseline),
+            job_outcome.parallel,
+            diagnostics=job_outcome.diagnostics,
+            trace=tracer if tracer else None,
+            verified=job_outcome.verified,
+        )
+        #: per-stage "hit"/"miss" report of the staged compile
+        result.cache_report = job_outcome.cache
+        return result
+
+    opts = job.options
+    program, sema = parse_and_analyze(job.source, tracer=tracer)
+    eng = resolve_engine(opts.engine)
     with tracer.phase("sequential-baseline"):
         seq = Machine(program, sema,
                       engine="bytecode-bare" if eng != "ast" else "ast")
-        seq.exit_code = seq.run(entry)
+        seq.exit_code = seq.run(opts.entry)
     transform = expand_for_threads(
-        program, sema, list(loop_labels), optimize=optimize,
-        expansion_source=expansion_source, entry=entry, layout=layout,
-        strict=strict, sink=sink, tracer=tracer,
+        program, sema, list(job.loop_labels), optimize=opts.flags,
+        expansion_source=opts.expansion_source, entry=opts.entry,
+        layout=opts.layout, strict=opts.strict, sink=sink,
+        tracer=tracer,
     )
-    outcome = run_parallel(
-        transform, nthreads, check_races=check_races, entry=entry,
-        chunk=chunk, strict=strict, sink=sink, watchdog=watchdog,
-        tracer=tracer, engine=eng,
-    )
+    outcome = run_parallel(transform, sink=sink, tracer=tracer,
+                           job=job.with_options(engine=eng))
     verified = outcome.output == seq.output
     if not verified:
         message = (
             f"parallel output diverged: {outcome.output} != {seq.output}"
         )
-        if strict:
+        if opts.strict:
             exc = OutputDivergence(message)
             sink.emit(exc.diagnostic)
             raise exc
         sink.error("RT-DIVERGED", message, phase="runtime")
-    return ExpandAndRunOutcome(
+    result = ExpandAndRunOutcome(
         transform, seq, outcome,
         diagnostics=list(sink.diagnostics),
         trace=tracer if tracer else None,
         verified=verified,
     )
+    result.cache_report = None
+    return result
 
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
+
+# the service layer resolves __version__ lazily for cache keys, so it
+# imports after the version is bound
+from . import service
+from .service import (
+    CompileOptions, ExpansionService, Job, SessionPool, StageCache,
+    StagedCompiler, run_job,
+)
 
 #: the stable public surface; everything else is implementation detail
 __all__ = [
@@ -212,4 +309,7 @@ __all__ = [
     # process-level chaos (supervised backend)
     "ProcessChaosInjector", "WorkerKiller", "HeartbeatStaller",
     "TokenPostDropper", "TokenPostDelayer", "parse_chaos_spec",
+    # the resident expansion service (staged pipeline + serve daemon)
+    "Job", "CompileOptions", "StageCache", "StagedCompiler",
+    "SessionPool", "ExpansionService", "run_job",
 ]

@@ -239,10 +239,14 @@ class Harness:
         # wall-timed: on the process backend wallclock[1]/wallclock[n]
         # is the real end-to-end host speedup (simulated-cycle speedups
         # are backend-invariant by the bit-identity contract).
+        from ..service import Job
         for n in self.thread_counts:
+            job = Job.from_kwargs(
+                spec.source, spec.loop_labels, n, True, engine=eng,
+                backend=self.backend, workers=self.workers,
+            )
             t_par = time.perf_counter()
-            out = run_parallel(opt, n, tracer=tracer, engine=eng,
-                               backend=self.backend, workers=self.workers)
+            out = run_parallel(opt, job=job, tracer=tracer)
             result.wallclock[n] = time.perf_counter() - t_par
             _check_output(spec, result.seq_output, out.output,
                           f"parallel(N={n})")

@@ -53,9 +53,17 @@ def _point_payload(point) -> Dict[str, object]:
     }
 
 
-def trajectory_payload(results, timestamp: Optional[str] = None) -> dict:
+def trajectory_payload(results, timestamp: Optional[str] = None,
+                       serve: Optional[dict] = None) -> dict:
     """Build the JSON-serializable trajectory for ``results`` (a
-    mapping of benchmark name to :class:`BenchmarkResult`)."""
+    mapping of benchmark name to :class:`BenchmarkResult`).
+
+    ``serve`` attaches a serve-daemon measurement block (cold/warm
+    latencies, cache hit counts — the ``serve-smoke`` CI artifact)
+    verbatim under the top-level ``"serve"`` key.  The block is
+    additive and optional, so the schema number is unchanged and old
+    readers are unaffected.
+    """
     benchmarks = {}
     for name, res in sorted(results.items()):
         bd = res.breakdown
@@ -135,7 +143,7 @@ def trajectory_payload(results, timestamp: Optional[str] = None) -> dict:
     summary["wall_seconds_total"] = sum(
         getattr(r, "wall", {}).get("total", 0.0) for r in results.values()
     )
-    return {
+    payload = {
         "schema": TRAJECTORY_SCHEMA,
         "generator": "repro.bench",
         "timestamp": timestamp or time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -144,6 +152,9 @@ def trajectory_payload(results, timestamp: Optional[str] = None) -> dict:
         "benchmarks": benchmarks,
         "summary": summary,
     }
+    if serve is not None:
+        payload["serve"] = dict(serve)
+    return payload
 
 
 def load_trajectory(path: str) -> dict:
@@ -183,7 +194,8 @@ def load_trajectory(path: str) -> dict:
 
 
 def emit_trajectory(results, path: Optional[str] = None,
-                    timestamp: Optional[str] = None) -> str:
+                    timestamp: Optional[str] = None,
+                    serve: Optional[dict] = None) -> str:
     """Write the trajectory JSON; returns the path written.
 
     ``path=None`` picks ``BENCH_<timestamp>.json`` in the working
@@ -191,9 +203,11 @@ def emit_trajectory(results, path: Optional[str] = None,
     existing directory (or a path ending in the separator) drops the
     generated ``BENCH_<timestamp>.json`` name inside it instead of
     littering the current directory; any other path is used verbatim,
-    creating parent directories as needed.
+    creating parent directories as needed.  ``serve`` forwards to
+    :func:`trajectory_payload`.
     """
-    payload = trajectory_payload(results, timestamp=timestamp)
+    payload = trajectory_payload(results, timestamp=timestamp,
+                                 serve=serve)
     if path is None or path.endswith(os.sep) or os.path.isdir(path):
         stamp = time.strftime("%Y%m%d_%H%M%S")
         name = f"BENCH_{stamp}.json"

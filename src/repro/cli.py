@@ -89,6 +89,15 @@ def _opt_flags(args):
     """Build :class:`OptFlags` from the granular CLI switches."""
     from .transform import OptFlags
 
+    if args.no_optimize:
+        # parsed for one more release; the granular switches are the
+        # supported surface
+        print(
+            "warning[CLI-DEPRECATED]: --no-optimize is deprecated; use "
+            "the granular --no-opt-<name> switches (or --no-opt-"
+            + " --no-opt-".join(OPT_NAMES) + " for all of them)",
+            file=sys.stderr,
+        )
     base_on = not args.no_optimize
     enabled = {name.replace("-", "_") for name in args.opt}
     kwargs = {}
@@ -151,7 +160,7 @@ def _render_diagnostics(sink) -> None:
         print(diag.render(), file=sys.stderr)
 
 
-def _transform(args, sink=None, tracer=None):
+def _transform(args, sink=None, tracer=None, flags=None):
     from .frontend import ast
     from .transform import expand_for_threads
 
@@ -166,7 +175,7 @@ def _transform(args, sink=None, tracer=None):
                 raise SystemExit(1)
     result = expand_for_threads(
         program, sema, args.loop,
-        optimize=_opt_flags(args),
+        optimize=flags if flags is not None else _opt_flags(args),
         layout=args.layout,
         entry=args.entry,
         strict=args.strict,
@@ -202,37 +211,96 @@ def _cmd_expand(args) -> int:
     return 0
 
 
+def _parallel_staged(args, job, sink, tracer, cache_dir) -> int:
+    """``parallel --cache DIR``: route the compile through the staged
+    pipeline so every stage is probed from / published to the cache."""
+    from .service import StageCache, StagedCompiler, run_job
+
+    cache = StageCache(root=cache_dir, sink=sink)
+    try:
+        try:
+            compiled = StagedCompiler(
+                cache=cache, tracer=tracer, sink=sink,
+            ).compile(job)
+        except KeyError as exc:
+            print(f"error[PIPE-NO-LOOP]: {exc.args[0]} in {args.file}",
+                  file=sys.stderr)
+            return 1
+        jo = run_job(compiled, tracer=tracer, sink=sink, cache=cache)
+    finally:
+        _finish_trace(args, tracer)
+    for line in jo.output:
+        print(line)
+    _render_diagnostics(sink)
+    status = []
+    if compiled.result.quarantined:
+        status.append(f"quarantined {len(compiled.result.quarantined)}")
+    if jo.parallel.recoveries:
+        status.append(f"recovered {len(jo.parallel.recoveries)}")
+    hits = sum(1 for v in jo.cache.values() if v == "hit")
+    print(
+        f"[{args.threads} threads: output "
+        f"{'VERIFIED' if jo.verified else 'DIVERGED!'}; "
+        f"loop speedup {jo.loop_speedup:.2f}x; "
+        f"total speedup {jo.total_speedup:.2f}x; "
+        f"races {jo.races}"
+        f"{'; ' + ', '.join(status) if status else ''}; "
+        f"stage cache {hits}/{len(jo.cache)}]",
+        file=sys.stderr,
+    )
+    return 0 if jo.verified else 1
+
+
 def _cmd_parallel(args) -> int:
     from .diagnostics import DiagnosticSink
     from .interp import Machine, resolve_engine
     from .runtime import run_parallel
+    from .service import Job
 
     sink = DiagnosticSink()
     tracer = _make_tracer(args)
     eng = resolve_engine(args.engine)
+    with open(args.file) as fh:
+        source = fh.read()
+    job = Job.from_kwargs(
+        source, list(args.loop), args.threads, _opt_flags(args),
+        entry=args.entry, strict=args.strict, chunk=args.chunk,
+        watchdog=args.watchdog, layout=args.layout, engine=eng,
+        backend=args.backend, workers=args.workers,
+    )
+    mc = {}
+    if getattr(args, "max_restarts", None) is not None:
+        mc["max_restarts"] = args.max_restarts
+    if getattr(args, "retry_budget", None) is not None:
+        mc["retry_budget"] = args.retry_budget
+    injectors = None
+    if getattr(args, "chaos", None):
+        from .runtime import parse_chaos_spec
+        injectors = [parse_chaos_spec(spec, seed=i)
+                     for i, spec in enumerate(args.chaos)]
+    cache_dir = getattr(args, "cache", None)
+    if cache_dir and (mc or injectors):
+        # the staged runner has no chaos/supervision plumbing — honor
+        # the fault flags and skip the cache rather than silently
+        # dropping them
+        print("warning[CLI-CACHE]: --cache does not compose with "
+              "chaos/supervision flags; running uncached",
+              file=sys.stderr)
+        cache_dir = None
+    if cache_dir:
+        return _parallel_staged(args, job, sink, tracer, cache_dir)
     try:
-        program, sema, result = _transform(args, sink=sink, tracer=tracer)
+        program, sema, result = _transform(args, sink=sink,
+                                           tracer=tracer,
+                                           flags=job.options.flags)
         # the baseline is unobserved, so the bare tier is safe for it
         base = Machine(program, sema,
                        engine="bytecode-bare" if eng != "ast" else "ast")
         with tracer.phase("sequential-baseline"):
             base.run(args.entry)
-        mc = {}
-        if getattr(args, "max_restarts", None) is not None:
-            mc["max_restarts"] = args.max_restarts
-        if getattr(args, "retry_budget", None) is not None:
-            mc["retry_budget"] = args.retry_budget
-        injectors = None
-        if getattr(args, "chaos", None):
-            from .runtime import parse_chaos_spec
-            injectors = [parse_chaos_spec(spec, seed=i)
-                         for i, spec in enumerate(args.chaos)]
-        outcome = run_parallel(result, args.threads, entry=args.entry,
-                               chunk=args.chunk, strict=args.strict,
-                               sink=sink, watchdog=args.watchdog,
-                               tracer=tracer, engine=eng,
-                               backend=args.backend, workers=args.workers,
-                               mc=mc or None, fault_injectors=injectors)
+        outcome = run_parallel(result, job=job, sink=sink,
+                               tracer=tracer, mc=mc or None,
+                               fault_injectors=injectors)
     finally:
         _finish_trace(args, tracer)
     for line in outcome.output:
@@ -259,6 +327,26 @@ def _cmd_parallel(args) -> int:
         file=sys.stderr,
     )
     return 0 if ok else 1
+
+
+def _cmd_serve(args) -> int:
+    from .service import ExpansionService
+
+    # cache_root=None → the default cache dir; False → memory-only
+    cache_root = False if args.no_cache else args.cache_dir
+    service = ExpansionService(args.socket, cache_root=cache_root,
+                               max_sessions=args.max_sessions)
+    cache_desc = ("disabled" if args.no_cache
+                  else args.cache_dir or "default")
+    print(f"[repro serve: listening on {args.socket}; "
+          f"disk cache {cache_desc}; "
+          f"pool {args.max_sessions} sessions]",
+          file=sys.stderr)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        service.close()
+    return 0
 
 
 def _discover_loops(program) -> List[str]:
@@ -524,7 +612,37 @@ def build_parser() -> argparse.ArgumentParser:
                 help="per-loop-execution statement budget (structured "
                      "timeout instead of a hang)",
             )
+            p.add_argument(
+                "--cache", metavar="DIR", default=None,
+                help="compile through the staged pipeline with a "
+                     "persistent stage cache rooted at DIR (repeat a "
+                     "run to hit every stage)",
+            )
         p.set_defaults(func=fn)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="resident expansion service: compile-once/serve-many "
+             "daemon on a Unix socket (line-delimited JSON)",
+    )
+    p_serve.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="Unix socket path to listen on",
+    )
+    p_serve.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="stage-cache root (default: $REPRO_CACHE_DIR, else "
+             "$XDG_CACHE_HOME/repro, else ~/.cache/repro)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk stage cache (memory tier only)",
+    )
+    p_serve.add_argument(
+        "--max-sessions", type=int, default=4, metavar="N",
+        help="warm process-backend sessions to keep pooled",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser("bench", help="run benchmark(s)")
     p_bench.add_argument("name", help="benchmark name or 'all'")

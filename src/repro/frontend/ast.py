@@ -25,6 +25,30 @@ from .ctypes import CType
 _nid_counter = itertools.count(1)
 
 
+def reserve_nids(floor: int) -> None:
+    """Advance the nid counter past ``floor``.
+
+    Deserialized programs (the service's on-disk stage cache) carry the
+    nids they were built with; any node created afterwards — e.g. by
+    resuming the pipeline on a cached artifact — must not collide with
+    them, or site/origin maps silently alias two nodes."""
+    global _nid_counter
+    current = next(_nid_counter)
+    _nid_counter = itertools.count(max(current, floor + 1))
+
+
+def max_nid(*roots) -> int:
+    """Largest nid reachable from the given nodes (0 when empty)."""
+    out = 0
+    for root in roots:
+        if root is None:
+            continue
+        for node in root.walk():
+            if node.nid > out:
+                out = node.nid
+    return out
+
+
 class Node:
     """Base AST node."""
 

@@ -195,6 +195,25 @@ def compiler_for_hash(fingerprint: str, program: ast.Program,
     return comp
 
 
+def precompile(program: ast.Program, sema: SemaResult, variant: str,
+               tracer=None, fingerprint: Optional[str] = None) -> Compiler:
+    """Eagerly lower every function body of ``program`` (the service's
+    ``lower`` stage).  The lazy per-node memo stays the steady-state
+    path; pre-compiling up front moves all closure-building cost into
+    the cacheable compile step so warm jobs execute without lowering
+    work.  Registers under ``fingerprint`` when given, so forked
+    workers resolve the same object via :func:`compiler_for_hash`."""
+    if fingerprint is not None:
+        comp = compiler_for_hash(fingerprint, program, sema, variant,
+                                 tracer)
+    else:
+        comp = compiler_for(program, sema, variant, tracer)
+    for fn in program.functions():
+        comp.function(fn)
+        comp.stmt(fn.body)
+    return comp
+
+
 def invalidate_code(program: Optional[ast.Program] = None) -> None:
     """Drop compiled code for ``program`` (or all programs).  Callers
     that mutate an AST in place after it may have been executed (the

@@ -205,6 +205,28 @@ def trace_summary(tracer) -> str:
         parts.append("Supervision (process backend)\n" + _table(
             ["event", "count"], sup_rows))
 
+    # stage-cache hit/miss counters (the staged pipeline / serve
+    # daemon), folded into one per-stage table
+    cache_stages: Dict[str, Dict[str, float]] = {}
+    for key, value in metrics_all.items():
+        if not key.startswith("cache.") or not isinstance(
+                value, (int, float)):
+            continue
+        parts_key = key.split(".")
+        if len(parts_key) != 3 or parts_key[2] not in ("hit", "miss"):
+            continue
+        cache_stages.setdefault(parts_key[1], {})[parts_key[2]] = value
+    if cache_stages:
+        rows = []
+        for stage, hm in cache_stages.items():
+            hit = hm.get("hit", 0)
+            miss = hm.get("miss", 0)
+            total = hit + miss
+            rate = f"{hit / total:.0%}" if total else "-"
+            rows.append([stage, f"{hit:,g}", f"{miss:,g}", rate])
+        parts.append("Stage cache\n" + _table(
+            ["stage", "hits", "misses", "hit rate"], rows))
+
     metrics = metrics_all
     if metrics:
         # values are usually counters, but some are labels (e.g. the

@@ -981,6 +981,13 @@ class ProcessSession:
             #: (wid, name, t_start_ns, t_end_ns, meta) wall-clock samples
             #: collected from task replies, merged into the trace export
             self.worker_samples: List[Tuple[int, str, int, int, dict]] = []
+            #: owning :class:`repro.service.SessionPool` (None when the
+            #: session belongs to a single runner); a pooled session is
+            #: released back instead of closed after each run
+            self.pool = None
+            #: True when the pool handed out a warm (previously used)
+            #: session for the current request
+            self.reused = False
         except BaseException:
             try:
                 self.shm.close()
@@ -1120,6 +1127,33 @@ class ProcessSession:
                 self.shm.unlink()
             except Exception:
                 pass
+
+    def reset(self) -> None:
+        """Return the session to a pristine-segment state while keeping
+        the forked worker pool warm (the service's session pool calls
+        this between requests).
+
+        The parent region is rewound and zeroed (fresh runs assume a
+        zero-filled address space) and the sync slots are cleared; the
+        heartbeat region is deliberately left alone — live workers are
+        beating into it.  Workers themselves carry no cross-run state
+        that survives this: their arenas are reset per task and their
+        nid→address maps arrive with each task spec."""
+        if self.closed or self.degraded:
+            raise ParallelError(
+                "cannot reset a closed or degraded session",
+                code="RT-SESSION",
+            )
+        self.memory.reset_region(0)
+        zero = b"\0" * (self.hb_base - self.sync_base)
+        self.memory.data[self.sync_base:self.hb_base] = zero
+        self._origin_slots.clear()
+        self.lane_wids = []
+        self.worker_samples = []
+        self.chaos = []
+        self.task_seq = 0
+        self.tracer = NULL_TRACER
+        self.sink = None
 
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:

@@ -683,6 +683,7 @@ class ParallelRunner:
         backend: str = "simulated",
         workers: Optional[int] = None,
         mc: Optional[dict] = None,
+        session=None,
     ):
         if tresult.program is None or tresult.sema is None:
             raise ParallelError("transform result has no program",
@@ -709,7 +710,16 @@ class ParallelRunner:
         self.workers = workers
         self.session = None
         memory = None
-        if requested == "process":
+        if session is not None:
+            # adopt a pre-built (possibly pooled) session: the caller
+            # guarantees it was created for this tresult's program and
+            # was reset since its last run
+            self.session = session
+            memory = session.memory
+            self.backend = "process"
+            session.tracer = self.tracer
+            session.sink = self.sink
+        elif requested == "process":
             from .multicore import ProcessSession, process_backend_available
             ok, why = process_backend_available()
             if not ok:
@@ -781,7 +791,7 @@ class ParallelRunner:
                     injector.install(self)
         except BaseException:
             if self.session is not None:
-                self.session.close()
+                self._release_session()
             raise
 
     # -- fault-injection hooks --------------------------------------------
@@ -929,7 +939,20 @@ class ParallelRunner:
                          "runtime.mc_token_reissues"):
                 metrics.set(name, metrics.get(name, 0))
         session.worker_samples = []
-        session.close()
+        self._release_session()
+
+    def _release_session(self) -> None:
+        """Pooled sessions go back to their pool (which evicts them if
+        the supervisor degraded or closed them mid-run); owned sessions
+        are torn down."""
+        session = self.session
+        self.session = None
+        if session is None:
+            return
+        if session.pool is not None:
+            session.pool.release(session)
+        else:
+            session.close()
 
 
 class _QuarantineHost:
@@ -943,24 +966,50 @@ class _QuarantineHost:
         self.access_control = access_control
 
 
+#: sentinel marking a config kwarg the caller did not pass (the
+#: deprecation shim needs "explicitly given" to be distinguishable
+#: from the default)
+_UNSET = object()
+
+#: the run_parallel config kwargs subsumed by :class:`repro.service.Job`
+_LEGACY_RUN_KWARGS = ("check_races", "entry", "chunk", "strict",
+                      "watchdog", "engine", "backend", "workers")
+
+_LEGACY_WARNING = (
+    "passing run configuration kwargs ({names}) to run_parallel() is "
+    "deprecated; build a repro.service.Job and pass job=..."
+)
+
+
 def run_parallel(
     tresult: TransformResult,
-    nthreads: int,
-    check_races: bool = True,
-    entry: str = "main",
+    nthreads: Optional[int] = None,
+    check_races=_UNSET,
+    entry=_UNSET,
     raise_on_race: bool = True,
-    chunk: int = 1,
-    strict: bool = True,
+    chunk=_UNSET,
+    strict=_UNSET,
     sink: Optional[DiagnosticSink] = None,
-    watchdog: Optional[int] = None,
+    watchdog=_UNSET,
     fault_injectors: Optional[List] = None,
     tracer=None,
-    engine: Optional[str] = None,
-    backend: str = "simulated",
-    workers: Optional[int] = None,
+    engine=_UNSET,
+    backend=_UNSET,
+    workers=_UNSET,
     mc: Optional[dict] = None,
+    *,
+    job=None,
+    session=None,
 ) -> ParallelOutcome:
     """Run a transformed program on ``nthreads`` virtual threads.
+
+    ``job`` (a :class:`repro.service.Job`) is the canonical way to pass
+    the run configuration — thread count, chunking, strictness,
+    backend, engine, entry point — as one value object; the individual
+    config kwargs remain as a deprecated shim for pre-1.5 callers.
+    ``session`` injects a pre-built (typically pooled)
+    :class:`~repro.runtime.multicore.ProcessSession` so a resident
+    service reuses warm forked workers across requests.
 
     ``chunk`` sets the DOACROSS dynamic-scheduling chunk size (the
     paper uses 1; larger chunks trade scheduling overhead for pipeline
@@ -993,10 +1042,47 @@ def run_parallel(
     image stay bit-identical to the simulated backend; loops the
     capability audit rejects fall back to the simulated controllers on
     the same shared buffer."""
-    runner = ParallelRunner(tresult, nthreads, check_races=check_races,
-                            chunk=chunk, strict=strict, sink=sink,
-                            watchdog=watchdog,
+    given = {name: value for name, value in (
+        ("check_races", check_races), ("entry", entry), ("chunk", chunk),
+        ("strict", strict), ("watchdog", watchdog), ("engine", engine),
+        ("backend", backend), ("workers", workers),
+    ) if value is not _UNSET}
+    if job is not None:
+        if given:
+            raise TypeError(
+                "run_parallel() got both job= and the legacy kwargs "
+                f"{sorted(given)}; the Job already carries them"
+            )
+        if nthreads is not None:
+            raise TypeError(
+                "run_parallel() got both job= and nthreads; the Job "
+                "already carries the thread count"
+            )
+        nthreads = job.nthreads
+        config = dict(
+            check_races=job.check_races, entry=job.options.entry,
+            chunk=job.chunk, strict=job.options.strict,
+            watchdog=job.watchdog, engine=job.options.engine,
+            backend=job.backend, workers=job.workers,
+        )
+    else:
+        if nthreads is None:
+            raise TypeError("run_parallel() needs nthreads (or job=)")
+        if given:
+            import warnings
+            warnings.warn(
+                _LEGACY_WARNING.format(names=", ".join(sorted(given))),
+                DeprecationWarning, stacklevel=2,
+            )
+        config = dict(
+            check_races=True, entry="main", chunk=1, strict=True,
+            watchdog=None, engine=None, backend="simulated",
+            workers=None,
+        )
+        config.update(given)
+    entry_point = config.pop("entry")
+    runner = ParallelRunner(tresult, nthreads, sink=sink,
                             fault_injectors=fault_injectors,
-                            tracer=tracer, engine=engine,
-                            backend=backend, workers=workers, mc=mc)
-    return runner.run(entry, raise_on_race=raise_on_race)
+                            tracer=tracer, mc=mc, session=session,
+                            **config)
+    return runner.run(entry_point, raise_on_race=raise_on_race)

@@ -487,40 +487,7 @@ class ExpansionPipeline:
         return self.result
 
     def _record_metrics(self) -> None:
-        """Publish the transform counters the paper reports (§3.4
-        effectiveness, Table 5) into the tracer's metrics registry."""
-        if not self.tracer:
-            return
-        metrics = self.tracer.metrics
-        result = self.result
-        stats = result.redirect_stats
-        if stats is not None:
-            metrics.set("transform.redirected_accesses", stats.redirected)
-            metrics.set("transform.constant_span_redirects",
-                        stats.constant_span)
-            metrics.set("transform.dynamic_span_redirects",
-                        stats.dynamic_span)
-            metrics.set("transform.hoisted_redirects", stats.hoisted)
-        promoter = result.promoter
-        if promoter is not None:
-            metrics.set("transform.fat_pointer_types",
-                        promoter.num_fat_types)
-            metrics.set("transform.span_stores_inserted",
-                        promoter.span_stores_inserted)
-            metrics.set("transform.span_stores_eliminated",
-                        promoter.span_stores_eliminated)
-        metrics.set("transform.span_stores_dead_eliminated",
-                    result.span_stores_dead_eliminated)
-        metrics.set("transform.structures_expanded",
-                    result.expansion.num_expanded)
-        metrics.set("transform.scalars_expanded",
-                    result.expansion.num_scalars)
-        metrics.set("transform.expansion_bytes_per_thread", sum(
-            ev.orig_type.size or 0
-            for ev in result.expansion.expanded_vars.values()
-        ))
-        metrics.set("transform.private_sites", len(result.private_sites))
-        metrics.set("transform.quarantined_loops", len(result.quarantined))
+        record_transform_metrics(self.result, self.tracer)
 
     def _run_transform(
         self,
@@ -528,6 +495,24 @@ class ExpansionPipeline:
         profiles: Dict[str, LoopProfile],
         privs: Dict[str, PrivatizationResult],
     ) -> TransformResult:
+        """The three transform stages back to back (the monolithic
+        path; the service's :class:`~repro.service.StagedCompiler`
+        drives the same stages individually with a cache probe between
+        each)."""
+        self.stage_expand(loops, profiles, privs)
+        self.stage_optimize(loops)
+        self.stage_plan(loops, profiles, privs)
+        return self.result
+
+    def stage_expand(
+        self,
+        loops: List[ast.LoopStmt],
+        profiles: Dict[str, LoopProfile],
+        privs: Dict[str, PrivatizationResult],
+    ) -> TransformResult:
+        """Points-to → promote → heapify/expand → redirect, on a fresh
+        clone.  Resets ``self.result``; on return ``result.program`` is
+        the redirected (not yet optimized) clone."""
         self.result = TransformResult()
         tracer = self.tracer
         # only the loops actually being transformed contribute sites:
@@ -588,6 +573,18 @@ class ExpansionPipeline:
                 clone, promoter, redirect_origins,
                 static_spans, use_constant_spans=self.flags.constant_spans,
             )
+        self.result.program = clone
+        return self.result
+
+    def stage_optimize(
+        self, loops: List[ast.LoopStmt]
+    ) -> TransformResult:
+        """§3.4 hoisting / LICM / dead span-store elimination over the
+        clone produced by :meth:`stage_expand`, then the final semantic
+        re-analysis.  ``loops`` are the *original-program* candidate
+        loops (the clone's loops are matched by origin)."""
+        tracer = self.tracer
+        clone = self.result.program
         if self.flags.hoisting or self.flags.licm:
             optimize_span = tracer.begin("optimize")
             # LICM-lite over *every* loop (innermost first): redirected
@@ -633,10 +630,19 @@ class ExpansionPipeline:
             if self.result.span_stores_dead_eliminated:
                 final_sema = analyze(clone)
 
-        self.result.program = clone
         self.result.sema = final_sema
-        with tracer.phase("plan"):
-            self._plan_loops(clone, loops, profiles, privs)
+        return self.result
+
+    def stage_plan(
+        self,
+        loops: List[ast.LoopStmt],
+        profiles: Dict[str, LoopProfile],
+        privs: Dict[str, PrivatizationResult],
+    ) -> TransformResult:
+        """Derive the parallel execution plan (loop kinds, serialized
+        DOACROSS statements, breakdowns) for the optimized clone."""
+        with self.tracer.phase("plan"):
+            self._plan_loops(self.result.program, loops, profiles, privs)
         return self.result
 
     # -- helpers --------------------------------------------------------------
@@ -898,3 +904,43 @@ def expand_for_threads(
         layout=layout, strict=strict, sink=sink, tracer=tracer,
     )
     return pipeline.run()
+
+
+def record_transform_metrics(result: TransformResult, tracer) -> None:
+    """Publish the transform counters the paper reports (§3.4
+    effectiveness, Table 5) into the tracer's metrics registry.
+
+    A module-level function (not just a pipeline method) so a cached
+    :class:`TransformResult` served without re-running the pipeline
+    still populates the same metrics."""
+    if not tracer:
+        return
+    metrics = tracer.metrics
+    stats = result.redirect_stats
+    if stats is not None:
+        metrics.set("transform.redirected_accesses", stats.redirected)
+        metrics.set("transform.constant_span_redirects",
+                    stats.constant_span)
+        metrics.set("transform.dynamic_span_redirects",
+                    stats.dynamic_span)
+        metrics.set("transform.hoisted_redirects", stats.hoisted)
+    promoter = result.promoter
+    if promoter is not None:
+        metrics.set("transform.fat_pointer_types",
+                    promoter.num_fat_types)
+        metrics.set("transform.span_stores_inserted",
+                    promoter.span_stores_inserted)
+        metrics.set("transform.span_stores_eliminated",
+                    promoter.span_stores_eliminated)
+    metrics.set("transform.span_stores_dead_eliminated",
+                result.span_stores_dead_eliminated)
+    metrics.set("transform.structures_expanded",
+                result.expansion.num_expanded)
+    metrics.set("transform.scalars_expanded",
+                result.expansion.num_scalars)
+    metrics.set("transform.expansion_bytes_per_thread", sum(
+        ev.orig_type.size or 0
+        for ev in result.expansion.expanded_vars.values()
+    ))
+    metrics.set("transform.private_sites", len(result.private_sites))
+    metrics.set("transform.quarantined_loops", len(result.quarantined))

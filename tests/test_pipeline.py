@@ -300,3 +300,79 @@ class TestInterprocedural:
         for n in (2, 4, 8):
             outcome = run_parallel(result, n)
             assert outcome.output == base.output and not outcome.races
+
+
+class TestStagedPipelineCache:
+    """The staged pipeline over the paper's Figure 1: every stage is
+    probed from / published to a :class:`repro.service.StageCache`, so
+    re-compiling identical inputs does zero transform work."""
+
+    def _job(self, **kwargs):
+        from repro.service import Job
+        kwargs.setdefault("source", FIGURE1)
+        kwargs.setdefault("loop_labels", ("L",))
+        return Job(**kwargs)
+
+    def test_cold_compile_then_full_warm_hit(self, tmp_path):
+        from repro.service import StageCache, StagedCompiler, run_job
+        cache = StageCache(root=str(tmp_path))
+        compiler = StagedCompiler(cache=cache)
+        cold = compiler.compile(self._job())
+        assert all(v == "miss" for v in cold.report.values())
+        warm = compiler.compile(self._job())
+        assert all(v == "hit" for v in warm.report.values())
+        # the cached artifact still runs (and verifies) correctly
+        outcome = run_job(warm, cache=cache)
+        assert outcome.verified and not outcome.races
+
+    def test_expand_and_run_cache_report(self, tmp_path):
+        from repro import expand_and_run
+        from repro.service import StageCache
+        cache = StageCache(root=str(tmp_path))
+        first = expand_and_run(job=self._job(), cache=cache)
+        second = expand_and_run(job=self._job(), cache=cache)
+        assert first.output == second.output
+        assert all(v == "miss" for v in first.cache_report.values())
+        assert all(v == "hit" for v in second.cache_report.values())
+        # the legacy path reports no cache activity
+        third = expand_and_run(FIGURE1, ["L"])
+        assert third.cache_report is None
+
+    def test_optflag_change_reuses_analysis_only(self, tmp_path):
+        from repro.service import (
+            CompileOptions, StageCache, StagedCompiler,
+        )
+        cache = StageCache(root=str(tmp_path))
+        compiler = StagedCompiler(cache=cache)
+        compiler.compile(self._job())
+        ablated = compiler.compile(self._job(
+            options=CompileOptions(opt=(False,) * 5)))
+        # parse/sema/profile/classify are opt-independent...
+        for stage in ("parse", "sema", "profile", "classify"):
+            assert ablated.report[stage] == "hit"
+        # ...but the transform stages must recompute
+        for stage in ("expand", "optimize", "plan", "lower"):
+            assert ablated.report[stage] == "miss"
+
+    def test_corrupt_entry_recovers_with_diagnostic(self, tmp_path):
+        import os
+        from repro.diagnostics import DiagnosticSink
+        from repro.service import (
+            StageCache, StagedCompiler, run_job, stage_keys,
+        )
+        cache = StageCache(root=str(tmp_path))
+        StagedCompiler(cache=cache).compile(self._job())
+        # the deepest durable stage is the one a fresh process probes
+        key = stage_keys(self._job())["plan"]
+        path = cache._entry_path("plan", key)
+        assert os.path.exists(path)
+        with open(path, "wb") as fh:
+            fh.write(b"truncated garbage")
+        sink = DiagnosticSink()
+        fresh = StageCache(root=str(tmp_path), sink=sink)
+        compiled = StagedCompiler(cache=fresh, sink=sink).compile(
+            self._job())
+        assert any(d.code == "CACHE-CORRUPT"
+                   for d in sink.diagnostics)
+        outcome = run_job(compiled, cache=fresh)
+        assert outcome.verified and not outcome.races
