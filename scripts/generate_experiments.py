@@ -39,6 +39,11 @@ Known deviations (see DESIGN.md §7 for why):
   algorithm still has room for improvement", §4.3).
 * Table 4's #LOC column shows our scaled-down MiniC kernel next to the
   paper's original benchmark size.
+* `histogram` is an extra kernel (suite `repro-extra`, no paper
+  counterpart): its loop is rejected by the paper's §3.2 three-way
+  classification and only parallelizes through the commutative access
+  class (DESIGN.md §16) — `repro lint --bench histogram --json` shows
+  the machine-checked parallelism certificate behind the DOALL claim.
 """
 
 

@@ -306,6 +306,44 @@ class Liveness(Analysis):
         return frozenset(out)
 
 
+class ReductionValueFlow(Analysis):
+    """Forward may-analysis proving a candidate reduction accumulator is
+    only ever touched by its recognized update elements.
+
+    Facts are ``(decl_nid, tag)`` pairs with ``tag`` either
+    ``"reduced"`` (the element touching the tracked declaration is one
+    of the ``allowed_elems`` — a recognized reduction update) or
+    ``"tainted"`` (any other element reads or writes it).  Facts are
+    add-only, so the transfer is trivially monotone; the verdict is the
+    union of every block's out-set — including predecessor-less dead
+    blocks, which the solver still visits — so a taint on *any* path
+    (even statically unreachable code) disqualifies the accumulator.
+    """
+
+    forward = True
+
+    def __init__(self, tracked: Iterable[int], allowed_elems: Iterable[int]):
+        super().__init__()
+        self._tracked = frozenset(tracked)
+        self._allowed = frozenset(allowed_elems)
+
+    def transfer(self, elem: Element, facts: FrozenSet) -> FrozenSet:
+        info = self.info(elem)
+        touched = (info.uses | {d for d, _s, _c in info.defs}) & self._tracked
+        if not touched:
+            return facts
+        tag = "reduced" if elem.nid in self._allowed else "tainted"
+        return facts | {(decl, tag) for decl in touched}
+
+
+def reduction_taints(result: DataflowResult) -> FrozenSet:
+    """All facts accumulated anywhere in the CFG (dead blocks included)."""
+    out: FrozenSet = frozenset()
+    for facts in result.block_after.values():
+        out |= facts
+    return out
+
+
 class UpwardExposure(Liveness):
     """Definition 2, statically: run over a single-iteration region CFG
     (:func:`~repro.analysis.cfg.build_loop_body_cfg`) with an empty

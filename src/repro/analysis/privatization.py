@@ -16,7 +16,7 @@ accesses are *shared* and keep targeting copy 0.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Set
+from typing import Dict, List, NamedTuple, Set
 
 from .access_classes import AccessClasses, build_access_classes
 from .ddg import DDG, FLOW
@@ -30,6 +30,9 @@ class ClassInfo(NamedTuple):
     private: bool
     #: why the class is not private (empty when private)
     blockers: tuple
+    #: proven commutative reduction (§3.2 extension): the class keeps
+    #: its Definition-5 blockers but its copies merge at loop exit
+    commutative: bool = False
 
 
 class PrivatizationResult:
@@ -41,12 +44,23 @@ class PrivatizationResult:
         self.class_infos: List[ClassInfo] = []
         self.private_sites: Set[int] = set()
         self.shared_sites: Set[int] = set()
+        #: sites whose class was upgraded to the commutative class
+        #: (subset of ``private_sites``: they get expanded copies, but
+        #: their copies must be *merged*, not discarded — and a chunk
+        #: replay is never idempotent for them)
+        self.commutative_sites: Set[int] = set()
+        #: accumulator decl nid -> ReductionInfo
+        #: (:mod:`repro.analysis.commutative` fills this on upgrade)
+        self.reductions: Dict[int, object] = {}
 
     def is_private(self, site: int) -> bool:
         return site in self.private_sites
 
     def private_classes(self) -> List[ClassInfo]:
         return [c for c in self.class_infos if c.private]
+
+    def commutative_classes(self) -> List[ClassInfo]:
+        return [c for c in self.class_infos if c.commutative]
 
     def __repr__(self) -> str:
         return (

@@ -81,8 +81,8 @@ def _ensure_loaded() -> None:
     import importlib
 
     for module in (
-        "bzip2", "dijkstra", "h263_encoder", "hmmer", "lbm", "md5",
-        "mpeg2_decoder", "mpeg2_encoder",
+        "bzip2", "dijkstra", "h263_encoder", "histogram", "hmmer",
+        "lbm", "md5", "mpeg2_decoder", "mpeg2_encoder",
     ):
         try:
             importlib.import_module(f"{__package__}.programs.{module}")

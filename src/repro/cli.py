@@ -181,6 +181,7 @@ def _transform(args, sink=None, tracer=None, flags=None):
         strict=args.strict,
         sink=sink,
         tracer=tracer,
+        commutative=not getattr(args, "no_commutative", False),
     )
     return program, sema, result
 
@@ -204,7 +205,9 @@ def _cmd_expand(args) -> int:
         f"{stats.redirected} dereferences redirected "
         f"({stats.constant_span} constant-span, "
         f"{stats.dynamic_span} dynamic-span); "
-        f"{len(result.private_sites)} private sites; "
+        f"{len(result.private_sites)} private sites "
+        f"({len(result.commutative_sites)} commutative, "
+        f"{result.reduction_merges} reductions merged); "
         f"{len(result.quarantined)} loops quarantined]",
         file=sys.stderr,
     )
@@ -267,6 +270,7 @@ def _cmd_parallel(args) -> int:
         entry=args.entry, strict=args.strict, chunk=args.chunk,
         watchdog=args.watchdog, layout=args.layout, engine=eng,
         backend=args.backend, workers=args.workers,
+        commutative=not args.no_commutative,
     )
     mc = {}
     if getattr(args, "max_restarts", None) is not None:
@@ -371,6 +375,7 @@ def _lint_one(title, program, sema, labels, args, sink, tracer) -> "object":
         strict=args.strict,
         sink=sink,
         tracer=tracer,
+        commutative=not getattr(args, "no_commutative", False),
     )
     report = run_lint(result, sink=sink, tracer=tracer,
                       codes=args.rule or None)
@@ -382,6 +387,36 @@ def _lint_one(title, program, sema, labels, args, sink, tracer) -> "object":
         file=sys.stderr,
     )
     return report
+
+
+def _diag_dict(diag) -> dict:
+    """JSON shape of one finding (Diagnostic has no to_dict)."""
+    return {
+        "code": diag.code,
+        "severity": diag.severity,
+        "message": diag.message,
+        "loop": diag.loop,
+        "loc": list(diag.loc) if diag.loc else None,
+        "phase": diag.phase,
+        "data": diag.data,
+    }
+
+
+def _lint_json(reports) -> dict:
+    """Machine-readable report of a whole ``repro lint`` invocation."""
+    return {
+        "reports": [
+            {
+                "title": title,
+                "rules_run": report.rules_run,
+                "clean": report.clean,
+                "findings": [_diag_dict(d) for d in report.findings],
+                "certificates": report.certificates,
+            }
+            for title, report in reports
+        ],
+        "findings": sum(len(r.findings) for _t, r in reports),
+    }
 
 
 def _cmd_lint(args) -> int:
@@ -406,10 +441,10 @@ def _cmd_lint(args) -> int:
                 spec = get(name)
                 program, sema = parse_and_analyze(spec.source,
                                                   tracer=tracer)
-                reports.append(_lint_one(
+                reports.append((name, _lint_one(
                     name, program, sema, spec.loop_labels, args, sink,
                     tracer,
-                ))
+                )))
         else:
             program, sema = _load(args.file, tracer=tracer)
             labels = args.loop or _discover_loops(program)
@@ -418,12 +453,23 @@ def _cmd_lint(args) -> int:
                       f"#pragma expand loop in {args.file}",
                       file=sys.stderr)
                 return 1
-            reports.append(_lint_one(
+            reports.append((args.file, _lint_one(
                 args.file, program, sema, labels, args, sink, tracer,
-            ))
+            )))
     finally:
         _finish_trace(args, tracer)
-    findings = [d for r in reports for d in r.findings]
+    if args.json is not None:
+        import json
+
+        payload = json.dumps(_lint_json(reports), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"[lint report written to {args.json}]",
+                  file=sys.stderr)
+    findings = [d for _t, r in reports for d in r.findings]
     has_errors = any(
         severity_rank(d.severity) >= severity_rank("error")
         for d in findings
@@ -574,6 +620,13 @@ def build_parser() -> argparse.ArgumentParser:
                 "--rule", action="append", default=[], metavar="CODE",
                 help="run only the named LINT-* rule (repeatable)",
             )
+            p.add_argument(
+                "--json", nargs="?", const="-", default=None,
+                metavar="PATH",
+                help="emit a machine-readable report (findings, rule "
+                     "ids, certificate verdicts) to PATH, or stdout "
+                     "when PATH is omitted",
+            )
             add_trace(p)
         else:
             add_common(p, needs_loop=True)
@@ -600,6 +653,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--permissive", dest="strict", action="store_false",
             help="degrade gracefully: quarantine failing loops, recover "
                  "races/faults by sequential re-execution",
+        )
+        p.add_argument(
+            "--no-commutative", action="store_true",
+            help="disable the static commutativity prover (proven "
+                 "reductions stay in their Definition-5 class)",
         )
         if name == "parallel":
             add_engine(p)

@@ -72,7 +72,8 @@ def rule(code: str, title: str):
 
 def all_rules() -> List[LintRule]:
     """Every registered rule, in registration order."""
-    from . import races, rules  # noqa: F401  (import populates registry)
+    # imports populate the registry
+    from . import certify, races, rules  # noqa: F401
 
     return list(_RULES.values())
 
@@ -98,6 +99,9 @@ class LintContext:
         self.findings: List[Diagnostic] = []
         #: side-channel counters rules publish into lint metrics
         self.stats: Dict[str, int] = {}
+        #: per-loop parallelism-certificate verdicts published by
+        #: LINT-CERT (:mod:`repro.lint.certify`)
+        self.certificates: List[Dict[str, object]] = []
         self._loop_of_nid: Optional[Dict[int, str]] = None
 
     # -- attribution --------------------------------------------------------
@@ -131,10 +135,14 @@ class LintReport:
     """Outcome of one :func:`run_lint` invocation."""
 
     def __init__(self, findings: List[Diagnostic], rules_run: int,
-                 stats: Dict[str, int]):
+                 stats: Dict[str, int],
+                 certificates: Optional[List[Dict[str, object]]] = None):
         self.findings = findings
         self.rules_run = rules_run
         self.stats = stats
+        #: parallelism-certificate verdicts ({loop, schema, reductions,
+        #: verdict}) from the LINT-CERT pass
+        self.certificates = list(certificates or [])
 
     @property
     def clean(self) -> bool:
@@ -184,7 +192,11 @@ def run_lint(result, sink: Optional[DiagnosticSink] = None, tracer=None,
         metrics.set("lint.findings", len(ctx.findings))
         metrics.set("lint.span_stores_proved_dead",
                     ctx.stats.get("span_stores_proved_dead", 0))
-    return LintReport(ctx.findings, len(selected), ctx.stats)
+        metrics.set("lint.certificates_verified", sum(
+            1 for c in ctx.certificates if c["verdict"] == "verified"
+        ))
+    return LintReport(ctx.findings, len(selected), ctx.stats,
+                      ctx.certificates)
 
 
 __all__ = [

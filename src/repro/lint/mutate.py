@@ -15,9 +15,14 @@ running the program:
   :class:`~repro.runtime.faults.CopyIndexSkew` analogue: ``__tid``
   reads become ``__tid + stride``, aiming accesses into a neighbour
   thread's copy (``LINT-RACE-TID-FORM`` territory).
+* :func:`break_commutativity` — the certificate-poisoning mutator:
+  certified commutative updates (``lv += e``, guarded min/max) become
+  the non-commutative read-modify-write ``lv = e - lv``, which no op
+  group admits — every mutated site must trip ``LINT-CERT``'s
+  structural re-verification (the 100%% catch-rate test).
 
-Both mutate in place and return the number of sites changed, so tests
-can assert the corruption actually landed.
+All three mutate in place and return the number of sites changed, so
+tests can assert the corruption actually landed.
 """
 
 from __future__ import annotations
@@ -82,4 +87,51 @@ def skew_copy_index(program: ast.Program, stride: int = 1) -> int:
     return count
 
 
-__all__ = ["corrupt_spans", "skew_copy_index"]
+#: compound spellings of the commutative op groups the prover accepts
+_COMMUTATIVE_COMPOUND = ("+=", "-=", "*=", "&=", "|=", "^=")
+
+
+def _poison(assign: ast.Assign) -> None:
+    """``lv (op)= e``  →  ``lv = e - lv`` — still a read-modify-write
+    of the same location, but order-sensitive: merging per-worker
+    copies of it is wrong, and no reduction op group matches it."""
+    assign.value = rw.binary(
+        "-",
+        assign.value if assign.op == "=" else rw.clone_expr(assign.value),
+        rw.clone_expr(assign.target), like=assign,
+    )
+    assign.op = "="
+
+
+def break_commutativity(program: ast.Program, origins=None) -> int:
+    """Rewrite commutative update constructs into non-commutative
+    RMWs.  ``origins`` (certificate update origins) restricts the blast
+    radius; ``None`` mutates every compound-assign update."""
+    count = 0
+    for fn in program.functions():
+        if fn.body is None:
+            continue
+        for node in fn.body.walk():
+            if origins is not None and rw.origin_of(node) not in origins:
+                continue
+            if isinstance(node, ast.Assign) and \
+                    node.op in _COMMUTATIVE_COMPOUND:
+                _poison(node)
+                count += 1
+            elif isinstance(node, ast.If) and node.els is None:
+                # guarded min/max: poison the guarded store
+                body = node.then
+                stmts = body.stmts if isinstance(body, ast.Block) \
+                    else [body]
+                if len(stmts) == 1 and isinstance(stmts[0], ast.ExprStmt) \
+                        and isinstance(stmts[0].expr, ast.Assign) \
+                        and stmts[0].expr.op == "=":
+                    _poison(stmts[0].expr)
+                    count += 1
+    if count:
+        # in-place mutation: compiled bytecode is stale
+        invalidate_code(program)
+    return count
+
+
+__all__ = ["break_commutativity", "corrupt_spans", "skew_copy_index"]

@@ -1239,9 +1239,13 @@ class _ProcessMixin:
         if self._retry_audit is None:
             runner = self.runner
             priv = getattr(self.tloop, "priv", None)
+            # commutative-class accumulators are privatized but NOT
+            # idempotent (a replayed chunk re-applies its increments),
+            # so they never count as retry-safe
             self._retry_audit = audit_retry_safety(
                 self.tloop.loop, runner.tresult.sema,
-                set(getattr(priv, "private_sites", None) or ()),
+                set(getattr(priv, "private_sites", None) or ())
+                - set(getattr(priv, "commutative_sites", None) or ()),
             )
         return not self._retry_audit
 

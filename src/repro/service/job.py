@@ -56,6 +56,9 @@ class CompileOptions:
     strict: bool = True
     #: interpreter tier, or None for ``$REPRO_ENGINE`` / the default
     engine: Optional[str] = None
+    #: run the static commutativity prover and upgrade proven
+    #: reductions to the commutative access class (§3.2 extension)
+    commutative: bool = True
 
     def __post_init__(self):
         object.__setattr__(self, "opt", _opt_tuple(self.opt))
@@ -88,6 +91,7 @@ class CompileOptions:
             "entry": self.entry,
             "strict": self.strict,
             "engine": self.engine,
+            "commutative": self.commutative,
         }
 
     @classmethod
@@ -141,6 +145,7 @@ class Job:
                     expansion_source: str = "static",
                     check_races: bool = True,
                     engine: Optional[str] = None,
+                    commutative: bool = True,
                     backend: str = "simulated",
                     workers: Optional[int] = None,
                     verify: bool = True) -> "Job":
@@ -150,6 +155,7 @@ class Job:
         options = CompileOptions.make(
             optimize, layout=layout, expansion_source=expansion_source,
             entry=entry, strict=strict, engine=engine,
+            commutative=commutative,
         )
         return cls(source=source, loop_labels=tuple(loop_labels),
                    options=options, nthreads=nthreads, chunk=chunk,

@@ -8,7 +8,7 @@ everything)::
     parse    = H(version, source)
     sema     = H(parse)
     profile  = H(sema, loop_labels, entry, engine)
-    classify = H(profile)
+    classify = H(profile, cert_schema, commutative)
     expand   = H(classify, OptFlags, layout, expansion_source, strict)
     optimize = H(expand)
     plan     = H(optimize)
@@ -34,6 +34,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis import commutative as _commutative
 from ..analysis.access_classes import build_access_classes
 from ..analysis.privatization import classify
 from ..analysis.profiler import profile_loop
@@ -77,7 +78,12 @@ def stage_keys(job: Job) -> Dict[str, str]:
     keys["sema"] = _h(keys["parse"])
     keys["profile"] = _h(keys["sema"], job.loop_labels, opts.entry,
                          engine)
-    keys["classify"] = _h(keys["profile"])
+    # the certificate schema is part of the classify artifact: a schema
+    # bump (or toggling the prover) must re-prove, never reuse a stale
+    # cached certificate
+    keys["classify"] = _h(keys["profile"],
+                          _commutative.CERT_SCHEMA_VERSION,
+                          opts.commutative)
     keys["expand"] = _h(keys["classify"], opts.opt, opts.layout,
                         opts.expansion_source, opts.strict)
     keys["optimize"] = _h(keys["expand"])
@@ -267,6 +273,7 @@ class StagedCompiler:
             optimize=opts.flags, expansion_source=opts.expansion_source,
             entry=opts.entry, profiles=ctx.profiles, layout=opts.layout,
             strict=True, sink=self.sink, tracer=self.tracer,
+            commutative=opts.commutative,
         )
         if ctx.result is not None:
             pipeline.result = ctx.result
@@ -291,12 +298,19 @@ class StagedCompiler:
 
     def _stage_classify(self, job: Job, ctx: StageContext) -> None:
         privs = {}
+        loops = {loop.label: loop for loop in ctx.loops()}
         for label in job.loop_labels:
             profile = ctx.profiles[label]
             with self.tracer.phase("classify", loop=label):
-                privs[label] = classify(
+                priv = classify(
                     profile.ddg, build_access_classes(profile.ddg)
                 )
+                if job.options.commutative:
+                    _commutative.upgrade_commutative(
+                        ctx.program, ctx.sema, loops[label], profile,
+                        priv,
+                    )
+                privs[label] = priv
         ctx.privs = privs
 
     def _stage_expand(self, job: Job, ctx: StageContext) -> None:
@@ -331,6 +345,7 @@ class StagedCompiler:
             optimize=opts.flags, expansion_source=opts.expansion_source,
             entry=opts.entry, layout=opts.layout, strict=False,
             sink=self.sink, tracer=self.tracer,
+            commutative=opts.commutative,
         )
         ctx.result = result
         ctx.profiles = {tl.loop.label: tl.profile for tl in result.loops}

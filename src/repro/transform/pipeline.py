@@ -41,6 +41,10 @@ from ..interp.machine import InterpError
 from ..interp.memory import MemoryError_
 from ..analysis.access_classes import build_access_classes
 from ..analysis.breakdown import Breakdown, compute_breakdown
+from ..analysis.commutative import (
+    GROUP_MERGE_OPS, ReductionInfo, build_certificate,
+    upgrade_commutative,
+)
 from ..analysis.pointsto import Obj, PointsToResult, analyze_pointsto
 from ..analysis.privatization import PrivatizationResult, classify
 from ..analysis.profiler import LoopProfile, profile_loop
@@ -135,6 +139,9 @@ class TransformedLoop:
         #: in iteration order under DOACROSS (surviving carried deps)
         self.serial_stmt_origins: Set[int] = set()
         self.breakdown: Optional[Breakdown] = None
+        #: serializable parallelism certificate (class assignment per
+        #: site + reduction proofs), re-verified by LINT-CERT
+        self.certificate: Optional[Dict[str, object]] = None
 
     def __repr__(self) -> str:
         return f"<TransformedLoop {self.kind} label={self.loop.label!r}>"
@@ -160,6 +167,10 @@ class TransformResult:
         self.quarantined: List[QuarantinedLoop] = []
         #: span stores removed by the liveness-based §3.4 pass
         self.span_stores_dead_eliminated = 0
+        #: sites of classes upgraded to the commutative class
+        self.commutative_sites: Set[int] = set()
+        #: accumulators that received identity-init + merge-back code
+        self.reduction_merges = 0
 
     @property
     def num_privatized(self) -> int:
@@ -318,6 +329,7 @@ class ExpansionPipeline:
         strict: bool = True,
         sink: Optional[DiagnosticSink] = None,
         tracer=None,
+        commutative: bool = True,
     ):
         if expansion_source not in ("static", "profile"):
             raise ValueError("expansion_source must be 'static' or 'profile'")
@@ -338,11 +350,13 @@ class ExpansionPipeline:
         self.layout = layout
         self._given_profiles = profiles or {}
         self.strict = strict
+        self.commutative = commutative
         # empty sinks are falsy (len 0) — compare to None explicitly
         self.sink = sink if sink is not None else DiagnosticSink()
         self.tracer = ensure_tracer(tracer)
         self.quarantined: List[QuarantinedLoop] = []
         self.result = TransformResult()
+        self._cm_counter = 0
 
     # -- graceful degradation ----------------------------------------------
     def _quarantine(
@@ -405,6 +419,10 @@ class ExpansionPipeline:
                     priv = classify(
                         profile.ddg, build_access_classes(profile.ddg)
                     )
+                    if self.commutative:
+                        upgrade_commutative(
+                            self.program, self.sema, loop, profile, priv
+                        )
             except PIPELINE_FAULTS as exc:
                 self._quarantine(label, "classify", exc, loop=loop,
                                  profile=profile)
@@ -520,9 +538,14 @@ class ExpansionPipeline:
         # expansion set on a retry
         labels = [loop.label for loop in loops]
         private_sites: Set[int] = set()
+        commutative_sites: Set[int] = set()
         for label in labels:
             private_sites |= privs[label].private_sites
+            commutative_sites |= getattr(
+                privs[label], "commutative_sites", set()
+            )
         self.result.private_sites = private_sites
+        self.result.commutative_sites = commutative_sites
 
         with tracer.phase("pointsto"):
             pointsto = analyze_pointsto(self.program, self.sema)
@@ -573,6 +596,15 @@ class ExpansionPipeline:
                 clone, promoter, redirect_origins,
                 static_spans, use_constant_spans=self.flags.constant_spans,
             )
+        if self.commutative:
+            with tracer.phase("merge-back"):
+                self.result.reduction_merges = self._insert_merge_back(
+                    clone, loops, privs
+                )
+            if self.result.reduction_merges:
+                # resolve the freshly generated identifiers before the
+                # optimizer walks the clone
+                analyze(clone)
         self.result.program = clone
         return self.result
 
@@ -829,6 +861,10 @@ class ExpansionPipeline:
             )
             tl.breakdown = compute_breakdown(profile.ddg, priv)
             tl.serial_stmt_origins = self._serial_stmts(loop, profile, priv)
+            if self.commutative:
+                tl.certificate = build_certificate(
+                    loop.label, profile, priv
+                )
             self.result.loops.append(tl)
 
     def _serial_stmts(
@@ -857,6 +893,149 @@ class ExpansionPipeline:
                 out.add(stmt.nid)
         return out
 
+    # -- commutative merge-back codegen -----------------------------------
+    def _insert_merge_back(
+        self,
+        clone: ast.Program,
+        loops: List[ast.LoopStmt],
+        privs: Dict[str, PrivatizationResult],
+    ) -> int:
+        """For every proven reduction accumulator: initialize copies
+        1..N-1 to the op's identity immediately before the loop and
+        fold them back into copy 0 immediately after it.  Copy 0 keeps
+        the pre-loop value (upward exposure) and receives the merged
+        total before any post-loop read (downward exposure), so the
+        sequential semantics is preserved bit-for-bit — integer update
+        ops are associative and commutative modulo 2**w."""
+        with_reds = [
+            (loop, privs[loop.label].reductions)
+            for loop in loops
+            if getattr(privs[loop.label], "reductions", None)
+        ]
+        if not with_reds:
+            return 0
+        clone_loops = {origin_of(lp): lp for lp in ast.iter_loops(clone)}
+        evar_by_origin = {
+            origin_of(decl): evar
+            for decl, evar in self.result.expansion.expanded_vars.items()
+        }
+        merges = 0
+        for loop, reds in with_reds:
+            new_loop = clone_loops.get(loop.nid)
+            if new_loop is None:
+                raise TransformError(
+                    f"candidate loop {loop.label!r} lost during transform"
+                )
+            pairs = []
+            for red in reds.values():
+                evar = evar_by_origin.get(red.root_origin)
+                if evar is None:
+                    raise TransformError(
+                        f"commutative accumulator {red.name!r} of loop "
+                        f"{loop.label!r} was not expanded"
+                    )
+                pairs.append((red, evar))
+            parent, idx = self._enclosing_block(clone, new_loop)
+            init_block = self._copies_loop(pairs, merge=False)
+            merge_block = self._copies_loop(pairs, merge=True)
+            parent.stmts[idx:idx] = [init_block]
+            parent.stmts.insert(idx + 2, merge_block)
+            merges += len(pairs)
+        return merges
+
+    @staticmethod
+    def _enclosing_block(clone: ast.Program, target: ast.Stmt):
+        for fn in clone.functions():
+            if fn.body is None:
+                continue
+            for node in fn.body.walk():
+                if isinstance(node, ast.Block):
+                    for i, stmt in enumerate(node.stmts):
+                        if stmt is target:
+                            return node, i
+        raise TransformError(
+            "commutative merge-back: candidate loop has no enclosing "
+            "statement block"
+        )
+
+    def _fresh_cm(self) -> str:
+        name = f"__cm{self._cm_counter}"
+        self._cm_counter += 1
+        return name
+
+    @staticmethod
+    def _count_loop(var: str, start: int, bound: ast.Expr,
+                    body: List[ast.Stmt]) -> ast.Block:
+        """``{ int var; for (var = start; var < bound; var++) body }``"""
+        from ..frontend.ctypes import INT
+        decl = ast.VarDecl(var, INT, None, "local")
+        loop = ast.For(
+            ast.ExprStmt(ast.Assign("=", ast.Ident(var),
+                                    ast.IntLit(start))),
+            ast.Binary("<", ast.Ident(var), bound),
+            ast.Unary("++", ast.Ident(var)),
+            ast.Block(body),
+        )
+        return ast.Block([ast.DeclStmt([decl]), loop])
+
+    @staticmethod
+    def _copy_lvalue(red: ReductionInfo, evar, copy: ast.Expr,
+                     elem: Optional[ast.Expr] = None) -> ast.Expr:
+        """Address copy ``copy`` (element ``elem`` for arrays) of an
+        expanded accumulator, matching the layout the expansion stage
+        chose for it."""
+        base = ast.Ident(evar.decl.name)
+        if not red.is_array:
+            return ast.Index(base, copy)  # VLA and heapified scalars alike
+        if evar.mode == ex.MODE_VLA:
+            return ast.Index(ast.Index(base, copy), elem)
+        if evar.layout == ex.INTERLEAVED:
+            return ast.Index(base, ast.Binary(
+                "+", ast.Binary("*", elem, ast.Ident(ex.NTHREADS)), copy
+            ))
+        return ast.Index(base, ast.Binary(
+            "+", ast.Binary("*", copy, ast.IntLit(evar.copy_elems)), elem
+        ))
+
+    def _copies_loop(self, pairs, merge: bool) -> ast.Block:
+        """One pass over copies 1..N-1 doing identity-init (before the
+        loop) or merge-back into copy 0 (after it) for every proven
+        accumulator of the loop."""
+        cvar = self._fresh_cm()
+        body: List[ast.Stmt] = []
+        for red, evar in pairs:
+            if red.is_array:
+                ivar = self._fresh_cm()
+                inner = self._elem_stmt(red, evar, cvar, ivar, merge)
+                body.append(self._count_loop(
+                    ivar, 0, ast.IntLit(red.length), [inner]
+                ))
+            else:
+                body.append(self._elem_stmt(red, evar, cvar, None, merge))
+        return self._count_loop(cvar, 1, ast.Ident(ex.NTHREADS), body)
+
+    def _elem_stmt(self, red: ReductionInfo, evar, cvar: str,
+                   ivar: Optional[str], merge: bool) -> ast.Stmt:
+        def lv(copy: ast.Expr) -> ast.Expr:
+            elem = ast.Ident(ivar) if ivar is not None else None
+            return self._copy_lvalue(red, evar, copy, elem)
+
+        if not merge:
+            return ast.ExprStmt(ast.Assign(
+                "=", lv(ast.Ident(cvar)), ast.IntLit(red.identity)
+            ))
+        if red.group in ("min", "max"):
+            rel = "<" if red.group == "min" else ">"
+            cond = ast.Binary(rel, lv(ast.Ident(cvar)), lv(ast.IntLit(0)))
+            assign = ast.ExprStmt(ast.Assign(
+                "=", lv(ast.IntLit(0)), lv(ast.Ident(cvar))
+            ))
+            return ast.If(cond, ast.Block([assign]))
+        op = GROUP_MERGE_OPS[red.group]
+        return ast.ExprStmt(ast.Assign(
+            op, lv(ast.IntLit(0)), lv(ast.Ident(cvar))
+        ))
+
 
 def expand_for_threads(
     program: ast.Program,
@@ -870,6 +1049,7 @@ def expand_for_threads(
     strict: bool = True,
     sink: Optional[DiagnosticSink] = None,
     tracer=None,
+    commutative: bool = True,
 ) -> TransformResult:
     """Transform ``program`` so the labeled loops can run multithreaded.
 
@@ -897,11 +1077,19 @@ def expand_for_threads(
     ``tracer`` (a :class:`repro.obs.Tracer`) records per-stage phase
     spans and the transform metrics; omit it for zero-overhead
     operation.
+
+    ``commutative`` enables the static commutativity prover
+    (:mod:`repro.analysis.commutative`): loop-carried reductions whose
+    updates are provably commutative are upgraded to the commutative
+    access class, expanded per worker, and merged back at loop exit,
+    with a parallelism certificate on each
+    :class:`TransformedLoop`.
     """
     pipeline = ExpansionPipeline(
         program, sema, loop_labels, optimize=optimize,
         expansion_source=expansion_source, entry=entry, profiles=profiles,
         layout=layout, strict=strict, sink=sink, tracer=tracer,
+        commutative=commutative,
     )
     return pipeline.run()
 
@@ -944,3 +1132,12 @@ def record_transform_metrics(result: TransformResult, tracer) -> None:
     ))
     metrics.set("transform.private_sites", len(result.private_sites))
     metrics.set("transform.quarantined_loops", len(result.quarantined))
+    metrics.set("transform.commutative_sites",
+                len(getattr(result, "commutative_sites", ()) or ()))
+    metrics.set("transform.commutative_classes", sum(
+        len(tl.priv.commutative_classes())
+        for tl in result.loops
+        if hasattr(tl.priv, "commutative_classes")
+    ))
+    metrics.set("transform.reduction_merges",
+                getattr(result, "reduction_merges", 0))

@@ -19,8 +19,10 @@ def parsed():
     return out
 
 
-def test_suite_has_eight_kernels():
-    assert len(ALL) == 8
+def test_suite_has_eight_paper_kernels():
+    paper = [s for s in all_benchmarks() if s.suite != "repro-extra"]
+    assert len(paper) == 8
+    assert "histogram" in ALL
 
 
 @pytest.mark.parametrize("name", ALL)
@@ -57,8 +59,10 @@ def test_loop_labels_exist_with_pragmas(name, parsed):
 def test_spec_metadata(name):
     spec = get(name)
     assert spec.loc > 30
-    assert spec.paper.loc > spec.loc  # kernels are scaled-down ports
-    assert 0 < spec.paper.pct_time <= 100
+    if spec.suite != "repro-extra":
+        # Table 4/5 numbers only exist for the paper's own kernels
+        assert spec.paper.loc > spec.loc  # kernels are scaled-down ports
+        assert 0 < spec.paper.pct_time <= 100
     assert spec.paper.privatized >= 1
 
 
@@ -78,6 +82,7 @@ def test_table4_order():
     assert names == [
         "dijkstra", "md5", "mpeg2-encoder", "mpeg2-decoder",
         "h263-encoder", "256.bzip2", "456.hmmer", "470.lbm",
+        "histogram",  # extras follow the paper's Table 4 order
     ]
 
 

@@ -35,6 +35,7 @@ ALL_CODES = {
     "LINT-RACE-TID-FORM",
     "LINT-RACE-PRIVATE-COPY",
     "LINT-RACE-CLASS-SPLIT",
+    "LINT-CERT",
 }
 
 SMALL = """

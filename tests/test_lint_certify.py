@@ -1,0 +1,165 @@
+"""LINT-CERT: the independent certificate checker re-proves every
+claim on the output IR, and the commutativity-breaking mutator is
+caught statically at a 100% per-update rate."""
+
+import json
+
+import pytest
+
+from repro.bench import all_benchmarks, get
+from repro.frontend import parse_and_analyze
+from repro.lint import run_lint
+from repro.lint.mutate import break_commutativity
+from repro.transform import expand_for_threads
+
+
+def _expand(source, labels=("L",), **kwargs):
+    program, sema = parse_and_analyze(source)
+    return expand_for_threads(program, sema, list(labels), **kwargs)
+
+
+def _histogram(**kwargs):
+    return _expand(get("histogram").source, **kwargs)
+
+
+def _update_origins(result):
+    return [u["origin"]
+            for tl in result.loops if tl.certificate
+            for red in tl.certificate["reductions"]
+            for u in red["updates"]]
+
+
+@pytest.mark.parametrize("name",
+                         [s.name for s in all_benchmarks()])
+def test_every_kernel_certificate_verifies(name):
+    spec = get(name)
+    result = _expand(spec.source, spec.loop_labels)
+    report = run_lint(result, codes=["LINT-CERT"])
+    assert report.clean, report.render()
+    assert report.certificates
+    assert all(c["verdict"] == "verified"
+               for c in report.certificates)
+
+
+def test_certificate_lists_reduction_ops():
+    report = run_lint(_histogram(), codes=["LINT-CERT"])
+    (cert,) = report.certificates
+    assert {r["op"] for r in cert["reductions"]} == {"add", "max"}
+
+
+def test_prover_off_means_no_certificates():
+    report = run_lint(_histogram(commutative=False),
+                      codes=["LINT-CERT"])
+    assert report.clean and not report.certificates
+
+
+def test_missing_certificate_is_an_error():
+    result = _histogram()
+    for tl in result.loops:
+        tl.certificate = None
+    report = run_lint(result, codes=["LINT-CERT"])
+    assert report.by_code("LINT-CERT")
+    assert report.certificates[0]["verdict"] == "missing"
+
+
+def test_schema_mismatch_is_an_error():
+    result = _histogram()
+    result.loops[0].certificate["schema"] += 1
+    report = run_lint(result, codes=["LINT-CERT"])
+    assert report.by_code("LINT-CERT")
+
+
+def test_forged_partition_is_caught():
+    result = _histogram()
+    cert = result.loops[0].certificate
+    # move one site into a different class: BFS re-derivation disagrees
+    cert["classes"][0]["members"].append(
+        cert["classes"][1]["members"].pop())
+    report = run_lint(result, codes=["LINT-CERT"])
+    assert report.by_code("LINT-CERT")
+
+
+def test_forged_category_is_caught():
+    result = _histogram()
+    cert = result.loops[0].certificate
+    forged = next(c for c in cert["classes"]
+                  if c["category"] == "commutative")
+    forged["category"] = "private"
+    for site in forged["members"]:
+        cert["sites"][str(site)] = "private"
+    report = run_lint(result, codes=["LINT-CERT"])
+    assert report.by_code("LINT-CERT")
+
+
+def test_forged_identity_is_caught():
+    result = _histogram()
+    cert = result.loops[0].certificate
+    cert["reductions"][1]["identity"] += 5
+    report = run_lint(result, codes=["LINT-CERT"])
+    assert report.by_code("LINT-CERT")
+
+
+def test_mutation_catch_rate_is_100_percent():
+    """Every certified update, broken one at a time into a
+    non-commutative RMW, must trip LINT-CERT."""
+    n_updates = len(_update_origins(_histogram()))
+    assert n_updates == 3
+    caught = 0
+    for k in range(n_updates):
+        result = _histogram()  # fresh IR: nids are process-global
+        origin = _update_origins(result)[k]
+        assert break_commutativity(result.program,
+                                   origins={origin}) >= 1
+        report = run_lint(result, codes=["LINT-CERT"])
+        caught += bool(report.by_code("LINT-CERT"))
+    assert caught == n_updates
+
+
+def test_blanket_mutation_caught_and_counted():
+    result = _histogram()
+    count = break_commutativity(result.program)
+    assert count >= 3
+    report = run_lint(result, codes=["LINT-CERT"])
+    assert report.by_code("LINT-CERT")
+    assert report.certificates[0]["verdict"] == "failed"
+
+
+class TestCliJson:
+    def test_json_to_stdout(self, capsys):
+        from repro.cli import main
+        assert main(["lint", "--bench", "histogram", "--json",
+                     "--fail-on-warning"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (rep,) = payload["reports"]
+        assert rep["title"] == "histogram"
+        assert rep["clean"] and payload["findings"] == 0
+        (cert,) = rep["certificates"]
+        assert cert["verdict"] == "verified"
+        assert {r["op"] for r in cert["reductions"]} == {"add", "max"}
+
+    def test_json_to_file_with_findings(self, tmp_path, capsys):
+        from repro.cli import main
+        source = get("histogram").source + "\n// trailing\n"
+        src = tmp_path / "histo.c"
+        src.write_text(source)
+        out = tmp_path / "lint.json"
+        # uninitialized-read warnings etc. may or may not appear; the
+        # point is the report file is written and well-formed
+        main(["lint", str(src), "--json", str(out)])
+        payload = json.loads(out.read_text())
+        assert payload["reports"][0]["rules_run"] > 0
+        for finding in payload["reports"][0]["findings"]:
+            assert {"code", "severity", "message"} <= set(finding)
+
+    def test_json_records_findings(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.bench import get as get_spec
+        import repro.lint.mutate  # noqa: F401  (sanity: module loads)
+        src = tmp_path / "histo.c"
+        src.write_text(get_spec("histogram").source)
+        # sabotage via --no-commutative is clean; instead check a rule
+        # subset still shapes the JSON correctly
+        assert main(["lint", str(src), "--rule", "LINT-CERT",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reports"][0]["rules_run"] == 1
