@@ -22,13 +22,24 @@ wall-clock scaling (1 worker vs ``--workers``) is reported, and the
 ``--min-mc-speedup`` geomean gate (default 1.8) is enforced when the
 host actually has ``--workers`` cores.
 
+``--engine native`` switches to the native lowering tier's smoke:
+every kernel runs sequentially under the walker and under compiled C
+(``--backend engines``, the default) with bit-identical output/exit
+and identical modeled cost counters, zero ``NL-*`` lowering fallbacks
+(a fallback is a hard failure here), and a geomean wall-clock speedup
+of at least ``--min-native-speedup`` (default 10) over the walker.
+With ``--backend process`` the multi-core differential instead runs
+its worker pool on the native tier — DOALL chunks dispatch into the
+compiled entry points — and additionally requires zero accounted
+native fallbacks across the suite.
+
 ``--membench`` appends the zero-copy memory micro-benchmark: bulk
 ``read_bytes``/``write_bytes``/``read_cstring`` against the historical
 per-byte scalar walk, with a sanity floor on the bulk speedup.
 
 Usage:  python scripts/perf_smoke.py [--repeat N] [--min-speedup X]
         [--json PATH] [--backend {engines,process}] [--workers N]
-        [--membench]
+        [--engine {bytecode,native}] [--membench]
 
 Exit status 0 when all kernels pass, 1 on any parity or speedup
 failure.  ``--json`` additionally dumps the raw numbers for archival
@@ -99,6 +110,108 @@ def geomean(values):
 
 
 # ---------------------------------------------------------------------------
+# native lowering tier smoke (--engine native)
+# ---------------------------------------------------------------------------
+
+def run_native_once(program, sema):
+    """One sequential native run; any lowering fallback is a failure
+    (the smoke gate's zero-silent-fallback contract)."""
+    machine = Machine(program, sema, engine="native")
+    start = time.perf_counter()
+    code = machine.run()
+    elapsed = time.perf_counter() - start
+    if machine.native_diag is not None:
+        raise AssertionError(
+            f"native tier fell back wholesale: {machine.native_diag}")
+    low = machine._low
+    if low is None or low.nl:
+        raise AssertionError(
+            f"NL lowering fallbacks: {dict(low.nl) if low else 'none'}")
+    if machine.native_dispatches == 0:
+        raise AssertionError("no native entry point was dispatched")
+    cost = machine.cost
+    fingerprint = {
+        "exit": code,
+        "output": list(machine.output),
+        "cycles": cost.cycles,
+        "instructions": cost.instructions,
+        "loads": cost.loads,
+        "stores": cost.stores,
+    }
+    return elapsed, fingerprint
+
+
+def native_smoke(args):
+    """Sequential walker-vs-native differential + the >=10x wall-clock
+    gate over the whole kernel suite."""
+    from repro.interp.native import native_backend_available
+
+    ok, why = native_backend_available()
+    if not ok:
+        print(f"SKIP: native tier unavailable ({why})", file=sys.stderr)
+        return 0
+
+    rows = []
+    for spec in all_benchmarks():
+        print(f"measuring {spec.name} ...", file=sys.stderr)
+        row = {"name": spec.name}
+        prints = {}
+        program, sema = parse_and_analyze(spec.source)
+        best = math.inf
+        for _ in range(args.repeat):
+            elapsed, prints["ast"] = run_once(program, sema, "ast")
+            best = min(best, elapsed)
+        row["ast"] = best
+        program, sema = parse_and_analyze(spec.source)
+        best = math.inf
+        for _ in range(args.repeat):
+            elapsed, prints["native"] = run_native_once(program, sema)
+            best = min(best, elapsed)
+        row["native"] = best
+        row["parity"] = prints["ast"] == prints["native"]
+        if not row["parity"]:
+            row["diff"] = sorted(
+                k for k in prints["ast"]
+                if prints["ast"][k] != prints["native"][k])
+        row["speedup"] = row["ast"] / row["native"]
+        rows.append(row)
+
+    header = (f"{'kernel':<16} {'ast(s)':>8} {'native':>9} "
+              f"{'speedup':>9}  parity")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['name']:<16} {row['ast']:>8.3f} "
+              f"{row['native']:>9.4f} {row['speedup']:>8.1f}x  "
+              f"{'OK' if row['parity'] else 'DIVERGED'}")
+    gm = geomean([r["speedup"] for r in rows])
+    print("-" * len(header))
+    print(f"{'geomean':<16} {'':>8} {'':>9} {gm:>8.1f}x")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"mode": "native", "rows": rows, "geomean": gm,
+                       "min_native_speedup": args.min_native_speedup},
+                      fh, indent=1)
+            fh.write("\n")
+        print(f"[raw numbers written to {args.json}]", file=sys.stderr)
+
+    failed = False
+    for row in rows:
+        if not row["parity"]:
+            print(f"FAIL: {row['name']} diverged between walker and "
+                  f"native ({', '.join(row.get('diff', []))})",
+                  file=sys.stderr)
+            failed = True
+    if gm < args.min_native_speedup:
+        print(f"FAIL: geomean native speedup {gm:.2f}x < "
+              f"required {args.min_native_speedup:.2f}x",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+# ---------------------------------------------------------------------------
 # multi-core backend differential smoke (--backend process)
 # ---------------------------------------------------------------------------
 
@@ -113,8 +226,9 @@ def _heap_image(memory):
     return image
 
 
-def _parallel_fingerprint(tresult, nthreads, backend, workers=None):
-    """One parallel run; returns (seconds, fingerprint dict).
+def _parallel_fingerprint(tresult, nthreads, backend, workers=None,
+                          engine="bytecode"):
+    """One parallel run; returns (seconds, fingerprint dict, metrics).
 
     The fingerprint covers everything the bit-identity contract
     promises: output, exit code, modeled cost counters, per-loop
@@ -124,8 +238,18 @@ def _parallel_fingerprint(tresult, nthreads, backend, workers=None):
     """
     from repro.runtime import ParallelRunner
 
-    runner = ParallelRunner(tresult, nthreads, engine="bytecode",
-                            backend=backend, workers=workers)
+    kwargs = {}
+    tracer = None
+    if engine == "native":
+        from repro.obs import Tracer
+
+        # race-check observers would pin the parent machine to the
+        # bytecode fallback; the tracer collects the fallback audit
+        tracer = Tracer()
+        kwargs["check_races"] = False
+    runner = ParallelRunner(tresult, nthreads, engine=engine,
+                            backend=backend, workers=workers,
+                            tracer=tracer, **kwargs)
     start = time.perf_counter()
     outcome = runner.run()
     elapsed = time.perf_counter() - start
@@ -147,10 +271,11 @@ def _parallel_fingerprint(tresult, nthreads, backend, workers=None):
         ],
         "heap": _heap_image(runner.machine.memory),
     }
-    return elapsed, fingerprint
+    metrics = tracer.metrics.as_dict() if tracer is not None else {}
+    return elapsed, fingerprint, metrics
 
 
-def measure_process(spec, repeat, workers):
+def measure_process(spec, repeat, workers, engine="bytecode"):
     """Differential simulated-vs-process measurement of one kernel."""
     from repro.transform import expand_for_threads
 
@@ -169,11 +294,17 @@ def measure_process(spec, repeat, workers):
     for key, nthreads, backend in configs:
         best, fingerprint = math.inf, None
         for _ in range(repeat):
-            elapsed, fingerprint = _parallel_fingerprint(
-                tresult, nthreads, backend, workers=nthreads)
+            elapsed, fingerprint, metrics = _parallel_fingerprint(
+                tresult, nthreads, backend, workers=nthreads,
+                engine=engine)
             best = min(best, elapsed)
         row[key] = best
         prints[key] = fingerprint
+        if key == "process" and engine == "native":
+            row["native_chunks"] = metrics.get(
+                "runtime.native_chunks", 0)
+            row["native_fallbacks"] = metrics.get(
+                "runtime.native_fallbacks", 0)
     row["parity"] = prints["simulated"] == prints["process"]
     if not row["parity"]:
         row["diff"] = sorted(
@@ -194,11 +325,21 @@ def process_smoke(args):
         print(f"SKIP: process backend unavailable ({why})",
               file=sys.stderr)
         return 0
+    engine = getattr(args, "engine", "bytecode")
+    if engine == "native":
+        from repro.interp.native import native_backend_available
+
+        ok, why = native_backend_available()
+        if not ok:
+            print(f"SKIP: native tier unavailable ({why})",
+                  file=sys.stderr)
+            return 0
 
     rows = []
     for spec in all_benchmarks():
         print(f"measuring {spec.name} ...", file=sys.stderr)
-        rows.append(measure_process(spec, args.repeat, args.workers))
+        rows.append(measure_process(spec, args.repeat, args.workers,
+                                    engine=engine))
 
     header = (f"{'kernel':<16} {'simulated':>10} {'process':>9} "
               f"{'proc@1':>8} {'scaling':>8}  parity")
@@ -219,6 +360,7 @@ def process_smoke(args):
         ]
         with open(args.json, "w") as fh:
             json.dump({"mode": "process", "workers": args.workers,
+                       "engine": engine,
                        "rows": payload, "geomean_mc": gm,
                        "min_mc_speedup": args.min_mc_speedup,
                        "cpu_count": os.cpu_count()}, fh, indent=1)
@@ -231,6 +373,17 @@ def process_smoke(args):
             print(f"FAIL: {row['name']} diverged between backends "
                   f"({', '.join(row.get('diff', []))})", file=sys.stderr)
             failed = True
+        if engine == "native" and row.get("native_fallbacks", 0):
+            print(f"FAIL: {row['name']} ran "
+                  f"{row['native_fallbacks']} chunk(s) on the Python "
+                  f"loop instead of the native entry point",
+                  file=sys.stderr)
+            failed = True
+    if engine == "native" and not any(
+            r.get("native_chunks", 0) for r in rows):
+        print("FAIL: no DOALL chunk dispatched into a native entry "
+              "point across the whole suite", file=sys.stderr)
+        failed = True
     cores = os.cpu_count() or 1
     if cores >= args.workers:
         if gm < args.min_mc_speedup:
@@ -353,6 +506,15 @@ def main(argv=None):
                         help="required geomean process-backend scaling "
                              "(workers vs 1), enforced only when the "
                              "host has that many cores (default 1.8)")
+    parser.add_argument("--engine", choices=("bytecode", "native"),
+                        default="bytecode",
+                        help="worker/measurement tier: 'native' runs "
+                             "the compiled-C smoke (sequential "
+                             "differential + >=10x gate, or native "
+                             "workers with --backend process)")
+    parser.add_argument("--min-native-speedup", type=float, default=10.0,
+                        help="required geomean native-over-walker "
+                             "sequential speedup (default 10.0)")
     parser.add_argument("--membench", action="store_true",
                         help="also run the zero-copy memory "
                              "micro-benchmark")
@@ -363,6 +525,8 @@ def main(argv=None):
         status = membench(repeat=args.repeat) or status
     if args.backend == "process":
         return process_smoke(args) or status
+    if args.engine == "native":
+        return native_smoke(args) or status
 
     rows = []
     for spec in all_benchmarks():

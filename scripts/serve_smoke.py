@@ -16,13 +16,22 @@ resident-service guarantees:
   ``--min-ratio`` (default 5) times faster than a cold ``repro
   parallel`` subprocess of the same kernel, demonstrating what the
   resident process actually buys.
+* **zero warm compiles** — the daemon runs with ``$REPRO_NATIVE_CC_LOG``
+  pointing at an audit file; round 2 must add **zero** C-compiler
+  invocations regardless of engine (with ``--engine native`` round 1
+  compiles each kernel's ``.so`` exactly once, and the warm round
+  serves every job from the stage cache).
+
+``--engine native`` submits every job on the native lowering tier and
+skips gracefully (exit 0) when the host has no C toolchain.
 
 The cell-by-cell report lands in ``--json``; ``--trajectory`` appends
 the measurement as the additive ``serve`` block of a
 ``BENCH_*.json``-style trajectory for cross-commit diffing.
 
 Usage:  python scripts/serve_smoke.py [--backend auto|simulated|process]
-        [--threads N] [--min-ratio R] [--json PATH] [--trajectory PATH]
+        [--engine bytecode|native] [--threads N] [--min-ratio R]
+        [--json PATH] [--trajectory PATH]
 
 Exit status 0 when every assertion holds, 1 otherwise.
 """
@@ -44,9 +53,10 @@ from repro.bench import all_benchmarks                    # noqa: E402
 from repro.service import Job, request                    # noqa: E402
 
 
-def start_daemon(socket_path, cache_dir, max_sessions):
+def start_daemon(socket_path, cache_dir, max_sessions, extra_env=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra_env or {})
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve",
          "--socket", socket_path, "--cache-dir", cache_dir,
@@ -94,6 +104,10 @@ def main(argv=None):
                         choices=("auto", "simulated", "process"),
                         default="auto",
                         help="job backend (auto probes the host)")
+    parser.add_argument("--engine", choices=("bytecode", "native"),
+                        default="bytecode",
+                        help="interpreter tier for every job (native "
+                             "skips gracefully without a C toolchain)")
     parser.add_argument("--threads", type=int, default=4)
     parser.add_argument("--min-ratio", type=float, default=5.0,
                         help="required p50 cold-CLI / warm-daemon "
@@ -104,6 +118,14 @@ def main(argv=None):
                         help="emit a trajectory JSON whose 'serve' "
                              "block records this measurement")
     args = parser.parse_args(argv)
+
+    if args.engine == "native":
+        from repro.interp.native import native_backend_available
+        ok, why = native_backend_available()
+        if not ok:
+            print(f"SKIP: native tier unavailable ({why})",
+                  file=sys.stderr)
+            return 0
 
     backend = args.backend
     if backend == "auto":
@@ -121,7 +143,21 @@ def main(argv=None):
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
         sock = os.path.join(tmp, "repro.sock")
         cache_dir = os.path.join(tmp, "cache")
-        proc = start_daemon(sock, cache_dir, max_sessions=len(specs))
+        # the daemon appends one line per C-compiler invocation here;
+        # the round-boundary counts prove the warm round compiled nothing
+        cc_log = os.path.join(tmp, "cc.log")
+        proc = start_daemon(sock, cache_dir, max_sessions=len(specs),
+                            extra_env={"REPRO_NATIVE_CC_LOG": cc_log})
+
+        def cc_invocations():
+            try:
+                with open(cc_log) as fh:
+                    return sum(1 for _ in fh)
+            except OSError:
+                return 0
+
+        engine = None if args.engine == "bytecode" else args.engine
+        cc_per_round = []
         try:
             pong = request(sock, {"op": "ping"})
             assert pong["ok"], pong
@@ -130,6 +166,9 @@ def main(argv=None):
                 jobs[spec.name] = Job.from_kwargs(
                     spec.source, spec.loop_labels, args.threads,
                     True, backend=backend, workers=args.threads,
+                    engine=engine,
+                    # race observers would gate the native parent tier
+                    check_races=(args.engine != "native"),
                 )
             results = {}          # name -> [round1, round2]
             for round_no in (1, 2):
@@ -147,6 +186,7 @@ def main(argv=None):
                     result = resp["result"]
                     result["_latency_s"] = elapsed
                     results.setdefault(spec.name, []).append(result)
+                cc_per_round.append(cc_invocations())
             stats = request(sock, {"op": "stats"})["result"]
         finally:
             try:
@@ -228,8 +268,25 @@ def main(argv=None):
                 f"warm-daemon speedup {ratio:.1f}x < "
                 f"{args.min_ratio:g}x")
 
+    cc_cold = cc_per_round[0] if cc_per_round else 0
+    cc_warm = (cc_per_round[1] - cc_per_round[0]) \
+        if len(cc_per_round) == 2 else 0
+    print(f"C compiler invocations: round 1 = {cc_cold}, "
+          f"round 2 = +{cc_warm}")
+    if cc_warm:
+        failures.append(
+            f"warm round invoked the C compiler {cc_warm} time(s); "
+            "the stage cache must serve round 2 without compiling")
+    if args.engine == "native" and cc_cold == 0:
+        failures.append(
+            "native round 1 never invoked the C compiler "
+            "(no kernel was actually lowered)")
+
     serve_block = {
         "backend": backend,
+        "engine": args.engine,
+        "cc_invocations_cold": cc_cold,
+        "cc_invocations_warm": cc_warm,
         "threads": args.threads,
         "kernels": len(rows),
         "p50_cold_cli_s": p50_cold,

@@ -276,7 +276,7 @@ def expand_and_run(source: Optional[str] = None, loop_labels=None,
     return result
 
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 # the service layer resolves __version__ lazily for cache keys, so it
 # imports after the version is bound

@@ -85,6 +85,10 @@ class BenchmarkResult:
         #: host wall-clock seconds of the expansion parallel run, per
         #: thread count (real end-to-end speedup = wallclock[1]/[n])
         self.wallclock: Dict[int, float] = {}
+        #: native-tier compile accounting for this benchmark (schema 4):
+        #: {"compile_seconds", "so_cache_hits", "so_cache_misses"};
+        #: ``None`` when the measurements did not run on the native tier
+        self.native: Optional[Dict[str, float]] = None
 
     def point(self, nthreads: int) -> ParallelPoint:
         return self.expansion[nthreads]
@@ -92,9 +96,10 @@ class BenchmarkResult:
 
 def _seq_run(program, sema, engine: str = "ast") -> Machine:
     # unobserved straight-line run: the bare tier is behaviorally
-    # identical and fastest
-    machine = Machine(program, sema,
-                      engine="bytecode-bare" if engine != "ast" else "ast")
+    # identical and fastest of the bytecode variants; native keeps
+    # native (the hardware-speed sequential run is the measurement)
+    eng = engine if engine in ("ast", "native") else "bytecode-bare"
+    machine = Machine(program, sema, engine=eng)
     machine.exit_code = machine.run()
     return machine
 
@@ -148,6 +153,11 @@ class Harness:
         result.backend = self.backend
         wall = result.wall
         t_start = time.perf_counter()
+        nb = None
+        if eng == "native":
+            from ..interp.native import backend as nb
+            native0 = (nb.SO_CACHE_HITS, nb.SO_CACHE_MISSES,
+                       nb.COMPILE_SECONDS)
 
         def clock(phase: str, since: float) -> float:
             now = time.perf_counter()
@@ -292,6 +302,12 @@ class Harness:
         result.sync_only_speedup = loop_cycles / so_loop if so_loop else 0.0
         clock("sync-only", t)
         wall["total"] = time.perf_counter() - t_start
+        if nb is not None:
+            result.native = {
+                "so_cache_hits": nb.SO_CACHE_HITS - native0[0],
+                "so_cache_misses": nb.SO_CACHE_MISSES - native0[1],
+                "compile_seconds": nb.COMPILE_SECONDS - native0[2],
+            }
         return result
 
 

@@ -22,8 +22,16 @@ Schema 3 adds the execution backend: per-benchmark ``backend``
 ("simulated"/"process") and ``wallclock_seconds`` mapping thread count
 to the host seconds of that expansion parallel run — on the process
 backend ``wallclock_seconds["1"]/["n"]`` is the real multi-core
-speedup.  ``load_trajectory`` reads older schemas too, normalizing the
-missing fields.
+speedup.
+
+Schema 4 adds the native lowering tier's compile accounting:
+per-benchmark ``native`` is ``null`` unless the measurements ran on
+``--engine native``, in which case it carries ``compile_seconds``
+(host wall-clock spent in the C compiler for this benchmark) and the
+``so_cache_hits`` / ``so_cache_misses`` of the on-disk shared-object
+cache — a warm cache shows all hits and ``compile_seconds == 0``.
+``load_trajectory`` reads older schemas too, normalizing the missing
+fields.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ import time
 from typing import Dict, Optional
 
 #: bump when the payload layout changes incompatibly
-TRAJECTORY_SCHEMA = 3
+TRAJECTORY_SCHEMA = 4
 
 
 def _harmonic(values) -> float:
@@ -104,6 +112,10 @@ def trajectory_payload(results, timestamp: Optional[str] = None,
                 str(n): secs
                 for n, secs in sorted(getattr(res, "wallclock", {}).items())
             },
+            # schema 4: native-tier compile accounting (None unless
+            # the measurements ran on --engine native)
+            "native": (dict(res.native)
+                       if getattr(res, "native", None) else None),
         }
 
     thread_counts = sorted({
@@ -167,7 +179,8 @@ def load_trajectory(path: str) -> dict:
     ``wall_seconds`` (plus top-level ``engines`` and
     ``summary.wall_seconds_total = 0.0``); schema-2 benchmarks gain
     ``backend="simulated"`` (the only backend that existed then) and an
-    empty ``wallclock_seconds`` (plus top-level ``backends``).
+    empty ``wallclock_seconds`` (plus top-level ``backends``); schema-3
+    benchmarks gain ``native=None`` (the native tier did not exist).
     """
     with open(path) as fh:
         payload = json.load(fh)
@@ -190,6 +203,10 @@ def load_trajectory(path: str) -> dict:
             bench.setdefault("backend", "simulated")
             bench.setdefault("wallclock_seconds", {})
         payload.setdefault("backends", ["simulated"])
+    if schema < 4:
+        # the native tier did not exist: no benchmark ran on it
+        for bench in payload.get("benchmarks", {}).values():
+            bench.setdefault("native", None)
     return payload
 
 

@@ -60,6 +60,37 @@ def _load(path: str, tracer=None):
     return parse_and_analyze(source, tracer=tracer)
 
 
+def _resolve_engine_cli(args) -> str:
+    """Resolve ``--engine`` / ``$REPRO_ENGINE`` up front with CLI
+    diagnostics instead of a mid-run traceback.
+
+    argparse already refuses unknown ``--engine`` values (and its
+    error lists the valid engines), so the failure mode left is a
+    bogus environment variable — refuse it with a structured
+    ``CLI-ENGINE`` error.  A ``native`` request on a host that cannot
+    compile/load the tier degrades to ``bytecode-bare`` with an
+    explicit ``NL-UNAVAILABLE`` warning: loud, never silent.
+    """
+    from .interp import ENGINE_ENV, resolve_engine
+
+    try:
+        eng = resolve_engine(getattr(args, "engine", None))
+    except ValueError as exc:
+        print(f"error[CLI-ENGINE]: {exc} (check --engine / ${ENGINE_ENV})",
+              file=sys.stderr)
+        raise SystemExit(2)
+    if eng == "native":
+        from .interp.native import native_backend_available
+
+        ok, why = native_backend_available()
+        if not ok:
+            print(f"warning[NL-UNAVAILABLE]: native tier unavailable "
+                  f"({why}); falling back to bytecode-bare",
+                  file=sys.stderr)
+            eng = "bytecode-bare"
+    return eng
+
+
 # -- observability plumbing -------------------------------------------------
 
 def _make_tracer(args):
@@ -114,9 +145,10 @@ def _cmd_run(args) -> int:
     from .interp import Machine
 
     tracer = _make_tracer(args)
+    eng = _resolve_engine_cli(args)
     try:
         program, sema = _load(args.file, tracer=tracer)
-        machine = Machine(program, sema, engine=args.engine)
+        machine = Machine(program, sema, engine=eng)
         with tracer.phase("run", cat="runtime"):
             code = machine.run(args.entry)
     finally:
@@ -138,12 +170,13 @@ def _cmd_profile(args) -> int:
     from .frontend import ast
 
     tracer = _make_tracer(args)
+    eng = _resolve_engine_cli(args)
     try:
         program, sema = _load(args.file, tracer=tracer)
         loop = ast.find_loop(program, args.loop)
         with tracer.phase("profile", loop=args.loop):
             profile = profile_loop(program, sema, loop, entry=args.entry,
-                                   engine=args.engine)
+                                   engine=eng)
     finally:
         _finish_trace(args, tracer)
     print(verification_report(program, profile))
@@ -256,13 +289,13 @@ def _parallel_staged(args, job, sink, tracer, cache_dir) -> int:
 
 def _cmd_parallel(args) -> int:
     from .diagnostics import DiagnosticSink
-    from .interp import Machine, resolve_engine
+    from .interp import Machine
     from .runtime import run_parallel
     from .service import Job
 
     sink = DiagnosticSink()
     tracer = _make_tracer(args)
-    eng = resolve_engine(args.engine)
+    eng = _resolve_engine_cli(args)
     with open(args.file) as fh:
         source = fh.read()
     job = Job.from_kwargs(
@@ -298,8 +331,9 @@ def _cmd_parallel(args) -> int:
                                            tracer=tracer,
                                            flags=job.options.flags)
         # the baseline is unobserved, so the bare tier is safe for it
-        base = Machine(program, sema,
-                       engine="bytecode-bare" if eng != "ast" else "ast")
+        # (native keeps native: the hardware-speed run IS the point)
+        base_eng = eng if eng in ("ast", "native") else "bytecode-bare"
+        base = Machine(program, sema, engine=base_eng)
         with tracer.phase("sequential-baseline"):
             base.run(args.entry)
         outcome = run_parallel(result, job=job, sink=sink,
@@ -480,6 +514,11 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    # engine first: importing .bench constructs a default Harness,
+    # which resolves $REPRO_ENGINE — a bogus value must surface as a
+    # structured CLI error, not an import-time traceback
+    eng = _resolve_engine_cli(args)
+
     from .bench import Harness, all_benchmarks
     from .bench.report import full_report
     from .bench.trajectory import emit_trajectory
@@ -487,7 +526,7 @@ def _cmd_bench(args) -> int:
     names = [s.name for s in all_benchmarks()] if args.name == "all" \
         else [args.name]
     tracer = _make_tracer(args)
-    harness = Harness(tracer=tracer, engine=args.engine,
+    harness = Harness(tracer=tracer, engine=eng,
                       backend=args.backend, workers=args.workers)
     results = {}
     try:
@@ -528,10 +567,13 @@ def build_parser() -> argparse.ArgumentParser:
 
         p.add_argument(
             "--engine", choices=ENGINES, default=None,
-            help="interpreter tier (default: $%s, else 'ast'); "
+            help="execution tier: one of %s (default: $%s, else 'ast'); "
                  "'bytecode' matches 'ast' observation-for-observation, "
-                 "'bytecode-bare' drops observer fan-out for speed"
-                 % ENGINE_ENV,
+                 "'bytecode-bare' drops observer fan-out for speed, "
+                 "'native' compiles analyzed loops to C and runs them "
+                 "at hardware speed (needs a C compiler; degrades to "
+                 "bytecode-bare with a warning when unavailable)"
+                 % (", ".join(ENGINES), ENGINE_ENV),
         )
 
     def add_backend(p):

@@ -178,10 +178,12 @@ def scalar_fmt(ctype: CType) -> str:
 
 #: available interpreter engines: the tree walker ("ast"), the
 #: instrumented bytecode tier ("bytecode" — observers/watchdog/cost
-#: identical to the walker), and the bare bytecode tier
+#: identical to the walker), the bare bytecode tier
 #: ("bytecode-bare" — same cost model, no observer fan-out and no
-#: per-statement watchdog accounting; for baseline/verified re-runs).
-ENGINES = ("ast", "bytecode", "bytecode-bare")
+#: per-statement watchdog accounting; for baseline/verified re-runs),
+#: and the native tier ("native" — lowered to C and run at hardware
+#: speed on the segment; per-construct fallback to bytecode-bare).
+ENGINES = ("ast", "bytecode", "bytecode-bare", "native")
 
 _ENGINE_ALIASES = {"bare": "bytecode-bare", "walker": "ast", "tree": "ast"}
 
@@ -216,9 +218,14 @@ class Machine:
     engine = "ast"
 
     def __new__(cls, *args, engine: Optional[str] = None, **kwargs):
-        if cls is Machine and resolve_engine(engine) != "ast":
-            from .bytecode import BytecodeMachine
-            return object.__new__(BytecodeMachine)
+        if cls is Machine:
+            name = resolve_engine(engine)
+            if name == "native":
+                from .native import NativeMachine
+                return object.__new__(NativeMachine)
+            if name != "ast":
+                from .bytecode import BytecodeMachine
+                return object.__new__(BytecodeMachine)
         return object.__new__(cls)
 
     def __init__(

@@ -1,0 +1,267 @@
+"""Native tier backend: capability probe, C compilation, .so loading.
+
+Mirrors :func:`repro.runtime.multicore.process_backend_available`: a
+cached ``native_backend_available()`` probe with structured ``NL-*``
+reason codes, so callers (CLI, service, tests) can degrade gracefully
+to ``bytecode-bare`` with a diagnostic instead of erroring.
+
+Compilation runs ``cc -shared -O2 -fPIC -fwrapv`` (cffi's API mode
+needs the same C compiler, so the compiler's presence is the real
+gate); binding prefers cffi's ABI-mode ``dlopen`` when cffi is
+importable and falls back to ``ctypes.CDLL``.  Compiled artifacts are
+cached on disk keyed by source hash, ABI version, flags and compiler
+identity — a warm cache hit never invokes the C compiler (asserted by
+the serve smoke test via :data:`COMPILER_INVOCATIONS` /
+``$REPRO_NATIVE_CC_LOG``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, Optional, Tuple
+
+from .codegen import NATIVE_ABI_VERSION, Lowering, lower_program
+
+#: total C compiler invocations in this process (serve-smoke gate)
+COMPILER_INVOCATIONS = 0
+
+#: process-wide .so cache accounting (the bench harness diffs these
+#: around a benchmark to attribute compiles/hits to it)
+SO_CACHE_HITS = 0
+SO_CACHE_MISSES = 0
+COMPILE_SECONDS = 0.0
+
+#: appended with one line per compiler invocation when set
+CC_LOG_ENV = "REPRO_NATIVE_CC_LOG"
+
+#: override the on-disk .so cache directory
+CACHE_ENV = "REPRO_NATIVE_CACHE"
+
+CFLAGS = ("-shared", "-O2", "-fPIC", "-fwrapv")
+
+_AVAILABLE: Optional[Tuple[bool, str]] = None
+_CC_IDENTITY: Optional[str] = None
+
+
+def _find_cc() -> Optional[str]:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return shutil.which(cand)
+    return None
+
+
+def cc_identity() -> str:
+    """Compiler path + version line (part of the .so cache key)."""
+    global _CC_IDENTITY
+    if _CC_IDENTITY is not None:
+        return _CC_IDENTITY
+    cc = _find_cc()
+    if cc is None:
+        _CC_IDENTITY = "no-cc"
+        return _CC_IDENTITY
+    try:
+        out = subprocess.run([cc, "--version"], capture_output=True,
+                             text=True, timeout=30)
+        version = (out.stdout or out.stderr).splitlines()[0].strip()
+    except Exception:  # pragma: no cover - host-dependent
+        version = "unknown"
+    _CC_IDENTITY = f"{cc} {version}"
+    return _CC_IDENTITY
+
+
+def native_backend_available(recheck: bool = False) -> Tuple[bool, str]:
+    """Whether this host can compile and load the native tier.
+
+    Returns ``(ok, reason)`` where ``reason`` is an ``NL-*`` structured
+    code on failure (``NL-PLATFORM``, ``NL-NO-CC``, ``NL-LOAD``).  A
+    missing cffi is *not* fatal (the ctypes loader covers it) — it is
+    surfaced as the informational suffix of the ok-reason instead."""
+    global _AVAILABLE
+    if _AVAILABLE is not None and not recheck:
+        return _AVAILABLE
+    if not (sys.platform.startswith("linux")
+            or sys.platform == "darwin"):
+        _AVAILABLE = (False, "NL-PLATFORM: native tier needs a POSIX "
+                             f"dlopen host, got {sys.platform}")
+        return _AVAILABLE
+    if _find_cc() is None:
+        _AVAILABLE = (False, "NL-NO-CC: no C compiler on PATH "
+                             "(tried $CC, cc, gcc, clang)")
+        return _AVAILABLE
+    try:
+        probe = compile_source(
+            "#include <stdint.h>\n"
+            "int64_t rp_probe(void *e) { (void)e; return 42; }\n",
+            ["rp_probe"], tag="probe")
+    except Exception as exc:  # pragma: no cover - host-dependent
+        _AVAILABLE = (False, f"NL-LOAD: toolchain probe failed: {exc}")
+        return _AVAILABLE
+    if probe.handles["rp_probe"](0) != 42:  # pragma: no cover
+        _AVAILABLE = (False, "NL-LOAD: probe entry returned garbage")
+        return _AVAILABLE
+    note = "" if _has_cffi() else " (cffi absent: NL-NO-CFFI, using ctypes)"
+    _AVAILABLE = (True, "cc+dlopen ok" + note)
+    return _AVAILABLE
+
+
+def _has_cffi() -> bool:
+    try:
+        import cffi  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+class CompiledLib:
+    """A loaded .so: uniform ``int64_t f(void *)`` entry handles."""
+
+    def __init__(self, path: str, handles: Dict, cache_hit: bool,
+                 compile_seconds: float, binder: str):
+        self.path = path
+        self.handles = handles
+        self.cache_hit = cache_hit
+        self.compile_seconds = compile_seconds
+        self.binder = binder  # "cffi" | "ctypes"
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        hit = "hit" if self.cache_hit else "miss"
+        return (f"<CompiledLib {os.path.basename(self.path)} "
+                f"{self.binder} cache-{hit}>")
+
+
+def _cache_dir(explicit: Optional[str]) -> str:
+    path = explicit or os.environ.get(CACHE_ENV)
+    if not path:
+        path = os.path.join(tempfile.gettempdir(),
+                            f"repro-native-{os.getuid()}")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def so_cache_key(source: str) -> str:
+    """Cache key chain: C source (which already folds the program's
+    lowered shape + ABI version) + opt flags + compiler identity."""
+    blob = "\x00".join([
+        f"abi{NATIVE_ABI_VERSION}", " ".join(CFLAGS), cc_identity(),
+        source,
+    ])
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def _bind(path: str, exports) -> Tuple[Dict, str]:
+    """Bind exports as ``callable(env_address_int) -> int`` uniformly
+    across both loaders (callers pass a raw integer address)."""
+    if _has_cffi():
+        import cffi
+        ffi = cffi.FFI()
+        ffi.cdef("".join(f"int64_t {name}(void *);\n"
+                         for name in exports))
+        lib = ffi.dlopen(path)
+        handles = {}
+        for name in exports:
+            raw = getattr(lib, name)
+
+            def call(addr, _raw=raw, _ffi=ffi):
+                return _raw(_ffi.cast("void *", addr))
+
+            handles[name] = call
+        # keep the FFI object alive alongside the handles
+        handles["__ffi__"] = (ffi, lib)
+        return handles, "cffi"
+    import ctypes
+    lib = ctypes.CDLL(path)
+    handles = {}
+    for name in exports:
+        fn = getattr(lib, name)
+        fn.restype = ctypes.c_int64
+        fn.argtypes = [ctypes.c_void_p]
+        handles[name] = fn
+    handles["__lib__"] = lib
+    return handles, "ctypes"
+
+
+def compile_source(source: str, exports, cache_dir: Optional[str] = None,
+                   tag: str = "native") -> CompiledLib:
+    """Compile ``source`` to a cached .so and bind ``exports``."""
+    global COMPILER_INVOCATIONS, SO_CACHE_HITS, SO_CACHE_MISSES
+    global COMPILE_SECONDS
+    key = so_cache_key(source)
+    directory = _cache_dir(cache_dir)
+    so_path = os.path.join(directory, f"{tag}-{key}.so")
+    hit = os.path.exists(so_path)
+    seconds = 0.0
+    if not hit:
+        cc = _find_cc()
+        if cc is None:
+            raise RuntimeError("NL-NO-CC: no C compiler on PATH")
+        c_path = os.path.join(directory, f"{tag}-{key}.c")
+        with open(c_path, "w") as fh:
+            fh.write(source)
+        tmp_so = so_path + f".tmp{os.getpid()}"
+        t0 = time.perf_counter()
+        proc = subprocess.run(
+            [cc, *CFLAGS, "-o", tmp_so, c_path],
+            capture_output=True, text=True)
+        seconds = time.perf_counter() - t0
+        COMPILER_INVOCATIONS += 1
+        log = os.environ.get(CC_LOG_ENV)
+        if log:
+            with open(log, "a") as fh:
+                fh.write(f"{tag}-{key} rc={proc.returncode} "
+                         f"{seconds:.3f}s\n")
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"NL-CC-FAIL: {cc} exited {proc.returncode}: "
+                f"{proc.stderr[-2000:]}")
+        os.replace(tmp_so, so_path)  # atomic vs concurrent builders
+    if hit:
+        SO_CACHE_HITS += 1
+    else:
+        SO_CACHE_MISSES += 1
+        COMPILE_SECONDS += seconds
+    handles, binder = _bind(so_path, exports)
+    return CompiledLib(so_path, handles, hit, seconds, binder)
+
+
+# ---------------------------------------------------------------------------
+# per-program lowering registry (fork-inherited: the parent lowers and
+# compiles before spawning workers, so warm forks never touch cc)
+# ---------------------------------------------------------------------------
+
+class NativeContext:
+    """Lowering + compiled library for one program."""
+
+    def __init__(self, lowering: Lowering, lib: CompiledLib):
+        self.lowering = lowering
+        self.lib = lib
+
+
+_CONTEXTS: Dict[int, Tuple[object, NativeContext]] = {}
+
+
+def native_context_for(program, sema,
+                       cache_dir: Optional[str] = None) -> NativeContext:
+    """The (lowered, compiled, bound) native context for ``program``.
+
+    Raises ``RuntimeError`` with an ``NL-*`` reason when the backend is
+    unavailable.  Results are memoized per program object and inherited
+    by forked workers."""
+    entry = _CONTEXTS.get(id(program))
+    if entry is not None and entry[0] is program:
+        return entry[1]
+    ok, reason = native_backend_available()
+    if not ok:
+        raise RuntimeError(reason)
+    lowering = lower_program(program, sema)
+    lib = compile_source(lowering.source, lowering.exports,
+                         cache_dir=cache_dir,
+                         tag=f"prog-{lowering.fingerprint}")
+    ctx = NativeContext(lowering, lib)
+    _CONTEXTS[id(program)] = (program, ctx)
+    return ctx

@@ -1,0 +1,1732 @@
+"""C code generator for the native execution tier.
+
+Lowers each analyzed function (and each statement the runtime may
+dispatch through ``exec_stmt`` — loop nests, blocks, DOACROSS stage
+statements — plus a per-DOALL-loop chunk driver) to a C translation
+unit operating directly on the machine's flat byte buffer.  The emitted
+code replicates the *bare* bytecode tier's observable semantics
+exactly: the same cost accounting (cycles are carried as ``cy8`` =
+cycles x 8 in int64, every COSTS entry being a multiple of 0.125), the
+same wrap/convert rules (two's complement wrapping via truncating
+casts, Python's truncating integer division formula via ``__int128``),
+the same loop step-budget backstops, and the same memory discipline
+(bump allocation with the exact alignment/growth rules of
+:class:`repro.interp.memory.Memory`).
+
+Values are carried in two C classes: ``'i'`` — int64 two's-complement
+carrier for all integer/pointer types (unsigned-64 / pointer semantics
+are recovered per *static* type where they matter: compares, division,
+float conversion), and ``'f'`` — double (float32 intermediates are
+rounded through ``(float)`` casts exactly like ``FloatType.wrap``).
+Struct blobs (``'s'``) are carried as source addresses and moved with
+``memmove``.
+
+Anything the emitter cannot reproduce *exactly* raises :class:`NLError`
+with an ``NL-*`` reason code; the whole function then falls back to the
+``bytecode-bare`` closures, which is always semantics-preserving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...frontend import ast
+from ...frontend.ctypes import (
+    ArrayType, CType, FloatType, IntType, PointerType, StructType,
+)
+from ..builtins import BUILTIN_IMPLS
+from ..machine import COSTS
+
+#: bump when emitted code or ABI changes shape (part of the .so cache key)
+NATIVE_ABI_VERSION = 3
+
+# callback opcodes (Env->cb protocol)
+OP_GROW = 1
+OP_BUILTIN = 2
+OP_CALLFB = 3
+OP_STRLIT = 4
+
+# entry return codes
+RC_OK = 0
+RC_FAULT = 1
+RC_RETURN = 2
+RC_BREAK = 3
+RC_CONTINUE = 4
+
+# return-value class codes (E->args channel on RC_RETURN)
+RET_NONE = 0
+RET_I64 = 1
+RET_F64 = 2
+RET_BLOB = 3
+RET_U64 = 4
+
+#: builtins emitted as plain C (same libm the Python implementations
+#: call into, so results are bit-identical); everything else goes
+#: through the callback into the Python implementation
+_NATIVE_MATH = {
+    "sqrt": ("sqrt", "fmath"), "exp": ("exp", "fmath"),
+    "log": ("log", "fmath"), "sin": ("sin", "fmath"),
+    "cos": ("cos", "fmath"), "floor": ("floor", "falu"),
+    "ceil": ("ceil", "falu"), "fabs": ("fabs", "alu"),
+    "pow": ("pow", "fmath"),
+}
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _cy8(key: str) -> int:
+    v = COSTS[key] * 8
+    iv = int(v)
+    if iv != v:
+        raise AssertionError(f"COSTS[{key}] is not a multiple of 1/8")
+    return iv
+
+
+class NLError(Exception):
+    """A construct the native tier cannot lower exactly."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+        self.reason = reason
+        self.detail = detail
+
+
+class Val:
+    """One evaluated expression: a C reference + value class + CType."""
+
+    __slots__ = ("ref", "cls", "ct")
+
+    def __init__(self, ref: str, cls: str, ct):
+        self.ref = ref
+        self.cls = cls
+        self.ct = ct
+
+
+def cls_of(ct) -> str:
+    if isinstance(ct, FloatType):
+        return "f"
+    if isinstance(ct, StructType):
+        return "s"
+    if isinstance(ct, (IntType, PointerType, ArrayType)):
+        return "i"
+    return "v"  # void / unknown
+
+
+def is_u64(ct) -> bool:
+    """Types whose int64 carrier must be reinterpreted as unsigned."""
+    if isinstance(ct, PointerType):
+        return True
+    return isinstance(ct, IntType) and not ct.signed and ct.size == 8
+
+
+def _ilit(v: int) -> str:
+    v &= MASK64
+    if v >= 1 << 63:
+        return f"((int64_t)UINT64_C({v}))"
+    if v == (1 << 63):  # unreachable after the branch above; kept for clarity
+        return "(-INT64_C(9223372036854775807) - 1)"
+    return f"INT64_C({v})"
+
+
+def _flit(v: float) -> str:
+    if v != v:
+        return "(0.0/0.0)"
+    if v == float("inf"):
+        return "(1.0/0.0)"
+    if v == float("-inf"):
+        return "(-1.0/0.0)"
+    return f"{v.hex()}"
+
+
+class FnMeta:
+    __slots__ = ("nid", "name", "cname", "runner", "params", "ret_cls",
+                 "ret_u64", "loop_nids", "callees")
+
+    def __init__(self, nid, name, cname, runner, params, ret_cls, ret_u64):
+        self.nid = nid
+        self.name = name
+        self.cname = cname
+        #: exported zero-arg run wrapper (only for parameterless fns)
+        self.runner = runner
+        self.params = params          # tuple of param classes ('i'/'f')
+        self.ret_cls = ret_cls
+        self.ret_u64 = ret_u64
+        self.loop_nids: Set[int] = set()
+        self.callees: Set[int] = set()  # native-called fn nids
+
+
+class UnitMeta:
+    __slots__ = ("nid", "cname", "free", "loop_nids", "callees")
+
+    def __init__(self, nid, cname, free):
+        self.nid = nid
+        self.cname = cname
+        self.free = free              # tuple of free VarDecls (daddr order)
+        self.loop_nids: Set[int] = set()
+        self.callees: Set[int] = set()
+
+
+class ChunkMeta:
+    __slots__ = ("nid", "cname", "free", "control", "loop_nids", "callees")
+
+    def __init__(self, nid, cname, free, control):
+        self.nid = nid
+        self.cname = cname
+        self.free = free
+        self.control = control        # the For's control VarDecl (or None)
+        self.loop_nids: Set[int] = set()
+        self.callees: Set[int] = set()
+
+
+class FaultMeta:
+    __slots__ = ("kind", "msg", "nid")
+
+    def __init__(self, kind: str, msg: str, nid: Optional[int]):
+        self.kind = kind              # "interp" | "memory"
+        self.msg = msg
+        self.nid = nid
+
+
+class CallMeta:
+    __slots__ = ("kind", "name", "nid", "args", "ret")
+
+    def __init__(self, kind: str, name: str, nid: int,
+                 args: Tuple, ret: str):
+        self.kind = kind              # "builtin" | "user"
+        self.name = name
+        self.nid = nid
+        #: per-arg decode spec: ('i', u64?) / ('f',) / ('s', size)
+        self.args = args
+        self.ret = ret                # 'i' / 'f' / 'v'
+
+
+class Lowering:
+    """The full result of lowering one program."""
+
+    def __init__(self):
+        self.source = ""
+        self.fingerprint = ""
+        self.fns: Dict[int, FnMeta] = {}
+        self.fn_by_name: Dict[str, int] = {}
+        self.units: Dict[int, UnitMeta] = {}
+        self.chunks: Dict[int, ChunkMeta] = {}
+        self.globals_order: Tuple = ()
+        self.faults: List[FaultMeta] = []
+        self.calls: List[CallMeta] = []
+        #: interned string literals, in first-reference order; the
+        #: runtime mirrors this into the ``E->saddr`` cache array
+        self.strlits: List[ast.StrLit] = []
+        self.strlit_idx: Dict[int, int] = {}
+        self.nl: Dict[str, str] = {}
+        self.exports: List[str] = []
+        #: filled by the Lowerer for runtime dispatch
+        self.sema = None
+        self.node_by_nid: Dict[int, ast.Node] = {}
+
+
+_PRELUDE = r"""
+#include <stdint.h>
+#include <string.h>
+#include <setjmp.h>
+#include <math.h>
+
+typedef struct Env {
+  char *M;
+  int64_t cap;        /* guard ceiling when !ck: len(data) */
+  int64_t cap_alloc;  /* alloc ceiling: limit (buffer) or len(data) */
+  int64_t brk;
+  int64_t ck;
+  int64_t tid, nthreads;
+  int64_t steps, max_steps;
+  int64_t depth;
+  int64_t cy8, ins, lds, sts;
+  int64_t fault, rnone;
+  int64_t args[16];
+  double dargs[16];
+  int64_t *gaddr;
+  int64_t *daddr;
+  int64_t *saddr;
+  void *jbp;
+  int64_t (*cb)(void *, int64_t, int64_t, int64_t);
+} Env;
+
+#define LJ longjmp(*(jmp_buf *)E->jbp, 1)
+#define FAULT(s) do { FLUSH; E->fault = (s); LJ; } while (0)
+#define CB(op, a, b) do { FLUSH; if (E->cb((void *)E, (op), (a), (b))) LJ; \
+    M = E->M; } while (0)
+#define GK(a, n) do { if (rp_gchk(E, (a), (n))) { E->args[0] = (a); \
+    E->args[1] = (n); FAULT(0); } } while (0)
+#define FLUSH do { E->cy8 += cy8; E->ins += ins; E->lds += lds; \
+    E->sts += sts; cy8 = ins = lds = sts = 0; } while (0)
+
+static int rp_gchk(Env *E, int64_t a, int64_t n) {
+  uint64_t lo = E->ck ? 4096u : 0u;
+  uint64_t hi = (uint64_t)(E->ck ? E->brk : E->cap);
+  return ((uint64_t)a < lo) | ((uint64_t)a >= hi) |
+         ((uint64_t)(a + n) > hi);
+}
+
+static int64_t rp_alloca(Env *E, int64_t sz) {
+  int64_t a, end;
+  if (sz < 1) sz = 1;
+  a = (E->brk + 7) & ~(int64_t)7;
+  end = a + sz;
+  if (end > E->cap_alloc) {
+    if (E->cb((void *)E, 1 /* OP_GROW */, end, 0)) LJ;
+  }
+  E->brk = end;
+  return a;
+}
+
+static inline int64_t rp_ld_i8(const char *p) { int8_t v; memcpy(&v, p, 1); return v; }
+static inline int64_t rp_ld_u8(const char *p) { uint8_t v; memcpy(&v, p, 1); return v; }
+static inline int64_t rp_ld_i16(const char *p) { int16_t v; memcpy(&v, p, 2); return v; }
+static inline int64_t rp_ld_u16(const char *p) { uint16_t v; memcpy(&v, p, 2); return v; }
+static inline int64_t rp_ld_i32(const char *p) { int32_t v; memcpy(&v, p, 4); return v; }
+static inline int64_t rp_ld_u32(const char *p) { uint32_t v; memcpy(&v, p, 4); return v; }
+static inline int64_t rp_ld_i64(const char *p) { int64_t v; memcpy(&v, p, 8); return v; }
+static inline double rp_ld_f32(const char *p) { float v; memcpy(&v, p, 4); return (double)v; }
+static inline double rp_ld_f64(const char *p) { double v; memcpy(&v, p, 8); return v; }
+static inline void rp_st_8(char *p, int64_t v) { uint8_t b = (uint8_t)v; memcpy(p, &b, 1); }
+static inline void rp_st_16(char *p, int64_t v) { uint16_t b = (uint16_t)v; memcpy(p, &b, 2); }
+static inline void rp_st_32(char *p, int64_t v) { uint32_t b = (uint32_t)v; memcpy(p, &b, 4); }
+static inline void rp_st_64(char *p, int64_t v) { memcpy(p, &v, 8); }
+static inline void rp_st_f32(char *p, double v) { float f = (float)v; memcpy(p, &f, 4); }
+static inline void rp_st_f64(char *p, double v) { memcpy(p, &v, 8); }
+
+/* Python int(v) & ((1<<64)-1): truncate toward zero, wrap mod 2^64. */
+static int64_t rp_d2i(double v) {
+  double t, r;
+  if (v != v) return 0;  /* NaN: the walker crashes; documented divergence */
+  if (v >= -9223372036854775808.0 && v < 9223372036854775808.0)
+    return (int64_t)v;
+  t = trunc(v);
+  r = fmod(t, 18446744073709551616.0);
+  if (r < 0) r += 18446744073709551616.0;
+  if (r >= 18446744073709551615.0) return -1;
+  return (int64_t)(uint64_t)r;
+}
+
+/* Python floor division of two int64s (pointer difference). */
+static int64_t rp_fldiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) q--;
+  return q;
+}
+"""
+
+
+def _walk_stmts(s):
+    yield s
+    for name in getattr(s, "_fields", ()):
+        child = getattr(s, name, None)
+        if isinstance(child, ast.Stmt):
+            yield from _walk_stmts(child)
+        elif isinstance(child, (list, tuple)):
+            for item in child:
+                if isinstance(item, ast.Stmt):
+                    yield from _walk_stmts(item)
+
+
+class _Emit:
+    """Emission context for one function / unit / chunk driver."""
+
+    def __init__(self, low: "Lowerer"):
+        self.low = low
+        self.lines: List[str] = []
+        self.ntmp = 0
+        #: VarDecl -> C expression holding its address (bound locals)
+        self.bound: Dict[ast.VarDecl, str] = {}
+        #: free (outer-frame) decls, resolved via E->daddr at dispatch
+        self.free_order: List[ast.VarDecl] = []
+        self.free_idx: Dict[ast.VarDecl, int] = {}
+        self.loop_nids: Set[int] = set()
+        self.callees: Set[int] = set()
+        #: loop nid stack for break/continue targets; entries are
+        #: (break_label, continue_label) or None (unit boundary)
+        self.loops: List = []
+        self.in_function = False  # True inside f_<nid> (returns are C returns)
+        self.ret_cls = "v"
+        self.ret_u64 = False
+        self.ret_ct = None
+
+    # -- plumbing ---------------------------------------------------------
+    def t(self, ctype: str = "int64_t") -> str:
+        self.ntmp += 1
+        name = f"t{self.ntmp}"
+        self.lines.append(f"  {ctype} {name};")
+        return name
+
+    def o(self, line: str):
+        self.lines.append("  " + line)
+
+    def label(self, name: str):
+        self.lines.append(f"{name}:;")
+
+    # -- registries -------------------------------------------------------
+    def fault_site(self, kind: str, msg: str, nid: Optional[int]) -> int:
+        faults = self.low.result.faults
+        faults.append(FaultMeta(kind, msg, nid))
+        return len(faults)  # site 0 is the guard; faults are 1-based
+
+    def call_site(self, kind, name, nid, args, ret) -> int:
+        calls = self.low.result.calls
+        calls.append(CallMeta(kind, name, nid, args, ret))
+        return len(calls) - 1
+
+    # -- variable addressing ---------------------------------------------
+    def var_addr_ref(self, decl: ast.VarDecl) -> str:
+        ref = self.bound.get(decl)
+        if ref is not None:
+            return ref
+        gidx = self.low.global_idx.get(decl)
+        if gidx is not None:
+            return f"E->gaddr[{gidx}]"
+        if self.in_function:
+            # a C function body can only see its own locals and globals
+            raise NLError("NL-FREE-VAR", decl.name)
+        idx = self.free_idx.get(decl)
+        if idx is None:
+            idx = len(self.free_order)
+            self.free_order.append(decl)
+            self.free_idx[decl] = idx
+        return f"E->daddr[{idx}]"
+
+    # -- conversions ------------------------------------------------------
+    def wrap_int(self, x: str, ct: IntType) -> str:
+        bits = 8 * ct.size
+        if bits == 64:
+            return f"(int64_t)(uint64_t)({x})"
+        u = {8: "uint8_t", 16: "uint16_t", 32: "uint32_t"}[bits]
+        s = {8: "int8_t", 16: "int16_t", 32: "int32_t"}[bits]
+        if ct.signed:
+            return f"(int64_t)({s})({u})(uint64_t)({x})"
+        return f"(int64_t)({u})(uint64_t)({x})"
+
+    def to_double(self, v: Val) -> str:
+        if v.cls == "f":
+            return v.ref
+        if is_u64(v.ct):
+            return f"(double)(uint64_t)({v.ref})"
+        return f"(double)({v.ref})"
+
+    def conv(self, v: Val, target) -> Val:
+        """``make_convert(target)`` applied to ``v`` (carrier domain)."""
+        if isinstance(target, IntType):
+            if v.cls == "f":
+                return Val(self.wrap_int(f"rp_d2i({v.ref})", target),
+                           "i", target)
+            if v.cls != "i":
+                raise NLError("NL-CONV", f"{v.cls}->int")
+            return Val(self.wrap_int(v.ref, target), "i", target)
+        if isinstance(target, FloatType):
+            d = self.to_double(v) if v.cls in ("i", "f") else None
+            if d is None:
+                raise NLError("NL-CONV", f"{v.cls}->float")
+            if target.size == 4:
+                d = f"(double)(float)({d})"
+            return Val(d, "f", target)
+        if isinstance(target, PointerType):
+            if v.cls == "f":
+                return Val(f"rp_d2i({v.ref})", "i", target)
+            if v.cls != "i":
+                raise NLError("NL-CONV", f"{v.cls}->ptr")
+            return Val(v.ref, "i", target)
+        return v
+
+    def truth(self, v: Val) -> str:
+        if v.cls == "f":
+            return f"({v.ref} != 0.0)"
+        if v.cls == "i":
+            return f"({v.ref} != 0)"
+        raise NLError("NL-TRUTH", v.cls)
+
+    # -- memory -----------------------------------------------------------
+    def load_scalar(self, addr: str, ct, cheap: bool, guarded: bool) -> Val:
+        """Scalar read matching ``make_load`` / ``make_scalar_value``:
+        guard where the walker bounds-checks, LOAD cost unless cheap."""
+        if guarded:
+            self.o(f"GK({addr}, {ct.size});")
+        fmt = ct.fmt
+        fn = {
+            "b": "rp_ld_i8", "B": "rp_ld_u8", "h": "rp_ld_i16",
+            "H": "rp_ld_u16", "i": "rp_ld_i32", "I": "rp_ld_u32",
+            "q": "rp_ld_i64", "Q": "rp_ld_i64",
+        }.get(fmt)
+        if fn is not None:
+            t = self.t()
+            self.o(f"{t} = {fn}(M + {addr});")
+            out = Val(t, "i", ct)
+        elif fmt == "f":
+            t = self.t("double")
+            self.o(f"{t} = rp_ld_f32(M + {addr});")
+            out = Val(t, "f", ct)
+        elif fmt == "d":
+            t = self.t("double")
+            self.o(f"{t} = rp_ld_f64(M + {addr});")
+            out = Val(t, "f", ct)
+        else:
+            raise NLError("NL-FMT", fmt)
+        if not cheap:
+            self.o(f"cy8 += {_cy8('load')}; lds += 1;")
+        return out
+
+    def load_value(self, addr: str, ct, cheap: bool,
+                   guarded: bool = True) -> Val:
+        """``make_load``: scalar, struct blob, or array decay."""
+        if isinstance(ct, ArrayType):
+            return Val(addr, "i", ct)
+        if isinstance(ct, StructType):
+            if guarded:
+                self.o(f"GK({addr}, {ct.size});")
+            if not cheap:
+                self.o(f"cy8 += {_cy8('load') + ct.size}; lds += 1;")
+            return Val(addr, "s", ct)
+        return self.load_scalar(addr, ct, cheap, guarded)
+
+    def store_value(self, addr: str, v: Val, ct, cheap: bool,
+                    guarded: bool = True):
+        """``make_store``: convert + guard + pack + STORE cost."""
+        if isinstance(ct, ArrayType):
+            raise NLError("NL-ARRAY-STORE")
+        if isinstance(ct, StructType):
+            if v.cls != "s":
+                raise NLError("NL-STRUCT-STORE", v.cls)
+            if guarded:
+                self.o(f"GK({addr}, {ct.size});")
+            self.o(f"memmove(M + {addr}, M + {v.ref}, {ct.size});")
+            if not cheap:
+                self.o(f"cy8 += {_cy8('store') + ct.size}; sts += 1;")
+            return
+        cv = self.conv(v, ct)
+        if guarded:
+            self.o(f"GK({addr}, {ct.size});")
+        fmt = ct.fmt
+        if fmt in ("b", "B"):
+            self.o(f"rp_st_8(M + {addr}, {cv.ref});")
+        elif fmt in ("h", "H"):
+            self.o(f"rp_st_16(M + {addr}, {cv.ref});")
+        elif fmt in ("i", "I"):
+            self.o(f"rp_st_32(M + {addr}, {cv.ref});")
+        elif fmt in ("q", "Q"):
+            self.o(f"rp_st_64(M + {addr}, {cv.ref});")
+        elif fmt == "f":
+            self.o(f"rp_st_f32(M + {addr}, {cv.ref});")
+        elif fmt == "d":
+            self.o(f"rp_st_f64(M + {addr}, {cv.ref});")
+        else:
+            raise NLError("NL-FMT", fmt)
+        if not cheap:
+            self.o(f"cy8 += {_cy8('store')}; sts += 1;")
+
+    def alloca(self, size_ref: str, out: str):
+        # a grow callback may swap the backing buffer: reload M
+        self.o(f"{out} = rp_alloca(E, {size_ref}); M = E->M;")
+
+    # -- reg-slot analysis (mirrors Machine._is_reg_slot) -----------------
+    def is_reg_slot(self, e) -> bool:
+        if isinstance(e, ast.Ident):
+            d = e.decl
+            return isinstance(d, ast.VarDecl) and \
+                d.storage in ("local", "param") and \
+                not isinstance(d.ctype, ArrayType)
+        if isinstance(e, ast.Index):
+            idx = e.index
+            fixed = isinstance(idx, ast.IntLit) or (
+                isinstance(idx, ast.Ident)
+                and (idx.decl is self.low.tid_decl
+                     or idx.decl is self.low.nthreads_decl))
+            if not fixed:
+                return False
+            base = e.base
+            return isinstance(base, ast.Ident) and \
+                isinstance(base.decl, ast.VarDecl) and \
+                base.decl.storage in ("local", "param")
+        if isinstance(e, ast.Member) and not e.arrow:
+            return self.is_reg_slot(e.base)
+        return False
+
+    # ======================================================================
+    # expressions
+    # ======================================================================
+    def expr(self, e) -> Val:
+        fn = _X.get(type(e))
+        if fn is None:
+            raise NLError("NL-NODE", type(e).__name__)
+        return fn(self, e)
+
+    def addr_of(self, e) -> str:
+        """lvalue address (mirrors ``compile_addr``: no cost, no bump)."""
+        if isinstance(e, ast.Ident):
+            d = e.decl
+            if d is self.low.tid_decl or d is self.low.nthreads_decl:
+                raise NLError("NL-TIDADDR")
+            if not isinstance(d, ast.VarDecl):
+                raise NLError("NL-LVALUE", type(d).__name__)
+            return self.var_addr_ref(d)
+        if isinstance(e, ast.Unary) and e.op == "*":
+            v = self.expr(e.operand)
+            if v.cls != "i":
+                raise NLError("NL-DEREF", v.cls)
+            return v.ref
+        if isinstance(e, ast.Index):
+            b = self.expr(e.base)
+            i = self.expr(e.index)
+            if b.cls != "i" or i.cls != "i":
+                raise NLError("NL-INDEX")
+            esize = e.ctype.size
+            if esize is None:
+                raise NLError("NL-INCOMPLETE")
+            t = self.t()
+            self.o(f"{t} = {b.ref} + {i.ref} * {esize};")
+            return t
+        if isinstance(e, ast.Member):
+            if e.arrow:
+                st = e.base.ctype.decay().pointee
+                fld = st.field(e.name)
+                b = self.expr(e.base)
+                t = self.t()
+                self.o(f"{t} = {b.ref} + {fld.offset};")
+                return t
+            fld = e.base.ctype.field(e.name)
+            base = self.addr_of(e.base)
+            t = self.t()
+            self.o(f"{t} = {base} + {fld.offset};")
+            return t
+        if isinstance(e, ast.Cast):
+            return self.addr_of(e.expr)
+        if isinstance(e, ast.Comma):
+            self.expr(e.left)
+            return self.addr_of(e.right)
+        raise NLError("NL-LVALUE", type(e).__name__)
+
+    # -- shared binop apply (mirrors make_binop_apply) --------------------
+    def binop_apply(self, op: str, l: Val, r: Val, result_ct,
+                    nid: Optional[int], lt, rt) -> Val:
+        if isinstance(lt, PointerType) and isinstance(rt, PointerType) \
+                and op == "-":
+            esize = lt.pointee.size or 1
+            self.o(f"cy8 += {_cy8('ptrdiff')};")
+            t = self.t()
+            self.o(f"{t} = rp_fldiv({l.ref} - {r.ref}, {esize});")
+            return Val(t, "i", result_ct)
+        if isinstance(lt, PointerType) and op in ("+", "-"):
+            esize = lt.pointee.size
+            self.o(f"cy8 += {_cy8('lea')};")
+            if esize is None:
+                site = self.fault_site("interp", "arithmetic on void*", nid)
+                self.o(f"FAULT({site});")
+                return Val("0", "i", result_ct)
+            t = self.t()
+            self.o(f"{t} = {l.ref} {op} {r.ref} * {esize};")
+            return Val(t, "i", result_ct)
+        if isinstance(rt, PointerType) and op == "+":
+            esize = rt.pointee.size
+            self.o(f"cy8 += {_cy8('lea')};")
+            if esize is None:
+                site = self.fault_site("interp", "arithmetic on void*", nid)
+                self.o(f"FAULT({site});")
+                return Val("0", "i", result_ct)
+            t = self.t()
+            self.o(f"{t} = {r.ref} + {l.ref} * {esize};")
+            return Val(t, "i", result_ct)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            self.o(f"cy8 += {_cy8('alu')};")
+            t = self.t()
+            if l.cls == "f" or r.cls == "f":
+                self.o(f"{t} = ({self.to_double(l)} {op} "
+                       f"{self.to_double(r)});")
+            else:
+                lu, ru = is_u64(lt), is_u64(rt)
+                if lu and ru:
+                    self.o(f"{t} = ((uint64_t){l.ref} {op} "
+                           f"(uint64_t){r.ref});")
+                elif not lu and not ru:
+                    self.o(f"{t} = ({l.ref} {op} {r.ref});")
+                else:
+                    lc = f"(__int128)(uint64_t){l.ref}" if lu \
+                        else f"(__int128){l.ref}"
+                    rc = f"(__int128)(uint64_t){r.ref}" if ru \
+                        else f"(__int128){r.ref}"
+                    self.o(f"{t} = ({lc} {op} {rc});")
+            return Val(t, "i", result_ct)
+        if isinstance(result_ct, FloatType):
+            ld, rd = self.to_double(l), self.to_double(r)
+            if op == "/":
+                site = self.fault_site("interp", "float division by zero",
+                                       nid)
+                self.o(f"cy8 += {_cy8('fdiv')};")
+                self.o(f"if ({rd} == 0.0) FAULT({site});")
+            elif op in ("+", "-", "*"):
+                self.o(f"cy8 += {_cy8('falu')};")
+            else:
+                raise NLError("NL-FLOAT-OP", op)
+            t = self.t("double")
+            x = f"({ld} {op} {rd})"
+            if result_ct.size == 4:
+                x = f"(double)(float){x}"
+            self.o(f"{t} = {x};")
+            return Val(t, "f", result_ct)
+        # integer domain; operands may still be float (compound assigns)
+        if not isinstance(result_ct, IntType):
+            raise NLError("NL-BINOP-RESULT", str(result_ct))
+        if l.cls == "f" or r.cls == "f":
+            # the walker computes in Python float then wraps via int();
+            # reproduce: to double, C op, truncate, wrap
+            if op in ("+", "-", "*"):
+                self.o(f"cy8 += {_cy8('alu') if op in ('+', '-') else _cy8('imul')};")
+                t = self.t("double")
+                self.o(f"{t} = ({self.to_double(l)} {op} "
+                       f"{self.to_double(r)});")
+                return self.conv(Val(t, "f", result_ct), result_ct)
+            raise NLError("NL-MIXED-OP", op)
+        li, ri = l.ref, r.ref
+        if op in ("+", "-"):
+            self.o(f"cy8 += {_cy8('alu')};")
+            x = f"((uint64_t){li} {op} (uint64_t){ri})"
+        elif op == "*":
+            self.o(f"cy8 += {_cy8('imul')};")
+            x = f"((uint64_t){li} * (uint64_t){ri})"
+        elif op in ("/", "%"):
+            site = self.fault_site("interp", "integer division by zero", nid)
+            self.o(f"cy8 += {_cy8('idiv')};")
+            self.o(f"if ({ri} == 0) FAULT({site});")
+            lc = f"(__int128)(uint64_t){li}" if is_u64(lt) \
+                else f"(__int128){li}"
+            rc = f"(__int128)(uint64_t){ri}" if is_u64(rt) \
+                else f"(__int128){ri}"
+            t = self.t()
+            if op == "/":
+                self.o(f"{t} = {self.wrap_int(f'({lc}) / ({rc})', result_ct)};")
+            else:
+                self.o(f"{{ __int128 q_ = ({lc}) / ({rc}); "
+                       f"{t} = {self.wrap_int(f'({lc}) - q_ * ({rc})', result_ct)}; }}")
+            return Val(t, "i", result_ct)
+        elif op == "<<":
+            self.o(f"cy8 += {_cy8('alu')};")
+            x = f"((uint64_t){li} << ({ri} & 63))"
+        elif op == ">>":
+            self.o(f"cy8 += {_cy8('alu')};")
+            if isinstance(lt, IntType) and not lt.signed:
+                bits = 8 * lt.size
+                m = (1 << bits) - 1
+                x = f"(int64_t)(((uint64_t){li} & UINT64_C({m})) >> ({ri} & 63))"
+            else:
+                x = f"({li} >> ({ri} & 63))"
+        elif op in ("&", "|", "^"):
+            self.o(f"cy8 += {_cy8('alu')};")
+            x = f"((uint64_t){li} {op} (uint64_t){ri})"
+        else:
+            raise NLError("NL-OP", op)
+        t = self.t()
+        self.o(f"{t} = {self.wrap_int(x, result_ct)};")
+        return Val(t, "i", result_ct)
+
+    # -- expression node emitters -----------------------------------------
+    def _x_intlit(self, e):
+        self.o("ins += 1;")
+        return Val(_ilit(e.value), "i", e.ctype)
+
+    def _x_floatlit(self, e):
+        self.o("ins += 1;")
+        return Val(_flit(e.value), "f", e.ctype)
+
+    def _x_strlit(self, e):
+        self.o("ins += 1;")
+        res = self.low.result
+        idx = res.strlit_idx.get(e.nid)
+        if idx is None:
+            idx = len(res.strlits)
+            res.strlits.append(e)
+            res.strlit_idx[e.nid] = idx
+        # first evaluation interns via the callback (walker timing: the
+        # RODATA block allocates at first eval, not at dispatch); the
+        # wrapper fills saddr[idx] so later evals stay in C
+        t = self.t()
+        self.o(f"if (E->saddr[{idx}] < 0) CB({OP_STRLIT}, {e.nid}, {idx});")
+        self.o(f"{t} = E->saddr[{idx}];")
+        return Val(t, "i", e.ctype)
+
+    def _x_ident(self, e):
+        d = e.decl
+        if d is self.low.tid_decl:
+            self.o("ins += 1;")
+            t = self.t()
+            self.o(f"{t} = E->tid;")
+            return Val(t, "i", e.ctype)
+        if d is self.low.nthreads_decl:
+            self.o("ins += 1;")
+            t = self.t()
+            self.o(f"{t} = E->nthreads;")
+            return Val(t, "i", e.ctype)
+        if not isinstance(d, ast.VarDecl):
+            raise NLError("NL-FNDESIG", getattr(d, "name", "?"))
+        addr = self.var_addr_ref(d)
+        ct = d.ctype
+        self.o("ins += 1;")
+        if isinstance(ct, ArrayType):
+            t = self.t()
+            self.o(f"{t} = {addr};")
+            return Val(t, "i", ct)
+        cheap = d.storage in ("local", "param")
+        if isinstance(ct, StructType):
+            return self.load_value(addr, ct, cheap, guarded=True)
+        if cheap:
+            # fused local read: no bounds check with no redirector
+            return self.load_scalar(addr, ct, True, guarded=False)
+        return self.load_scalar(addr, ct, False, guarded=True)
+
+    def _incdec_delta(self, ct) -> Tuple[str, bool]:
+        """(delta C literal, is_float) for ++/--; NL on void*."""
+        if isinstance(ct, PointerType):
+            if ct.pointee.size is None:
+                raise NLError("NL-VOIDPTR")
+            return str(ct.pointee.size), False
+        if isinstance(ct, FloatType):
+            return "1.0", True
+        return "1", False
+
+    def _x_unary(self, e):
+        op = e.op
+        if op == "&":
+            # address computation first (mirrors closure order), bump after
+            a = self.addr_of(e.operand)
+            self.o("ins += 1;")
+            return Val(a, "i", e.ctype)
+        if op == "*":
+            v = self.expr(e.operand)
+            self.o("ins += 1;")
+            if v.cls != "i":
+                raise NLError("NL-DEREF", v.cls)
+            return self.load_value(v.ref, e.ctype, False, guarded=True)
+        if op in ("++", "--", "p++", "p--"):
+            post = op.startswith("p")
+            sign = "+" if "++" in op else "-"
+            operand = e.operand
+            ct = operand.ctype
+            fused = (isinstance(operand, ast.Ident)
+                     and isinstance(operand.decl, ast.VarDecl)
+                     and operand.decl.storage in ("local", "param")
+                     and isinstance(ct, (IntType, FloatType, PointerType)))
+            delta, fdelta = self._incdec_delta(ct)
+            self.o("ins += 1;")
+            if fused:
+                addr = self.var_addr_ref(operand.decl)
+                old = self.load_scalar(addr, ct, True, guarded=False)
+                self.o(f"cy8 += {_cy8('alu')};")
+                raw = Val(f"({old.ref} {sign} {delta})",
+                          "f" if fdelta else "i", ct)
+                new = self.conv(raw, ct)
+                nt = self.t("double" if new.cls == "f" else "int64_t")
+                self.o(f"{nt} = {new.ref};")
+                new = Val(nt, new.cls, ct)
+                self.store_value(addr, new, ct, cheap=True, guarded=False)
+                return old if post else new
+            cheap = self.is_reg_slot(operand)
+            a = self.addr_of(operand)
+            old = self.load_value(a, ct, cheap, guarded=True)
+            self.o(f"cy8 += {_cy8('alu')};")
+            raw = Val(f"({old.ref} {sign} {delta})",
+                      "f" if fdelta else "i", ct)
+            self.store_value(a, raw, ct, cheap, guarded=True)
+            return old if post else self.conv(raw, ct)
+        v = self.expr(e.operand)
+        self.o("ins += 1;")
+        self.o(f"cy8 += {_cy8('alu')};")
+        if op == "-":
+            if isinstance(e.ctype, IntType):
+                t = self.t()
+                self.o(f"{t} = {self.wrap_int(f'-(uint64_t)({v.ref})', e.ctype)};")
+                return Val(t, "i", e.ctype)
+            t = self.t("double")
+            self.o(f"{t} = -({self.to_double(v)});")
+            return Val(t, "f", e.ctype)
+        if op == "!":
+            t = self.t()
+            self.o(f"{t} = {self.truth(v)} ? 0 : 1;")
+            return Val(t, "i", e.ctype)
+        if op == "~":
+            if v.cls != "i":
+                raise NLError("NL-BITNOT", v.cls)
+            t = self.t()
+            self.o(f"{t} = {self.wrap_int(f'~(uint64_t)({v.ref})', e.ctype)};")
+            return Val(t, "i", e.ctype)
+        raise NLError("NL-UNARY", op)
+
+    def _x_binary(self, e):
+        op = e.op
+        if op in ("&&", "||"):
+            self.o("ins += 1;")
+            self.o(f"cy8 += {_cy8('alu')};")
+            t = self.t()
+            l = self.expr(e.left)
+            if op == "&&":
+                self.o(f"{t} = 0;")
+                self.o(f"if ({self.truth(l)}) {{")
+                r = self.expr(e.right)
+                self.o(f"{t} = {self.truth(r)} ? 1 : 0;")
+                self.o("}")
+            else:
+                self.o(f"{t} = 1;")
+                self.o(f"if (!{self.truth(l)}) {{")
+                r = self.expr(e.right)
+                self.o(f"{t} = {self.truth(r)} ? 1 : 0;")
+                self.o("}")
+            return Val(t, "i", e.ctype)
+        self.o("ins += 1;")
+        l = self.expr(e.left)
+        r = self.expr(e.right)
+        lt = e.left.ctype.decay() if e.left.ctype is not None else None
+        rt = e.right.ctype.decay() if e.right.ctype is not None else None
+        return self.binop_apply(op, l, r, e.ctype, e.nid, lt, rt)
+
+    def _x_assign(self, e):
+        target = e.target
+        if e.op == "=":
+            tct = target.ctype
+            fused = (isinstance(target, ast.Ident)
+                     and isinstance(target.decl, ast.VarDecl)
+                     and target.decl.storage in ("local", "param")
+                     and isinstance(tct, (IntType, FloatType, PointerType)))
+            self.o("ins += 1;")
+            if fused:
+                addr = self.var_addr_ref(target.decl)
+                value = self.expr(e.value)
+                self.store_value(addr, value, tct, cheap=True, guarded=False)
+                return value  # unconverted, like the walker
+            addr = self.addr_of(target)
+            value = self.expr(e.value)
+            self.store_value(addr, value, tct,
+                             cheap=self.is_reg_slot(target), guarded=True)
+            return value
+        # compound assignment: load-modify-store
+        op = e.op[:-1]
+        tct = target.ctype
+        if isinstance(tct, (StructType, ArrayType)):
+            raise NLError("NL-COMPOUND", cls_of(tct))
+        self.o("ins += 1;")
+        cheap = self.is_reg_slot(target)
+        a = self.addr_of(target)
+        at = self.t()
+        self.o(f"{at} = {a};")
+        old = self.load_value(at, tct, cheap, guarded=True)
+        rhs = self.expr(e.value)
+        if isinstance(tct, PointerType):
+            # mirrors the dedicated pointer-compound path: LEA charge,
+            # old +/- int(rhs) * esize, raw store, converted result
+            esize = tct.pointee.size
+            if esize is None:
+                site = self.fault_site("interp", "arithmetic on void*",
+                                       e.nid)
+                self.o(f"FAULT({site});")
+                return Val("0", "i", tct)
+            if op not in ("+", "-"):
+                raise NLError("NL-PTR-COMPOUND", op)
+            ri = f"rp_d2i({rhs.ref})" if rhs.cls == "f" else rhs.ref
+            self.o(f"cy8 += {_cy8('lea')};")
+            nt = self.t()
+            self.o(f"{nt} = {old.ref} {op} ({ri}) * {esize};")
+            new = Val(nt, "i", tct)
+            self.store_value(at, new, tct, cheap, guarded=True)
+            return self.conv(new, tct)
+        lt = tct.decay() if tct is not None else None
+        rt = e.value.ctype.decay() if e.value.ctype is not None else None
+        new = self.binop_apply(op, old, rhs, tct, None, lt, rt)
+        self.store_value(at, new, tct, cheap, guarded=True)
+        return self.conv(new, tct)
+
+    def _x_cond(self, e):
+        self.o("ins += 1;")
+        self.o(f"cy8 += {_cy8('alu')};")
+        c = self.expr(e.cond)
+        # one carrier must hold either branch's value: ints promote to
+        # double when the classes mix (documented >2^53 divergence),
+        # but differing 64-bit signedness has no shared carrier
+        tct = e.then.ctype
+        ect = e.els.ctype
+        tcls = cls_of(tct)
+        ecls = cls_of(ect)
+        if "s" in (tcls, ecls) or "v" in (tcls, ecls):
+            raise NLError("NL-COND-CLASS", f"{tcls}/{ecls}")
+        merged = "f" if "f" in (tcls, ecls) else "i"
+        if merged == "i" and is_u64(tct) != is_u64(ect):
+            raise NLError("NL-COND-SIGN")
+        t = self.t("double" if merged == "f" else "int64_t")
+        self.o(f"if ({self.truth(c)}) {{")
+        tv = self.expr(e.then)
+        self.o(f"{t} = {self.to_double(tv) if merged == 'f' else tv.ref};")
+        self.o("} else {")
+        ev = self.expr(e.els)
+        self.o(f"{t} = {self.to_double(ev) if merged == 'f' else ev.ref};")
+        self.o("}")
+        ct = tct if cls_of(tct) == merged else ect
+        return Val(t, merged, ct)
+
+    def _x_index(self, e):
+        b = self.expr(e.base)
+        i = self.expr(e.index)
+        if b.cls != "i" or i.cls != "i":
+            raise NLError("NL-INDEX")
+        esize = e.ctype.size
+        if esize is None:
+            raise NLError("NL-INCOMPLETE")
+        a = self.t()
+        self.o(f"{a} = {b.ref} + {i.ref} * {esize};")
+        self.o("ins += 1;")
+        return self.load_value(a, e.ctype, self.is_reg_slot(e), guarded=True)
+
+    def _x_member(self, e):
+        if e.arrow:
+            st = e.base.ctype.decay().pointee
+            fld = st.field(e.name)
+            b = self.expr(e.base)
+            a = self.t()
+            self.o(f"{a} = {b.ref} + {fld.offset};")
+        else:
+            fld = e.base.ctype.field(e.name)
+            base = self.addr_of(e.base)
+            a = self.t()
+            self.o(f"{a} = {base} + {fld.offset};")
+        self.o("ins += 1;")
+        return self.load_value(a, e.ctype, self.is_reg_slot(e), guarded=True)
+
+    def _x_cast(self, e):
+        v = self.expr(e.expr)
+        self.o("ins += 1;")
+        to = e.to_type
+        if isinstance(to, IntType):
+            return self.conv(v, to)
+        if isinstance(to, FloatType):
+            return self.conv(v, to)
+        if isinstance(to, PointerType):
+            # the walker does int(v) with NO mask: negative ints stay
+            # negative (carrier identity); floats truncate
+            if v.cls == "f":
+                return Val(f"rp_d2i({v.ref})", "i", to)
+            if v.cls != "i":
+                raise NLError("NL-CAST", v.cls)
+            return Val(v.ref, "i", to)
+        return Val(v.ref, v.cls, to)
+
+    def _x_sizeof_type(self, e):
+        if e.of_type.size is None:
+            raise NLError("NL-SIZEOF")
+        self.o("ins += 1;")
+        return Val(_ilit(e.of_type.size), "i", e.ctype)
+
+    def _x_sizeof_expr(self, e):
+        ct = e.expr.ctype
+        if ct is None or ct.size is None:
+            raise NLError("NL-SIZEOF")
+        self.o("ins += 1;")
+        return Val(_ilit(ct.size), "i", e.ctype)
+
+    def _x_comma(self, e):
+        self.o("ins += 1;")
+        self.expr(e.left)
+        return self.expr(e.right)
+
+    # -- calls -------------------------------------------------------------
+    def _arg_spec(self, v: Val):
+        if v.cls == "i":
+            return ("i", is_u64(v.ct))
+        if v.cls == "f":
+            return ("f",)
+        if v.cls == "s":
+            return ("s", v.ct.size)
+        raise NLError("NL-ARG-CLASS", v.cls)
+
+    def _encode_args(self, vals):
+        specs = []
+        if len(vals) > 16:
+            raise NLError("NL-ARGC", str(len(vals)))
+        for i, v in enumerate(vals):
+            spec = self._arg_spec(v)
+            specs.append(spec)
+            if spec[0] == "f":
+                self.o(f"E->dargs[{i}] = {v.ref};")
+            else:
+                self.o(f"E->args[{i}] = {v.ref};")
+        return tuple(specs)
+
+    def _decode_result(self, ct) -> Val:
+        rcls = cls_of(ct)
+        if rcls == "f":
+            t = self.t("double")
+            self.o(f"{t} = E->dargs[0];")
+            return Val(t, "f", ct)
+        if rcls == "i":
+            t = self.t()
+            self.o(f"{t} = E->args[0];")
+            return Val(t, "i", ct)
+        if rcls == "v":
+            return Val("0", "v", ct)
+        raise NLError("NL-RET-CLASS", rcls)
+
+    def _callfb(self, fn_or_name, e, vals) -> Val:
+        """Route one call site through the Python machine (exact
+        semantics for anything the native ABI cannot carry)."""
+        specs = self._encode_args(vals)
+        rcls = cls_of(e.ctype)
+        if rcls == "s":
+            raise NLError("NL-RET-BLOB-FB")
+        kind = "builtin" if isinstance(fn_or_name, str) else "user"
+        name = fn_or_name if kind == "builtin" else fn_or_name.name
+        site = self.call_site(kind, name, e.nid, specs, rcls)
+        self.o(f"CB({OP_CALLFB if kind == 'user' else OP_BUILTIN}, "
+               f"{site}, 0);")
+        return self._decode_result(e.ctype)
+
+    def _native_math(self, name, e, vals) -> Val:
+        """Emit a math builtin as plain C with guards that divert to
+        the Python implementation wherever it would raise (domain
+        errors -> ValueError, overflow -> OverflowError)."""
+        cfunc, cost_key = _NATIVE_MATH[name]
+        nargs = 2 if name == "pow" else 1
+        if len(vals) < nargs:
+            raise NLError("NL-MATH-ARGC", name)
+        args = [self.to_double(v) for v in vals[:nargs]]
+        a0 = self.t("double")
+        self.o(f"{a0} = {args[0]};")
+        if nargs == 2:
+            a1 = self.t("double")
+            self.o(f"{a1} = {args[1]};")
+        t = self.t("double")
+        fallback = None
+        if name == "sqrt":
+            fallback = f"{a0} < 0.0"
+        elif name == "log":
+            fallback = f"{a0} <= 0.0"
+        elif name in ("sin", "cos", "floor", "ceil"):
+            fallback = f"!isfinite({a0})"
+        self.o("{")
+        if fallback is not None:
+            self.o(f"if ({fallback}) goto NM{e.nid}_fb;")
+        if nargs == 2:
+            self.o(f"{t} = {cfunc}({a0}, {a1});")
+            self.o(f"if (!isfinite({t}) && isfinite({a0}) && "
+                   f"isfinite({a1})) goto NM{e.nid}_fb;")
+        else:
+            self.o(f"{t} = {cfunc}({a0});")
+            if name in ("exp",):
+                self.o(f"if (!isfinite({t}) && isfinite({a0})) "
+                       f"goto NM{e.nid}_fb;")
+        self.o(f"cy8 += {_cy8(cost_key)};")
+        self.o(f"goto NM{e.nid}_done;")
+        self.label(f"NM{e.nid}_fb")
+        # re-encode through the Python impl so the exception (and its
+        # cost charge) is exactly the interpreter's
+        specs = self._encode_args(vals)
+        site = self.call_site("builtin", name, e.nid, specs, "f")
+        self.o(f"CB({OP_BUILTIN}, {site}, 0);")
+        self.o(f"{t} = E->dargs[0];")
+        self.label(f"NM{e.nid}_done")
+        self.o("}")
+        return Val(t, "f", e.ctype)
+
+    def _x_call(self, e):
+        name = e.callee_name
+        sema = self.low.sema
+        if name is not None and name not in sema.functions:
+            impl = BUILTIN_IMPLS.get(name)
+            if impl is None:
+                self.o("ins += 1;")
+                site = self.fault_site(
+                    "interp", f"unknown function {name!r}", e.nid)
+                self.o(f"FAULT({site});")
+                return Val("0", "v", e.ctype)
+            self.o("ins += 1;")
+            vals = [self.expr(a) for a in e.args]
+            self.o(f"cy8 += {_cy8('builtin')};")
+            if name in _NATIVE_MATH:
+                return self._native_math(name, e, vals)
+            if name in ("abs", "labs"):
+                if not vals:
+                    raise NLError("NL-MATH-ARGC", name)
+                v = vals[0]
+                vi = f"rp_d2i({v.ref})" if v.cls == "f" else v.ref
+                self.o(f"cy8 += {_cy8('alu')};")
+                t = self.t()
+                self.o(f"{t} = {vi} < 0 ? -({vi}) : ({vi});")
+                return Val(t, "i", e.ctype)
+            return self._callfb(name, e, vals)
+        fn = sema.functions.get(name) if name else None
+        if fn is None:
+            raise NLError("NL-FNPTR")
+        self.o("ins += 1;")
+        vals = [self.expr(a) for a in e.args]
+        meta = self.low.native_fns.get(fn.nid)
+        if meta is None or len(vals) < len(fn.params):
+            # callee not lowered, or zip-truncation would leave params
+            # without storage: the Python machine reproduces it exactly
+            return self._callfb(fn, e, vals)
+        cargs = []
+        for v, pcls in zip(vals, meta.params):
+            if pcls == "f":
+                cargs.append(self.to_double(v))
+            elif pcls == "i":
+                cargs.append(f"rp_d2i({v.ref})" if v.cls == "f" else v.ref)
+            else:  # 's': source address carrier
+                if v.cls != "s":
+                    raise NLError("NL-STRUCT-ARG", v.cls)
+                cargs.append(v.ref)
+        self.callees.add(fn.nid)
+        rcls = meta.ret_cls
+        t = self.t("double" if rcls == "f" else "int64_t")
+        # commit local cost counters so a fault inside the callee (which
+        # longjmps past this frame) reports exact totals; reload M in
+        # case the callee grew the backing buffer
+        self.o("FLUSH;")
+        self.o(f"{t} = {meta.cname}(E{''.join(', ' + a for a in cargs)});"
+               f" M = E->M;")
+        if rcls == "s":
+            return Val(t, "s", e.ctype)
+        if rcls == "v":
+            return Val(t, "v", e.ctype)
+        return Val(t, rcls, e.ctype)
+
+    # ======================================================================
+    # statements
+    # ======================================================================
+    def emit_init(self, base: str, ct, init, off: int):
+        """Flattened initializer stores (mirrors ``_gather_init``)."""
+        if isinstance(init, list):
+            if isinstance(ct, ArrayType):
+                esize = ct.elem.size
+                for i, item in enumerate(init):
+                    self.emit_init(base, ct.elem, item, off + i * esize)
+            elif isinstance(ct, StructType):
+                for item, field in zip(init, ct.fields):
+                    self.emit_init(base, field.type, item,
+                                   off + field.offset)
+            else:
+                raise NLError("NL-BAD-INIT")
+        else:
+            v = self.expr(init)
+            addr = f"({base} + {off})" if off else base
+            self.store_value(addr, v, ct, cheap=False, guarded=True)
+
+    def emit_decl(self, d: ast.VarDecl):
+        ct = d.ctype
+        if ct.size is None and d.vla_length is not None:
+            cnt = self.expr(d.vla_length)
+            ci = f"rp_d2i({cnt.ref})" if cnt.cls == "f" else cnt.ref
+            n = self.t()
+            self.o(f"{n} = {ci};")
+            sz = self.t()
+            self.o(f"{sz} = {ct.elem.size} * ({n} < 1 ? 1 : {n});")
+            size_ref = sz
+        elif ct.size is None:
+            raise NLError("NL-INCOMPLETE-LOCAL", d.name)
+        else:
+            size_ref = str(ct.size)
+        a = self.t()
+        self.alloca(size_ref, a)
+        self.bound[d] = a
+        if d.init is not None:
+            self.emit_init(a, ct, d.init, 0)
+
+    def _backstop(self, site: int):
+        self.o(f"E->steps += 1; if (E->steps > E->max_steps) "
+               f"FAULT({site});")
+
+    def _loop_site(self, s) -> int:
+        return self.fault_site(
+            "interp", "step budget exceeded (runaway program?)", s.nid)
+
+    def emit_while(self, s):
+        self.loop_nids.add(s.nid)
+        site = self._loop_site(s)
+        top, brk = f"W{s.nid}_c", f"W{s.nid}_b"
+        self.loops.append((brk, top))
+        self.label(top)
+        self.o(f"cy8 += {_cy8('alu')};")
+        c = self.expr(s.cond)
+        self.o(f"if (!{self.truth(c)}) goto {brk};")
+        self._backstop(site)
+        self.stmt(s.body)
+        self.o(f"goto {top};")
+        self.label(brk)
+        self.loops.pop()
+
+    def emit_dowhile(self, s):
+        self.loop_nids.add(s.nid)
+        site = self._loop_site(s)
+        top, cont, brk = f"D{s.nid}_s", f"D{s.nid}_c", f"D{s.nid}_b"
+        self.loops.append((brk, cont))
+        self.label(top)
+        self._backstop(site)
+        self.stmt(s.body)
+        self.label(cont)
+        self.o(f"cy8 += {_cy8('alu')};")
+        c = self.expr(s.cond)
+        self.o(f"if ({self.truth(c)}) goto {top};")
+        self.label(brk)
+        self.loops.pop()
+
+    def emit_for(self, s):
+        self.loop_nids.add(s.nid)
+        site = self._loop_site(s)
+        top, cont, brk = f"F{s.nid}_s", f"F{s.nid}_c", f"F{s.nid}_b"
+        if s.init is not None:
+            self.stmt(s.init)
+        self.loops.append((brk, cont))
+        self.label(top)
+        if s.cond is not None:
+            self.o(f"cy8 += {_cy8('alu')};")
+            c = self.expr(s.cond)
+            self.o(f"if (!{self.truth(c)}) goto {brk};")
+        self._backstop(site)
+        self.stmt(s.body)
+        self.label(cont)
+        if s.step is not None:
+            self.expr(s.step)
+        self.o(f"goto {top};")
+        self.label(brk)
+        self.loops.pop()
+
+    def emit_return(self, s):
+        v = self.expr(s.expr) if s.expr is not None else None
+        if self.in_function:
+            rc = self.ret_cls
+            if v is None:
+                self.o("E->rnone = 1;")
+                carrier = "0.0" if rc == "f" else "0"
+            else:
+                self.o("E->rnone = 0;")
+                if rc == "f":
+                    if v.cls == "s":
+                        raise NLError("NL-RET-MISMATCH", "s->f")
+                    # int return exprs in a float fn promote through
+                    # double (documented >2^53 divergence)
+                    carrier = self.to_double(v)
+                elif rc == "i":
+                    # the walker returns the *raw* expr value without
+                    # converting to the declared type, so the carrier
+                    # reinterpretation must already agree
+                    if v.cls != "i" or is_u64(v.ct) != self.ret_u64:
+                        raise NLError("NL-RET-MISMATCH",
+                                      f"{v.cls}->{rc}")
+                    carrier = v.ref
+                elif rc == "s":
+                    if v.cls != "s" or self.ret_ct is None or \
+                            v.ct.size != self.ret_ct.size:
+                        raise NLError("NL-RET-MISMATCH",
+                                      f"{v.cls}->{rc}")
+                    carrier = v.ref
+                elif rc == "v":
+                    # value discarded; any consumer NLs at probe time
+                    carrier = f"rp_d2i({v.ref})" if v.cls == "f" else v.ref
+                else:  # pragma: no cover
+                    raise NLError("NL-RET-CLASS", rc)
+            self.o(f"E->depth -= 1; cy8 += {_cy8('ret')};")
+            self.o(f"FLUSH; return {carrier};")
+            return
+        # statement-unit return: encode the semantic value for Python
+        if v is None or v.cls == "v":
+            self.o(f"E->args[1] = {RET_NONE};")
+        elif v.cls == "f":
+            self.o(f"E->dargs[0] = {v.ref}; E->args[1] = {RET_F64};")
+        elif v.cls == "s":
+            self.o(f"E->args[0] = {v.ref}; E->args[1] = {RET_BLOB}; "
+                   f"E->args[2] = {v.ct.size};")
+        else:
+            kind = RET_U64 if is_u64(v.ct) else RET_I64
+            self.o(f"E->args[0] = {v.ref}; E->args[1] = {kind};")
+        self.o(f"FLUSH; E->jbp = oldjb; return {RC_RETURN};")
+
+    def stmt(self, s):
+        t = type(s)
+        if t is ast.Block:
+            for child in s.stmts:
+                self.stmt(child)
+        elif t is ast.ExprStmt:
+            self.expr(s.expr)
+        elif t is ast.DeclStmt:
+            for d in s.decls:
+                self.emit_decl(d)
+        elif t is ast.If:
+            self.o(f"cy8 += {_cy8('alu')};")
+            c = self.expr(s.cond)
+            self.o(f"if ({self.truth(c)}) {{")
+            self.stmt(s.then)
+            if s.els is not None:
+                self.o("} else {")
+                self.stmt(s.els)
+            self.o("}")
+        elif t is ast.While:
+            self.emit_while(s)
+        elif t is ast.DoWhile:
+            self.emit_dowhile(s)
+        elif t is ast.For:
+            self.emit_for(s)
+        elif t is ast.Return:
+            self.emit_return(s)
+        elif t is ast.Break:
+            if self.loops:
+                self.o(f"goto {self.loops[-1][0]};")
+            elif self.in_function:
+                raise NLError("NL-STRAY-BREAK")
+            else:
+                self.o(f"FLUSH; E->jbp = oldjb; return {RC_BREAK};")
+        elif t is ast.Continue:
+            if self.loops:
+                self.o(f"goto {self.loops[-1][1]};")
+            elif self.in_function:
+                raise NLError("NL-STRAY-CONTINUE")
+            else:
+                self.o(f"FLUSH; E->jbp = oldjb; return {RC_CONTINUE};")
+        else:
+            raise NLError("NL-STMT", t.__name__)
+
+
+_EMIT_BUGS = (AttributeError, KeyError, TypeError, IndexError)
+
+
+def _unit_prologue(cname: str) -> List[str]:
+    return [
+        f"int64_t {cname}(void *ep) {{",
+        "  Env *E = (Env *)ep;",
+        "  char *M = E->M;",
+        "  int64_t cy8 = 0, ins = 0, lds = 0, sts = 0;",
+        "  jmp_buf jb; void *oldjb = E->jbp;",
+        "  (void)M; (void)cy8; (void)ins; (void)lds; (void)sts;",
+        f"  if (setjmp(jb)) {{ E->jbp = oldjb; return {RC_FAULT}; }}",
+        "  E->jbp = (void *)&jb;",
+    ]
+
+
+class Lowerer:
+    """Drives lowering of one analyzed program to a C translation unit.
+
+    Pass 1 probes every function body against an optimistic registry
+    (all functions assumed lowerable) and iterates to a fixpoint:
+    removing a function may invalidate callers (their native call
+    becomes a callback, which has its own limits).  Pass 2 re-emits the
+    survivors — plus per-statement units and per-DOALL chunk drivers —
+    into the final :class:`Lowering` with clean fault/call registries.
+    """
+
+    def __init__(self, program: ast.Program, sema):
+        self.program = program
+        self.sema = sema
+        self.tid_decl = sema.thread_context.get("__tid")
+        self.nthreads_decl = sema.thread_context.get("__nthreads")
+        self.global_idx: Dict[ast.VarDecl, int] = {
+            d: i for i, d in enumerate(sema.globals)
+        }
+        self.native_fns: Dict[int, FnMeta] = {}
+        self.result = Lowering()
+        self._nl: Dict[str, str] = {}
+
+    # -- function scaffolding ---------------------------------------------
+    def _fn_meta(self, fn: ast.FunctionDef) -> FnMeta:
+        params = []
+        for p in fn.params:
+            if p.vla_length is not None:
+                raise NLError("NL-VLA-PARAM", p.name)
+            if isinstance(p.ctype, ArrayType):
+                raise NLError("NL-ARRAY-PARAM", p.name)
+            c = cls_of(p.ctype)
+            if c == "v":
+                raise NLError("NL-PARAM-CLASS", p.name)
+            params.append(c)
+        rct = fn.ret_type
+        runner = None
+        if all(c in ("i", "f") for c in params) and len(params) <= 16:
+            runner = f"r_{fn.nid}"
+        return FnMeta(fn.nid, fn.name, f"f_{fn.nid}", runner,
+                      tuple(params), cls_of(rct), is_u64(rct))
+
+    def _fn_sig(self, meta: FnMeta) -> str:
+        parts = ["Env *E"]
+        for i, pcls in enumerate(meta.params):
+            ctype = "double" if pcls == "f" else "int64_t"
+            parts.append(f"{ctype} p{i}")
+        ret = "double" if meta.ret_cls == "f" else "int64_t"
+        return f"static {ret} {meta.cname}({', '.join(parts)})"
+
+    def _emit_fn_body(self, fn: ast.FunctionDef, meta: FnMeta) -> _Emit:
+        em = _Emit(self)
+        em.in_function = True
+        em.ret_cls = meta.ret_cls
+        em.ret_u64 = meta.ret_u64
+        em.ret_ct = fn.ret_type
+        site = em.fault_site(
+            "interp", f"call stack overflow in {fn.name}", None)
+        em.o(f"if (E->depth > 250) FAULT({site});")
+        em.o(f"cy8 += {_cy8('call')};")
+        em.o("E->depth += 1;")
+        for i, (p, pcls) in enumerate(zip(fn.params, meta.params)):
+            a = em.t()
+            em.alloca(str(p.ctype.size), a)
+            em.bound[p] = a
+            em.store_value(a, Val(f"p{i}", pcls, p.ctype), p.ctype,
+                           cheap=False, guarded=True)
+        em.stmt(fn.body)
+        # implicit fall-off-the-end return (the walker returns None)
+        em.o("E->rnone = 1;")
+        em.o(f"E->depth -= 1; cy8 += {_cy8('ret')};")
+        em.o(f"FLUSH; return {'0.0' if meta.ret_cls == 'f' else '0'};")
+        if em.free_order:  # pragma: no cover - var_addr_ref NLs first
+            raise NLError("NL-FREE-VAR", em.free_order[0].name)
+        return em
+
+    def _probe_functions(self):
+        """Optimistic registry, then remove failures to a fixpoint."""
+        bodies = {}
+        for name, fn in self.sema.functions.items():
+            if fn.body is None:
+                self._nl[f"fn:{name}"] = "NL-NO-BODY"
+                continue
+            try:
+                self.native_fns[fn.nid] = self._fn_meta(fn)
+                bodies[fn.nid] = fn
+            except NLError as err:
+                self._nl[f"fn:{name}"] = err.reason
+        while True:
+            failed = []
+            for nid, fn in bodies.items():
+                if nid not in self.native_fns:
+                    continue
+                self.result = Lowering()  # throwaway probe registries
+                try:
+                    self._emit_fn_body(fn, self.native_fns[nid])
+                except NLError as err:
+                    failed.append((nid, fn.name, err.reason))
+                except _EMIT_BUGS:
+                    failed.append((nid, fn.name, "NL-EMIT"))
+            if not failed:
+                break
+            for nid, name, reason in failed:
+                del self.native_fns[nid]
+                self._nl[f"fn:{name}"] = reason
+
+    # -- final emission ----------------------------------------------------
+    def _finish_fn(self, fn: ast.FunctionDef, meta: FnMeta,
+                   em: _Emit) -> List[str]:
+        meta.loop_nids = set(em.loop_nids)
+        meta.callees = set(em.callees)
+        self.result.fns[fn.nid] = meta
+        self.result.fn_by_name[fn.name] = fn.nid
+        return [self._fn_sig(meta) + " {",
+                "  int64_t cy8 = 0, ins = 0, lds = 0, sts = 0;",
+                "  char *M = E->M;",
+                "  (void)M; (void)cy8; (void)ins; (void)lds; (void)sts;",
+                ] + em.lines + ["}"]
+
+    def _emit_runner(self, fn: ast.FunctionDef, meta: FnMeta) -> List[str]:
+        args = []
+        for i, pcls in enumerate(meta.params):
+            args.append(f"E->dargs[{i}]" if pcls == "f"
+                        else f"E->args[{i}]")
+        call = f"{meta.cname}(E{''.join(', ' + a for a in args)})"
+        rtype = "double" if meta.ret_cls == "f" else "int64_t"
+        lines = [
+            f"int64_t {meta.runner}(void *ep) {{",
+            "  Env *E = (Env *)ep;",
+            "  jmp_buf jb; void *oldjb = E->jbp;",
+            f"  if (setjmp(jb)) {{ E->jbp = oldjb; return {RC_FAULT}; }}",
+            "  E->jbp = (void *)&jb;",
+            f"  {rtype} r;",
+            f"  r = {call};",
+            f"  if (E->rnone) {{ E->args[1] = {RET_NONE}; }}",
+        ]
+        if meta.ret_cls == "f":
+            lines.append(f"  else {{ E->dargs[0] = r; "
+                         f"E->args[1] = {RET_F64}; }}")
+        elif meta.ret_cls == "s":
+            lines.append(f"  else {{ E->args[0] = r; "
+                         f"E->args[1] = {RET_BLOB}; "
+                         f"E->args[2] = {fn.ret_type.size}; }}")
+        else:
+            kind = RET_U64 if meta.ret_u64 else RET_I64
+            lines.append(f"  else {{ E->args[0] = r; "
+                         f"E->args[1] = {kind}; }}")
+        lines += [
+            "  E->jbp = oldjb;",
+            f"  return {RC_OK};",
+            "}",
+        ]
+        return lines
+
+    def _emit_unit(self, s: ast.Stmt) -> List[str]:
+        cname = f"u_{s.nid}"
+        em = _Emit(self)
+        em.stmt(s)
+        meta = UnitMeta(s.nid, cname, tuple(em.free_order))
+        meta.loop_nids = set(em.loop_nids)
+        meta.callees = set(em.callees)
+        self.result.units[s.nid] = meta
+        return (_unit_prologue(cname) + em.lines +
+                [f"  FLUSH; E->jbp = oldjb; return {RC_OK};", "}"])
+
+    @staticmethod
+    def _control_of(s: ast.For) -> Optional[ast.VarDecl]:
+        init = s.init
+        if isinstance(init, ast.DeclStmt) and len(init.decls) == 1:
+            return init.decls[0]
+        if isinstance(init, ast.ExprStmt) and \
+                isinstance(init.expr, ast.Assign) and \
+                init.expr.op == "=" and \
+                isinstance(init.expr.target, ast.Ident) and \
+                isinstance(init.expr.target.decl, ast.VarDecl):
+            return init.expr.target.decl
+        return None
+
+    def _emit_chunk(self, s: ast.For,
+                    control: ast.VarDecl) -> List[str]:
+        """DOALL chunk driver: replays ``_task_doall``'s per-iteration
+        protocol — eval cond (cost only), body, eval step — for k in
+        [args[0], args[1]), with the iteration counter mirrored to the
+        heartbeat slot at args[4] and reported back via args[6]."""
+        cname = f"k_{s.nid}"
+        em = _Emit(self)
+        brk_lbl, cont_lbl = f"KB_{s.nid}", f"KC_{s.nid}"
+        em.loops.append((brk_lbl, cont_lbl))
+        em.o("for (k_ = E->args[0]; k_ < E->args[1]; k_++) {")
+        if s.cond is not None:
+            em.expr(s.cond)
+        em.stmt(s.body)
+        em.label(cont_lbl)
+        if s.step is not None:
+            em.expr(s.step)
+        em.o("iters_ += 1;")
+        em.o("if (hb_) *hb_ = iters_;")
+        em.o("}")
+        em.o(f"E->args[6] = iters_; FLUSH; E->jbp = oldjb; "
+             f"return {RC_OK};")
+        em.label(brk_lbl)
+        em.o(f"E->args[6] = iters_; FLUSH; E->jbp = oldjb; "
+             f"return {RC_BREAK};")
+        em.loops.pop()
+        meta = ChunkMeta(s.nid, cname, tuple(em.free_order), control)
+        meta.loop_nids = set(em.loop_nids)
+        meta.callees = set(em.callees)
+        self.result.chunks[s.nid] = meta
+        prologue = _unit_prologue(cname)
+        prologue += [
+            "  { int64_t k_, iters_ = 0; volatile int64_t *hb_;",
+            "  hb_ = E->args[4] ? (volatile int64_t *)(intptr_t)"
+            "E->args[4] : (volatile int64_t *)0;",
+        ]
+        return prologue + em.lines + ["  }", "}"]
+
+    # -- driver ------------------------------------------------------------
+    def lower(self) -> Lowering:
+        self._probe_functions()
+        while True:  # final pass; restart if a survivor regresses
+            self.result = Lowering()
+            chunks_src: List[str] = []
+            units_src: List[str] = []
+            fns_src: List[str] = []
+            runners_src: List[str] = []
+            regressed = None
+            for name, fn in self.sema.functions.items():
+                meta = self.native_fns.get(fn.nid)
+                if meta is None:
+                    continue
+                try:
+                    em = self._emit_fn_body(fn, meta)
+                except (NLError, *_EMIT_BUGS) as err:  # pragma: no cover
+                    reason = err.reason if isinstance(err, NLError) \
+                        else "NL-EMIT"
+                    regressed = (fn.nid, name, reason)
+                    break
+                fns_src += self._finish_fn(fn, meta, em)
+                if meta.runner:
+                    runners_src += self._emit_runner(fn, meta)
+            if regressed is not None:
+                nid, name, reason = regressed
+                del self.native_fns[nid]
+                self._nl[f"fn:{name}"] = reason
+                continue
+            for root in self._unit_roots():
+                try:
+                    units_src += self._emit_unit(root)
+                except NLError as err:
+                    self._nl[f"unit:{root.nid}"] = err.reason
+                except _EMIT_BUGS:
+                    self._nl[f"unit:{root.nid}"] = "NL-EMIT"
+            for loop in ast.iter_loops(self.program):
+                if not isinstance(loop, ast.For):
+                    continue
+                control = self._control_of(loop)
+                if control is None:
+                    self._nl[f"chunk:{loop.nid}"] = "NL-CONTROL"
+                    continue
+                try:
+                    chunks_src += self._emit_chunk(loop, control)
+                except NLError as err:
+                    self._nl[f"chunk:{loop.nid}"] = err.reason
+                except _EMIT_BUGS:
+                    self._nl[f"chunk:{loop.nid}"] = "NL-EMIT"
+            break
+        res = self.result
+        res.sema = self.sema
+        res.globals_order = tuple(self.sema.globals)
+        res.nl = dict(self._nl)
+        res.node_by_nid = {n.nid: n for n in self.program.walk()}
+        fwd = [self._fn_sig(m) + ";" for m in
+               (res.fns[k] for k in sorted(res.fns))]
+        res.exports = (
+            [res.units[k].cname for k in sorted(res.units)] +
+            [res.chunks[k].cname for k in sorted(res.chunks)] +
+            [m.runner for m in res.fns.values() if m.runner]
+        )
+        res.source = "\n".join(
+            [_PRELUDE] + fwd + [""] + fns_src + [""] + units_src +
+            [""] + chunks_src + [""] + runners_src + [""]
+        )
+        res.fingerprint = hashlib.sha256(
+            (f"abi{NATIVE_ABI_VERSION}\n" + res.source).encode()
+        ).hexdigest()[:16]
+        return res
+
+    def _unit_roots(self):
+        """Statements the runtime may dispatch through ``exec_stmt``:
+        loops, loop bodies, and DOACROSS stage candidates (immediate
+        children of loop body blocks).  DeclStmt roots are excluded —
+        their bindings must outlive the unit (the Python fallback binds
+        them in the machine frame where sibling stages can see them)."""
+        seen: Set[int] = set()
+        roots: List[ast.Stmt] = []
+
+        def add(s):
+            if s.nid in seen or isinstance(s, ast.DeclStmt):
+                return
+            seen.add(s.nid)
+            roots.append(s)
+
+        for loop in ast.iter_loops(self.program):
+            add(loop)
+            add(loop.body)
+            if isinstance(loop.body, ast.Block):
+                for child in loop.body.stmts:
+                    add(child)
+        return roots
+
+
+def lower_program(program: ast.Program, sema) -> Lowering:
+    """Lower ``program`` to a C translation unit + dispatch metadata."""
+    return Lowerer(program, sema).lower()
+
+
+_X = {
+    ast.IntLit: _Emit._x_intlit,
+    ast.FloatLit: _Emit._x_floatlit,
+    ast.StrLit: _Emit._x_strlit,
+    ast.Ident: _Emit._x_ident,
+    ast.Unary: _Emit._x_unary,
+    ast.Binary: _Emit._x_binary,
+    ast.Assign: _Emit._x_assign,
+    ast.Cond: _Emit._x_cond,
+    ast.Call: _Emit._x_call,
+    ast.Index: _Emit._x_index,
+    ast.Member: _Emit._x_member,
+    ast.Cast: _Emit._x_cast,
+    ast.SizeofType: _Emit._x_sizeof_type,
+    ast.SizeofExpr: _Emit._x_sizeof_expr,
+    ast.Comma: _Emit._x_comma,
+}

@@ -1,0 +1,483 @@
+"""NativeMachine: the third execution tier.
+
+A drop-in :class:`~repro.interp.machine.Machine` subclass that
+dispatches function calls, statement units, and DOALL chunk drivers
+into compiled ``.so`` entry points operating directly on the machine's
+flat byte buffer — with zero per-iteration Python inside lowered loop
+nests.  Everything the C code cannot reproduce exactly (per-function
+``NL-*`` lowering failures, active instrumentation hooks, unresolvable
+free variables) falls back to the ``bytecode-bare`` closures this class
+inherits, which is always semantics-preserving.
+
+The C side communicates through one Env struct (see
+``codegen._PRELUDE``): cost counters in cy8 units (cycles x 8), a step
+budget shared with the Python watchdog, and a callback used for heap
+growth, builtins, non-lowerable call sites and string-literal
+interning.  Callbacks synchronize the Python-side
+:class:`~repro.interp.memory.Memory` with the C bump allocator (one
+spanning ``native-frames`` stack record per growth region) so Python
+builtins see every native-allocated byte.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Dict, List, Optional, Tuple
+
+from ...frontend import ast
+from .. import memory as mem
+from ..builtins import BUILTIN_IMPLS
+from ..machine import (
+    COSTS, BreakSignal, ContinueSignal, ExitSignal, InterpError,
+    ReturnSignal,
+)
+from ..memory import MemoryError_
+from ..bytecode.machine import BytecodeMachine
+from .codegen import (
+    OP_BUILTIN, OP_CALLFB, OP_GROW, OP_STRLIT,
+    RC_BREAK, RC_CONTINUE, RC_FAULT, RC_OK, RC_RETURN,
+    RET_BLOB, RET_F64, RET_I64, RET_NONE, RET_U64,
+)
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_CBFUNC = ctypes.CFUNCTYPE(ctypes.c_int64, ctypes.c_void_p,
+                           ctypes.c_int64, ctypes.c_int64,
+                           ctypes.c_int64)
+
+
+class _Env(ctypes.Structure):
+    """Must match the Env struct in ``codegen._PRELUDE`` exactly."""
+
+    _fields_ = [
+        ("M", ctypes.c_void_p),
+        ("cap", ctypes.c_int64),
+        ("cap_alloc", ctypes.c_int64),
+        ("brk", ctypes.c_int64),
+        ("ck", ctypes.c_int64),
+        ("tid", ctypes.c_int64),
+        ("nthreads", ctypes.c_int64),
+        ("steps", ctypes.c_int64),
+        ("max_steps", ctypes.c_int64),
+        ("depth", ctypes.c_int64),
+        ("cy8", ctypes.c_int64),
+        ("ins", ctypes.c_int64),
+        ("lds", ctypes.c_int64),
+        ("sts", ctypes.c_int64),
+        ("fault", ctypes.c_int64),
+        ("rnone", ctypes.c_int64),
+        ("args", ctypes.c_int64 * 16),
+        ("dargs", ctypes.c_double * 16),
+        ("gaddr", ctypes.POINTER(ctypes.c_int64)),
+        ("daddr", ctypes.POINTER(ctypes.c_int64)),
+        ("saddr", ctypes.POINTER(ctypes.c_int64)),
+        ("jbp", ctypes.c_void_p),
+        ("cb", _CBFUNC),
+    ]
+
+
+def _sign64(v: int) -> int:
+    v &= MASK64
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+class NativeMachine(BytecodeMachine):
+    """Machine whose hot paths run as compiled C on the segment."""
+
+    def __init__(self, program, sema, check_bounds: bool = True,
+                 max_steps: int = 500_000_000,
+                 max_loop_steps: Optional[int] = None,
+                 engine: Optional[str] = None, tracer=None,
+                 memory=None):
+        # the fallback tier is always the bare closures: identical cost
+        # model, no per-statement instrumentation — same as native
+        super().__init__(program, sema, check_bounds, max_steps,
+                         max_loop_steps, engine="bytecode-bare",
+                         tracer=tracer, memory=memory)
+        self.engine = "native"
+        #: NL-* diagnostic when the backend is unavailable (None = ok)
+        self.native_diag: Optional[str] = None
+        self._low = None
+        self._handles = None
+        try:
+            from .backend import native_context_for
+            ctx = native_context_for(program, sema)
+            self._low = ctx.lowering
+            self._lib = ctx.lib
+            self._handles = ctx.lib.handles
+        except Exception as exc:
+            self.native_diag = str(exc)
+        self._env = _Env()
+        self._cb_obj = _CBFUNC(self._callback)
+        self._env.cb = self._cb_obj
+        self._pin = None
+        self._pending: Optional[BaseException] = None
+        self._gaddr_arr = None
+        self._gaddr_key: Optional[Tuple[int, int]] = None
+        self._daddr_arr = (ctypes.c_int64 * 1)()
+        self._saddr_arr = None
+        self._closure_cache: Dict[int, frozenset] = {}
+        self._env_addr = ctypes.addressof(self._env)
+        #: entry-point calls made (runners + units + chunk drivers);
+        #: the differential/smoke gates assert this is non-zero when a
+        #: run claims to be native
+        self.native_dispatches = 0
+
+    # -- gates -------------------------------------------------------------
+    def _native_ok(self) -> bool:
+        return (self._low is not None
+                and self._globals_ready
+                and self.redirector is None
+                and not self.observers
+                and self._stmt_hook is None
+                and self._tid_hook is None
+                and not self._store_taps)
+
+    def _loop_closure(self, meta) -> frozenset:
+        """All loop nids reachable through ``meta`` (incl. callees)."""
+        cached = self._closure_cache.get(id(meta))
+        if cached is not None:
+            return cached
+        loops = set(meta.loop_nids)
+        seen = set()
+        stack = list(meta.callees)
+        fns = self._low.fns
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            fm = fns.get(nid)
+            if fm is not None:
+                loops |= fm.loop_nids
+                stack.extend(fm.callees)
+        out = frozenset(loops)
+        self._closure_cache[id(meta)] = out
+        return out
+
+    def _controllers_clear(self, meta) -> bool:
+        if not self.loop_controllers:
+            return True
+        return not (self.loop_controllers.keys() & self._loop_closure(meta))
+
+    def _resolve_free(self, free) -> Optional[List[int]]:
+        if not free:
+            return []
+        frame = self.frames[-1] if self.frames else self.globals_frame
+        out = []
+        for decl in free:
+            addr = frame.vars.get(decl)
+            if addr is None:
+                return None
+            out.append(addr)
+        return out
+
+    # -- memory pinning ----------------------------------------------------
+    def _do_pin(self):
+        data = self.memory.data
+        buf = (ctypes.c_char * len(data)).from_buffer(data)
+        self._pin = buf
+        E = self._env
+        E.M = ctypes.addressof(buf)
+        E.cap = len(data)
+        E.cap_alloc = self.memory.limit if self.memory.limit is not None \
+            else len(data)
+
+    def _unpin(self):
+        self._pin = None
+
+    # -- env lifecycle -----------------------------------------------------
+    def _refresh_gaddr(self):
+        gvars = self.globals_frame.vars
+        key = (id(gvars), len(gvars))
+        if key == self._gaddr_key and self._gaddr_arr is not None:
+            return
+        order = self._low.globals_order
+        arr = (ctypes.c_int64 * max(len(order), 1))()
+        for i, decl in enumerate(order):
+            arr[i] = gvars.get(decl, 0)
+        self._gaddr_arr = arr
+        self._gaddr_key = key
+        self._env.gaddr = arr
+
+    def _refresh_saddr(self):
+        lits = self._low.strlits
+        arr = self._saddr_arr
+        if arr is None or len(arr) < max(len(lits), 1):
+            arr = (ctypes.c_int64 * max(len(lits), 1))()
+            self._saddr_arr = arr
+            self._env.saddr = arr
+        cache = self._strlit_cache
+        for i, node in enumerate(lits):
+            arr[i] = cache.get(node.nid, -1)
+
+    def _enter(self, daddr: Optional[List[int]] = None):
+        E = self._env
+        self._do_pin()
+        E.brk = self.memory.brk
+        E.ck = 1 if self.memory.check_bounds else 0
+        E.tid = self.tid
+        E.nthreads = self.nthreads
+        E.steps = self._steps
+        ms = self.max_steps
+        E.max_steps = int(ms) if ms == ms and ms < (1 << 62) else (1 << 62)
+        E.depth = len(self.frames)
+        E.cy8 = E.ins = E.lds = E.sts = 0
+        E.fault = -1
+        E.rnone = 0
+        self._refresh_gaddr()
+        self._refresh_saddr()
+        if daddr:
+            arr = self._daddr_arr
+            if len(arr) < len(daddr):
+                arr = (ctypes.c_int64 * len(daddr))()
+                self._daddr_arr = arr
+            for i, a in enumerate(daddr):
+                arr[i] = a
+            E.daddr = self._daddr_arr
+        self._pending = None
+
+    def _commit_costs(self):
+        E = self._env
+        if E.cy8 or E.ins or E.lds or E.sts:
+            self.cost.cycles += E.cy8 / 8
+            self.cost.instructions += E.ins
+            self.cost.loads += E.lds
+            self.cost.stores += E.sts
+            E.cy8 = E.ins = E.lds = E.sts = 0
+
+    def _sync_records(self):
+        """Cover native bump allocations with a Python-side stack
+        record so builtins (memcpy/strlen/...) pass ``check_access``
+        over native-allocated frames, and ``memory.brk`` tracks the C
+        allocator."""
+        E = self._env
+        memory = self.memory
+        if E.brk > memory.brk:
+            aligned = (memory.brk + 7) & ~7
+            if E.brk > aligned:
+                memory.alloc(E.brk - aligned, mem.STACK,
+                             label="native-frames")
+            else:  # pragma: no cover - brk already aligned to E.brk
+                memory.brk = E.brk
+
+    def _exit(self):
+        E = self._env
+        self._commit_costs()
+        self._steps = E.steps
+        self._sync_records()
+        self._unpin()
+
+    # -- the callback ------------------------------------------------------
+    def _callback(self, envp, op, a, b) -> int:
+        E = self._env
+        repin = False
+        try:
+            self._commit_costs()
+            self._steps = E.steps
+            self._sync_records()
+            if op == OP_GROW:
+                memory = self.memory
+                if memory.limit is not None:
+                    raise MemoryError_(
+                        f"memory region exhausted: need {a} bytes, "
+                        f"region capacity {memory.limit}"
+                    )
+                self._unpin()
+                repin = True
+                data = memory.data
+                if a > len(data):
+                    data.extend(b"\0" * max(a - len(data), 65536))
+            elif op == OP_STRLIT:
+                node = self._low.node_by_nid[a]
+                cache = self._strlit_cache
+                addr = cache.get(node.nid)
+                if addr is None:
+                    self._unpin()
+                    repin = True
+                    payload = node.value.encode("latin-1") + b"\0"
+                    addr = self.memory.alloc(len(payload), mem.RODATA,
+                                             label="strlit")
+                    self.memory.write_bytes(addr, payload)
+                    cache[node.nid] = addr
+                self._saddr_arr[b] = addr
+            elif op in (OP_BUILTIN, OP_CALLFB):
+                meta = self._low.calls[a]
+                self._unpin()
+                repin = True
+                args = self._decode_call_args(meta)
+                node = self._low.node_by_nid.get(meta.nid)
+                if op == OP_BUILTIN:
+                    impl = BUILTIN_IMPLS[meta.name]
+                    result = impl(self, args, node)
+                else:
+                    fn = self._low.sema.functions[meta.name]
+                    result = self.call_function(fn, args)
+                self._encode_call_result(meta, result)
+            else:  # pragma: no cover - unknown opcode
+                raise InterpError(f"native callback opcode {op}")
+            return 0
+        except BaseException as exc:
+            self._pending = exc
+            return 1
+        finally:
+            if repin or self._pin is None:
+                self._do_pin()
+            E.steps = self._steps
+            E.brk = self.memory.brk
+
+    def _decode_call_args(self, meta) -> List:
+        E = self._env
+        out = []
+        for i, spec in enumerate(meta.args):
+            kind = spec[0]
+            if kind == "f":
+                out.append(E.dargs[i])
+            elif kind == "s":
+                out.append(self.memory.read_bytes(E.args[i], spec[1]))
+            else:
+                v = E.args[i]
+                out.append(v & MASK64 if spec[1] and v < 0 else v)
+        return out
+
+    def _encode_call_result(self, meta, result):
+        E = self._env
+        if meta.ret == "f":
+            E.dargs[0] = float(result) if result is not None else 0.0
+        elif meta.ret == "i":
+            E.args[0] = _sign64(int(result)) if result is not None else 0
+
+    # -- entry invocation --------------------------------------------------
+    def _invoke(self, cname: str, daddr: Optional[List[int]] = None) -> int:
+        self.native_dispatches += 1
+        self._enter(daddr)
+        try:
+            rc = self._handles[cname](self._env_addr)
+        finally:
+            self._exit()
+        if self._pending is not None:
+            exc = self._pending
+            self._pending = None
+            raise exc
+        if rc == RC_FAULT:
+            self._raise_fault()
+        return rc
+
+    def _raise_fault(self):
+        E = self._env
+        site = E.fault
+        if site == 0:
+            # region-guard trip: re-run the exact Python check for the
+            # walker's error text (NULL / wild / out-of-bounds / UAF)
+            addr, size = E.args[0], E.args[1]
+            self.memory.check_access(addr, size)
+            raise InterpError(
+                f"wild access at {addr} (size {size})")  # pragma: no cover
+        meta = self._low.faults[site - 1]
+        node = self._low.node_by_nid.get(meta.nid) \
+            if meta.nid is not None else None
+        if meta.kind == "memory":  # pragma: no cover - none emitted yet
+            raise MemoryError_(meta.msg)
+        raise InterpError(meta.msg, node)
+
+    def _decode_return(self):
+        E = self._env
+        kind = E.args[1]
+        if kind == RET_NONE:
+            return None
+        if kind == RET_I64:
+            return E.args[0]
+        if kind == RET_U64:
+            return E.args[0] & MASK64
+        if kind == RET_F64:
+            return E.dargs[0]
+        if kind == RET_BLOB:
+            return self.memory.read_bytes(E.args[0], E.args[2])
+        raise InterpError(f"bad native return kind {kind}")
+
+    # -- Machine contract overrides ---------------------------------------
+    def call_function(self, fn: ast.FunctionDef, args: List):
+        if self._native_ok():
+            meta = self._low.fns.get(fn.nid)
+            if (meta is not None and meta.runner is not None
+                    and len(args) >= len(fn.params)
+                    and self._controllers_clear(meta)
+                    and all(isinstance(v, (int, float))
+                            for v in args[:len(meta.params)])):
+                E = self._env
+                for i, pcls in enumerate(meta.params):
+                    v = args[i]
+                    if pcls == "f":
+                        E.dargs[i] = float(v)
+                    else:
+                        E.args[i] = _sign64(int(v))
+                self._invoke(meta.runner)
+                return self._decode_return()
+        return super().call_function(fn, args)
+
+    def exec_stmt(self, stmt: ast.Stmt) -> None:
+        if self._native_ok():
+            meta = self._low.units.get(stmt.nid)
+            if meta is not None and self._controllers_clear(meta):
+                daddr = self._resolve_free(meta.free)
+                if daddr is not None:
+                    rc = self._invoke(meta.cname, daddr)
+                    if rc == RC_OK:
+                        return
+                    if rc == RC_BREAK:
+                        raise BreakSignal()
+                    if rc == RC_CONTINUE:
+                        raise ContinueSignal()
+                    if rc == RC_RETURN:
+                        raise ReturnSignal(self._decode_return())
+                    raise InterpError(f"bad native rc {rc}")
+        super().exec_stmt(stmt)
+
+    # -- DOALL chunk driver ------------------------------------------------
+    def native_chunk(self, loop_nid: int):
+        """ChunkMeta for ``loop_nid`` if it is natively dispatchable in
+        the machine's current state, else None (caller falls back to
+        the per-iteration Python protocol)."""
+        if not self._native_ok():
+            return None
+        meta = self._low.chunks.get(loop_nid)
+        if meta is None or not self._controllers_clear(meta):
+            return None
+        if self._resolve_free(meta.free) is None:
+            return None
+        return meta
+
+    def run_native_chunk(self, loop_nid: int, k0: int, k1: int,
+                         hb_iter_off: int = 0) -> int:
+        """Run iterations [k0, k1) of the DOALL loop ``loop_nid``
+        entirely in C; returns the completed iteration count.  The
+        control variable must already be seeded (the caller owns the
+        bind/seed/fence protocol).  ``hb_iter_off`` is a segment offset
+        whose int64 slot receives the live iteration counter."""
+        meta = self._low.chunks[loop_nid]
+        daddr = self._resolve_free(meta.free)
+        if daddr is None:
+            raise InterpError("native chunk free vars unresolved")
+        E = self._env
+        E.args[0] = k0
+        E.args[1] = k1
+        E.args[6] = 0
+        self.native_dispatches += 1
+        self._enter(daddr)
+        # hb address needs the pinned base; set after _enter pins
+        E.args[4] = (E.M + hb_iter_off) if hb_iter_off else 0
+        try:
+            rc = self._handles[meta.cname](self._env_addr)
+        finally:
+            self._exit()
+        if self._pending is not None:
+            exc = self._pending
+            self._pending = None
+            raise exc
+        if rc == RC_FAULT:
+            self._raise_fault()
+        if rc == RC_BREAK:
+            raise BreakSignal()
+        if rc == RC_RETURN:
+            raise ReturnSignal(self._decode_return())
+        return E.args[6]

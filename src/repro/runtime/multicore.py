@@ -603,7 +603,8 @@ def _post_token(data, slots: Dict[int, int], origin: int, k: int,
 
 def _worker_main(conn, wid: int, shm, program, sema, fingerprint: str,
                  arena_base: int, arena_limit: int, hb_base: int,
-                 hb_interval: float) -> None:
+                 hb_interval: float,
+                 engine: str = "bytecode-bare") -> None:
     """Worker process entry point.  Serves task messages until an
     ``("exit",)`` sentinel or pipe EOF, then hard-exits — ``os._exit``
     skips the multiprocessing atexit machinery, so the fork-inherited
@@ -613,12 +614,16 @@ def _worker_main(conn, wid: int, shm, program, sema, fingerprint: str,
         from ..interp.bytecode.compiler import BARE, compiler_for_hash
         # bare-variant code memoized on the source hash: the machine's
         # own compiler_for() call resolves to this same object, and a
-        # warm worker reuses it for every task of the program
+        # warm worker reuses it for every task of the program (the
+        # native tier inherits its .so handles + lowering the same way,
+        # via the fork-warm context registry in interp.native.backend)
         compiler_for_hash(fingerprint, program, sema, BARE)
         memory = mem.Memory(check_bounds=False, buffer=shm.buf,
                             base=arena_base, limit=arena_limit)
-        machine = Machine(program, sema, check_bounds=False,
-                          engine="bytecode-bare", memory=memory)
+        machine = Machine(
+            program, sema, check_bounds=False,
+            engine="native" if engine == "native" else "bytecode-bare",
+            memory=memory)
         decls = _decl_index(program, sema)
         loops: Dict[str, ast.LoopStmt] = {}
         hb = _WorkerHB(shm.buf, hb_base)
@@ -723,9 +728,40 @@ def _task_doall(machine, memory, decls, loop, arena_base, spec, hb):
     lo, step = spec["lo"], spec["step"]
     sink = machine.cost
     iters = 0
+    meta: dict = {}
+    native = None
+    if machine.engine == "native":
+        # per-iteration chaos kills need the Python loop; everything
+        # else dispatches the whole chunk as one compiled call
+        if kill_after is None:
+            native = machine.native_chunk(loop.nid)
+        if native is None:
+            low = machine._low
+            meta["native"] = False
+            if kill_after is not None:
+                meta["nl"] = "NL-CHAOS-ITER"
+            else:
+                meta["nl"] = (machine.native_diag
+                              or (low.nl.get(f"chunk:{loop.nid}")
+                                  if low is not None else None)
+                              or "NL-CHUNK-GATE")
+        else:
+            meta["native"] = True
     t_start = time.perf_counter_ns()
     memory.write_scalar(caddr, fmt, lo + spec["chunk_lo"] * step)
     hb.status(tid, PHASE_BODY)
+    if native is not None:
+        try:
+            iters = machine.run_native_chunk(
+                loop.nid, spec["chunk_lo"], spec["chunk_hi"])
+        except BreakSignal:
+            return ("err", tid, "RT-BREAK",
+                    f"break inside DOALL loop {spec['label']!r}")
+        t_end = time.perf_counter_ns()
+        hb.status(tid, PHASE_DONE)
+        return ("ok", tid, machine.output,
+                (sink.cycles, sink.instructions, sink.loads,
+                 sink.stores), iters, (t_start, t_end), meta)
     for _k in range(spec["chunk_lo"], spec["chunk_hi"]):
         if loop.cond is not None:
             machine.eval(loop.cond)
@@ -745,7 +781,7 @@ def _task_doall(machine, memory, decls, loop, arena_base, spec, hb):
     hb.status(tid, PHASE_DONE)
     return ("ok", tid, machine.output,
             (sink.cycles, sink.instructions, sink.loads, sink.stores),
-            iters, (t_start, t_end), {})
+            iters, (t_start, t_end), meta)
 
 
 def _task_doacross(machine, memory, decls, loop, arena_base, spec, conn,
@@ -919,13 +955,18 @@ class ProcessSession:
 
     def __init__(self, program: ast.Program, sema, nthreads: int,
                  workers: Optional[int] = None,
-                 options: Optional[dict] = None):
+                 options: Optional[dict] = None,
+                 engine: Optional[str] = None):
         from multiprocessing import shared_memory
         opts = dict(options or {})
         self.nthreads = nthreads
         self.workers = max(1, int(workers or nthreads))
         self.program = program
         self.sema = sema
+        #: interpreter tier worker machines run on ("native" dispatches
+        #: chunks/stages into compiled entry points; anything else runs
+        #: the bare bytecode closures)
+        self.engine = engine or "bytecode-bare"
         self.parent_limit = int(opts.get("segment_bytes",
                                          DEFAULT_SEGMENT_BYTES))
         self.arena_bytes = int(opts.get("arena_bytes",
@@ -1032,7 +1073,8 @@ class ProcessSession:
                   self.fingerprint,
                   self.arena_base + wid * self.arena_bytes,
                   self.arena_base + (wid + 1) * self.arena_bytes,
-                  self.hb_addr(wid), self.heartbeat_interval),
+                  self.hb_addr(wid), self.heartbeat_interval,
+                  self.engine),
             daemon=True,
             name=f"repro-mc-{wid}",
         )
@@ -1051,6 +1093,17 @@ class ProcessSession:
         for fn in self.program.functions():
             comp.function(fn)
             comp.stmt(fn.body)
+        if self.engine == "native":
+            # lower + compile + dlopen before forking: children inherit
+            # the .so handles and the lowering registry copy-on-write,
+            # so a warm fork never invokes the C compiler
+            from ..interp.native import native_context_for
+            try:
+                native_context_for(self.program, self.sema)
+            except Exception:
+                # workers degrade per-machine with a native_diag; the
+                # task replies carry the NL-* reason
+                pass
         for wid in range(self.workers):
             proc, conn = self._spawn_worker(wid)
             self._procs.append(proc)

@@ -710,6 +710,13 @@ class ParallelRunner:
         self.workers = workers
         self.session = None
         memory = None
+        # the parallel runtime needs observer fan-out (race checker)
+        # and per-statement watchdog accounting, so the bare variant
+        # is promoted to the instrumented bytecode engine; the native
+        # tier stays native (its own fallback is the bare closures)
+        eng = resolve_engine(engine)
+        if eng == "bytecode-bare":
+            eng = "bytecode"
         if session is not None:
             # adopt a pre-built (possibly pooled) session: the caller
             # guarantees it was created for this tresult's program and
@@ -731,7 +738,7 @@ class ParallelRunner:
             else:
                 self.session = ProcessSession(
                     tresult.program, tresult.sema, nthreads,
-                    workers=workers, options=mc,
+                    workers=workers, options=mc, engine=eng,
                 )
                 memory = self.session.memory
                 self.backend = "process"
@@ -739,12 +746,17 @@ class ParallelRunner:
                 self.session.sink = self.sink
         self.outcome.backend = self.backend
         try:
-            # the parallel runtime needs observer fan-out (race checker)
-            # and per-statement watchdog accounting, so the bare variant
-            # is promoted to the instrumented bytecode engine
-            eng = resolve_engine(engine)
-            if eng == "bytecode-bare":
-                eng = "bytecode"
+            if eng == "native" and check_races:
+                # race observation hooks every access in Python; the
+                # native tier cannot fan accesses out, so the parent
+                # machine's native dispatch gate stays closed and the
+                # sequential sections run on the bare fallback instead
+                self.sink.note(
+                    "NL-OBSERVERS",
+                    "race checking keeps the parent machine on the "
+                    "bytecode fallback; pass check_races=False for "
+                    "native parent execution", phase="runtime",
+                )
             self.machine = Machine(tresult.program, tresult.sema,
                                    max_loop_steps=watchdog, engine=eng,
                                    tracer=self.tracer, memory=memory)

@@ -230,6 +230,19 @@ class Supervisor:
             backoffs = extras.get("backoffs", 0) if extras else 0
             if backoffs:
                 self.metrics.inc("runtime.mc_spin_backoffs", backoffs)
+            if extras:
+                # native-tier dispatch accounting: the smoke gates
+                # assert zero fallbacks on the kernel suite, so a chunk
+                # that ran the Python loop is never silent
+                if extras.get("native"):
+                    self.metrics.inc("runtime.native_chunks")
+                nl = extras.get("nl")
+                if nl:
+                    self.metrics.inc("runtime.native_fallbacks")
+                    self._note(
+                        "NL-FALLBACK",
+                        f"task {lane.tid} ran on the Python chunk loop "
+                        f"instead of the native entry point ({nl})")
             lane.extras = extras or {}
         else:
             # strip the routing tid: controllers expect the legacy

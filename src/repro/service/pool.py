@@ -41,8 +41,11 @@ class SessionPool:
 
     @staticmethod
     def _key(fingerprint: str, job: Job) -> tuple:
+        # engine is part of the key: a native-tier session's workers
+        # hold dlopen handles a bare session's workers lack
         return (fingerprint, job.nthreads,
-                job.workers or job.nthreads)
+                job.workers or job.nthreads,
+                job.options.resolved_engine())
 
     # -- lifecycle ---------------------------------------------------------
     def acquire(self, tresult, job: Job,
@@ -71,6 +74,7 @@ class SessionPool:
         session = ProcessSession(
             tresult.program, tresult.sema, job.nthreads,
             workers=job.workers, options=self.mc,
+            engine=job.options.resolved_engine(),
         )
         session._pool_key = key
         session.pool = self

@@ -91,11 +91,12 @@ def _sequential_baseline(compiled: CompiledJob, tracer,
                 tracer.metrics.inc("cache.baseline.hit")
             return hit
     eng = opts.resolved_engine()
+    if eng not in ("ast", "native"):
+        # unobserved straight-line run: the bare tier is behaviorally
+        # identical and fastest of the bytecode variants
+        eng = "bytecode-bare"
     with tracer.phase("sequential-baseline"):
-        machine = Machine(
-            ctx.program, ctx.sema,
-            engine="bytecode-bare" if eng != "ast" else "ast",
-        )
+        machine = Machine(ctx.program, ctx.sema, engine=eng)
         exit_code = machine.run(opts.entry)
     baseline = {
         "output": list(machine.output),

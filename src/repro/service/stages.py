@@ -13,6 +13,8 @@ everything)::
     optimize = H(expand)
     plan     = H(optimize)
     lower    = H(plan, engine)            [memory tier only]
+    lower-native = H(lower, abi, cflags, cc)  [native engine only;
+                                           memory tier + .so disk cache]
     baseline = H(sema, entry, engine)     [side stage, run phase]
 
 Each chain artifact is a *cumulative context snapshot* — the program,
@@ -49,9 +51,10 @@ from .cache import MISS, StageCache
 from .job import Job
 
 #: the chain, shallowest first (``baseline`` is a side stage keyed off
-#: ``sema``, probed by the run phase)
+#: ``sema``, probed by the run phase; ``lower-native`` joins the chain
+#: only when the job's engine is "native")
 STAGES = ("parse", "sema", "profile", "classify", "expand", "optimize",
-          "plan", "lower")
+          "plan", "lower", "lower-native")
 
 #: transform stages that collapse into one monolithic unit when the
 #: job is permissive
@@ -89,6 +92,15 @@ def stage_keys(job: Job) -> Dict[str, str]:
     keys["optimize"] = _h(keys["expand"])
     keys["plan"] = _h(keys["optimize"])
     keys["lower"] = _h(keys["plan"], engine)
+    # the native lowering folds everything a .so depends on that the
+    # chain above does not already: codegen ABI, opt flags, and the
+    # host compiler's identity (path + version).  The key exists for
+    # every engine (key derivation must be total); only native jobs
+    # put the stage in their chain.
+    from ..interp.native import NATIVE_ABI_VERSION
+    from ..interp.native.backend import CFLAGS, cc_identity
+    keys["lower-native"] = _h(keys["lower"], NATIVE_ABI_VERSION,
+                              CFLAGS, cc_identity())
     keys["baseline"] = _h(keys["sema"], opts.entry, engine)
     return keys
 
@@ -114,6 +126,12 @@ class StageContext:
         #: content fingerprint of the transformed program (process
         #: backend + session-pool key); filled by the lower stage
         self.fingerprint: Optional[str] = None
+        #: transient — native contexts (lowering + dlopen'd .so) for
+        #: the transformed and original programs; memory tier only,
+        #: the .so artifacts themselves are cached on disk beside the
+        #: stage cache (filled by the lower-native stage)
+        self.native = None
+        self.native_baseline = None
 
     def snapshot(self) -> dict:
         return {name: getattr(self, name) for name in self.CHAIN_FIELDS
@@ -202,10 +220,12 @@ class StagedCompiler:
 
     # -- probing ----------------------------------------------------------
     def _chain_for(self, job: Job) -> Tuple[str, ...]:
+        native = job.options.resolved_engine() == "native"
         if job.options.strict:
-            return STAGES
+            return STAGES if native else STAGES[:-1]
         # permissive: the transform is one monolithic, bisectable unit
-        return ("parse", "sema", "transform", "lower")
+        chain = ("parse", "sema", "transform", "lower")
+        return chain + ("lower-native",) if native else chain
 
     def _probe(self, job: Job, keys, ctx, chain, report) -> int:
         """Load the deepest cached artifact; returns the index of the
@@ -215,8 +235,9 @@ class StagedCompiler:
         for i in range(len(chain) - 1, -1, -1):
             stage = chain[i]
             key = keys[self._key_name(stage)]
-            artifact = self.cache.get(self._label(stage), key,
-                                      memory_only=(stage == "lower"))
+            artifact = self.cache.get(
+                self._label(stage), key,
+                memory_only=stage in ("lower", "lower-native"))
             if artifact is MISS:
                 continue
             self._load(stage, artifact, ctx)
@@ -237,28 +258,31 @@ class StagedCompiler:
         return stage if stage != "transform" else "plan"
 
     def _load(self, stage: str, artifact, ctx: StageContext) -> None:
-        if stage == "lower":
-            # the lower artifact is the complete context (consistent
-            # object graph including compilers)
+        if stage in ("lower", "lower-native"):
+            # these artifacts are the complete context (consistent
+            # object graph including compilers / native contexts)
             loaded: StageContext = artifact
             ctx.restore(loaded.snapshot())
             ctx.compilers = loaded.compilers
             ctx.fingerprint = loaded.fingerprint
+            ctx.native = loaded.native
+            ctx.native_baseline = loaded.native_baseline
         else:
             ctx.restore(artifact)
 
     # -- computing --------------------------------------------------------
     def _compute(self, stage: str, job: Job, ctx: StageContext,
                  keys) -> None:
-        getattr(self, f"_stage_{stage}")(job, ctx)
-        durable = stage != "lower"
+        getattr(self, f"_stage_{stage.replace('-', '_')}")(job, ctx)
+        memory_only = stage in ("lower", "lower-native")
         if self.cache is not None:
             if stage == "transform" and not self._clean(ctx):
                 return  # only clean permissive results are cacheable
-            artifact = ctx if stage == "lower" else ctx.snapshot()
+            artifact = ctx if memory_only else ctx.snapshot()
             self.cache.put(self._label(stage),
                            keys[self._key_name(stage)], artifact,
-                           durable=durable, nid_floor=ctx.nid_floor())
+                           durable=not memory_only,
+                           nid_floor=ctx.nid_floor())
 
     def _clean(self, ctx: StageContext) -> bool:
         result = ctx.result
@@ -375,6 +399,43 @@ class StagedCompiler:
                 "baseline": precompile(ctx.program, ctx.sema, BARE,
                                        self.tracer),
             }
+
+    def _stage_lower_native(self, job: Job, ctx: StageContext) -> None:
+        """Lower the transformed + original programs to C, compile and
+        dlopen the .so entry points.  The artifact (dlopen handles)
+        lives in the memory tier; the compiled .so is content-cached on
+        disk beside the stage cache, so a daemon restart re-lowers but
+        never re-invokes the C compiler."""
+        import os
+        from ..interp.native import (
+            native_backend_available, native_context_for,
+        )
+        ok, reason = native_backend_available()
+        if not ok:
+            # graceful degradation: the run phase's machines carry the
+            # same probe verdict and fall back to bytecode-bare
+            self.sink.warning(
+                "NL-UNAVAILABLE",
+                f"native backend unavailable ({reason}); the run "
+                f"phase degrades to bytecode-bare",
+                phase="lower-native")
+            return
+        so_dir = None
+        if self.cache is not None and self.cache.root:
+            so_dir = os.path.join(self.cache.root, "native-so")
+        result = ctx.result
+        with self.tracer.phase("lower-native"):
+            ctx.native = native_context_for(
+                result.program, result.sema, cache_dir=so_dir)
+            ctx.native_baseline = native_context_for(
+                ctx.program, ctx.sema, cache_dir=so_dir)
+        if self.tracer:
+            metrics = self.tracer.metrics
+            for c in (ctx.native, ctx.native_baseline):
+                metrics.inc("native.so_cache_hit" if c.lib.cache_hit
+                            else "native.so_cache_miss")
+                metrics.inc("native.compile_seconds",
+                            c.lib.compile_seconds)
 
     # -- observability ----------------------------------------------------
     def _note(self, report: Dict[str, str]) -> None:

@@ -4,6 +4,7 @@ parity, the parallel-runtime drop-in contract, the memory fast-path
 caches, and the schema-3 wall-clock trajectory."""
 
 import json
+import os
 
 import pytest
 
@@ -20,7 +21,7 @@ from repro.interp.memory import HEAP, Memory, MemoryError_
 
 class TestEngineSelection:
     def test_engines_tuple(self):
-        assert ENGINES == ("ast", "bytecode", "bytecode-bare")
+        assert ENGINES == ("ast", "bytecode", "bytecode-bare", "native")
 
     def test_default_is_ast(self, monkeypatch):
         monkeypatch.delenv("REPRO_ENGINE", raising=False)
@@ -83,22 +84,35 @@ def _bench_names():
 
 class TestDifferential:
     """Every kernel computes bit-identical output *and* bit-identical
-    simulated cost under all three tiers, with zero compile fallbacks."""
+    simulated cost under all tiers, with zero compile fallbacks."""
 
     @pytest.mark.parametrize("name", _bench_names())
     def test_kernel_parity(self, name):
         from repro.bench import get
+        from repro.interp.native import native_backend_available
 
         spec = get(name)
+        native_ok, _ = native_backend_available()
         prints = {}
         for engine in ENGINES:
+            if engine == "native" and not native_ok:
+                continue
             program, sema = parse_and_analyze(spec.source)
             machine = Machine(program, sema, engine=engine)
             prints[engine] = _fingerprint(machine, machine.run())
             if engine != "ast":
                 assert machine.compiler.fallbacks == 0, engine
+            if engine == "native":
+                assert machine.native_diag is None
+                assert machine._low.nl == {}
+                assert machine.native_dispatches > 0
         assert prints["ast"] == prints["bytecode"]
         assert prints["ast"] == prints["bytecode-bare"]
+        if native_ok:
+            # everything but the memory footprint: native frames are
+            # bump-allocated in C and covered by one spanning Python
+            # record, so the accounting stats legitimately differ
+            assert prints["ast"][:6] == prints["native"][:6]
 
 
 # A small program exercising the specialized compile shapes: scalar
@@ -393,14 +407,14 @@ class TestScalarCodecs:
 
 
 # ---------------------------------------------------------------------------
-# schema-3 trajectory (wall clock + engines + backends)
+# schema-4 trajectory (wall clock + engines + backends + native tier)
 # ---------------------------------------------------------------------------
 
 class TestTrajectorySchema:
-    def test_schema_is_3(self):
+    def test_schema_is_4(self):
         from repro.bench import TRAJECTORY_SCHEMA
 
-        assert TRAJECTORY_SCHEMA == 3
+        assert TRAJECTORY_SCHEMA == 4
 
     def test_payload_carries_wall_engine_and_backend(self):
         from repro.bench import trajectory_payload
@@ -409,7 +423,7 @@ class TestTrajectorySchema:
         harness = Harness(thread_counts=(2,), engine="bytecode")
         res = harness.result("dijkstra")
         payload = trajectory_payload({"dijkstra": res})
-        assert payload["schema"] == 3
+        assert payload["schema"] == 4
         assert payload["engines"] == ["bytecode"]
         assert payload["backends"] == ["simulated"]
         bench = payload["benchmarks"]["dijkstra"]
@@ -424,6 +438,8 @@ class TestTrajectorySchema:
         # thread count
         assert set(bench["wallclock_seconds"]) == {"2"}
         assert bench["wallclock_seconds"]["2"] > 0
+        # schema 4: not a native-tier run, so no compile accounting
+        assert bench["native"] is None
 
     def test_schema_1_files_still_readable(self, tmp_path):
         from repro.bench import load_trajectory
@@ -448,6 +464,7 @@ class TestTrajectorySchema:
         assert bench["backend"] == "simulated"
         assert bench["wallclock_seconds"] == {}
         assert payload["backends"] == ["simulated"]
+        assert bench["native"] is None
 
     def test_schema_2_files_still_readable(self, tmp_path):
         from repro.bench import load_trajectory
@@ -472,6 +489,7 @@ class TestTrajectorySchema:
         assert bench["backend"] == "simulated"         # normalized
         assert bench["wallclock_seconds"] == {}
         assert payload["backends"] == ["simulated"]
+        assert bench["native"] is None                 # schema-4 norm
 
     def test_newer_schema_rejected(self, tmp_path):
         from repro.bench import load_trajectory
@@ -488,7 +506,7 @@ class TestTrajectorySchema:
         path = tmp_path / "BENCH_now.json"
         emit_trajectory({}, path=str(path))
         payload = load_trajectory(str(path))
-        assert payload["schema"] == 3
+        assert payload["schema"] == 4
         assert payload["engines"] == []
 
     def test_emit_into_directory(self, tmp_path):
@@ -500,7 +518,7 @@ class TestTrajectorySchema:
         assert written.startswith(str(outdir))
         name = written[len(str(outdir)) + 1:]
         assert name.startswith("BENCH_") and name.endswith(".json")
-        assert json.loads((outdir / name).read_text())["schema"] == 3
+        assert json.loads((outdir / name).read_text())["schema"] == 4
 
     def test_emit_creates_parent_dirs(self, tmp_path):
         from repro.bench.trajectory import emit_trajectory
@@ -509,3 +527,42 @@ class TestTrajectorySchema:
         written = emit_trajectory({}, path=str(target))
         assert written == str(target)
         assert target.exists()
+
+    def test_committed_baselines_still_readable(self):
+        """Every BENCH_*.json checked into baselines/ (older schemas)
+        must load under the schema-4 reader, fully normalized."""
+        import glob
+
+        from repro.bench import TRAJECTORY_SCHEMA, load_trajectory
+
+        root = os.path.join(os.path.dirname(__file__), "..", "baselines")
+        paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+        assert len(paths) >= 2, "expected committed baseline trajectories"
+        for path in paths:
+            payload = load_trajectory(path)
+            assert payload["schema"] <= TRAJECTORY_SCHEMA
+            assert payload["benchmarks"], path
+            for name, bench in payload["benchmarks"].items():
+                # schema ≤3 files predate the native tier
+                assert bench["native"] is None, (path, name)
+                assert "engine" in bench and "backend" in bench
+                assert "wall_seconds" in bench
+                assert "wallclock_seconds" in bench
+
+    def test_native_block_round_trips(self, tmp_path):
+        from repro.bench import load_trajectory
+        from repro.bench.harness import BenchmarkResult
+        from repro.bench.suite import get
+        from repro.bench.trajectory import emit_trajectory
+
+        res = BenchmarkResult(get("dijkstra"))
+        res.engine = "native"
+        res.native = {"so_cache_hits": 3, "so_cache_misses": 1,
+                      "compile_seconds": 0.25}
+        path = tmp_path / "BENCH_native.json"
+        emit_trajectory({"dijkstra": res}, path=str(path))
+        bench = load_trajectory(str(path))["benchmarks"]["dijkstra"]
+        assert bench["engine"] == "native"
+        assert bench["native"] == {"so_cache_hits": 3,
+                                   "so_cache_misses": 1,
+                                   "compile_seconds": 0.25}

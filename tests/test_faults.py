@@ -243,6 +243,19 @@ def _process_or_skip():
         pytest.skip(f"process backend unavailable: {why}")
 
 
+@pytest.fixture(params=["bytecode", "native"])
+def chaos_engine(request):
+    """Process-level chaos heals identically whether the workers run
+    the bytecode tier or compiled native chunks."""
+    if request.param == "native":
+        from repro.interp.native import native_backend_available
+
+        ok, why = native_backend_available()
+        if not ok:
+            pytest.skip(f"native tier unavailable: {why}")
+    return request.param
+
+
 def _heap_image(memory):
     return [(r.kind, r.label, r.addr, r.size,
              bytes(memory.data[r.addr:r.end]))
@@ -250,14 +263,14 @@ def _heap_image(memory):
             if r.live and r.kind in ("global", "heap")]
 
 
-def _chaos_run(source, injectors, mc=None):
+def _chaos_run(source, injectors, mc=None, engine="bytecode"):
     from repro.obs import Tracer
     from repro.runtime import ParallelRunner
 
     program, sema = parse_and_analyze(source)
     result = expand_for_threads(program, sema, ["L"], optimize=True)
     tracer = Tracer()
-    runner = ParallelRunner(result, 4, engine="bytecode",
+    runner = ParallelRunner(result, 4, engine=engine,
                             backend="process", workers=4,
                             mc=dict({"segment_bytes": 1 << 21,
                                      "arena_bytes": 1 << 18},
@@ -309,30 +322,90 @@ class TestProcessChaos:
     @pytest.mark.parametrize(
         "name,make,mc,source,expect",
         SCENARIOS, ids=[s[0] for s in SCENARIOS])
-    def test_heals_bit_identical(self, name, make, mc, source, expect):
+    def test_heals_bit_identical(self, name, make, mc, source, expect,
+                                 chaos_engine):
         _process_or_skip()
+        # the baseline heap is engine-invariant: the bytecode base also
+        # pins the native-engine chaos run to the same bytes
         base_heap, base_out, base_metrics = _chaos_run(source, None)
         assert base_metrics.get("runtime.worker_tasks", 0) > 0, \
             "scenario kernel must dispatch to real workers"
-        heap, out, metrics = _chaos_run(source, [make()], mc=mc)
+        heap, out, metrics = _chaos_run(source, [make()], mc=mc,
+                                        engine=chaos_engine)
         assert out == base_out
         assert heap == base_heap
         assert not metrics.get("runtime.mc_degraded", 0)
         for key, want in expect.items():
             assert metrics.get(key, 0) == want, \
                 f"{name}: {key} = {metrics.get(key, 0)}, want {want}"
+        if chaos_engine == "native" and source is DOALL_SRC:
+            # chunks not disturbed by per-iteration chaos must have
+            # dispatched into the compiled entry point, and any
+            # fallback was accounted (never silent)
+            assert (metrics.get("runtime.native_chunks", 0)
+                    + metrics.get("runtime.native_fallbacks", 0)) > 0
 
     @pytest.mark.parametrize(
         "name,make,mc,source,expect",
         SCENARIOS, ids=[s[0] for s in SCENARIOS])
     def test_schedule_is_deterministic(self, name, make, mc, source,
-                                       expect):
+                                       expect, chaos_engine):
         _process_or_skip()
         runs = []
         for _ in range(2):
-            heap, out, metrics = _chaos_run(source, [make()], mc=mc)
+            heap, out, metrics = _chaos_run(source, [make()], mc=mc,
+                                            engine=chaos_engine)
             runs.append((heap, out,
                          metrics.get("runtime.mc_restart", 0),
                          metrics.get("runtime.mc_retry", 0),
                          metrics.get("runtime.mc_token_reissues", 0)))
         assert runs[0] == runs[1]
+
+
+class TestSupervisorLadder:
+    """The supervisor's retry → shrink → degrade ladder heals to the
+    same bytes on both worker tiers (bytecode and native)."""
+
+    def _ladder_run(self, mc, monkeypatch, engine):
+        from repro.diagnostics import DiagnosticSink
+        from repro.obs import Tracer
+        from repro.runtime import ParallelRunner
+
+        monkeypatch.setenv("REPRO_MC_CRASH", "1")
+        program, sema = parse_and_analyze(DOALL_SRC)
+        result = expand_for_threads(program, sema, ["L"], optimize=True)
+        tracer = Tracer()
+        sink = DiagnosticSink()
+        runner = ParallelRunner(result, 4, engine=engine,
+                                backend="process", workers=4,
+                                strict=False, sink=sink,
+                                mc=dict({"segment_bytes": 1 << 21,
+                                         "arena_bytes": 1 << 18}, **mc),
+                                tracer=tracer)
+        outcome = runner.run()
+        return outcome, tracer.metrics.as_dict(), sink
+
+    def test_budget_exhaustion_walks_ladder(self, monkeypatch,
+                                            chaos_engine):
+        _process_or_skip()
+        base, _ = prepare(DOALL_SRC)
+        outcome, metrics, sink = self._ladder_run(
+            {"max_restarts": 2, "retry_budget": 2}, monkeypatch,
+            chaos_engine)
+        assert outcome.output == base.output
+        assert sink.by_code("MC-RESTART")
+        assert sink.by_code("MC-RETRY")
+        assert sink.by_code("MC-DEGRADE")
+        assert metrics.get("runtime.mc_restart") == 2
+        assert metrics.get("runtime.mc_retry") == 2
+        assert metrics.get("runtime.mc_degrade") == 1
+
+    def test_restart_exhaustion_shrinks_pool(self, monkeypatch,
+                                             chaos_engine):
+        _process_or_skip()
+        base, _ = prepare(DOALL_SRC)
+        outcome, metrics, sink = self._ladder_run(
+            {"max_restarts": 0, "retry_budget": 8}, monkeypatch,
+            chaos_engine)
+        assert outcome.output == base.output
+        assert sink.by_code("MC-SHRINK")

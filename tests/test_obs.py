@@ -313,7 +313,7 @@ class TestTrajectory:
         written = emit_trajectory({"dijkstra": res}, path=str(path))
         assert written == str(path)
         doc = json.loads(path.read_text())
-        assert doc["schema"] == 3
+        assert doc["schema"] == 4
         bench = doc["benchmarks"]["dijkstra"]
         assert bench["overheads"]["expansion_opt"] == 1.2
         assert bench["expansion"]["4"]["loop_speedup"] == pytest.approx(3.2)
@@ -325,4 +325,4 @@ class TestTrajectory:
         monkeypatch.chdir(tmp_path)
         written = emit_trajectory({})
         assert written.startswith("BENCH_") and written.endswith(".json")
-        assert json.loads((tmp_path / written).read_text())["schema"] == 3
+        assert json.loads((tmp_path / written).read_text())["schema"] == 4
